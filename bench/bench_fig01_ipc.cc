@@ -1,0 +1,30 @@
+// Figure 1: instructions per cycle (IPC) of graph workloads on the
+// conventional (baseline) machine, grouped by category.
+//
+// Paper shape: most workloads far below IPC 1; GT lowest (often < 0.1),
+// DG a bit higher, RP highest.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/workload.h"
+
+using namespace graphpim;
+using namespace graphpim::bench;
+
+int main(int argc, char** argv) {
+  BenchContext ctx = ParseBench(argc, argv, /*default_vertices=*/16 * 1024,
+                                /*default_op_cap=*/6'000'000);
+  PrintHeader("Fig 1: IPC of graph workloads (baseline machine)", ctx);
+
+  std::printf("%-8s %-4s %8s\n", "workload", "cat", "IPC");
+  for (const auto& name : workloads::AllWorkloadNames()) {
+    auto wl = workloads::CreateWorkload(name);
+    WorkloadCategory cat = wl->info().category;
+    auto exp = ctx.MakeExperiment(name);
+    core::SimResults base = exp->Run(ctx.MakeConfig(core::Mode::kBaseline));
+    std::printf("%-8s %-4s %8.3f  |%s\n", name.c_str(), ToString(cat), base.ipc,
+                Bar(base.ipc / 0.7).c_str());
+  }
+  std::printf("\npaper: GT workloads often below 0.1 IPC; all well below 1\n");
+  return 0;
+}

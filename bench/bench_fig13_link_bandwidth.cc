@@ -1,0 +1,41 @@
+// Figure 13: speedup over the original-bandwidth baseline with halved and
+// doubled HMC link bandwidth.
+//
+// Paper shape: insensitive — HMC's link bandwidth is rich enough that
+// neither the baseline nor GraphPIM moves with bandwidth, so GraphPIM's
+// traffic savings do not translate into performance.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/workload.h"
+
+using namespace graphpim;
+using namespace graphpim::bench;
+
+int main(int argc, char** argv) {
+  BenchContext ctx = ParseBench(argc, argv, 16 * 1024, 6'000'000);
+  PrintHeader("Fig 13: sensitivity to HMC link bandwidth", ctx);
+
+  const double scales[] = {0.5, 1.0, 2.0};
+  std::printf("%-8s | %-23s | %-23s\n", "", "Baseline", "GraphPIM");
+  std::printf("%-8s   %6s %6s %6s    %6s %6s %6s\n", "workload", "half", "1x",
+              "double", "half", "1x", "double");
+  for (const auto& name : workloads::EvalWorkloadNames()) {
+    auto exp = ctx.MakeExperiment(name);
+    core::SimResults ref = exp->Run(ctx.MakeConfig(core::Mode::kBaseline));
+    std::printf("%-8s  ", name.c_str());
+    for (core::Mode mode : {core::Mode::kBaseline, core::Mode::kGraphPim}) {
+      for (double s : scales) {
+        core::SimConfig cfg = ctx.MakeConfig(mode);
+        cfg.hmc.link_bw_scale = s;
+        core::SimResults r =
+            (mode == core::Mode::kBaseline && s == 1.0) ? ref : exp->Run(cfg);
+        std::printf(" %5.2fx", core::Speedup(ref, r));
+      }
+      std::printf("   ");
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper: both systems insensitive to link bandwidth variations\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace graphpim::bench {
+
+BenchContext ParseBench(int argc, char** argv, VertexId default_vertices,
+                        std::uint64_t default_op_cap) {
+  BenchContext ctx;
+  ctx.cfg = Config::FromArgs(argc, argv);
+  ctx.vertices =
+      static_cast<VertexId>(ctx.cfg.GetUint("vertices", default_vertices));
+  ctx.full = ctx.cfg.GetBool("full", false);
+  ctx.op_cap = ctx.cfg.GetUint("opcap", default_op_cap);
+  ctx.threads = static_cast<int>(ctx.cfg.GetInt("threads", 16));
+  ctx.seed = ctx.cfg.GetUint("seed", 1);
+  ctx.profile = ctx.cfg.GetString("profile", "ldbc");
+  return ctx;
+}
+
+void PrintHeader(const std::string& title, const BenchContext& ctx) {
+  std::printf("==============================================================\n");
+  std::printf("GraphPIM reproduction | %s\n", title.c_str());
+  std::printf("machine: %s\n",
+              ctx.MakeConfig(core::Mode::kGraphPim).Describe().c_str());
+  std::printf("dataset: %s-like synthetic graph, %u vertices (op cap %llu)\n",
+              ctx.profile.c_str(), ctx.vertices,
+              static_cast<unsigned long long>(ctx.op_cap));
+  std::printf("==============================================================\n");
+}
+
+std::string Bar(double frac, int width) {
+  double clamped = std::clamp(frac, 0.0, 1.5);
+  int n = static_cast<int>(clamped / 1.5 * width + 0.5);
+  std::string out(static_cast<std::size_t>(n), '#');
+  return out;
+}
+
+}  // namespace graphpim::bench

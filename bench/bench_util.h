@@ -1,0 +1,59 @@
+// Shared harness utilities for the per-figure/table bench binaries.
+//
+// Every bench accepts the same command-line overrides:
+//   --vertices=N    LDBC-like graph size (default per bench)
+//   --full=1        Table IV full-size caches (default: scaled, DESIGN.md)
+//   --opcap=N       micro-op sampling cap per run
+//   --threads=N     worker threads (== cores simulated)
+//   --seed=N        generator seed
+#ifndef GRAPHPIM_BENCH_BENCH_UTIL_H_
+#define GRAPHPIM_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/runner.h"
+
+namespace graphpim::bench {
+
+struct BenchContext {
+  Config cfg;
+  VertexId vertices = 32 * 1024;
+  bool full = false;
+  std::uint64_t op_cap = 12'000'000;
+  int threads = 16;
+  std::uint64_t seed = 1;
+  std::string profile = "ldbc";
+
+  core::SimConfig MakeConfig(core::Mode mode) const {
+    core::SimConfig c =
+        full ? core::SimConfig::Paper(mode) : core::SimConfig::Scaled(mode);
+    c.num_cores = threads;
+    return c;
+  }
+
+  std::unique_ptr<core::Experiment> MakeExperiment(const std::string& workload) const {
+    core::Experiment::Options o;
+    o.num_threads = threads;
+    o.seed = seed;
+    o.op_cap = op_cap;
+    return std::make_unique<core::Experiment>(profile, vertices, workload, o);
+  }
+};
+
+// Parses the common flags; `default_vertices` lets heavyweight sweeps pick
+// a smaller default.
+BenchContext ParseBench(int argc, char** argv, VertexId default_vertices = 32 * 1024,
+                        std::uint64_t default_op_cap = 12'000'000);
+
+// Prints the standard banner: bench title + Table IV-style machine line.
+void PrintHeader(const std::string& title, const BenchContext& ctx);
+
+// ASCII bar of length proportional to `frac` (clamped to [0, 1.5]).
+std::string Bar(double frac, int width = 40);
+
+}  // namespace graphpim::bench
+
+#endif  // GRAPHPIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+// Financial fraud detection (Section IV-B5, application FD).
+//
+// A graph-based first-party-fraud pipeline over a Bitcoin-like transaction
+// graph: (1) connected components group accounts into candidate rings,
+// (2) shortest-path tracing follows laundering chains inside suspicious
+// rings, (3) degree centrality flags mule/hub accounts. Every stage runs
+// through the simulator under Baseline and GraphPIM.
+//
+//   ./fraud_detection [--vertices=16384] [--full=0]
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/config.h"
+#include "core/runner.h"
+#include "workloads/ccomp.h"
+#include "workloads/dc.h"
+#include "workloads/sssp.h"
+
+using namespace graphpim;
+
+int main(int argc, char** argv) {
+  Config cfg = Config::FromArgs(argc, argv);
+  const auto vertices = static_cast<VertexId>(cfg.GetUint("vertices", 16 * 1024));
+  const bool full = cfg.GetBool("full", false);
+
+  std::printf("Fraud detection on a Bitcoin-like transaction graph "
+              "(%u accounts)\n\n", vertices);
+
+  core::Experiment::Options opts;
+  opts.op_cap = 6'000'000;
+  auto machine = [&](core::Mode m) {
+    return full ? core::SimConfig::Paper(m) : core::SimConfig::Scaled(m);
+  };
+
+  double base_total = 0;
+  double pim_total = 0;
+  const char* stages[] = {"ccomp", "sssp", "dc"};
+  const char* what[] = {"ring grouping (connected components)",
+                        "laundering-chain tracing (shortest path)",
+                        "mule-account flagging (degree centrality)"};
+  core::Experiment* last = nullptr;
+  std::unique_ptr<core::Experiment> keep;
+  for (int i = 0; i < 3; ++i) {
+    auto exp = std::make_unique<core::Experiment>("bitcoin", vertices, stages[i], opts);
+    core::SimResults base = exp->Run(machine(core::Mode::kBaseline));
+    core::SimResults pim = exp->Run(machine(core::Mode::kGraphPim));
+    base_total += static_cast<double>(base.cycles);
+    pim_total += static_cast<double>(pim.cycles);
+    std::printf("stage %d: %-45s %6.2fx speedup\n", i + 1, what[i],
+                core::Speedup(base, pim));
+    if (i == 0) keep = std::move(exp);
+  }
+  (void)last;
+  std::printf("\npipeline speedup (graph stages): %.2fx\n", base_total / pim_total);
+
+  // Analyst-facing output: candidate fraud rings from the component stage.
+  {
+    graph::EdgeList el = graph::GenerateProfile("bitcoin", vertices, 1);
+    graph::AddressSpace space;
+    graph::CsrGraph g(el, space);
+    workloads::CcompWorkload cc;
+    workloads::TraceBuilder tb(4, &space);
+    tb.SetOpCap(1);  // functional only
+    cc.Generate(g, space, tb);
+    std::map<std::int64_t, int> sizes;
+    for (std::int64_t l : cc.labels()) ++sizes[l];
+    std::vector<std::pair<int, std::int64_t>> rings;
+    for (auto& [label, n] : sizes) {
+      if (n >= 3) rings.push_back({n, label});
+    }
+    std::sort(rings.rbegin(), rings.rend());
+    std::printf("\ncandidate rings (>= 3 linked accounts): %zu\n", rings.size());
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, rings.size()); ++i) {
+      std::printf("  ring led by account %lld: %d accounts\n",
+                  static_cast<long long>(rings[i].second), rings[i].first);
+    }
+  }
+  std::printf("\npaper (Fig 17): FD achieves ~1.5x with GraphPIM; non-graph\n"
+              "components dilute the end-to-end benefit\n");
+  return 0;
+}

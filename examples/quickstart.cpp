@@ -1,0 +1,50 @@
+// Quickstart: run BFS on a synthetic LDBC-like social graph under the
+// three machine configurations of the paper and print the speedups.
+//
+//   ./quickstart [--vertices=16384] [--workload=bfs] [--full=0]
+#include <cstdio>
+
+#include "common/config.h"
+#include "core/runner.h"
+
+using namespace graphpim;
+
+int main(int argc, char** argv) {
+  Config cfg = Config::FromArgs(argc, argv);
+  const auto vertices =
+      static_cast<VertexId>(cfg.GetUint("vertices", 16 * 1024));
+  const std::string workload = cfg.GetString("workload", "bfs");
+  const bool full = cfg.GetBool("full", false);
+
+  std::printf("GraphPIM quickstart: %s on an LDBC-like graph (%u vertices)\n",
+              workload.c_str(), vertices);
+
+  core::Experiment exp("ldbc", vertices, workload);
+  std::printf("graph: %u vertices, %llu edges | trace: %llu micro-ops\n",
+              exp.graph().num_vertices(),
+              static_cast<unsigned long long>(exp.graph().num_edges()),
+              static_cast<unsigned long long>(exp.trace().TotalOps()));
+
+  auto make = [&](core::Mode m) {
+    return full ? core::SimConfig::Paper(m) : core::SimConfig::Scaled(m);
+  };
+
+  core::SimResults base = exp.Run(make(core::Mode::kBaseline));
+  core::SimResults upei = exp.Run(make(core::Mode::kUPei));
+  core::SimResults pim = exp.Run(make(core::Mode::kGraphPim));
+
+  std::printf("\n%-10s %12s %8s %10s %10s %9s\n", "config", "cycles", "IPC",
+              "L3 MPKI", "atomics", "speedup");
+  for (const core::SimResults* r : {&base, &upei, &pim}) {
+    std::printf("%-10s %12llu %8.3f %10.1f %10llu %8.2fx\n", r->mode.c_str(),
+                static_cast<unsigned long long>(r->cycles), r->ipc, r->l3_mpki,
+                static_cast<unsigned long long>(r->atomics),
+                core::Speedup(base, *r));
+  }
+  std::printf("\noffloaded atomics under GraphPIM: %llu / %llu\n",
+              static_cast<unsigned long long>(pim.offloaded_atomics),
+              static_cast<unsigned long long>(pim.atomics));
+  std::printf("uncore energy (normalized to baseline): %.2f\n",
+              pim.energy.Total() / base.energy.Total());
+  return 0;
+}

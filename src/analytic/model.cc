@@ -1,0 +1,54 @@
+#include "analytic/model.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace graphpim::analytic {
+
+double AtomicOverheadBaseline(const ModelInputs& in) {
+  return in.lat_cache + in.miss_atomic * in.lat_mem + in.c_incore;
+}
+
+double CpiBaseline(const ModelInputs& in) {
+  return in.cpi_other * (1.0 - in.overlap) + in.r_atomic * AtomicOverheadBaseline(in);
+}
+
+double CpiGraphPim(const ModelInputs& in) {
+  // Offloaded atomics are non-blocking: only the un-hidden fraction of the
+  // PIM round trip reaches the critical path.
+  double aio_pim = in.lat_pim * (1.0 - in.pim_overlap);
+  return in.cpi_other * (1.0 - in.overlap) + in.r_atomic * aio_pim;
+}
+
+double PredictSpeedup(const ModelInputs& in) {
+  double base = CpiBaseline(in);
+  double pim = CpiGraphPim(in);
+  GP_CHECK(pim > 0.0);
+  return base / pim;
+}
+
+RealWorldEstimate EstimateRealWorld(const RealWorldApp& app) {
+  RealWorldEstimate out;
+  // GraphPIM removes the host atomic overhead (in-core + coherence) and the
+  // cache-checking time of offloading candidates; the remaining execution
+  // time is unchanged. Both fractions are of baseline execution time.
+  double removed = std::min(0.9, app.host_overhead);
+  double remaining = 1.0 - removed;
+  // A small residual: offloaded atomics still occupy issue slots.
+  remaining += app.pim_atomic_pct * 0.1;
+  out.speedup = 1.0 / remaining;
+
+  // Uncore energy: static portion scales with runtime; dynamic portion
+  // scales with traffic, which the cache bypass reduces for the PIM-atomic
+  // share of accesses (exact-size packets instead of full-line fills).
+  double static_frac = 0.6;
+  double dynamic_frac = 1.0 - static_frac;
+  double traffic_scale =
+      1.0 - app.pim_atomic_pct * 8.0 * (1.0 - app.llc_hit_rate);  // line->FLIT savings
+  traffic_scale = std::clamp(traffic_scale, 0.3, 1.0);
+  out.energy_norm = static_frac * remaining + dynamic_frac * traffic_scale;
+  return out;
+}
+
+}  // namespace graphpim::analytic

@@ -1,0 +1,70 @@
+// Analytical performance model (Section IV-B5, equations (1) and (2)).
+//
+// The paper splits CPI into atomic and non-atomic components:
+//
+//   CPI_total = CPI_other * (1 - P_overlap) + R_atomic * AIO          (1)
+//   AIO_base  = Lat_cache + Miss_atomic * Lat_mem + C_incore          (2)
+//   AIO_pim   = Lat_pim  (dependents wait only for the PIM round trip)
+//
+// with R_atomic the atomic-instruction rate, Miss_atomic the atomic cache
+// miss rate, and C_incore the pipeline-freeze/write-buffer-drain overhead.
+// The model predicts GraphPIM speedup from hardware-counter-style inputs
+// and is validated against the simulator (Fig 16) before being applied to
+// the large real-world applications (Tables VII/VIII, Fig 17).
+#ifndef GRAPHPIM_ANALYTIC_MODEL_H_
+#define GRAPHPIM_ANALYTIC_MODEL_H_
+
+#include <string>
+
+namespace graphpim::analytic {
+
+struct ModelInputs {
+  double cpi_other = 1.0;     // CPI of non-atomic instructions
+  double overlap = 0.1;       // P_overlap: cycles hidden under other work
+  double r_atomic = 0.01;     // atomic instructions per instruction
+  double lat_cache = 30.0;    // average cache-checking latency (cycles)
+  double miss_atomic = 0.9;   // atomic LLC miss rate
+  double lat_mem = 160.0;     // average memory latency (cycles)
+  double c_incore = 60.0;     // in-core atomic overhead (cycles)
+  double lat_pim = 90.0;      // PIM-atomic round trip (cycles)
+  double pim_overlap = 0.85;  // fraction of PIM latency hidden (non-blocking)
+};
+
+// Equation (2): atomic instruction overhead on the host.
+double AtomicOverheadBaseline(const ModelInputs& in);
+
+// Equation (1) under each machine.
+double CpiBaseline(const ModelInputs& in);
+double CpiGraphPim(const ModelInputs& in);
+
+// Predicted GraphPIM speedup over the baseline.
+double PredictSpeedup(const ModelInputs& in);
+
+// Real-world application estimation (Section IV-B5).
+//
+// Inputs mirror Table VIII's measured events; outputs reproduce Fig 17.
+struct RealWorldApp {
+  std::string name;
+  double ipc = 0.1;              // measured baseline IPC
+  double llc_mpki = 20.0;
+  double llc_hit_rate = 0.05;
+  double uncore_time = 0.6;      // fraction of time in the uncore
+  double backend_stall = 0.85;   // fraction of backend-stall cycles
+  double pim_atomic_pct = 0.02;  // fraction of instructions offloadable
+  double host_overhead = 0.2;    // total host atomic overhead (model output)
+  double cache_checking = 0.1;   // total cache-checking overhead
+};
+
+struct RealWorldEstimate {
+  double speedup = 1.0;
+  double energy_norm = 1.0;  // uncore energy normalized to baseline
+};
+
+// Estimates GraphPIM benefit for a profiled application: the avoided host
+// overhead and cache-checking time shorten execution; energy follows the
+// runtime plus the traffic reduction implied by the LLC behavior.
+RealWorldEstimate EstimateRealWorld(const RealWorldApp& app);
+
+}  // namespace graphpim::analytic
+
+#endif  // GRAPHPIM_ANALYTIC_MODEL_H_

@@ -1,0 +1,81 @@
+#include "common/config.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+#include "common/string_util.h"
+
+namespace graphpim {
+
+Config Config::FromArgs(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (StartsWith(tok, "--")) tok = tok.substr(2);
+    auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      GP_FATAL("malformed argument '", argv[i], "' (expected key=value)");
+    }
+    cfg.Set(Trim(tok.substr(0, eq)), Trim(tok.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Config::GetString(const std::string& key, const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Config::GetInt(const std::string& key, std::int64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0') {
+    GP_FATAL("config key '", key, "': '", it->second, "' is not an integer");
+  }
+  return v;
+}
+
+std::uint64_t Config::GetUint(const std::string& key, std::uint64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0') {
+    GP_FATAL("config key '", key, "': '", it->second, "' is not an unsigned integer");
+  }
+  return v;
+}
+
+double Config::GetDouble(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    GP_FATAL("config key '", key, "': '", it->second, "' is not a number");
+  }
+  return v;
+}
+
+bool Config::GetBool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  GP_FATAL("config key '", key, "': '", v, "' is not a boolean");
+}
+
+std::vector<std::pair<std::string, std::string>> Config::Items() const {
+  return {values_.begin(), values_.end()};
+}
+
+}  // namespace graphpim

@@ -1,0 +1,38 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace graphpim {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void PanicImpl(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+  std::abort();
+}
+
+void FatalImpl(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+  std::exit(1);
+}
+
+void WarnImpl(const std::string& msg) {
+  if (g_level >= LogLevel::kWarn) std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void InformImpl(const std::string& msg) {
+  if (g_level >= LogLevel::kInform) std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void DebugImpl(const std::string& msg) {
+  if (g_level >= LogLevel::kDebug) std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+}  // namespace graphpim

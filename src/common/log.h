@@ -1,0 +1,69 @@
+// Logging and invariant-checking helpers.
+//
+// Follows the gem5 convention: Panic() for "this is a simulator bug",
+// Fatal() for "the user asked for something impossible", Warn()/Inform()
+// for status. No exceptions are used anywhere in the library; invariant
+// violations terminate with a diagnostic.
+#ifndef GRAPHPIM_COMMON_LOG_H_
+#define GRAPHPIM_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace graphpim {
+
+enum class LogLevel : int {
+  kQuiet = 0,
+  kWarn = 1,
+  kInform = 2,
+  kDebug = 3,
+};
+
+// Global log verbosity (default kWarn). Not thread safe; set once at start.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Terminates the program: simulator bug (prints file:line, aborts).
+[[noreturn]] void PanicImpl(const char* file, int line, const std::string& msg);
+
+// Terminates the program: user/configuration error (exit(1)).
+[[noreturn]] void FatalImpl(const char* file, int line, const std::string& msg);
+
+void WarnImpl(const std::string& msg);
+void InformImpl(const std::string& msg);
+void DebugImpl(const std::string& msg);
+
+namespace log_internal {
+
+// Builds a message from stream-style arguments.
+template <typename... Args>
+std::string Cat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace log_internal
+
+}  // namespace graphpim
+
+#define GP_PANIC(...) \
+  ::graphpim::PanicImpl(__FILE__, __LINE__, ::graphpim::log_internal::Cat(__VA_ARGS__))
+
+#define GP_FATAL(...) \
+  ::graphpim::FatalImpl(__FILE__, __LINE__, ::graphpim::log_internal::Cat(__VA_ARGS__))
+
+#define GP_WARN(...) ::graphpim::WarnImpl(::graphpim::log_internal::Cat(__VA_ARGS__))
+
+#define GP_INFORM(...) ::graphpim::InformImpl(::graphpim::log_internal::Cat(__VA_ARGS__))
+
+// Invariant check: active in all build types (simulation correctness
+// depends on these, and the cost is negligible next to the modeling work).
+#define GP_CHECK(cond, ...)                                                    \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      GP_PANIC("check failed: " #cond " ", ::graphpim::log_internal::Cat("" __VA_ARGS__)); \
+    }                                                                          \
+  } while (false)
+
+#endif  // GRAPHPIM_COMMON_LOG_H_

@@ -1,0 +1,85 @@
+// Statistics registry.
+//
+// Components register named counters in a StatSet; the run harness pulls
+// the final values to build SimResults and reports. Counters are plain
+// doubles: most are integral event counts, a few are accumulated Ticks.
+#ifndef GRAPHPIM_COMMON_STATS_H_
+#define GRAPHPIM_COMMON_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace graphpim {
+
+class StatSet {
+ public:
+  StatSet() = default;
+
+  // Adds `v` to the named counter (creating it at zero).
+  void Add(const std::string& name, double v) { values_[name] += v; }
+
+  // Increments the named counter by one.
+  void Inc(const std::string& name) { values_[name] += 1.0; }
+
+  // Sets the named counter to `v`.
+  void Set(const std::string& name, double v) { values_[name] = v; }
+
+  // Returns the counter value, or 0 if never touched.
+  double Get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  // Merges another StatSet into this one (adding values).
+  void Merge(const StatSet& other) {
+    for (const auto& [k, v] : other.values_) values_[k] += v;
+  }
+
+  void Clear() { values_.clear(); }
+
+  // All stats in name order.
+  std::vector<std::pair<std::string, double>> Items() const {
+    return {values_.begin(), values_.end()};
+  }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+// A simple fixed-bucket histogram for latency distributions.
+class Histogram {
+ public:
+  // Buckets are [0,w), [w,2w), ... plus an overflow bucket.
+  Histogram(double bucket_width, std::size_t num_buckets)
+      : width_(bucket_width), counts_(num_buckets + 1, 0) {}
+
+  void Record(double v) {
+    ++total_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+    std::size_t idx = static_cast<std::size_t>(v / width_);
+    if (idx >= counts_.size() - 1) idx = counts_.size() - 1;
+    ++counts_[idx];
+  }
+
+  std::uint64_t total() const { return total_; }
+  double mean() const { return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_); }
+  double max() const { return max_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  double bucket_width() const { return width_; }
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace graphpim
+
+#endif  // GRAPHPIM_COMMON_STATS_H_

@@ -1,0 +1,50 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace graphpim {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string Trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace graphpim

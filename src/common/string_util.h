@@ -1,0 +1,25 @@
+// Small string helpers used by config parsing and report printing.
+#ifndef GRAPHPIM_COMMON_STRING_UTIL_H_
+#define GRAPHPIM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphpim {
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Removes leading/trailing whitespace.
+std::string Trim(std::string_view s);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace graphpim
+
+#endif  // GRAPHPIM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,29 @@
+#include "common/types.h"
+
+namespace graphpim {
+
+const char* ToString(DataComponent c) {
+  switch (c) {
+    case DataComponent::kMeta:
+      return "meta";
+    case DataComponent::kStructure:
+      return "structure";
+    case DataComponent::kProperty:
+      return "property";
+  }
+  return "?";
+}
+
+const char* ToString(WorkloadCategory c) {
+  switch (c) {
+    case WorkloadCategory::kGraphTraversal:
+      return "GT";
+    case WorkloadCategory::kRichProperty:
+      return "RP";
+    case WorkloadCategory::kDynamicGraph:
+      return "DG";
+  }
+  return "?";
+}
+
+}  // namespace graphpim

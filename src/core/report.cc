@@ -1,0 +1,83 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace graphpim::core {
+
+std::string FormatReport(const SimResults& r) {
+  std::string out;
+  out += StrFormat("config: %s\n", r.mode.c_str());
+  out += StrFormat("cycles: %llu (%.3f ms simulated)\n",
+                   static_cast<unsigned long long>(r.cycles), r.seconds * 1e3);
+  out += StrFormat("insts:  %llu | IPC/core: %.4f\n",
+                   static_cast<unsigned long long>(r.insts), r.ipc);
+  out += StrFormat("MPKI:   L1 %.1f  L2 %.1f  L3 %.1f\n", r.l1_mpki, r.l2_mpki,
+                   r.l3_mpki);
+  out += StrFormat("atomics: %llu (offloaded %llu, candidate miss %.1f%%)\n",
+                   static_cast<unsigned long long>(r.atomics),
+                   static_cast<unsigned long long>(r.offloaded_atomics),
+                   100 * r.atomic_miss_rate);
+  out += StrFormat("link FLITs: %.0f request / %.0f response\n", r.req_flits,
+                   r.resp_flits);
+  out += StrFormat("breakdown: backend %.1f%% frontend %.1f%% badspec %.1f%% "
+                   "retiring %.1f%%\n",
+                   100 * r.frac_backend, 100 * r.frac_frontend,
+                   100 * r.frac_badspec, 100 * r.frac_retiring);
+  out += StrFormat("atomic time: in-core %.1f%% in-cache %.1f%% dep %.1f%%\n",
+                   100 * r.frac_atomic_incore, 100 * r.frac_atomic_incache,
+                   100 * r.frac_atomic_dep);
+  out += StrFormat("uncore energy: %.3f mJ (caches %.3f, link %.3f, FU %.3f, "
+                   "logic %.3f, DRAM %.3f)\n",
+                   r.energy.Total() * 1e3, r.energy.caches_j * 1e3,
+                   r.energy.link_j * 1e3, r.energy.fu_j * 1e3,
+                   r.energy.logic_j * 1e3, r.energy.dram_j * 1e3);
+  return out;
+}
+
+std::string ToJson(const SimResults& r) {
+  std::string out = "{\n";
+  out += StrFormat("  \"mode\": \"%s\",\n", r.mode.c_str());
+  out += StrFormat("  \"cycles\": %llu,\n", static_cast<unsigned long long>(r.cycles));
+  out += StrFormat("  \"insts\": %llu,\n", static_cast<unsigned long long>(r.insts));
+  out += StrFormat("  \"seconds\": %.9f,\n", r.seconds);
+  out += StrFormat("  \"ipc\": %.6f,\n", r.ipc);
+  out += StrFormat("  \"l1_mpki\": %.3f,\n  \"l2_mpki\": %.3f,\n  \"l3_mpki\": %.3f,\n",
+                   r.l1_mpki, r.l2_mpki, r.l3_mpki);
+  out += StrFormat("  \"atomics\": %llu,\n",
+                   static_cast<unsigned long long>(r.atomics));
+  out += StrFormat("  \"offloaded_atomics\": %llu,\n",
+                   static_cast<unsigned long long>(r.offloaded_atomics));
+  out += StrFormat("  \"atomic_miss_rate\": %.4f,\n", r.atomic_miss_rate);
+  out += StrFormat("  \"req_flits\": %.0f,\n  \"resp_flits\": %.0f,\n", r.req_flits,
+                   r.resp_flits);
+  out += StrFormat("  \"frac_backend\": %.4f,\n  \"frac_frontend\": %.4f,\n",
+                   r.frac_backend, r.frac_frontend);
+  out += StrFormat("  \"frac_badspec\": %.4f,\n  \"frac_retiring\": %.4f,\n",
+                   r.frac_badspec, r.frac_retiring);
+  out += StrFormat("  \"energy_j\": {\"caches\": %.9f, \"link\": %.9f, \"fu\": %.9f, "
+                   "\"logic\": %.9f, \"dram\": %.9f, \"total\": %.9f},\n",
+                   r.energy.caches_j, r.energy.link_j, r.energy.fu_j,
+                   r.energy.logic_j, r.energy.dram_j, r.energy.Total());
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [k, v] : r.raw.Items()) {
+    if (!first) out += ", ";
+    first = false;
+    out += StrFormat("\"%s\": %.3f", k.c_str(), v);
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+bool WriteJson(const SimResults& r, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string json = ToJson(r);
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace graphpim::core

@@ -1,0 +1,23 @@
+// Human- and machine-readable reports of simulation results.
+#ifndef GRAPHPIM_CORE_REPORT_H_
+#define GRAPHPIM_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/results.h"
+
+namespace graphpim::core {
+
+// Multi-line human-readable summary of one run.
+std::string FormatReport(const SimResults& r);
+
+// JSON object with the run's headline metrics plus every raw counter
+// (stable key names; suitable for downstream tooling).
+std::string ToJson(const SimResults& r);
+
+// Writes ToJson() to `path`; returns false on I/O failure.
+bool WriteJson(const SimResults& r, const std::string& path);
+
+}  // namespace graphpim::core
+
+#endif  // GRAPHPIM_CORE_REPORT_H_

@@ -1,0 +1,59 @@
+// Aggregated results of one simulation run.
+#ifndef GRAPHPIM_CORE_RESULTS_H_
+#define GRAPHPIM_CORE_RESULTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "cpu/core.h"
+#include "energy/energy.h"
+
+namespace graphpim::core {
+
+struct SimResults {
+  std::string mode;
+
+  // Timing.
+  std::uint64_t cycles = 0;       // longest core's cycle count
+  std::uint64_t insts = 0;        // total retired micro-ops
+  double seconds = 0.0;           // simulated wall clock
+  double ipc = 0.0;               // per-core average IPC
+
+  // Cache behavior.
+  double l1_mpki = 0.0;
+  double l2_mpki = 0.0;
+  double l3_mpki = 0.0;
+  double atomic_miss_rate = 0.0;  // offloading candidates missing all levels
+
+  // Atomics.
+  std::uint64_t atomics = 0;
+  std::uint64_t offloaded_atomics = 0;
+
+  // Link traffic (Fig 12).
+  double req_flits = 0.0;
+  double resp_flits = 0.0;
+
+  // Execution-time attribution, fractions of total core time (Fig 9).
+  double frac_atomic_incore = 0.0;
+  double frac_atomic_incache = 0.0;
+  double frac_atomic_dep = 0.0;
+  double frac_other = 0.0;
+
+  // Top-down style breakdown (Fig 2).
+  double frac_frontend = 0.0;
+  double frac_badspec = 0.0;
+  double frac_retiring = 0.0;
+  double frac_backend = 0.0;
+
+  // Uncore energy (Fig 15).
+  energy::EnergyBreakdown energy;
+
+  // Raw counters and per-core totals for deeper analysis.
+  StatSet raw;
+  cpu::CoreStats core_totals;
+};
+
+}  // namespace graphpim::core
+
+#endif  // GRAPHPIM_CORE_RESULTS_H_

@@ -1,0 +1,183 @@
+#include "core/runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/log.h"
+#include "core/system.h"
+#include "cpu/core.h"
+
+namespace graphpim::core {
+
+namespace {
+
+using cpu::OooCore;
+
+// Builds SimResults from the finished cores and memory system.
+SimResults Collect(const SimConfig& cfg, const std::vector<std::unique_ptr<OooCore>>& cores,
+                   MemorySystem& mem) {
+  SimResults r;
+  r.mode = ToString(cfg.mode);
+
+  Tick end_tick = 0;
+  cpu::CoreStats totals;
+  for (const auto& c : cores) {
+    end_tick = std::max(end_tick, c->Now());
+    totals.Merge(c->stats());
+  }
+  const double cycle_ticks = 1000.0 / cfg.core.freq_ghz;
+  r.cycles = static_cast<std::uint64_t>(static_cast<double>(end_tick) / cycle_ticks);
+  r.insts = totals.insts;
+  r.seconds = TicksToNs(end_tick) * 1e-9;
+  if (r.cycles > 0) {
+    r.ipc = static_cast<double>(r.insts) /
+            (static_cast<double>(r.cycles) * cfg.num_cores);
+  }
+
+  const StatSet& s = mem.stats();
+  double ki = static_cast<double>(r.insts) / 1000.0;
+  if (ki > 0) {
+    r.l1_mpki = s.Get("cache.l1_misses") / ki;
+    r.l2_mpki = s.Get("cache.l2_misses") / ki;
+    r.l3_mpki = s.Get("cache.l3_misses") / ki;
+  }
+  double atomic_reqs = s.Get("cache.atomic_reqs");
+  if (atomic_reqs > 0) {
+    r.atomic_miss_rate = s.Get("cache.atomic_mem_misses") / atomic_reqs;
+  }
+  r.atomics = totals.atomics;
+  r.offloaded_atomics = totals.offloaded_atomics;
+  r.req_flits = s.Get("hmc.req_flits");
+  r.resp_flits = s.Get("hmc.resp_flits");
+
+  // Attribution fractions over aggregate core time.
+  double total_core_ticks =
+      static_cast<double>(end_tick) * static_cast<double>(cfg.num_cores);
+  if (total_core_ticks > 0) {
+    r.frac_atomic_incore =
+        static_cast<double>(totals.atomic_incore_ticks) / total_core_ticks;
+    r.frac_atomic_incache =
+        static_cast<double>(totals.atomic_incache_ticks) / total_core_ticks;
+    r.frac_atomic_dep =
+        static_cast<double>(totals.atomic_dep_ticks) / total_core_ticks;
+    r.frac_other = std::max(
+        0.0, 1.0 - r.frac_atomic_incore - r.frac_atomic_incache - r.frac_atomic_dep);
+
+    r.frac_retiring = static_cast<double>(r.insts) * cycle_ticks /
+                      (cfg.core.issue_width * total_core_ticks);
+    r.frac_frontend = static_cast<double>(totals.frontend_ticks) / total_core_ticks;
+    r.frac_badspec = static_cast<double>(totals.badspec_ticks) / total_core_ticks;
+    r.frac_backend = std::max(
+        0.0, 1.0 - r.frac_retiring - r.frac_frontend - r.frac_badspec);
+  }
+
+  energy::EnergyParams ep = cfg.energy;
+  ep.num_vaults = static_cast<int>(cfg.hmc.num_vaults);
+  ep.fp_fus_enabled = cfg.hmc.enable_fp_atomics;
+  r.energy = energy::ComputeUncoreEnergy(s, r.seconds, ep);
+
+  r.raw = s;
+  r.core_totals = totals;
+  return r;
+}
+
+}  // namespace
+
+SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
+                         Addr pmr_base, Addr pmr_end) {
+  GP_CHECK(static_cast<int>(trace.streams.size()) <= cfg.num_cores,
+           "trace has more streams than cores");
+
+  MemorySystem mem(cfg, pmr_base, pmr_end);
+  std::vector<std::unique_ptr<OooCore>> cores;
+  std::vector<OooCore::Status> status;
+  static const std::vector<cpu::MicroOp> kEmpty;
+  for (int i = 0; i < cfg.num_cores; ++i) {
+    cores.push_back(std::make_unique<OooCore>(i, cfg.core, &mem));
+    const auto* stream = i < static_cast<int>(trace.streams.size())
+                             ? &trace.streams[static_cast<std::size_t>(i)]
+                             : &kEmpty;
+    cores.back()->Reset(stream);
+    status.push_back(OooCore::Status::kRunning);
+  }
+
+  // Loosely-synchronized quantum loop with barrier rendezvous.
+  Tick quantum_end = cfg.quantum;
+  while (true) {
+    bool all_done = true;
+    bool any_running = false;
+    for (int i = 0; i < cfg.num_cores; ++i) {
+      if (status[i] == OooCore::Status::kDone) continue;
+      if (status[i] == OooCore::Status::kRunning) {
+        status[i] = cores[static_cast<std::size_t>(i)]->Advance(quantum_end);
+      }
+      if (status[i] == OooCore::Status::kRunning) any_running = true;
+      if (status[i] != OooCore::Status::kDone) all_done = false;
+    }
+    if (all_done) break;
+    if (!any_running) {
+      // Everyone alive is parked at the same barrier: release at the
+      // latest arrival.
+      Tick release = 0;
+      for (int i = 0; i < cfg.num_cores; ++i) {
+        if (status[i] == OooCore::Status::kBarrier) {
+          release = std::max(release, cores[static_cast<std::size_t>(i)]->BarrierArrival());
+        }
+      }
+      for (int i = 0; i < cfg.num_cores; ++i) {
+        if (status[i] == OooCore::Status::kBarrier) {
+          cores[static_cast<std::size_t>(i)]->ReleaseBarrier(release);
+          status[i] = OooCore::Status::kRunning;
+        }
+      }
+      quantum_end = std::max(quantum_end, release + cfg.quantum);
+    } else {
+      // Skip dead time: jump to the earliest tick any running core can
+      // issue again (long stalls otherwise cost one loop pass per quantum).
+      Tick next = ~Tick{0};
+      for (int i = 0; i < cfg.num_cores; ++i) {
+        if (status[i] == OooCore::Status::kRunning) {
+          next = std::min(next, cores[static_cast<std::size_t>(i)]->NextReadyTick());
+        }
+      }
+      quantum_end = std::max(quantum_end + cfg.quantum, next + cfg.quantum);
+    }
+  }
+
+  return Collect(cfg, cores, mem);
+}
+
+double Speedup(const SimResults& base, const SimResults& other) {
+  GP_CHECK(other.cycles > 0);
+  return static_cast<double>(base.cycles) / static_cast<double>(other.cycles);
+}
+
+Experiment::Experiment(const std::string& profile, VertexId num_vertices,
+                       const std::string& workload_name, const Options& opts) {
+  graph::EdgeList el = graph::GenerateProfile(profile, num_vertices, opts.seed);
+  Build(el, workload_name, opts);
+}
+
+Experiment::Experiment(const graph::EdgeList& el, const std::string& workload_name,
+                       const Options& opts) {
+  Build(el, workload_name, opts);
+}
+
+void Experiment::Build(const graph::EdgeList& el, const std::string& workload_name,
+                       const Options& opts) {
+  space_ = std::make_unique<graph::AddressSpace>();
+  graph_ = std::make_unique<graph::CsrGraph>(el, *space_, opts.dedup_edges);
+  workload_ = workloads::CreateWorkload(workload_name);
+  workloads::TraceBuilder tb(opts.num_threads, space_.get(), opts.mispredict_rate,
+                             opts.seed);
+  if (opts.op_cap != 0) tb.SetOpCap(opts.op_cap);
+  workload_->Generate(*graph_, *space_, tb);
+  trace_ = tb.Take();
+}
+
+SimResults Experiment::Run(const SimConfig& cfg) const {
+  return RunSimulation(trace_, cfg, space_->pmr_base(), space_->pmr_end());
+}
+
+}  // namespace graphpim::core

@@ -1,0 +1,81 @@
+// Run harness: trace generation + multi-core replay under a configuration.
+//
+// Typical use (and what every bench does):
+//
+//   Experiment exp("ldbc", 16 * 1024, "bfs");
+//   SimResults base = exp.Run(SimConfig::Scaled(Mode::kBaseline));
+//   SimResults pim  = exp.Run(SimConfig::Scaled(Mode::kGraphPim));
+//   double speedup  = Speedup(base, pim);
+//
+// The trace is generated once and replayed under every machine so the
+// comparison is paired.
+#ifndef GRAPHPIM_CORE_RUNNER_H_
+#define GRAPHPIM_CORE_RUNNER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/results.h"
+#include "core/sim_config.h"
+#include "graph/csr.h"
+#include "graph/generator.h"
+#include "graph/region.h"
+#include "workloads/workload.h"
+
+namespace graphpim::core {
+
+// Replays `trace` under `cfg`. `pmr_base`/`pmr_end` delimit the PMR the
+// POU recognizes.
+SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
+                         Addr pmr_base, Addr pmr_end);
+
+// Speedup of `other` over `base` (paper convention: normalized to baseline).
+double Speedup(const SimResults& base, const SimResults& other);
+
+// Owns a graph + workload + generated trace for repeated paired runs.
+class Experiment {
+ public:
+  struct Options {
+    int num_threads = 16;
+    std::uint64_t seed = 1;
+    std::uint64_t op_cap = 12'000'000;  // sampling guard for huge inputs
+    double mispredict_rate = 0.06;
+    bool dedup_edges = false;
+  };
+
+  // Generates a `profile` graph ("ldbc"/"bitcoin"/"twitter") with
+  // `num_vertices` vertices and runs `workload_name` on it functionally,
+  // capturing the trace.
+  Experiment(const std::string& profile, VertexId num_vertices,
+             const std::string& workload_name, const Options& opts);
+  Experiment(const std::string& profile, VertexId num_vertices,
+             const std::string& workload_name)
+      : Experiment(profile, num_vertices, workload_name, Options()) {}
+
+  // Same but over a caller-provided edge list.
+  Experiment(const graph::EdgeList& el, const std::string& workload_name,
+             const Options& opts);
+  Experiment(const graph::EdgeList& el, const std::string& workload_name)
+      : Experiment(el, workload_name, Options()) {}
+
+  SimResults Run(const SimConfig& cfg) const;
+
+  const graph::CsrGraph& graph() const { return *graph_; }
+  const workloads::Workload& workload() const { return *workload_; }
+  const workloads::Trace& trace() const { return trace_; }
+  Addr pmr_base() const { return space_->pmr_base(); }
+  Addr pmr_end() const { return space_->pmr_end(); }
+
+ private:
+  void Build(const graph::EdgeList& el, const std::string& workload_name,
+             const Options& opts);
+
+  std::unique_ptr<graph::AddressSpace> space_;
+  std::unique_ptr<graph::CsrGraph> graph_;
+  std::unique_ptr<workloads::Workload> workload_;
+  workloads::Trace trace_;
+};
+
+}  // namespace graphpim::core
+
+#endif  // GRAPHPIM_CORE_RUNNER_H_

@@ -1,0 +1,49 @@
+#include "core/sim_config.h"
+
+#include "common/string_util.h"
+
+namespace graphpim::core {
+
+const char* ToString(Mode m) {
+  switch (m) {
+    case Mode::kBaseline:
+      return "Baseline";
+    case Mode::kUPei:
+      return "U-PEI";
+    case Mode::kGraphPim:
+      return "GraphPIM";
+    case Mode::kUncacheNoPim:
+      return "UC-NoPIM";
+  }
+  return "?";
+}
+
+SimConfig SimConfig::Paper(Mode mode) {
+  SimConfig cfg;
+  cfg.mode = mode;
+  return cfg;  // defaults are Table IV
+}
+
+SimConfig SimConfig::Scaled(Mode mode) {
+  SimConfig cfg;
+  cfg.mode = mode;
+  cfg.cache.l1_size = 16 * kKiB;
+  cfg.cache.l2_size = 32 * kKiB;
+  cfg.cache.l3_size = 512 * kKiB;
+  return cfg;
+}
+
+std::string SimConfig::Describe() const {
+  return StrFormat(
+      "%s: %d OoO cores @ %.1fGHz, %d-issue, ROB %d | L1 %lluKB L2 %lluKB "
+      "L3 %lluKB | HMC %u vaults x %u banks, %u links @ %.0fGB/s x%.2f, "
+      "%u FU/vault, FP-atomics %s",
+      ToString(mode), num_cores, core.freq_ghz, core.issue_width, core.rob_size,
+      static_cast<unsigned long long>(cache.l1_size / kKiB),
+      static_cast<unsigned long long>(cache.l2_size / kKiB),
+      static_cast<unsigned long long>(cache.l3_size / kKiB), hmc.num_vaults,
+      hmc.banks_per_vault, hmc.num_links, hmc.link_gbps, hmc.link_bw_scale,
+      hmc.fus_per_vault, hmc.enable_fp_atomics ? "on" : "off");
+}
+
+}  // namespace graphpim::core

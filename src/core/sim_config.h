@@ -1,0 +1,63 @@
+// Machine configuration for a simulation run (Table IV + Section IV-B).
+#ifndef GRAPHPIM_CORE_SIM_CONFIG_H_
+#define GRAPHPIM_CORE_SIM_CONFIG_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "cpu/core.h"
+#include "energy/energy.h"
+#include "hmc/config.h"
+#include "mem/hierarchy.h"
+
+namespace graphpim::core {
+
+// The evaluated machine configurations (Section IV-B).
+enum class Mode {
+  kBaseline = 0,     // conventional: HMC as plain main memory
+  kUPei = 1,         // idealized PEI [14]: locality-aware, free coherence
+  kGraphPim = 2,     // this paper: PMR atomics offloaded, cache bypass
+  kUncacheNoPim = 3, // ablation: UC property without PIM-atomics (bus lock)
+};
+
+const char* ToString(Mode m);
+
+struct SimConfig {
+  Mode mode = Mode::kGraphPim;
+  int num_cores = 16;
+  cpu::CoreParams core;
+  mem::CacheParams cache;
+  hmc::HmcParams hmc;
+  energy::EnergyParams energy;
+
+  // Quantum for loosely-synchronized multi-core advancement.
+  Tick quantum = NsToTicks(5.0);
+
+  // Extra host penalty for the bus-lock fallback (kUncacheNoPim), cycles.
+  int bus_lock_penalty = 100;
+
+  // Outstanding uncacheable/offloaded requests a core may hold (UC/WC
+  // buffer entries); bounds the rate at which PIM commands enter the HMC.
+  int uc_queue_depth = 16;
+
+  // Hybrid HMC+DRAM systems (Section III-B discussion): the fraction of
+  // property pages resident in the HMC. Pages outside it live in
+  // conventional DRAM and are processed the conventional way (cacheable,
+  // host atomics); pages inside keep the full PIM benefit.
+  double pmr_hmc_fraction = 1.0;
+
+  // Returns Table IV's full-size machine.
+  static SimConfig Paper(Mode mode);
+
+  // Returns the scaled machine used by default benches: private/shared
+  // caches shrunk 16x so that CI-scale graphs (tens of thousands of
+  // vertices) exercise the same footprint:capacity ratios as LDBC-1M
+  // against Table IV (see DESIGN.md "Datasets").
+  static SimConfig Scaled(Mode mode);
+
+  std::string Describe() const;
+};
+
+}  // namespace graphpim::core
+
+#endif  // GRAPHPIM_CORE_SIM_CONFIG_H_

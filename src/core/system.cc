@@ -1,0 +1,202 @@
+#include "core/system.h"
+
+#include "common/log.h"
+
+namespace graphpim::core {
+
+using cpu::MemOutcome;
+using cpu::MicroOp;
+using cpu::OpType;
+
+MemorySystem::MemorySystem(const SimConfig& cfg, Addr pmr_base, Addr pmr_end)
+    : cfg_(cfg) {
+  cube_ = std::make_unique<hmc::HmcCube>(cfg_.hmc, &stats_);
+  hierarchy_ = std::make_unique<mem::CacheHierarchy>(cfg_.num_cores, cfg_.cache,
+                                                     cube_.get(), &stats_);
+  pou_.SetPmr(pmr_base, pmr_end);
+  uc_slots_.assign(static_cast<std::size_t>(cfg_.num_cores),
+                   std::vector<Tick>(static_cast<std::size_t>(cfg_.uc_queue_depth), 0));
+  upei_check_ready_.assign(static_cast<std::size_t>(cfg_.num_cores), 0);
+}
+
+Tick MemorySystem::AcquireUcSlot(int core, Tick when, std::size_t* slot) {
+  auto& pool = uc_slots_[static_cast<std::size_t>(core)];
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pool.size(); ++i) {
+    if (pool[i] < pool[best]) best = i;
+  }
+  *slot = best;
+  return when > pool[best] ? when : pool[best];
+}
+
+bool MemorySystem::HmcSupports(const MicroOp& op) const {
+  return !hmc::IsFpOp(op.aop) || cfg_.hmc.enable_fp_atomics;
+}
+
+bool MemorySystem::PageInHmc(Addr addr) const {
+  if (cfg_.pmr_hmc_fraction >= 1.0) return true;
+  // Deterministic page-granular placement hash (4KB pages).
+  std::uint64_t page = addr >> 12;
+  std::uint64_t h = (page * 2654435761ULL) >> 22;
+  return static_cast<double>(h % 1024) < cfg_.pmr_hmc_fraction * 1024.0;
+}
+
+MemOutcome MemorySystem::Access(int core, const MicroOp& op, Tick when) {
+  switch (cfg_.mode) {
+    case Mode::kBaseline:
+      return HostPath(core, op, when);
+    case Mode::kUPei:
+      if (op.type == OpType::kAtomic && pou_.InPmr(op.addr) && HmcSupports(op)) {
+        return UPeiAtomic(core, op, when);
+      }
+      return HostPath(core, op, when);
+    case Mode::kGraphPim:
+      if (pou_.BypassesCache(op) && PageInHmc(op.addr)) {
+        if (op.type == OpType::kAtomic && !HmcSupports(op)) {
+          // Applicability limit (Table III): the host must execute it, and
+          // since the PMR is uncacheable this degrades to a bus lock.
+          return BusLockAtomic(core, op, when);
+        }
+        return BypassPath(core, op, when);
+      }
+      return HostPath(core, op, when);
+    case Mode::kUncacheNoPim:
+      if (pou_.BypassesCache(op)) {
+        if (op.type == OpType::kAtomic) return BusLockAtomic(core, op, when);
+        return BypassPath(core, op, when);
+      }
+      return HostPath(core, op, when);
+  }
+  GP_PANIC("unreachable mode");
+}
+
+MemOutcome MemorySystem::HostPath(int core, const MicroOp& op, Tick when) {
+  mem::AccessType type = mem::AccessType::kRead;
+  if (op.type == OpType::kStore) type = mem::AccessType::kWrite;
+  if (op.type == OpType::kAtomic) type = mem::AccessType::kAtomicRmw;
+  mem::AccessResult r = hierarchy_->Access(core, type, op.addr, when, op.comp);
+  MemOutcome out;
+  out.complete = r.complete;
+  out.retire_ready = r.complete;
+  out.serializing = op.type == OpType::kAtomic;
+  out.check_ticks = r.check_ticks;
+  out.offloaded = false;
+  out.issue_stall_until = r.issue_stall;
+  return out;
+}
+
+MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
+  MemOutcome out;
+  std::size_t slot = 0;
+  Tick issue = AcquireUcSlot(core, when, &slot);
+  if (issue > when) out.issue_stall_until = issue;
+  stats_.Add("pou.uc_slot_wait_ns", TicksToNs(issue - when));
+  switch (op.type) {
+    case OpType::kLoad: {
+      hmc::Completion c = cube_->Read(op.addr, op.size, issue);
+      stats_.Add("pou.uc_service_ns", TicksToNs(c.response_at_host - issue));
+      out.complete = c.response_at_host;
+      out.retire_ready = c.response_at_host;
+      ReleaseUcSlot(core, slot, c.response_at_host);
+      stats_.Inc("pou.uc_reads");
+      break;
+    }
+    case OpType::kStore: {
+      hmc::Completion c = cube_->Write(op.addr, op.size, issue);
+      out.complete = c.response_at_host;
+      out.retire_ready = issue;  // posted
+      ReleaseUcSlot(core, slot, c.internal_done);
+      stats_.Inc("pou.uc_writes");
+      break;
+    }
+    case OpType::kAtomic: {
+      hmc::Completion c =
+          cube_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(), issue);
+      out.complete = c.response_at_host;
+      out.retire_ready = op.WantReturn() ? c.response_at_host : issue;
+      ReleaseUcSlot(core, slot,
+                    op.WantReturn() ? c.response_at_host : c.internal_done);
+      stats_.Add("pou.dbg_atomic_hold_ns",
+                 TicksToNs((op.WantReturn() ? c.response_at_host : c.internal_done) - issue));
+      out.offloaded = true;
+      stats_.Inc("pou.offloaded_atomics");
+      break;
+    }
+    default:
+      GP_PANIC("non-memory op in BypassPath");
+  }
+  out.serializing = false;
+  out.check_ticks = 0;
+  return out;
+}
+
+MemOutcome MemorySystem::UPeiAtomic(int core, const MicroOp& op, Tick when) {
+  MemOutcome out;
+  out.serializing = false;
+  // Locality check: occupies the core's cache-checking unit.
+  Tick& check_ready = upei_check_ready_[static_cast<std::size_t>(core)];
+  Tick check_start = when > check_ready ? when : check_ready;
+  check_ready = check_start + NsToTicks(3.0);
+  if (check_start > when) out.issue_stall_until = check_start;
+  when = check_start;
+  int level = hierarchy_->ProbeLevel(core, op.addr);
+  const mem::CacheParams& cp = cfg_.cache;
+  if (level > 0) {
+    // Host-side PEI execution at the hit level: idealized (no pipeline
+    // freeze, free coherence) — but atomic ops to one address still
+    // serialize, so this goes through the RMW path for line ordering.
+    mem::AccessResult r = hierarchy_->Access(core, mem::AccessType::kAtomicRmw,
+                                             op.addr, when, op.comp);
+    // A cache-resident locked RMW still costs ~20 cycles on real hardware
+    // (Schweizer et al. [21]) even with ideal coherence.
+    Tick op_lat = NsToTicks(10.0);
+    out.complete = r.complete + op_lat;
+    out.retire_ready = out.complete;
+    out.check_ticks = r.check_ticks;
+    out.offloaded = false;
+    stats_.Inc("upei.host_hits");
+  } else {
+    // Miss: PEI pays the cache walk before dispatching to memory
+    // (locality monitoring), then offloads; no fill on the way back.
+    Tick walk = cp.l1_latency + cp.l2_latency + cp.l3_latency;
+    std::size_t slot = 0;
+    Tick issue = AcquireUcSlot(core, when + walk, &slot);
+    if (issue > when + walk) {
+      out.issue_stall_until = std::max(out.issue_stall_until, issue);
+    }
+    hmc::Completion c =
+        cube_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(), issue);
+    out.complete = c.response_at_host;
+    out.retire_ready = op.WantReturn() ? c.response_at_host : issue;
+    ReleaseUcSlot(core, slot,
+                  op.WantReturn() ? c.response_at_host : c.internal_done);
+    out.check_ticks = walk;
+    out.offloaded = true;
+    stats_.Inc("upei.offloaded");
+    stats_.Inc("pou.offloaded_atomics");
+  }
+  return out;
+}
+
+MemOutcome MemorySystem::BusLockAtomic(int core, const MicroOp& op, Tick when) {
+  (void)core;
+  // Uncacheable host atomic: the cache-line lock degrades to bus locking —
+  // a full read + write round trip to memory with the entire interconnect
+  // held, serializing against every other bus lock in the system.
+  if (bus_lock_ready_ > when) when = bus_lock_ready_;
+  hmc::Completion rd = cube_->Read(op.addr, op.size, when);
+  hmc::Completion wr = cube_->Write(op.addr, op.size, rd.response_at_host);
+  Tick penalty = static_cast<Tick>(cfg_.bus_lock_penalty) *
+                 NsToTicks(1.0 / cfg_.core.freq_ghz);
+  MemOutcome out;
+  out.complete = wr.response_at_host + penalty;
+  out.retire_ready = out.complete;
+  out.serializing = true;
+  out.check_ticks = 0;
+  out.offloaded = false;
+  bus_lock_ready_ = out.complete;
+  stats_.Inc("pou.bus_lock_atomics");
+  return out;
+}
+
+}  // namespace graphpim::core

@@ -1,0 +1,83 @@
+// The memory system of one machine configuration: routes every memory
+// micro-op according to the active offloading policy.
+//
+//   Baseline   — everything through the cache hierarchy; host atomics are
+//                locked RMWs (serializing).
+//   U-PEI      — idealized PEI [14]: PMR atomics that hit in the cache are
+//                executed host-side at the hit level (no freeze, free
+//                coherence); misses pay the cache walk, then offload.
+//                Non-atomic PMR data stays cacheable.
+//   GraphPIM   — the POU offloads PMR atomics directly to the HMC; every
+//                PMR access bypasses the caches (UC semantics). Atomics
+//                whose operation the HMC cannot execute (FP without the
+//                Section III-C extension) fall back to the host path.
+//   UC-NoPIM   — ablation (Section III-B discussion): UC property without
+//                PIM-atomics; host atomics degrade to bus locking.
+#ifndef GRAPHPIM_CORE_SYSTEM_H_
+#define GRAPHPIM_CORE_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/sim_config.h"
+#include "cpu/memory_interface.h"
+#include "cpu/pou.h"
+#include "hmc/cube.h"
+#include "mem/hierarchy.h"
+
+namespace graphpim::core {
+
+class MemorySystem : public cpu::MemoryInterface {
+ public:
+  MemorySystem(const SimConfig& cfg, Addr pmr_base, Addr pmr_end);
+
+  cpu::MemOutcome Access(int core, const cpu::MicroOp& op, Tick when) override;
+
+  StatSet& stats() { return stats_; }
+  const hmc::HmcCube& cube() const { return *cube_; }
+  const mem::CacheHierarchy& hierarchy() const { return *hierarchy_; }
+  const cpu::PimOffloadUnit& pou() const { return pou_; }
+
+ private:
+  cpu::MemOutcome HostPath(int core, const cpu::MicroOp& op, Tick when);
+  cpu::MemOutcome BypassPath(int core, const cpu::MicroOp& op, Tick when);
+  cpu::MemOutcome UPeiAtomic(int core, const cpu::MicroOp& op, Tick when);
+  cpu::MemOutcome BusLockAtomic(int core, const cpu::MicroOp& op, Tick when);
+
+  // True if the HMC can execute this atomic op under the current config.
+  bool HmcSupports(const cpu::MicroOp& op) const;
+
+  // Hybrid placement: true if this PMR page resides in the HMC (always
+  // true unless pmr_hmc_fraction < 1).
+  bool PageInHmc(Addr addr) const;
+
+  // Each core holds a bounded number of outstanding uncacheable/offloaded
+  // requests (its WC/UC buffer). Reserves a slot no earlier than `when`;
+  // returns the issue tick. Call ReleaseUcSlot with the downstream
+  // completion to free it.
+  Tick AcquireUcSlot(int core, Tick when, std::size_t* slot);
+  void ReleaseUcSlot(int core, std::size_t slot, Tick done) {
+    uc_slots_[static_cast<std::size_t>(core)][slot] = done;
+  }
+
+  SimConfig cfg_;
+  StatSet stats_;
+  std::unique_ptr<hmc::HmcCube> cube_;
+  std::unique_ptr<mem::CacheHierarchy> hierarchy_;
+  cpu::PimOffloadUnit pou_;  // identical in every core; modeled once
+  std::vector<std::vector<Tick>> uc_slots_;
+
+  // U-PEI locality checks occupy a per-core cache-checking unit; this is
+  // the "unnecessary cache checking time" GraphPIM's bypass avoids
+  // (Section IV-B1).
+  std::vector<Tick> upei_check_ready_;
+
+  // Bus-locked host atomics serialize globally (the whole interconnect is
+  // held) — the "huge performance degradation" of Section III-B.
+  Tick bus_lock_ready_ = 0;
+};
+
+}  // namespace graphpim::core
+
+#endif  // GRAPHPIM_CORE_SYSTEM_H_

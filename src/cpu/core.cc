@@ -1,0 +1,225 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace graphpim::cpu {
+
+void CoreStats::Merge(const CoreStats& o) {
+  insts += o.insts;
+  computes += o.computes;
+  branches += o.branches;
+  mispredicts += o.mispredicts;
+  loads += o.loads;
+  stores += o.stores;
+  atomics += o.atomics;
+  offloaded_atomics += o.offloaded_atomics;
+  atomic_incore_ticks += o.atomic_incore_ticks;
+  atomic_incache_ticks += o.atomic_incache_ticks;
+  atomic_dep_ticks += o.atomic_dep_ticks;
+  badspec_ticks += o.badspec_ticks;
+  frontend_ticks += o.frontend_ticks;
+}
+
+OooCore::OooCore(int id, const CoreParams& params, MemoryInterface* mem)
+    : id_(id), params_(params), mem_(mem) {
+  GP_CHECK(mem != nullptr);
+  GP_CHECK(params.issue_width > 0 && params.rob_size > 0);
+  cycle_ticks_ = static_cast<Tick>(1000.0 / params_.freq_ghz + 0.5);
+  rob_.resize(static_cast<std::size_t>(params_.rob_size));
+}
+
+void OooCore::Reset(const std::vector<MicroOp>* trace) {
+  trace_ = trace;
+  pos_ = 0;
+  issue_tick_ = 0;
+  issued_in_cycle_ = 0;
+  issue_block_ = 0;
+  rob_head_ = 0;
+  rob_count_ = 0;
+  prev_complete_ = 0;
+  prev_was_atomic_ = false;
+  max_outstanding_ = 0;
+  max_store_complete_ = 0;
+  barrier_arrival_ = 0;
+  stats_ = CoreStats();
+}
+
+Tick OooCore::NextIssueSlot() {
+  if (issued_in_cycle_ >= params_.issue_width) {
+    issue_tick_ += cycle_ticks_;
+    issued_in_cycle_ = 0;
+  }
+  if (issue_block_ > issue_tick_) {
+    issue_tick_ = issue_block_;
+    issued_in_cycle_ = 0;
+  }
+  return issue_tick_;
+}
+
+void OooCore::ConsumeIssueSlot(Tick t) {
+  if (t > issue_tick_) {
+    issue_tick_ = t;
+    issued_in_cycle_ = 0;
+  }
+  ++issued_in_cycle_;
+}
+
+Tick OooCore::Now() const {
+  if (trace_ != nullptr && pos_ >= trace_->size()) {
+    return std::max(issue_tick_, max_outstanding_);
+  }
+  return issue_tick_;
+}
+
+void OooCore::ReleaseBarrier(Tick release) {
+  issue_block_ = std::max(issue_block_, release);
+  // All in-flight work retired at the barrier.
+  rob_count_ = 0;
+  rob_head_ = 0;
+  prev_complete_ = release;
+  prev_was_atomic_ = false;
+  max_outstanding_ = std::max(max_outstanding_, release);
+  max_store_complete_ = release;
+}
+
+OooCore::Status OooCore::Advance(Tick until) {
+  GP_CHECK(trace_ != nullptr, "Advance() before Reset()");
+  while (pos_ < trace_->size()) {
+    if (NextIssueSlot() >= until) return Status::kRunning;
+    const MicroOp& op = (*trace_)[pos_];
+    if (op.type == OpType::kBarrier) {
+      barrier_arrival_ = std::max(NextIssueSlot(), max_outstanding_);
+      ++pos_;
+      return Status::kBarrier;
+    }
+    ++pos_;
+    IssueOp(op);
+  }
+  return Status::kDone;
+}
+
+void OooCore::IssueOp(const MicroOp& op) {
+  Tick dispatch = NextIssueSlot();
+
+  // ROB space: retiring the head in order frees an entry; a long-latency
+  // head stalls dispatch (the classic backend-bound case).
+  bool head_is_atomic = false;
+  if (rob_count_ == rob_.size()) {
+    const RobEntry& head = rob_[rob_head_];
+    if (head.complete > dispatch) {
+      if (head.is_atomic) {
+        stats_.atomic_dep_ticks += head.complete - dispatch;
+        head_is_atomic = true;
+      }
+      dispatch = head.complete;
+    }
+    rob_head_ = (rob_head_ + 1) % rob_.size();
+    --rob_count_;
+  }
+  (void)head_is_atomic;
+
+  // Execution start: operands must be ready.
+  Tick exec_start = dispatch;
+  if (op.DepPrev() && prev_complete_ > exec_start) {
+    if (prev_was_atomic_) stats_.atomic_dep_ticks += prev_complete_ - exec_start;
+    exec_start = prev_complete_;
+  }
+
+  Tick complete = exec_start;       // value-ready time for dependents
+  Tick retire = exec_start;         // when the ROB entry can retire
+  bool is_atomic = false;
+
+  switch (op.type) {
+    case OpType::kCompute: {
+      ++stats_.computes;
+      std::uint64_t lat = (op.flags & kFlagFpCompute) != 0
+                              ? static_cast<std::uint64_t>(params_.fp_compute_lat)
+                              : op.compute_lat;
+      complete = exec_start + CyclesToTicks(lat);
+      retire = complete;
+      break;
+    }
+    case OpType::kBranch: {
+      ++stats_.branches;
+      complete = exec_start + cycle_ticks_;
+      retire = complete;
+      // Taken-branch fetch redirection costs one bubble.
+      issue_block_ = std::max(issue_block_, dispatch + cycle_ticks_);
+      stats_.frontend_ticks += cycle_ticks_;
+      if (op.Mispredict()) {
+        ++stats_.mispredicts;
+        Tick penalty = CyclesToTicks(static_cast<std::uint64_t>(params_.mispredict_penalty));
+        issue_block_ = std::max(issue_block_, complete + penalty);
+        stats_.badspec_ticks += penalty;
+      }
+      break;
+    }
+    case OpType::kLoad: {
+      ++stats_.loads;
+      MemOutcome out = mem_->Access(id_, op, exec_start);
+      complete = out.complete;
+      retire = out.complete;
+      issue_block_ = std::max(issue_block_, out.issue_stall_until);
+      break;
+    }
+    case OpType::kStore: {
+      ++stats_.stores;
+      MemOutcome out = mem_->Access(id_, op, exec_start);
+      // Stores commit through the write buffer: dependents (if any) see the
+      // value forwarded within a cycle; the entry retires quickly.
+      complete = exec_start + cycle_ticks_;
+      retire = complete;
+      max_store_complete_ = std::max(max_store_complete_, out.complete);
+      issue_block_ = std::max(issue_block_, out.issue_stall_until);
+      break;
+    }
+    case OpType::kAtomic: {
+      ++stats_.atomics;
+      is_atomic = true;
+      MemOutcome out = mem_->Access(id_, op, exec_start);
+      issue_block_ = std::max(issue_block_, out.issue_stall_until);
+      if (out.serializing) {
+        // Host locked RMW (Section II-D / Fig 8): drain the write buffer,
+        // freeze the pipeline for the in-core overhead window, and delay
+        // dependents (and retirement) by the exclusive memory access. The
+        // RMW miss itself overlaps with other in-flight misses via MSHRs.
+        Tick drain = std::max(exec_start, max_store_complete_);
+        Tick fixed =
+            CyclesToTicks(static_cast<std::uint64_t>(params_.atomic_incore_overhead));
+        Tick mem_lat = out.complete - exec_start;  // hierarchy access time
+        complete = drain + fixed + mem_lat;
+        retire = complete;
+        issue_block_ = std::max(issue_block_, drain + fixed);
+        stats_.atomic_incache_ticks += out.check_ticks;
+        // Only the non-overlappable freeze window counts as in-core time;
+        // the RMW's memory latency surfaces through dependent stalls
+        // (atomic_dep_ticks) and ROB pressure.
+        stats_.atomic_incore_ticks += (drain + fixed) - exec_start;
+      } else {
+        // Offloaded (or PEI host-executed) atomic: behaves like a
+        // non-blocking load; posted forms retire without waiting.
+        if (out.offloaded) ++stats_.offloaded_atomics;
+        stats_.atomic_incache_ticks += out.check_ticks;
+        complete = op.WantReturn() ? out.complete : exec_start + cycle_ticks_;
+        retire = op.WantReturn() ? out.complete : out.retire_ready;
+      }
+      break;
+    }
+    case OpType::kBarrier:
+      GP_PANIC("barrier reached IssueOp");
+  }
+
+  ConsumeIssueSlot(dispatch);
+  ++stats_.insts;
+
+  rob_[(rob_head_ + rob_count_) % rob_.size()] = RobEntry{retire, is_atomic};
+  ++rob_count_;
+
+  prev_complete_ = complete;
+  prev_was_atomic_ = is_atomic;
+  max_outstanding_ = std::max(max_outstanding_, std::max(complete, retire));
+}
+
+}  // namespace graphpim::cpu

@@ -1,0 +1,139 @@
+// Out-of-order core timing model (MacSim-equivalent for this study).
+//
+// A timestamp-algebra ROB-window model: ops issue at up to `issue_width`
+// per cycle, wait for their producer when annotated dep-prev, occupy a ROB
+// entry until in-order retirement, and complete after an execution latency
+// supplied by the memory system for memory ops. Host atomic instructions in
+// the baseline serialize the pipeline (write-buffer drain + freeze, Section
+// II-D); offloaded PIM atomics behave like non-blocking loads.
+//
+// The model accumulates the attribution counters behind the paper's
+// breakdowns: Fig 2 (frontend / badspec / retiring / backend) and Fig 9
+// (atomic-inCore / atomic-inCache / other).
+#ifndef GRAPHPIM_CPU_CORE_H_
+#define GRAPHPIM_CPU_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "cpu/memory_interface.h"
+#include "cpu/uop.h"
+
+namespace graphpim::cpu {
+
+struct CoreParams {
+  double freq_ghz = 2.0;      // Table IV
+  int issue_width = 4;        // Table IV
+  int rob_size = 192;
+  int mispredict_penalty = 14;      // cycles
+  int atomic_incore_overhead = 10;  // cycles: freeze + write-buffer drain
+  int fp_compute_lat = 4;           // cycles for FP ALU ops
+};
+
+// Counters a single core accumulates while replaying its trace.
+struct CoreStats {
+  std::uint64_t insts = 0;
+  std::uint64_t computes = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t mispredicts = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t offloaded_atomics = 0;
+
+  // Attribution (all in Ticks).
+  Tick atomic_incore_ticks = 0;   // freeze + drain + RMW wait (baseline)
+  Tick atomic_incache_ticks = 0;  // tag walks + coherence for atomics
+  Tick atomic_dep_ticks = 0;      // dependents waiting on offloaded atomics
+  Tick badspec_ticks = 0;
+  Tick frontend_ticks = 0;
+
+  void Merge(const CoreStats& o);
+};
+
+class OooCore {
+ public:
+  enum class Status {
+    kRunning,   // paused at the quantum boundary, more ops pending
+    kBarrier,   // reached a barrier op; waiting for release
+    kDone,      // trace exhausted
+  };
+
+  OooCore(int id, const CoreParams& params, MemoryInterface* mem);
+
+  // Installs the trace to replay and resets all core state.
+  void Reset(const std::vector<MicroOp>* trace);
+
+  // Advances until `until` ticks, a barrier, or the end of the trace.
+  Status Advance(Tick until);
+
+  // Barrier handling: when Advance() returns kBarrier, arrival time is the
+  // tick at which all prior work completed. ReleaseBarrier() resumes the
+  // core no earlier than `release`.
+  Tick BarrierArrival() const { return barrier_arrival_; }
+  void ReleaseBarrier(Tick release);
+
+  // Current core time (issue front). After kDone, the completion time of
+  // all work.
+  Tick Now() const;
+
+  // Earliest tick at which this core can issue again (accounts for
+  // pending pipeline blocks); lets the run loop skip dead quanta.
+  Tick NextReadyTick() const {
+    return issue_block_ > issue_tick_ ? issue_block_ : issue_tick_;
+  }
+
+  int id() const { return id_; }
+  const CoreStats& stats() const { return stats_; }
+
+  Tick CyclesToTicks(std::uint64_t cycles) const {
+    return static_cast<Tick>(static_cast<double>(cycles) * 1000.0 / params_.freq_ghz);
+  }
+
+ private:
+  struct RobEntry {
+    Tick complete = 0;
+    bool is_atomic = false;
+  };
+
+  // Issues one op; returns false if it was a barrier (not consumed-past).
+  void IssueOp(const MicroOp& op);
+
+  // Earliest tick a new op can issue given bandwidth, ROB space and flushes.
+  Tick NextIssueSlot();
+
+  // Consumes one issue slot at tick `t`.
+  void ConsumeIssueSlot(Tick t);
+
+  int id_;
+  CoreParams params_;
+  MemoryInterface* mem_;
+  Tick cycle_ticks_;
+
+  const std::vector<MicroOp>* trace_ = nullptr;
+  std::size_t pos_ = 0;
+
+  // Issue bandwidth state.
+  Tick issue_tick_ = 0;   // cycle-aligned tick of the current issue group
+  int issued_in_cycle_ = 0;
+  Tick issue_block_ = 0;  // no issue before this (flush / serialization)
+
+  // ROB: fixed ring.
+  std::vector<RobEntry> rob_;
+  std::size_t rob_head_ = 0;
+  std::size_t rob_count_ = 0;
+
+  Tick prev_complete_ = 0;       // producer for dep-prev consumers
+  bool prev_was_atomic_ = false;
+  Tick max_outstanding_ = 0;     // max completion of all issued ops
+  Tick max_store_complete_ = 0;  // write-buffer drain horizon
+
+  Tick barrier_arrival_ = 0;
+
+  CoreStats stats_;
+};
+
+}  // namespace graphpim::cpu
+
+#endif  // GRAPHPIM_CPU_CORE_H_

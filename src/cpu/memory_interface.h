@@ -1,0 +1,37 @@
+// The core's view of the memory system.
+//
+// The machine configuration (core/system.h) implements this interface and
+// routes each memory micro-op according to the active offloading policy:
+// through the cache hierarchy, or — when the POU matches the PMR — directly
+// to the HMC as a PIM command.
+#ifndef GRAPHPIM_CPU_MEMORY_INTERFACE_H_
+#define GRAPHPIM_CPU_MEMORY_INTERFACE_H_
+
+#include "common/types.h"
+#include "cpu/uop.h"
+
+namespace graphpim::cpu {
+
+// Timing outcome of one memory micro-op.
+struct MemOutcome {
+  Tick complete = 0;        // when the value is available to dependents
+  Tick retire_ready = 0;    // when the op may leave the ROB (posted ops: early)
+  bool serializing = false; // host locked-RMW semantics: freeze the pipeline
+  Tick check_ticks = 0;     // cache tag-walk + coherence time (attribution)
+  bool offloaded = false;   // executed as a PIM command in the HMC
+  // Backpressure: the core may not issue further ops before this tick
+  // (UC/WC buffer or MSHR pool was full). 0 = none.
+  Tick issue_stall_until = 0;
+};
+
+class MemoryInterface {
+ public:
+  virtual ~MemoryInterface() = default;
+
+  // Issues the memory portion of `op` from `core` at time `when`.
+  virtual MemOutcome Access(int core, const MicroOp& op, Tick when) = 0;
+};
+
+}  // namespace graphpim::cpu
+
+#endif  // GRAPHPIM_CPU_MEMORY_INTERFACE_H_

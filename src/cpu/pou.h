@@ -1,0 +1,53 @@
+// PIM Offloading Unit (POU), Section III-B.
+//
+// The POU sits in each host core and decides the data path of memory
+// instructions: an atomic instruction whose target address falls inside the
+// PIM Memory Region (PMR) is offloaded to the HMC as a PIM-atomic command;
+// every other access to the PMR bypasses the cache hierarchy (uncacheable
+// semantics); accesses outside the PMR use the normal cached path.
+//
+// The PMR itself is a contiguous uncacheable range registered by the graph
+// framework's pmr_malloc allocator (graph/region.h).
+#ifndef GRAPHPIM_CPU_POU_H_
+#define GRAPHPIM_CPU_POU_H_
+
+#include "common/types.h"
+#include "cpu/uop.h"
+
+namespace graphpim::cpu {
+
+class PimOffloadUnit {
+ public:
+  PimOffloadUnit() = default;
+
+  // Registers the PMR address range [base, end).
+  void SetPmr(Addr base, Addr end) {
+    pmr_base_ = base;
+    pmr_end_ = end;
+  }
+
+  bool InPmr(Addr addr) const { return addr >= pmr_base_ && addr < pmr_end_; }
+
+  // True if `op` must be offloaded as a PIM-atomic (atomic hitting the PMR).
+  bool ShouldOffload(const MicroOp& op) const {
+    return op.type == OpType::kAtomic && InPmr(op.addr);
+  }
+
+  // True if `op` must bypass the cache hierarchy (any PMR access).
+  bool BypassesCache(const MicroOp& op) const {
+    return (op.type == OpType::kLoad || op.type == OpType::kStore ||
+            op.type == OpType::kAtomic) &&
+           InPmr(op.addr);
+  }
+
+  Addr pmr_base() const { return pmr_base_; }
+  Addr pmr_end() const { return pmr_end_; }
+
+ private:
+  Addr pmr_base_ = 0;
+  Addr pmr_end_ = 0;
+};
+
+}  // namespace graphpim::cpu
+
+#endif  // GRAPHPIM_CPU_POU_H_

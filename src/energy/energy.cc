@@ -1,0 +1,51 @@
+#include "energy/energy.h"
+
+namespace graphpim::energy {
+
+namespace {
+constexpr double kNj = 1e-9;
+}  // namespace
+
+EnergyBreakdown ComputeUncoreEnergy(const StatSet& s, double runtime_sec,
+                                    const EnergyParams& p) {
+  EnergyBreakdown e;
+
+  // Host caches: every access probes L1; L1 misses probe L2; etc.
+  double l1_acc = s.Get("cache.l1_hits") + s.Get("cache.l1_misses");
+  double l2_acc = s.Get("cache.l2_hits") + s.Get("cache.l2_misses");
+  double l3_acc = s.Get("cache.l3_hits") + s.Get("cache.l3_misses");
+  // Coherence snoops probe remote private caches.
+  double snoops = s.Get("cache.coherence_invals");
+  e.caches_j = (l1_acc * p.l1_access_nj + l2_acc * p.l2_access_nj +
+                l3_acc * p.l3_access_nj + snoops * (p.l1_access_nj + p.l2_access_nj)) *
+                   kNj +
+               p.cache_static_w * runtime_sec;
+
+  // SerDes links: per-FLIT transfer energy + idle power.
+  double flits = s.Get("hmc.req_flits") + s.Get("hmc.resp_flits");
+  e.link_j = flits * p.link_flit_nj * kNj + p.link_static_w * runtime_sec;
+
+  // Logic layer: packet processing (requests + responses) + static.
+  double packets =
+      2.0 * (s.Get("hmc.reads") + s.Get("hmc.writes") + s.Get("hmc.atomics"));
+  e.logic_j = packets * p.ll_packet_nj * kNj + p.ll_static_w * runtime_sec;
+
+  // PIM functional units.
+  double fp_static =
+      p.fp_fus_enabled ? p.fu_fp_static_w * static_cast<double>(p.num_vaults) : 0.0;
+  e.fu_j = (s.Get("hmc.fu_int_ops") * p.fu_int_nj +
+            s.Get("hmc.fu_fp_ops") * p.fu_fp_nj) *
+               kNj +
+           fp_static * runtime_sec;
+
+  // DRAM dies: activations (row misses) + column accesses + background.
+  double accesses = s.Get("hmc.reads") + s.Get("hmc.writes") + s.Get("hmc.atomics");
+  e.dram_j = (s.Get("hmc.row_misses") * p.dram_activate_nj +
+              accesses * p.dram_access_nj) *
+                 kNj +
+             p.dram_static_w * runtime_sec;
+
+  return e;
+}
+
+}  // namespace graphpim::energy

@@ -1,0 +1,58 @@
+// Uncore energy model (Section IV-B4, Fig 15).
+//
+// The paper models cache energy with CACTI 6.5 and HMC SerDes links, DRAM
+// layers and functional units with the models of [34-36]; SerDes links
+// consume ~43% of HMC power. We use per-event dynamic energies plus static
+// power in the same spirit; the constants below are in that literature's
+// range and are configurable for sensitivity studies.
+//
+// Components reported (Fig 15): Caches, HMC Link, HMC FU, HMC Logic Layer
+// (LL), HMC DRAM.
+#ifndef GRAPHPIM_ENERGY_ENERGY_H_
+#define GRAPHPIM_ENERGY_ENERGY_H_
+
+#include "common/stats.h"
+
+namespace graphpim::energy {
+
+struct EnergyParams {
+  // Dynamic energy per event (nJ).
+  double l1_access_nj = 0.05;      // 32KB SRAM access (CACTI-class)
+  double l2_access_nj = 0.18;      // 256KB
+  double l3_access_nj = 1.10;      // 16MB slice access
+  double link_flit_nj = 0.64;      // ~5 pJ/bit * 128-bit FLIT
+  double ll_packet_nj = 0.25;      // logic-layer packet processing
+  double dram_activate_nj = 1.80;  // row activation
+  double dram_access_nj = 1.00;    // column access + TSV transfer
+  double fu_int_nj = 0.01;
+  double fu_fp_nj = 0.12;
+
+  // Static power (W).
+  double cache_static_w = 2.0;   // whole host cache hierarchy leakage
+  double link_static_w = 5.2;    // SerDes idle: ~43% of HMC power [34][36]
+  double ll_static_w = 1.6;
+  double dram_static_w = 1.8;    // refresh + background
+  double fu_fp_static_w = 0.04;  // per enabled FP FU (one per vault)
+  int num_vaults = 32;
+  bool fp_fus_enabled = true;
+};
+
+struct EnergyBreakdown {
+  double caches_j = 0.0;
+  double link_j = 0.0;
+  double fu_j = 0.0;
+  double logic_j = 0.0;
+  double dram_j = 0.0;
+
+  double Total() const { return caches_j + link_j + fu_j + logic_j + dram_j; }
+};
+
+// Computes uncore energy from the run's counters and wall-clock (simulated)
+// runtime. Expects the stat names produced by mem::CacheHierarchy and
+// hmc::HmcCube plus "hmc.fu_busy_int_ns"/"hmc.fu_busy_fp_ns" if present.
+EnergyBreakdown ComputeUncoreEnergy(const StatSet& stats, double runtime_sec,
+                                    const EnergyParams& params = EnergyParams());
+
+}  // namespace graphpim::energy
+
+#endif  // GRAPHPIM_ENERGY_ENERGY_H_

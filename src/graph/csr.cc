@@ -1,0 +1,76 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.h"
+
+namespace graphpim::graph {
+
+CsrGraph::CsrGraph(const EdgeList& el, AddressSpace& space, bool dedup)
+    : num_vertices_(el.num_vertices) {
+  GP_CHECK(num_vertices_ > 0, "empty graph");
+
+  // Counting sort by source.
+  offsets_.assign(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (const Edge& e : el.edges) {
+    GP_CHECK(e.src < num_vertices_ && e.dst < num_vertices_, "edge endpoint out of range");
+    ++offsets_[e.src + 1];
+  }
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+
+  neighbors_.resize(el.edges.size());
+  weights_.resize(el.edges.size());
+  std::vector<EdgeId> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : el.edges) {
+    EdgeId slot = cursor[e.src]++;
+    neighbors_[slot] = e.dst;
+    weights_[slot] = e.weight;
+  }
+
+  // Sort each adjacency list by destination (weights follow).
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    EdgeId b = offsets_[v];
+    EdgeId e = offsets_[v + 1];
+    std::vector<std::pair<VertexId, std::uint32_t>> tmp;
+    tmp.reserve(e - b);
+    for (EdgeId i = b; i < e; ++i) tmp.emplace_back(neighbors_[i], weights_[i]);
+    std::sort(tmp.begin(), tmp.end());
+    for (EdgeId i = b; i < e; ++i) {
+      neighbors_[i] = tmp[i - b].first;
+      weights_[i] = tmp[i - b].second;
+    }
+  }
+
+  if (dedup) {
+    std::vector<EdgeId> new_offsets(offsets_.size(), 0);
+    std::vector<VertexId> new_neighbors;
+    std::vector<std::uint32_t> new_weights;
+    new_neighbors.reserve(neighbors_.size());
+    new_weights.reserve(weights_.size());
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      EdgeId b = offsets_[v];
+      EdgeId e = offsets_[v + 1];
+      for (EdgeId i = b; i < e; ++i) {
+        if (i > b && neighbors_[i] == neighbors_[i - 1]) continue;
+        new_neighbors.push_back(neighbors_[i]);
+        new_weights.push_back(weights_[i]);
+      }
+      new_offsets[v + 1] = static_cast<EdgeId>(new_neighbors.size());
+    }
+    offsets_ = std::move(new_offsets);
+    neighbors_ = std::move(new_neighbors);
+    weights_ = std::move(new_weights);
+  }
+
+  offsets_addr_ = space.structure().Allocate(offsets_.size() * sizeof(EdgeId));
+  neighbors_addr_ = space.structure().Allocate(neighbors_.size() * sizeof(VertexId));
+  weights_addr_ = space.structure().Allocate(weights_.size() * sizeof(std::uint32_t));
+}
+
+std::uint64_t CsrGraph::StructureBytes() const {
+  return offsets_.size() * sizeof(EdgeId) + neighbors_.size() * sizeof(VertexId) +
+         weights_.size() * sizeof(std::uint32_t);
+}
+
+}  // namespace graphpim::graph

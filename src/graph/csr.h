@@ -1,0 +1,63 @@
+// Compressed sparse row graph: the framework's graph-structure component.
+//
+// The CSR arrays register simulated addresses in the structure segment;
+// workloads use OffsetAddr()/NeighborAddr()/WeightAddr() when emitting the
+// structure-component loads of their traversal loops.
+#ifndef GRAPHPIM_GRAPH_CSR_H_
+#define GRAPHPIM_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/edge_list.h"
+#include "graph/region.h"
+
+namespace graphpim::graph {
+
+class CsrGraph {
+ public:
+  // Builds the CSR from an edge list; neighbor lists are sorted by
+  // destination. `dedup` removes parallel edges (keeping the first weight).
+  CsrGraph(const EdgeList& el, AddressSpace& space, bool dedup = false);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(neighbors_.size()); }
+
+  std::uint32_t OutDegree(VertexId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  EdgeId OffsetOf(VertexId v) const { return offsets_[v]; }
+
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  std::span<const std::uint32_t> Weights(VertexId v) const {
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+
+  // Simulated addresses of the structure arrays.
+  Addr OffsetAddr(VertexId v) const { return offsets_addr_ + v * sizeof(EdgeId); }
+  Addr NeighborAddr(EdgeId e) const { return neighbors_addr_ + e * sizeof(VertexId); }
+  Addr WeightAddr(EdgeId e) const { return weights_addr_ + e * sizeof(std::uint32_t); }
+
+  // Total simulated footprint of the structure arrays, in bytes.
+  std::uint64_t StructureBytes() const;
+
+ private:
+  VertexId num_vertices_;
+  std::vector<EdgeId> offsets_;         // size n+1
+  std::vector<VertexId> neighbors_;     // size m
+  std::vector<std::uint32_t> weights_;  // size m
+  Addr offsets_addr_;
+  Addr neighbors_addr_;
+  Addr weights_addr_;
+};
+
+}  // namespace graphpim::graph
+
+#endif  // GRAPHPIM_GRAPH_CSR_H_

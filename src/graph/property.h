@@ -1,0 +1,57 @@
+// Property arrays: host-side values paired with simulated addresses.
+//
+// A PropertyArray<T> is the framework's per-vertex property storage. Its
+// simulated backing is obtained from a Region — pass the address space's
+// PMR for offloadable properties (the normal case) or the meta region for
+// thread-local accumulators (as Betweenness Centrality uses).
+#ifndef GRAPHPIM_GRAPH_PROPERTY_H_
+#define GRAPHPIM_GRAPH_PROPERTY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/region.h"
+
+namespace graphpim::graph {
+
+// Per-vertex properties are fields of larger vertex-property objects in
+// framework layouts (GraphBIG's vertex objects), so consecutive vertices do
+// NOT share cache lines — the paper's "no spatial locality in the property
+// component" premise. The default simulated stride of one cache line per
+// vertex models that layout; pass stride == sizeof(T) for packed arrays.
+inline constexpr std::uint32_t kVertexPropertyStride = 64;
+
+template <typename T>
+class PropertyArray {
+ public:
+  // Allocates `n` elements from `region`, value-initialized, placing
+  // element i at base + i * stride in the simulated address space.
+  PropertyArray(Region& region, std::size_t n, const T& init = T(),
+                std::uint32_t stride = kVertexPropertyStride)
+      : values_(n, init),
+        stride_(stride < sizeof(T) ? static_cast<std::uint32_t>(sizeof(T)) : stride),
+        base_(region.Allocate(n * stride_, 64)) {}
+
+  T& operator[](std::size_t i) { return values_[i]; }
+  const T& operator[](std::size_t i) const { return values_[i]; }
+
+  std::size_t size() const { return values_.size(); }
+
+  // Simulated address of element `i`.
+  Addr AddrOf(std::size_t i) const { return base_ + i * stride_; }
+
+  Addr base() const { return base_; }
+  std::uint32_t stride() const { return stride_; }
+
+  void Fill(const T& v) { values_.assign(values_.size(), v); }
+
+ private:
+  std::vector<T> values_;
+  std::uint32_t stride_;
+  Addr base_;
+};
+
+}  // namespace graphpim::graph
+
+#endif  // GRAPHPIM_GRAPH_PROPERTY_H_

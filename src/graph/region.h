@@ -1,0 +1,92 @@
+// Simulated address space and the PMR allocator (`pmr_malloc`).
+//
+// The simulator uses a segmented simulated address space; host data lives
+// in ordinary std::vectors, while every framework allocation additionally
+// receives a simulated address range used by the timing model.
+//
+// Three segments mirror the paper's data components (Section II-C):
+//   meta      — task queues, local bookkeeping (cache friendly)
+//   structure — CSR arrays (spatial locality)
+//   property  — graph properties; this segment IS the PIM Memory Region.
+//
+// GraphPIM's framework-side change is exactly this: properties are
+// allocated with PmrMalloc() (the paper's pmr_malloc), which places them in
+// the uncacheable PMR that the POU recognizes (Section III-A/B).
+#ifndef GRAPHPIM_GRAPH_REGION_H_
+#define GRAPHPIM_GRAPH_REGION_H_
+
+#include <cstdint>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace graphpim::graph {
+
+// A bump allocator over one simulated segment.
+class Region {
+ public:
+  Region(Addr base, std::uint64_t size_bytes) : base_(base), end_(base + size_bytes), next_(base) {}
+
+  // Allocates `bytes` with `align` alignment; returns the simulated address.
+  Addr Allocate(std::uint64_t bytes, std::uint64_t align = 64) {
+    Addr a = (next_ + align - 1) & ~static_cast<Addr>(align - 1);
+    GP_CHECK(a + bytes <= end_, "simulated region exhausted");
+    next_ = a + bytes;
+    return a;
+  }
+
+  Addr base() const { return base_; }
+  Addr end() const { return end_; }
+  Addr used_end() const { return next_; }
+  std::uint64_t used_bytes() const { return next_ - base_; }
+
+  void Reset() { next_ = base_; }
+
+ private:
+  Addr base_;
+  Addr end_;
+  Addr next_;
+};
+
+// The full simulated address space with its three segments.
+class AddressSpace {
+ public:
+  static constexpr Addr kMetaBase = 0x0'1000'0000ULL;
+  static constexpr Addr kStructureBase = 0x1'0000'0000ULL;
+  static constexpr Addr kPmrBase = 0x4'0000'0000ULL;
+  static constexpr std::uint64_t kSegmentSize = 2ULL * kGiB;
+
+  AddressSpace()
+      : meta_(kMetaBase, kSegmentSize),
+        structure_(kStructureBase, kSegmentSize),
+        pmr_(kPmrBase, kSegmentSize) {}
+
+  Region& meta() { return meta_; }
+  Region& structure() { return structure_; }
+  Region& pmr() { return pmr_; }
+
+  // The paper's pmr_malloc: allocates graph-property storage inside the PMR.
+  Addr PmrMalloc(std::uint64_t bytes, std::uint64_t align = 64) {
+    return pmr_.Allocate(bytes, align);
+  }
+
+  // PMR bounds registered with each core's POU.
+  Addr pmr_base() const { return pmr_.base(); }
+  Addr pmr_end() const { return pmr_.end(); }
+
+  // Classifies a simulated address into its data component.
+  DataComponent ComponentOf(Addr a) const {
+    if (a >= kPmrBase) return DataComponent::kProperty;
+    if (a >= kStructureBase) return DataComponent::kStructure;
+    return DataComponent::kMeta;
+  }
+
+ private:
+  Region meta_;
+  Region structure_;
+  Region pmr_;
+};
+
+}  // namespace graphpim::graph
+
+#endif  // GRAPHPIM_GRAPH_REGION_H_

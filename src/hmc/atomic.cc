@@ -1,0 +1,188 @@
+#include "hmc/atomic.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace graphpim::hmc {
+
+namespace {
+
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+u128 ToU128(const Value16& v) {
+  return (static_cast<u128>(v.hi) << 64) | v.lo;
+}
+
+Value16 FromU128(u128 v) {
+  return Value16{static_cast<u64>(v), static_cast<u64>(v >> 64)};
+}
+
+constexpr AtomicOpInfo kOpTable[] = {
+    // name            category                        bytes ret   ext
+    {"2ADD8",          AtomicCategory::kArithmetic,    16, false, false},
+    {"ADD16",          AtomicCategory::kArithmetic,    16, false, false},
+    {"2ADDS8R",        AtomicCategory::kArithmetic,    16, true,  false},
+    {"ADDS16R",        AtomicCategory::kArithmetic,    16, true,  false},
+    {"SWAP16",         AtomicCategory::kBitwise,       16, true,  false},
+    {"P_SWAP16",       AtomicCategory::kBitwise,       16, false, false},
+    {"BWR8",           AtomicCategory::kBitwise,       8,  false, false},
+    {"BWR8R",          AtomicCategory::kBitwise,       8,  true,  false},
+    {"AND16",          AtomicCategory::kBoolean,       16, false, false},
+    {"NAND16",         AtomicCategory::kBoolean,       16, false, false},
+    {"OR16",           AtomicCategory::kBoolean,       16, false, false},
+    {"NOR16",          AtomicCategory::kBoolean,       16, false, false},
+    {"XOR16",          AtomicCategory::kBoolean,       16, false, false},
+    {"CASEQ8",         AtomicCategory::kComparison,    8,  true,  false},
+    {"CASZERO16",      AtomicCategory::kComparison,    16, true,  false},
+    {"CASGT16",        AtomicCategory::kComparison,    16, true,  false},
+    {"CASLT16",        AtomicCategory::kComparison,    16, true,  false},
+    {"EQ16",           AtomicCategory::kComparison,    16, false, false},
+    {"FPADD32",        AtomicCategory::kFloatingPoint, 8,  true,  true},
+    {"FPADD64",        AtomicCategory::kFloatingPoint, 8,  true,  true},
+    {"FPSUB64",        AtomicCategory::kFloatingPoint, 8,  true,  true},
+};
+
+static_assert(sizeof(kOpTable) / sizeof(kOpTable[0]) ==
+                  static_cast<std::size_t>(AtomicOp::kNumOps),
+              "op table out of sync with AtomicOp enum");
+
+}  // namespace
+
+const AtomicOpInfo& GetOpInfo(AtomicOp op) {
+  auto idx = static_cast<std::size_t>(op);
+  GP_CHECK(idx < static_cast<std::size_t>(AtomicOp::kNumOps), "bad AtomicOp");
+  return kOpTable[idx];
+}
+
+bool IsFpOp(AtomicOp op) {
+  return GetOpInfo(op).category == AtomicCategory::kFloatingPoint;
+}
+
+std::string ToString(AtomicOp op) { return GetOpInfo(op).name; }
+
+AtomicOutcome ExecuteAtomic(AtomicOp op, const Value16& mem, const Value16& operand) {
+  AtomicOutcome out;
+  out.returned = mem;
+  out.new_value = mem;
+  switch (op) {
+    case AtomicOp::kDualAdd8:
+    case AtomicOp::kDualAdd8Ret:
+      out.new_value.lo = mem.lo + operand.lo;
+      out.new_value.hi = mem.hi + operand.hi;
+      out.wrote = true;
+      out.flag = true;
+      break;
+    case AtomicOp::kAdd16:
+    case AtomicOp::kAdd16Ret:
+      out.new_value = FromU128(ToU128(mem) + ToU128(operand));
+      out.wrote = true;
+      out.flag = true;
+      break;
+    case AtomicOp::kSwap16:
+    case AtomicOp::kSwap16NoRet:
+      out.new_value = operand;
+      out.wrote = true;
+      out.flag = true;
+      break;
+    case AtomicOp::kBitWrite8:
+    case AtomicOp::kBitWrite8Ret: {
+      // operand.lo carries the write data, operand.hi the bit mask.
+      const u64 mask = operand.hi;
+      out.new_value.lo = (mem.lo & ~mask) | (operand.lo & mask);
+      out.wrote = true;
+      out.flag = true;
+      break;
+    }
+    case AtomicOp::kAnd16:
+      out.new_value = {mem.lo & operand.lo, mem.hi & operand.hi};
+      out.wrote = true;
+      out.flag = true;
+      break;
+    case AtomicOp::kNand16:
+      out.new_value = {~(mem.lo & operand.lo), ~(mem.hi & operand.hi)};
+      out.wrote = true;
+      out.flag = true;
+      break;
+    case AtomicOp::kOr16:
+      out.new_value = {mem.lo | operand.lo, mem.hi | operand.hi};
+      out.wrote = true;
+      out.flag = true;
+      break;
+    case AtomicOp::kNor16:
+      out.new_value = {~(mem.lo | operand.lo), ~(mem.hi | operand.hi)};
+      out.wrote = true;
+      out.flag = true;
+      break;
+    case AtomicOp::kXor16:
+      out.new_value = {mem.lo ^ operand.lo, mem.hi ^ operand.hi};
+      out.wrote = true;
+      out.flag = true;
+      break;
+    case AtomicOp::kCasEqual8:
+      // operand.hi = compare value, operand.lo = new value.
+      if (mem.lo == operand.hi) {
+        out.new_value.lo = operand.lo;
+        out.wrote = true;
+        out.flag = true;
+      }
+      break;
+    case AtomicOp::kCasZero16:
+      if (mem.lo == 0 && mem.hi == 0) {
+        out.new_value = operand;
+        out.wrote = true;
+        out.flag = true;
+      }
+      break;
+    case AtomicOp::kCasGreater16:
+      if (static_cast<i128>(ToU128(operand)) > static_cast<i128>(ToU128(mem))) {
+        out.new_value = operand;
+        out.wrote = true;
+        out.flag = true;
+      }
+      break;
+    case AtomicOp::kCasLess16:
+      if (static_cast<i128>(ToU128(operand)) < static_cast<i128>(ToU128(mem))) {
+        out.new_value = operand;
+        out.wrote = true;
+        out.flag = true;
+      }
+      break;
+    case AtomicOp::kCompareEqual16:
+      out.flag = (mem == operand);
+      break;
+    case AtomicOp::kFpAdd32: {
+      float m = std::bit_cast<float>(static_cast<std::uint32_t>(mem.lo));
+      float o = std::bit_cast<float>(static_cast<std::uint32_t>(operand.lo));
+      out.new_value.lo = std::bit_cast<std::uint32_t>(m + o);
+      out.wrote = true;
+      out.flag = true;
+      break;
+    }
+    case AtomicOp::kFpAdd64: {
+      double m = std::bit_cast<double>(mem.lo);
+      double o = std::bit_cast<double>(operand.lo);
+      out.new_value.lo = std::bit_cast<std::uint64_t>(m + o);
+      out.wrote = true;
+      out.flag = true;
+      break;
+    }
+    case AtomicOp::kFpSub64: {
+      double m = std::bit_cast<double>(mem.lo);
+      double o = std::bit_cast<double>(operand.lo);
+      out.new_value.lo = std::bit_cast<std::uint64_t>(m - o);
+      out.wrote = true;
+      out.flag = true;
+      break;
+    }
+    case AtomicOp::kNumOps:
+      GP_PANIC("kNumOps is not an operation");
+  }
+  return out;
+}
+
+}  // namespace graphpim::hmc

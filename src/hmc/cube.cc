@@ -1,0 +1,163 @@
+#include "hmc/cube.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "hmc/flit.h"
+
+namespace graphpim::hmc {
+
+namespace {
+
+// Vault interleaving granularity: HMC low-order address interleave at
+// cache-block size maximizes spread of both streams and scattered accesses
+// across the 32 vaults.
+constexpr std::uint64_t kVaultInterleave = 64;
+
+}  // namespace
+
+HmcCube::HmcCube(const HmcParams& params, StatSet* stats)
+    : params_(params), stats_(stats) {
+  GP_CHECK(params_.num_links > 0 && params_.num_vaults > 0);
+  links_.reserve(params_.num_links);
+  for (std::uint32_t i = 0; i < params_.num_links; ++i) {
+    links_.emplace_back(params_.FlitTime());
+  }
+  vaults_.reserve(params_.num_vaults);
+  for (std::uint32_t i = 0; i < params_.num_vaults; ++i) {
+    vaults_.push_back(std::make_unique<Vault>(params_, stats_));
+  }
+}
+
+std::uint32_t HmcCube::VaultOf(Addr addr) const {
+  return static_cast<std::uint32_t>((addr / kVaultInterleave) % params_.num_vaults);
+}
+
+Addr HmcCube::VaultLocalAddr(Addr addr) const {
+  // Strip the vault-interleave bits so the vault's bank/row decoding uses
+  // independent address bits (512 distinct banks across the cube).
+  Addr block = addr / kVaultInterleave;
+  return (block / params_.num_vaults) * kVaultInterleave + (addr % kVaultInterleave);
+}
+
+std::uint32_t HmcCube::PickLink(Tick /*when*/) const {
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 1; i < links_.size(); ++i) {
+    if (links_[i].tx_ready() < links_[best].tx_ready()) best = i;
+  }
+  return best;
+}
+
+Tick HmcCube::RequestToVault(std::uint32_t flits, Tick when, std::uint32_t* link_idx) {
+  *link_idx = PickLink(when);
+  Tick serialized = links_[*link_idx].ReserveTx(flits, when);
+  return serialized + params_.link_latency + params_.xbar_latency;
+}
+
+Tick HmcCube::ResponseToHost(std::uint32_t flits, Tick ready, std::uint32_t link_idx) {
+  Tick at_link = ready + params_.xbar_latency;
+  Tick serialized = links_[link_idx].ReserveRx(flits, at_link);
+  return serialized + params_.link_latency;
+}
+
+Completion HmcCube::Read(Addr addr, std::uint32_t size, Tick when) {
+  Completion c;
+  c.req_flits = ReadRequestFlits(size);
+  c.resp_flits = ReadResponseFlits(size);
+  std::uint32_t link = 0;
+  Tick at_vault = RequestToVault(c.req_flits, when, &link);
+  Vault::AccessResult r = vaults_[VaultOf(addr)]->Read(VaultLocalAddr(addr), at_vault);
+  c.row_hit = r.row_hit;
+  c.internal_done = r.done;
+  c.response_at_host = ResponseToHost(c.resp_flits, r.data_ready, link);
+  if (stats_ != nullptr) {
+    stats_->Inc("hmc.reads");
+    stats_->Add("hmc.dbg_req_path_ns", TicksToNs(at_vault - when));
+    stats_->Add("hmc.dbg_vault_ns", TicksToNs(r.data_ready - at_vault));
+    stats_->Add("hmc.dbg_resp_path_ns", TicksToNs(c.response_at_host - r.data_ready));
+    stats_->Add("hmc.req_flits", c.req_flits);
+    stats_->Add("hmc.resp_flits", c.resp_flits);
+  }
+  return c;
+}
+
+Completion HmcCube::Write(Addr addr, std::uint32_t size, Tick when) {
+  Completion c;
+  c.req_flits = WriteRequestFlits(size);
+  c.resp_flits = WriteResponseFlits(size);
+  std::uint32_t link = 0;
+  Tick at_vault = RequestToVault(c.req_flits, when, &link);
+  Vault::AccessResult r = vaults_[VaultOf(addr)]->Write(VaultLocalAddr(addr), at_vault);
+  c.row_hit = r.row_hit;
+  c.internal_done = r.done;
+  c.response_at_host = ResponseToHost(c.resp_flits, r.data_ready, link);
+  if (stats_ != nullptr) {
+    stats_->Inc("hmc.writes");
+    stats_->Add("hmc.req_flits", c.req_flits);
+    stats_->Add("hmc.resp_flits", c.resp_flits);
+  }
+  return c;
+}
+
+Completion HmcCube::Atomic(Addr addr, AtomicOp op, const Value16& operand,
+                           bool want_return, Tick when) {
+  GP_CHECK(!IsFpOp(op) || params_.enable_fp_atomics,
+           "FP atomic issued but the FP extension is disabled");
+  Completion c;
+  c.req_flits = AtomicRequestFlits(op);
+  c.resp_flits = AtomicResponseFlits(op, want_return);
+  std::uint32_t link = 0;
+  Tick at_vault = RequestToVault(c.req_flits, when, &link);
+  Vault::AccessResult r = vaults_[VaultOf(addr)]->Atomic(VaultLocalAddr(addr), op, at_vault);
+  c.row_hit = r.row_hit;
+  c.internal_done = r.done;
+  c.response_at_host = ResponseToHost(c.resp_flits, r.data_ready, link);
+
+  if (functional_) {
+    Addr granule = addr & ~static_cast<Addr>(15);
+    Value16 mem = FunctionalRead(granule);
+    c.outcome = ExecuteAtomic(op, mem, operand);
+    if (c.outcome.wrote) FunctionalWrite(granule, c.outcome.new_value);
+  }
+
+  if (stats_ != nullptr) {
+    stats_->Inc("hmc.atomics");
+    stats_->Add("hmc.dbg_a_req_ns", TicksToNs(at_vault - when));
+    stats_->Add("hmc.dbg_a_vault_ns", TicksToNs(r.data_ready - at_vault));
+    stats_->Add("hmc.dbg_a_done_ns", TicksToNs(r.done - at_vault));
+    stats_->Add("hmc.req_flits", c.req_flits);
+    stats_->Add("hmc.resp_flits", c.resp_flits);
+  }
+  return c;
+}
+
+Value16 HmcCube::FunctionalRead(Addr addr) const {
+  Addr granule = addr & ~static_cast<Addr>(15);
+  auto it = store_.find(granule);
+  return it == store_.end() ? Value16{} : it->second;
+}
+
+void HmcCube::FunctionalWrite(Addr addr, const Value16& v) {
+  Addr granule = addr & ~static_cast<Addr>(15);
+  store_[granule] = v;
+}
+
+Tick HmcCube::TotalIntFuBusy() const {
+  Tick sum = 0;
+  for (const auto& v : vaults_) sum += v->int_fu_busy();
+  return sum;
+}
+
+Tick HmcCube::TotalFpFuBusy() const {
+  Tick sum = 0;
+  for (const auto& v : vaults_) sum += v->fp_fu_busy();
+  return sum;
+}
+
+Tick HmcCube::TotalLinkBusy() const {
+  Tick sum = 0;
+  for (const auto& l : links_) sum += l.busy_ticks();
+  return sum;
+}
+
+}  // namespace graphpim::hmc

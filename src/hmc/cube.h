@@ -1,0 +1,95 @@
+// The Hybrid Memory Cube: links + crossbar + vaults + PIM atomics.
+//
+// This is the memory device of every machine configuration: the baseline
+// uses it as plain main memory (64-byte line reads/writes), GraphPIM
+// additionally sends it HMC atomic commands and exact-size uncacheable
+// accesses. Addresses interleave across vaults at 256-byte granularity.
+#ifndef GRAPHPIM_HMC_CUBE_H_
+#define GRAPHPIM_HMC_CUBE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "hmc/atomic.h"
+#include "hmc/config.h"
+#include "hmc/link.h"
+#include "hmc/vault.h"
+
+namespace graphpim::hmc {
+
+// Timing (and optionally functional) outcome of one HMC transaction.
+struct Completion {
+  Tick response_at_host = 0;  // when the response packet reaches the host
+  Tick internal_done = 0;     // when the cube's internal resources are free
+  std::uint32_t req_flits = 0;
+  std::uint32_t resp_flits = 0;
+  bool row_hit = false;
+  AtomicOutcome outcome;      // valid only in functional mode, for atomics
+};
+
+class HmcCube {
+ public:
+  explicit HmcCube(const HmcParams& params, StatSet* stats = nullptr);
+
+  HmcCube(const HmcCube&) = delete;
+  HmcCube& operator=(const HmcCube&) = delete;
+
+  // A read of `size` bytes arriving at the host-side link interface at
+  // `when`. Size may be a full cache line (64) or an exact uncacheable size.
+  Completion Read(Addr addr, std::uint32_t size, Tick when);
+
+  // A write of `size` bytes.
+  Completion Write(Addr addr, std::uint32_t size, Tick when);
+
+  // An HMC atomic command. `operand` is the 16-byte packet immediate;
+  // `want_return` selects the response form (posted ops pass false).
+  Completion Atomic(Addr addr, AtomicOp op, const Value16& operand,
+                    bool want_return, Tick when);
+
+  // Functional mode: when enabled, Atomic() reads/modifies/writes the
+  // sparse backing store so callers can observe data values. Replay-only
+  // simulations leave it off.
+  void set_functional(bool on) { functional_ = on; }
+  bool functional() const { return functional_; }
+
+  // Direct functional access to the backing store (16-byte aligned granule).
+  Value16 FunctionalRead(Addr addr) const;
+  void FunctionalWrite(Addr addr, const Value16& v);
+
+  // Address mapping helpers (exposed for tests and benches).
+  std::uint32_t VaultOf(Addr addr) const;
+  Addr VaultLocalAddr(Addr addr) const;
+
+  const HmcParams& params() const { return params_; }
+
+  // Aggregate FU busy time across vaults (energy model input).
+  Tick TotalIntFuBusy() const;
+  Tick TotalFpFuBusy() const;
+  Tick TotalLinkBusy() const;
+
+ private:
+  // Picks the link with the earliest-available TX lane.
+  std::uint32_t PickLink(Tick when) const;
+
+  // Common front half: serialize request on a link, cross to the vault.
+  // Returns arrival tick at the vault and sets *link_idx.
+  Tick RequestToVault(std::uint32_t flits, Tick when, std::uint32_t* link_idx);
+
+  // Common back half: serialize the response back to the host.
+  Tick ResponseToHost(std::uint32_t flits, Tick ready, std::uint32_t link_idx);
+
+  HmcParams params_;
+  StatSet* stats_;
+  std::vector<Link> links_;
+  std::vector<std::unique_ptr<Vault>> vaults_;
+  bool functional_ = false;
+  std::unordered_map<Addr, Value16> store_;
+};
+
+}  // namespace graphpim::hmc
+
+#endif  // GRAPHPIM_HMC_CUBE_H_

@@ -1,0 +1,39 @@
+#include "hmc/flit.h"
+
+namespace graphpim::hmc {
+
+namespace {
+
+std::uint32_t DataFlits(std::uint32_t size) {
+  return (size + kFlitBytes - 1) / kFlitBytes;
+}
+
+}  // namespace
+
+std::uint32_t ReadRequestFlits(std::uint32_t /*size*/) {
+  return 1;  // header+tail only
+}
+
+std::uint32_t ReadResponseFlits(std::uint32_t size) {
+  return 1 + DataFlits(size);  // 64B -> 5 FLITs (Table V)
+}
+
+std::uint32_t WriteRequestFlits(std::uint32_t size) {
+  return 1 + DataFlits(size);  // 64B -> 5 FLITs (Table V)
+}
+
+std::uint32_t WriteResponseFlits(std::uint32_t /*size*/) {
+  return 1;
+}
+
+std::uint32_t AtomicRequestFlits(AtomicOp /*op*/) {
+  return 2;  // header/tail + 16-byte immediate (Table V)
+}
+
+std::uint32_t AtomicResponseFlits(AtomicOp op, bool want_return) {
+  const AtomicOpInfo& info = GetOpInfo(op);
+  if (want_return && info.returns_data) return 2;
+  return 1;
+}
+
+}  // namespace graphpim::hmc

@@ -1,0 +1,38 @@
+// FLIT-level packet accounting for the HMC link protocol (paper Table V).
+//
+// HMC links carry packets composed of 128-bit (16-byte) FLITs. Every packet
+// has one header/tail FLIT plus data FLITs. The paper's Table V gives the
+// resulting request/response sizes; these functions reproduce that table
+// and generalize it to arbitrary access sizes (uncacheable sub-line reads
+// and writes issued by GraphPIM's cache-bypass policy).
+#ifndef GRAPHPIM_HMC_FLIT_H_
+#define GRAPHPIM_HMC_FLIT_H_
+
+#include <cstdint>
+
+#include "hmc/atomic.h"
+
+namespace graphpim::hmc {
+
+inline constexpr std::uint32_t kFlitBytes = 16;
+
+// FLITs in a read request / response for `size` bytes of data.
+std::uint32_t ReadRequestFlits(std::uint32_t size);
+std::uint32_t ReadResponseFlits(std::uint32_t size);
+
+// FLITs in a write request / response for `size` bytes of data.
+std::uint32_t WriteRequestFlits(std::uint32_t size);
+std::uint32_t WriteResponseFlits(std::uint32_t size);
+
+// FLITs in an atomic request: header/tail plus the 16-byte immediate.
+std::uint32_t AtomicRequestFlits(AtomicOp op);
+
+// FLITs in an atomic response. Per Table V: operations that return the
+// original data need 2 FLITs; flag-only responses (add without return,
+// compare-if-equal) need 1. When `want_return` is false for an op that
+// could return data, the response is still the 1-FLIT flag packet.
+std::uint32_t AtomicResponseFlits(AtomicOp op, bool want_return);
+
+}  // namespace graphpim::hmc
+
+#endif  // GRAPHPIM_HMC_FLIT_H_

@@ -1,0 +1,55 @@
+// SerDes link model: FLIT serialization with full-duplex lanes.
+//
+// An HMC package exposes 4 high-speed links (Table IV: 120 GB/s each).
+// Each link is full duplex: request FLITs occupy the TX lane, response
+// FLITs the RX lane. Bandwidth is accounted with an epoch-capacity throttle
+// (see throttle.h) so the loosely-ordered timestamps of the quantum
+// execution model cannot artificially serialize the lanes. Busy time is
+// accumulated for the energy model.
+#ifndef GRAPHPIM_HMC_LINK_H_
+#define GRAPHPIM_HMC_LINK_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "hmc/throttle.h"
+
+namespace graphpim::hmc {
+
+class Link {
+ public:
+  explicit Link(Tick flit_time)
+      : flit_time_(flit_time),
+        tx_(kEpoch, flit_time),
+        rx_(kEpoch, flit_time) {}
+
+  // Reserves the TX lane for `flits` FLITs no earlier than `earliest`.
+  // Returns the tick at which the last FLIT has been transmitted.
+  Tick ReserveTx(std::uint32_t flits, Tick earliest) {
+    Tick done = tx_.Reserve(flits, earliest);
+    tx_tail_ = done > tx_tail_ ? done : tx_tail_;
+    return done;
+  }
+
+  // Same for the RX (response) lane.
+  Tick ReserveRx(std::uint32_t flits, Tick earliest) {
+    return rx_.Reserve(flits, earliest);
+  }
+
+  // Approximate TX backlog indicator used for link selection.
+  Tick tx_ready() const { return tx_tail_; }
+
+  Tick busy_ticks() const { return tx_.busy_ticks() + rx_.busy_ticks(); }
+
+ private:
+  static constexpr Tick kEpoch = 25 * kTicksPerNs;
+
+  Tick flit_time_;
+  EpochThrottle tx_;
+  EpochThrottle rx_;
+  Tick tx_tail_ = 0;
+};
+
+}  // namespace graphpim::hmc
+
+#endif  // GRAPHPIM_HMC_LINK_H_

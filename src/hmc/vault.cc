@@ -1,0 +1,126 @@
+#include "hmc/vault.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace graphpim::hmc {
+
+Vault::Vault(const HmcParams& params, StatSet* stats)
+    : params_(params),
+      stats_(stats),
+      banks_(params.banks_per_vault),
+      int_fu_ready_(std::max<std::uint32_t>(1, params.fus_per_vault), 0),
+      fp_fu_ready_(std::max<std::uint32_t>(1, params.fp_fus_per_vault), 0),
+      ctrl_(25 * kTicksPerNs, std::max<Tick>(1, params.ctrl_overhead)) {}
+
+Vault::Bank& Vault::BankFor(Addr addr) {
+  // The bank index within the vault: bits above the row offset, below the
+  // row number. The cube has already stripped vault interleaving.
+  std::uint64_t idx = (addr / params_.row_bytes) % params_.banks_per_vault;
+  return banks_[idx];
+}
+
+std::int64_t Vault::RowOf(Addr addr) const {
+  return static_cast<std::int64_t>(
+      addr / (static_cast<std::uint64_t>(params_.row_bytes) * params_.banks_per_vault));
+}
+
+Tick Vault::BankAccess(Bank& bank, std::int64_t row, Tick start, bool* row_hit) {
+  *row_hit = false;
+  Tick t = std::max(start, bank.ready);
+  // Periodic refresh: the window [k*tREFI - tRFC, k*tREFI) blocks the
+  // bank; accesses landing inside wait for the boundary.
+  if (params_.t_refi != 0 && params_.t_rfc != 0) {
+    Tick phase = t % params_.t_refi;
+    if (phase >= params_.t_refi - params_.t_rfc) {
+      if (stats_ != nullptr) stats_->Inc("hmc.refresh_stalls");
+      t += params_.t_refi - phase;
+    }
+  }
+  if (params_.closed_page) {
+    // Auto-precharge after every access: uniform activate+access latency,
+    // precharge overlaps the idle gap.
+    Tick data = t + params_.t_rcd + params_.t_cl + params_.t_burst;
+    bank.open_row = -1;
+    bank.activate_tick = t;
+    bank.ready = data + params_.t_rp;
+    return data;
+  }
+  if (bank.open_row == row) {
+    *row_hit = true;
+    return t + params_.t_cl + params_.t_burst;
+  }
+  if (bank.open_row < 0) {
+    // Closed bank: activate then access.
+    bank.open_row = row;
+    bank.activate_tick = t;
+    return t + params_.t_rcd + params_.t_cl + params_.t_burst;
+  }
+  // Row conflict: precharge (respecting tRAS), activate, access.
+  Tick pre = std::max(t, bank.activate_tick + params_.t_ras);
+  Tick act = pre + params_.t_rp;
+  bank.open_row = row;
+  bank.activate_tick = act;
+  return act + params_.t_rcd + params_.t_cl + params_.t_burst;
+}
+
+Vault::AccessResult Vault::Read(Addr addr, Tick arrival) {
+  Tick start = ctrl_.Reserve(1, arrival);
+  Bank& bank = BankFor(addr);
+  AccessResult r;
+  r.data_ready = BankAccess(bank, RowOf(addr), start, &r.row_hit);
+  r.done = r.data_ready;
+  bank.ready = r.done;
+  if (stats_ != nullptr) {
+    stats_->Inc(r.row_hit ? "hmc.row_hits" : "hmc.row_misses");
+  }
+  return r;
+}
+
+Vault::AccessResult Vault::Write(Addr addr, Tick arrival) {
+  Tick start = ctrl_.Reserve(1, arrival);
+  Bank& bank = BankFor(addr);
+  AccessResult r;
+  r.data_ready = BankAccess(bank, RowOf(addr), start, &r.row_hit);
+  r.done = r.data_ready + params_.t_wr;
+  bank.ready = r.done;
+  if (stats_ != nullptr) {
+    stats_->Inc(r.row_hit ? "hmc.row_hits" : "hmc.row_misses");
+  }
+  return r;
+}
+
+Vault::AccessResult Vault::Atomic(Addr addr, AtomicOp op, Tick arrival) {
+  Tick start = ctrl_.Reserve(1, arrival);
+  Bank& bank = BankFor(addr);
+
+  AccessResult r;
+  Tick read_ready = BankAccess(bank, RowOf(addr), start, &r.row_hit);
+
+  // Pick the earliest-available functional unit of the right kind.
+  const bool fp = IsFpOp(op);
+  GP_CHECK(!fp || params_.enable_fp_atomics,
+           "FP atomic reached the vault with the FP extension disabled");
+  std::vector<Tick>& pool = fp ? fp_fu_ready_ : int_fu_ready_;
+  auto fu = std::min_element(pool.begin(), pool.end());
+  Tick fu_lat = fp ? params_.fu_fp_latency : params_.fu_int_latency;
+  Tick fu_start = std::max(read_ready, *fu);
+  Tick fu_done = fu_start + fu_lat;
+  *fu = fu_done;
+  (fp ? fp_fu_busy_ : int_fu_busy_) += fu_lat;
+
+  // Write the result back; the bank stays locked for the whole RMW.
+  r.data_ready = fu_done;
+  r.done = fu_done + params_.t_wr;
+  bank.ready = r.done;
+
+  if (stats_ != nullptr) {
+    stats_->Inc(r.row_hit ? "hmc.row_hits" : "hmc.row_misses");
+    stats_->Inc(fp ? "hmc.fu_fp_ops" : "hmc.fu_int_ops");
+    stats_->Add("hmc.bank_locked_ticks", static_cast<double>(r.done - start));
+  }
+  return r;
+}
+
+}  // namespace graphpim::hmc

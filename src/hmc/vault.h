@@ -1,0 +1,76 @@
+// Vault model: a vault controller, its DRAM banks, and its PIM FU pool.
+//
+// Each of the cube's 32 vaults owns 16 DRAM banks (512 total, Table IV) with
+// open-row timing, and a pool of PIM functional units that execute HMC
+// atomics in the logic layer. Per the HMC 2.0 specification the bank is
+// locked for the full duration of an atomic read-modify-write: no other
+// request to that bank can be serviced until the RMW completes.
+//
+// Timing uses ready-time reservations (see DESIGN.md): an access at time t
+// to a busy resource starts when the resource frees.
+#ifndef GRAPHPIM_HMC_VAULT_H_
+#define GRAPHPIM_HMC_VAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "hmc/atomic.h"
+#include "hmc/config.h"
+#include "hmc/throttle.h"
+
+namespace graphpim::hmc {
+
+class Vault {
+ public:
+  // `stats` may be null (no stat collection); it is not owned.
+  Vault(const HmcParams& params, StatSet* stats);
+
+  struct AccessResult {
+    Tick data_ready = 0;  // when read data / atomic response is available
+    Tick done = 0;        // when the bank is fully free again
+    bool row_hit = false;
+  };
+
+  // A read of any size within one bank row.
+  AccessResult Read(Addr addr, Tick arrival);
+
+  // A write of any size within one bank row.
+  AccessResult Write(Addr addr, Tick arrival);
+
+  // An atomic RMW: bank read, FU execute, bank write with the bank locked
+  // throughout. data_ready is when the response value exists.
+  AccessResult Atomic(Addr addr, AtomicOp op, Tick arrival);
+
+  // Total busy time accumulated by the FU pools (for the energy model).
+  Tick int_fu_busy() const { return int_fu_busy_; }
+  Tick fp_fu_busy() const { return fp_fu_busy_; }
+
+ private:
+  struct Bank {
+    std::int64_t open_row = -1;
+    Tick ready = 0;          // earliest next access start
+    Tick activate_tick = 0;  // when the open row was activated (tRAS)
+  };
+
+  Bank& BankFor(Addr addr);
+  std::int64_t RowOf(Addr addr) const;
+
+  // Advances the bank state machine for one column access; returns the tick
+  // at which data is at the bank I/O. Sets *row_hit.
+  Tick BankAccess(Bank& bank, std::int64_t row, Tick start, bool* row_hit);
+
+  const HmcParams& params_;
+  StatSet* stats_;
+  std::vector<Bank> banks_;
+  std::vector<Tick> int_fu_ready_;
+  std::vector<Tick> fp_fu_ready_;
+  EpochThrottle ctrl_;
+  Tick int_fu_busy_ = 0;
+  Tick fp_fu_busy_ = 0;
+};
+
+}  // namespace graphpim::hmc
+
+#endif  // GRAPHPIM_HMC_VAULT_H_

@@ -1,0 +1,147 @@
+#include "mem/cache.h"
+
+#include <bit>
+
+#include "common/log.h"
+
+namespace graphpim::mem {
+
+CacheArray::CacheArray(std::uint64_t size_bytes, std::uint32_t ways,
+                       std::uint32_t line_bytes, ReplacementPolicy policy)
+    : ways_(ways), line_bytes_(line_bytes), policy_(policy) {
+  GP_CHECK(ways > 0 && line_bytes > 0);
+  GP_CHECK(std::has_single_bit(line_bytes), "line size must be a power of two");
+  GP_CHECK(size_bytes % (static_cast<std::uint64_t>(ways) * line_bytes) == 0,
+           "cache size must be a multiple of ways*line");
+  std::uint64_t sets = size_bytes / (static_cast<std::uint64_t>(ways) * line_bytes);
+  GP_CHECK(sets > 0 && std::has_single_bit(sets), "set count must be a power of two");
+  num_sets_ = static_cast<std::uint32_t>(sets);
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(line_bytes));
+  set_shift_ = static_cast<std::uint32_t>(std::countr_zero(sets));
+  ways_storage_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+}
+
+std::uint32_t CacheArray::SetOf(Addr addr) const {
+  return static_cast<std::uint32_t>((addr >> line_shift_) & (num_sets_ - 1));
+}
+
+Addr CacheArray::TagOf(Addr addr) const {
+  return addr >> (line_shift_ + set_shift_);
+}
+
+Addr CacheArray::LineAddr(std::uint32_t set, Addr tag) const {
+  return (tag << (line_shift_ + set_shift_)) | (static_cast<Addr>(set) << line_shift_);
+}
+
+bool CacheArray::Lookup(Addr addr, bool update_lru) {
+  std::uint32_t set = SetOf(addr);
+  Addr tag = TagOf(addr);
+  Way* base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      if (update_lru) base[w].lru = ++lru_clock_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CacheArray::Contains(Addr addr) const {
+  std::uint32_t set = SetOf(addr);
+  Addr tag = TagOf(addr);
+  const Way* base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+std::uint32_t CacheArray::PickVictim(std::uint32_t set) {
+  Way* base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
+  switch (policy_) {
+    case ReplacementPolicy::kLru: {
+      std::uint32_t victim = 0;
+      for (std::uint32_t w = 1; w < ways_; ++w) {
+        if (base[w].lru < base[victim].lru) victim = w;
+      }
+      return victim;
+    }
+    case ReplacementPolicy::kRandom:
+      return static_cast<std::uint32_t>(rng_.NextBounded(ways_));
+    case ReplacementPolicy::kNru: {
+      // Victim = first way not referenced since the last reset; the LRU
+      // stamp doubles as the reference mark (stamp == current epoch).
+      std::uint32_t oldest = 0;
+      for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (base[w].lru + ways_ < lru_clock_) return w;
+        if (base[w].lru < base[oldest].lru) oldest = w;
+      }
+      return oldest;
+    }
+  }
+  return 0;
+}
+
+CacheArray::Victim CacheArray::Insert(Addr addr, bool dirty) {
+  std::uint32_t set = SetOf(addr);
+  Addr tag = TagOf(addr);
+  Way* base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
+  Way* target = nullptr;
+  Victim victim;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (!base[w].valid) {
+      target = &base[w];
+      break;
+    }
+    GP_CHECK(base[w].tag != tag, "Insert() of a line already present");
+  }
+  if (target == nullptr) target = &base[PickVictim(set)];
+  if (target->valid) {
+    victim.valid = true;
+    victim.dirty = target->dirty;
+    victim.line_addr = LineAddr(set, target->tag);
+  }
+  target->valid = true;
+  target->dirty = dirty;
+  target->tag = tag;
+  target->lru = ++lru_clock_;
+  return victim;
+}
+
+bool CacheArray::SetDirty(Addr addr) {
+  std::uint32_t set = SetOf(addr);
+  Addr tag = TagOf(addr);
+  Way* base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].dirty = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CacheArray::Invalidate(Addr addr, bool* was_dirty) {
+  std::uint32_t set = SetOf(addr);
+  Addr tag = TagOf(addr);
+  Way* base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      if (was_dirty != nullptr) *was_dirty = base[w].dirty;
+      base[w].valid = false;
+      base[w].dirty = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t CacheArray::ValidLines() const {
+  std::uint64_t n = 0;
+  for (const Way& w : ways_storage_) {
+    if (w.valid) ++n;
+  }
+  return n;
+}
+
+}  // namespace graphpim::mem

@@ -1,0 +1,92 @@
+// Set-associative cache tag array with true-LRU replacement.
+//
+// The array tracks tags, valid and dirty bits only; data values live in the
+// functional layer. Used for L1/L2/L3 in the hierarchy and directly by unit
+// tests.
+#ifndef GRAPHPIM_MEM_CACHE_H_
+#define GRAPHPIM_MEM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace graphpim::mem {
+
+// Victim selection policy for a cache array.
+enum class ReplacementPolicy : std::uint8_t {
+  kLru = 0,     // true LRU (default)
+  kRandom = 1,  // pseudo-random victim (deterministic RNG)
+  kNru = 2,     // not-recently-used: one reference bit per way
+};
+
+class CacheArray {
+ public:
+  // `size_bytes` must be a multiple of ways * line_bytes; the resulting
+  // set count must be a power of two.
+  CacheArray(std::uint64_t size_bytes, std::uint32_t ways, std::uint32_t line_bytes,
+             ReplacementPolicy policy = ReplacementPolicy::kLru);
+
+  // An evicted victim line returned by Insert().
+  struct Victim {
+    bool valid = false;
+    bool dirty = false;
+    Addr line_addr = 0;
+  };
+
+  // Looks up `addr`; on a hit optionally promotes the line to MRU.
+  bool Lookup(Addr addr, bool update_lru = true);
+
+  // True if the line is present (no LRU update).
+  bool Contains(Addr addr) const;
+
+  // Inserts the line for `addr` (must not already be present), evicting the
+  // LRU line of the set if needed.
+  Victim Insert(Addr addr, bool dirty);
+
+  // Marks the line dirty; returns false if not present.
+  bool SetDirty(Addr addr);
+
+  // Removes the line; returns true (and sets *was_dirty) if it was present.
+  bool Invalidate(Addr addr, bool* was_dirty = nullptr);
+
+  std::uint32_t num_sets() const { return num_sets_; }
+  std::uint32_t ways() const { return ways_; }
+  std::uint32_t line_bytes() const { return line_bytes_; }
+  std::uint64_t size_bytes() const {
+    return static_cast<std::uint64_t>(num_sets_) * ways_ * line_bytes_;
+  }
+
+  // Number of currently valid lines (for tests).
+  std::uint64_t ValidLines() const;
+
+ private:
+  struct Way {
+    Addr tag = 0;
+    std::uint64_t lru = 0;  // larger = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint32_t SetOf(Addr addr) const;
+  Addr TagOf(Addr addr) const;
+  Addr LineAddr(std::uint32_t set, Addr tag) const;
+
+  // Picks the victim way index within `set` per the configured policy.
+  std::uint32_t PickVictim(std::uint32_t set);
+
+  std::uint32_t ways_;
+  std::uint32_t line_bytes_;
+  std::uint32_t num_sets_;
+  std::uint32_t line_shift_;
+  std::uint32_t set_shift_;
+  ReplacementPolicy policy_;
+  std::uint64_t lru_clock_ = 0;
+  Rng rng_{0xCACE};
+  std::vector<Way> ways_storage_;  // num_sets_ * ways_, row-major by set
+};
+
+}  // namespace graphpim::mem
+
+#endif  // GRAPHPIM_MEM_CACHE_H_

@@ -1,0 +1,282 @@
+#include "mem/hierarchy.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/log.h"
+
+namespace graphpim::mem {
+
+namespace {
+
+const char* LevelName(int level) {
+  switch (level) {
+    case 1:
+      return "l1";
+    case 2:
+      return "l2";
+    case 3:
+      return "l3";
+    default:
+      return "mem";
+  }
+}
+
+}  // namespace
+
+CacheHierarchy::CacheHierarchy(int num_cores, const CacheParams& params,
+                               hmc::HmcCube* cube, StatSet* stats)
+    : num_cores_(num_cores), params_(params), cube_(cube), stats_(stats) {
+  GP_CHECK(num_cores > 0);
+  GP_CHECK(cube != nullptr);
+  for (int i = 0; i < num_cores; ++i) {
+    l1_.push_back(std::make_unique<CacheArray>(params.l1_size, params.l1_ways,
+                                               params.line_bytes, params.replacement));
+    l2_.push_back(std::make_unique<CacheArray>(params.l2_size, params.l2_ways,
+                                               params.line_bytes, params.replacement));
+  }
+  l3_ = std::make_unique<CacheArray>(params.l3_size, params.l3_ways, params.line_bytes,
+                                     params.replacement);
+  mshr_ready_.assign(num_cores, std::vector<Tick>(params.mshrs_per_core, 0));
+  l3_bank_ready_.assign(params.l3_banks, 0);
+  pf_streams_.assign(num_cores, std::vector<Addr>(params.prefetch_streams, ~Addr{0}));
+  pf_next_slot_.assign(num_cores, 0);
+}
+
+bool CacheHierarchy::PrefetchCovers(int core, Addr line) {
+  if (params_.prefetch_streams == 0) return false;
+  auto& streams = pf_streams_[static_cast<std::size_t>(core)];
+  for (Addr& s : streams) {
+    if (s != ~Addr{0} && line == s + params_.line_bytes) {
+      s = line;  // stream advances
+      return true;
+    }
+  }
+  // New stream candidate: remember this line round-robin.
+  auto& slot = pf_next_slot_[static_cast<std::size_t>(core)];
+  streams[slot] = line;
+  slot = (slot + 1) % streams.size();
+  return false;
+}
+
+Addr CacheHierarchy::LineOf(Addr addr) const {
+  return addr & ~static_cast<Addr>(params_.line_bytes - 1);
+}
+
+Tick CacheHierarchy::ReserveL3(Addr line, Tick when) {
+  std::size_t bank = (line / params_.line_bytes) % l3_bank_ready_.size();
+  Tick start = std::max(when, l3_bank_ready_[bank]);
+  l3_bank_ready_[bank] = start + params_.l3_occupancy;
+  return start;
+}
+
+std::size_t CacheHierarchy::AcquireMshr(int core, Tick when, Tick* start) {
+  auto& pool = mshr_ready_[core];
+  std::size_t idx = 0;
+  for (std::size_t i = 1; i < pool.size(); ++i) {
+    if (pool[i] < pool[idx]) idx = i;
+  }
+  *start = std::max(when, pool[idx]);
+  return idx;
+}
+
+bool CacheHierarchy::InvalidateRemote(int core, Addr line) {
+  bool any = false;
+  for (int c = 0; c < num_cores_; ++c) {
+    if (c == core) continue;
+    bool dirty = false;
+    bool in_l1 = l1_[c]->Invalidate(line, &dirty);
+    bool d2 = false;
+    bool in_l2 = l2_[c]->Invalidate(line, &d2);
+    if (in_l1 || in_l2) {
+      any = true;
+      // A dirty remote copy is forwarded; preserve it at the L3 level so
+      // it is not lost if the requester later evicts clean.
+      if (dirty || d2) l3_->SetDirty(line);
+    }
+  }
+  return any;
+}
+
+void CacheHierarchy::FillLine(int core, Addr line, Tick when, bool dirty) {
+  // Shared L3 first (inclusive of all private caches).
+  if (!l3_->Contains(line)) {
+    CacheArray::Victim v3 = l3_->Insert(line, false);
+    if (v3.valid) {
+      bool victim_dirty = v3.dirty;
+      // Inclusive back-invalidation of the victim line everywhere.
+      for (int c = 0; c < num_cores_; ++c) {
+        bool d1 = false;
+        bool d2 = false;
+        l1_[c]->Invalidate(v3.line_addr, &d1);
+        l2_[c]->Invalidate(v3.line_addr, &d2);
+        victim_dirty = victim_dirty || d1 || d2;
+      }
+      if (victim_dirty) {
+        cube_->Write(v3.line_addr, params_.line_bytes, when);
+        if (stats_ != nullptr) stats_->Inc("cache.writebacks");
+      }
+    }
+  }
+  // Private L2.
+  if (!l2_[core]->Contains(line)) {
+    CacheArray::Victim v2 = l2_[core]->Insert(line, false);
+    if (v2.valid) {
+      bool d1 = false;
+      l1_[core]->Invalidate(v2.line_addr, &d1);
+      if (v2.dirty || d1) {
+        if (!l3_->SetDirty(v2.line_addr)) {
+          cube_->Write(v2.line_addr, params_.line_bytes, when);
+          if (stats_ != nullptr) stats_->Inc("cache.writebacks");
+        }
+      }
+    }
+  }
+  // Private L1.
+  if (!l1_[core]->Contains(line)) {
+    CacheArray::Victim v1 = l1_[core]->Insert(line, dirty);
+    if (v1.valid && v1.dirty) {
+      if (!l2_[core]->SetDirty(v1.line_addr) && !l3_->SetDirty(v1.line_addr)) {
+        cube_->Write(v1.line_addr, params_.line_bytes, when);
+        if (stats_ != nullptr) stats_->Inc("cache.writebacks");
+      }
+    }
+  } else if (dirty) {
+    l1_[core]->SetDirty(line);
+  }
+}
+
+AccessResult CacheHierarchy::Access(int core, AccessType type, Addr addr,
+                                    Tick when, DataComponent comp) {
+  GP_CHECK(core >= 0 && core < num_cores_);
+  Tick t = when;
+  // Locked RMWs on one line serialize across cores.
+  if (type == AccessType::kAtomicRmw) {
+    auto it = atomic_line_ready_.find(LineOf(addr));
+    if (it != atomic_line_ready_.end() && it->second > t) {
+      if (stats_ != nullptr) stats_->Inc("cache.atomic_line_waits");
+      t = it->second;
+    }
+  }
+  AccessResult res = AccessInternal(core, type, addr, t, comp);
+  if (type == AccessType::kAtomicRmw) {
+    atomic_line_ready_[LineOf(addr)] = res.complete;
+  }
+  return res;
+}
+
+AccessResult CacheHierarchy::AccessInternal(int core, AccessType type, Addr addr,
+                                            Tick when, DataComponent comp) {
+  const Addr line = LineOf(addr);
+  const bool wants_exclusive = type != AccessType::kRead;
+  AccessResult res;
+  Tick t = when;
+
+  const std::string comp_name = ToString(comp);
+  if (stats_ != nullptr) {
+    stats_->Inc("cache.access." + comp_name);
+    if (type == AccessType::kAtomicRmw) stats_->Inc("cache.atomic_reqs");
+  }
+
+  auto record_hit = [&](int level) {
+    res.hit_level = level;
+    if (stats_ != nullptr) {
+      stats_->Inc(std::string("cache.") + LevelName(level) + "_hits");
+    }
+  };
+  auto record_miss = [&](int level) {
+    if (stats_ != nullptr) {
+      stats_->Inc(std::string("cache.") + LevelName(level) + "_misses");
+      if (level == 3) stats_->Inc("cache.l3_miss." + comp_name);
+    }
+  };
+
+  // L1 tag check.
+  t += params_.l1_latency;
+  res.check_ticks += params_.l1_latency;
+  if (l1_[core]->Lookup(line)) {
+    record_hit(1);
+    if (wants_exclusive) {
+      if (InvalidateRemote(core, line)) {
+        res.coherence_inval = true;
+        t += params_.snoop_latency;
+        res.check_ticks += params_.snoop_latency;
+        if (stats_ != nullptr) stats_->Inc("cache.coherence_invals");
+      }
+      l1_[core]->SetDirty(line);
+    }
+    res.complete = t;
+    return res;
+  }
+  record_miss(1);
+
+  // L2 tag check.
+  t += params_.l2_latency;
+  res.check_ticks += params_.l2_latency;
+  if (l2_[core]->Lookup(line)) {
+    record_hit(2);
+    if (wants_exclusive && InvalidateRemote(core, line)) {
+      res.coherence_inval = true;
+      t += params_.snoop_latency;
+      res.check_ticks += params_.snoop_latency;
+      if (stats_ != nullptr) stats_->Inc("cache.coherence_invals");
+    }
+    FillLine(core, line, t, wants_exclusive);
+    res.complete = t;
+    return res;
+  }
+  record_miss(2);
+
+  // Shared L3 (banked).
+  Tick l3_start = ReserveL3(line, t);
+  t = l3_start + params_.l3_latency;
+  res.check_ticks += params_.l3_latency;
+  if (l3_->Lookup(line)) {
+    record_hit(3);
+    if (wants_exclusive && InvalidateRemote(core, line)) {
+      res.coherence_inval = true;
+      t += params_.snoop_latency;
+      res.check_ticks += params_.snoop_latency;
+      if (stats_ != nullptr) stats_->Inc("cache.coherence_invals");
+    }
+    FillLine(core, line, t, wants_exclusive);
+    res.complete = t;
+    return res;
+  }
+  record_miss(3);
+  if (stats_ != nullptr && type == AccessType::kAtomicRmw) {
+    stats_->Inc("cache.atomic_mem_misses");
+  }
+
+  // Stream prefetcher: a sequential miss is already in flight and lands in
+  // the fill buffer (the memory traffic still happens).
+  if (PrefetchCovers(core, line)) {
+    cube_->Read(line, params_.line_bytes, t);
+    if (stats_ != nullptr) stats_->Inc("cache.prefetch_covered");
+    res.hit_level = 0;
+    res.complete = t + params_.prefetch_hit_latency;
+    FillLine(core, line, res.complete, wants_exclusive);
+    return res;
+  }
+
+  // Main memory: MSHR-limited, filled from the HMC cube.
+  Tick issue = 0;
+  std::size_t mshr = AcquireMshr(core, t, &issue);
+  if (issue > t) res.issue_stall = issue;
+  hmc::Completion c = cube_->Read(line, params_.line_bytes, issue);
+  mshr_ready_[core][mshr] = c.response_at_host;
+  res.hit_level = 0;
+  res.complete = c.response_at_host;
+  FillLine(core, line, c.response_at_host, wants_exclusive);
+  return res;
+}
+
+int CacheHierarchy::ProbeLevel(int core, Addr addr) const {
+  const Addr line = LineOf(addr);
+  if (l1_[core]->Contains(line)) return 1;
+  if (l2_[core]->Contains(line)) return 2;
+  if (l3_->Contains(line)) return 3;
+  return 0;
+}
+
+}  // namespace graphpim::mem

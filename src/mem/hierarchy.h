@@ -1,0 +1,131 @@
+// Three-level cache hierarchy with MESI-style coherence costs.
+//
+// Private 32KB L1 + 256KB L2 per core, 16MB shared inclusive L3 (Table IV),
+// 64-byte lines, write-allocate/writeback, MSHR-limited memory-level
+// parallelism per core, and read-for-ownership invalidations on writes and
+// host atomics. Misses are filled from the HMC cube, which also receives
+// dirty writebacks (their FLITs count toward Fig 12's bandwidth).
+//
+// Coherence is modeled at the cost level the paper measures: a write/RMW to
+// a line present in another core's private cache pays a snoop-invalidation
+// latency and is counted as coherence traffic; full MESI state transitions
+// beyond presence/dirtiness are not tracked (see DESIGN.md "Fidelity").
+#ifndef GRAPHPIM_MEM_HIERARCHY_H_
+#define GRAPHPIM_MEM_HIERARCHY_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "hmc/cube.h"
+#include "mem/cache.h"
+#include "mem/request.h"
+
+namespace graphpim::mem {
+
+struct CacheParams {
+  std::uint32_t line_bytes = 64;
+
+  std::uint64_t l1_size = 32 * kKiB;
+  std::uint32_t l1_ways = 8;
+  Tick l1_latency = NsToTicks(2.0);  // 4 cycles @ 2GHz
+
+  std::uint64_t l2_size = 256 * kKiB;
+  std::uint32_t l2_ways = 8;
+  Tick l2_latency = NsToTicks(6.0);  // 12 cycles
+
+  std::uint64_t l3_size = 16 * kMiB;
+  std::uint32_t l3_ways = 16;
+  Tick l3_latency = NsToTicks(20.0);  // 40 cycles
+  std::uint32_t l3_banks = 8;
+  Tick l3_occupancy = NsToTicks(1.0);  // per-access bank busy time
+
+  std::uint32_t mshrs_per_core = 16;
+
+  // Victim selection in every level (architectural sensitivity knob).
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;
+
+  // Remote snoop-invalidation latency for RFO on a shared line.
+  Tick snoop_latency = NsToTicks(15.0);
+
+  // Stream prefetcher: sequential misses detected against this many
+  // per-core reference streams are covered by the prefetcher (cacheable
+  // accesses only — UC/PMR accesses cannot be prefetched). 0 disables.
+  std::uint32_t prefetch_streams = 8;
+  Tick prefetch_hit_latency = NsToTicks(4.0);  // fill buffer hit
+};
+
+class CacheHierarchy {
+ public:
+  // `cube` is the backing memory; not owned. `stats` may be null.
+  CacheHierarchy(int num_cores, const CacheParams& params, hmc::HmcCube* cube,
+                 StatSet* stats = nullptr);
+
+  CacheHierarchy(const CacheHierarchy&) = delete;
+  CacheHierarchy& operator=(const CacheHierarchy&) = delete;
+
+  // Performs a cacheable access from `core` starting at `when`.
+  // AtomicRmw behaves like a write (RFO) and reports hit level for the
+  // offloading-candidate analysis (Fig 10).
+  AccessResult Access(int core, AccessType type, Addr addr, Tick when,
+                      DataComponent comp = DataComponent::kMeta);
+
+  // Non-destructive probe: highest level at which `core` would hit
+  // (1/2/3, 0 = miss everywhere). Used by the idealized U-PEI policy.
+  int ProbeLevel(int core, Addr addr) const;
+
+  int num_cores() const { return num_cores_; }
+  const CacheParams& params() const { return params_; }
+
+ private:
+  AccessResult AccessInternal(int core, AccessType type, Addr addr, Tick when,
+                              DataComponent comp);
+
+  Addr LineOf(Addr addr) const;
+
+  // Invalidates `line` in other cores' private caches; returns true if any
+  // copy existed. Dirty remote copies are (logically) forwarded.
+  bool InvalidateRemote(int core, Addr line);
+
+  // Fills `line` into core-private L1/L2 and shared L3, handling evictions,
+  // writebacks, and inclusive back-invalidation. `when` is fill time.
+  void FillLine(int core, Addr line, Tick when, bool dirty);
+
+  // Reserves an L3 bank slot; returns access start time.
+  Tick ReserveL3(Addr line, Tick when);
+
+  // Reserves an MSHR for `core`; returns earliest issue time given `when`,
+  // and records occupancy until `complete` (call CompleteMshr).
+  std::size_t AcquireMshr(int core, Tick when, Tick* start);
+
+  int num_cores_;
+  CacheParams params_;
+  hmc::HmcCube* cube_;
+  StatSet* stats_;
+
+  std::vector<std::unique_ptr<CacheArray>> l1_;
+  std::vector<std::unique_ptr<CacheArray>> l2_;
+  std::unique_ptr<CacheArray> l3_;
+
+  std::vector<std::vector<Tick>> mshr_ready_;  // [core][mshr] busy-until tick
+  std::vector<Tick> l3_bank_ready_;
+
+  // Host locked RMWs to the same line serialize (the line lock bounces
+  // between cores); tracks when each line's previous RMW completed.
+  std::unordered_map<Addr, Tick> atomic_line_ready_;
+
+  // Per-core stream-prefetcher reference lines.
+  std::vector<std::vector<Addr>> pf_streams_;
+  std::vector<std::size_t> pf_next_slot_;
+
+  // Returns true (and trains the detector) when `line` continues one of
+  // the core's reference streams.
+  bool PrefetchCovers(int core, Addr line);
+};
+
+}  // namespace graphpim::mem
+
+#endif  // GRAPHPIM_MEM_HIERARCHY_H_

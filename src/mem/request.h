@@ -1,0 +1,32 @@
+// Memory access request/result types shared between the CPU model and the
+// cache hierarchy.
+#ifndef GRAPHPIM_MEM_REQUEST_H_
+#define GRAPHPIM_MEM_REQUEST_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace graphpim::mem {
+
+enum class AccessType : std::uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kAtomicRmw = 2,  // host-side locked RMW (baseline path)
+};
+
+// Result of a cache-hierarchy access.
+struct AccessResult {
+  Tick complete = 0;        // when the data is available at the core
+  int hit_level = 0;        // 1..3 = cache level that hit, 0 = main memory
+  bool coherence_inval = false;  // an RFO invalidated a remote private copy
+  Tick check_ticks = 0;     // time spent walking cache levels (tag checks)
+  // When the request had to wait for an MSHR, the tick at which it finally
+  // entered the memory system (backpressure the core must model as an
+  // issue stall). 0 = no wait.
+  Tick issue_stall = 0;
+};
+
+}  // namespace graphpim::mem
+
+#endif  // GRAPHPIM_MEM_REQUEST_H_

@@ -1,0 +1,36 @@
+// Betweenness centrality (GraphBIG BC): Brandes' algorithm from a sample
+// of source vertices.
+//
+// Not offloadable under base HMC 2.0 (Table III: floating-point add
+// missing); with the Section III-C extension its backward-accumulation FP
+// adds offload, but heavy centrality computation on thread-local (cache
+// friendly, meta-region) data keeps the benefit small — and cache bypass of
+// its reused property data can hurt (Figs 7, 14).
+#ifndef GRAPHPIM_WORKLOADS_BC_H_
+#define GRAPHPIM_WORKLOADS_BC_H_
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace graphpim::workloads {
+
+class BcWorkload : public Workload {
+ public:
+  explicit BcWorkload(int num_sources = 8) : num_sources_(num_sources) {}
+
+  const WorkloadInfo& info() const override;
+  void Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                TraceBuilder& tb) override;
+
+  // Functional result: (partial, sampled-source) centrality per vertex.
+  const std::vector<double>& centrality() const { return bc_; }
+
+ private:
+  int num_sources_;
+  std::vector<double> bc_;
+};
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_BC_H_

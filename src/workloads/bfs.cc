@@ -1,0 +1,72 @@
+#include "workloads/bfs.h"
+
+#include "graph/property.h"
+
+namespace graphpim::workloads {
+
+const WorkloadInfo& BfsWorkload::info() const {
+  static const WorkloadInfo kInfo{
+      "bfs",
+      "Breadth-first Search",
+      WorkloadCategory::kGraphTraversal,
+      /*pim_applicable=*/true,
+      /*missing_op=*/"",
+      /*host_instr=*/"lock cmpxchg",
+      /*pim_op=*/"CAS if equal",
+      /*needs_fp_extension=*/false};
+  return kInfo;
+}
+
+void BfsWorkload::Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                           TraceBuilder& tb) {
+  const VertexId n = g.num_vertices();
+  const int num_threads = tb.num_threads();
+  constexpr std::int64_t kUnvisited = -1;
+
+  graph::PropertyArray<std::int64_t> depth(space.pmr(), n, kUnvisited);
+  // Frontier queues live in the meta component (cache friendly).
+  Addr frontier_addr = space.meta().Allocate(static_cast<std::uint64_t>(n) * 4);
+  Addr next_addr = space.meta().Allocate(static_cast<std::uint64_t>(n) * 4);
+
+  std::vector<VertexId> frontier{root_ < n ? root_ : 0};
+  depth[frontier[0]] = 0;
+  std::int64_t level = 0;
+
+  while (!frontier.empty()) {
+    std::vector<VertexId> next;
+    for (int t = 0; t < num_threads; ++t) {
+      auto [begin, end] = ThreadChunk(frontier.size(), t, num_threads);
+      for (std::size_t i = begin; i < end; ++i) {
+        VertexId u = frontier[i];
+        tb.Load(t, frontier_addr + i * 4, 4);       // meta: queue pop
+        tb.Load(t, g.OffsetAddr(u), 8, /*dep=*/true);  // structure: row ptr
+        EdgeId e = g.OffsetOf(u);
+        for (VertexId v : g.Neighbors(u)) {
+          tb.Load(t, g.NeighborAddr(e), 4);  // structure: neighbor id
+          tb.Compute(t, 1, /*dep=*/true);    // property address generation
+          tb.Compute(t, 1);                  // loop bookkeeping
+          // Fig 3: every neighbor's depth is claimed with one CAS — the
+          // visited check IS the compare half of the atomic.
+          tb.Atomic(t, depth.AddrOf(v), hmc::AtomicOp::kCasEqual8, 8,
+                    /*want_return=*/true, /*dep=*/true);
+          tb.Branch(t, /*dep=*/true);  // CAS success?
+          if (depth[v] == kUnvisited) {
+            depth[v] = level + 1;
+            tb.Store(t, next_addr + next.size() * 4, 4);  // meta: push
+            next.push_back(v);
+          }
+          ++e;
+        }
+      }
+    }
+    tb.Barrier();
+    frontier.swap(next);
+    std::swap(frontier_addr, next_addr);
+    ++level;
+  }
+
+  depths_.assign(n, kUnvisited);
+  for (VertexId v = 0; v < n; ++v) depths_[v] = depth[v];
+}
+
+}  // namespace graphpim::workloads

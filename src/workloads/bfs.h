@@ -1,0 +1,33 @@
+// Breadth-first search (GraphBIG BFS): vertex-frontier algorithm of Fig 3.
+//
+// Offloading target (Table II): lock cmpxchg -> CAS-if-equal on the depth
+// property.
+#ifndef GRAPHPIM_WORKLOADS_BFS_H_
+#define GRAPHPIM_WORKLOADS_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace graphpim::workloads {
+
+class BfsWorkload : public Workload {
+ public:
+  explicit BfsWorkload(VertexId root = 0) : root_(root) {}
+
+  const WorkloadInfo& info() const override;
+  void Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                TraceBuilder& tb) override;
+
+  // Functional result: depth per vertex (-1 = unreached).
+  const std::vector<std::int64_t>& depths() const { return depths_; }
+
+ private:
+  VertexId root_;
+  std::vector<std::int64_t> depths_;
+};
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_BFS_H_

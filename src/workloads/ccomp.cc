@@ -1,0 +1,64 @@
+#include "workloads/ccomp.h"
+
+#include "graph/property.h"
+
+namespace graphpim::workloads {
+
+const WorkloadInfo& CcompWorkload::info() const {
+  static const WorkloadInfo kInfo{
+      "ccomp",
+      "Connected Component",
+      WorkloadCategory::kGraphTraversal,
+      /*pim_applicable=*/true,
+      /*missing_op=*/"",
+      /*host_instr=*/"lock cmpxchg",
+      /*pim_op=*/"CAS if equal",
+      /*needs_fp_extension=*/false};
+  return kInfo;
+}
+
+void CcompWorkload::Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                             TraceBuilder& tb) {
+  const VertexId n = g.num_vertices();
+  const int num_threads = tb.num_threads();
+
+  graph::PropertyArray<std::int64_t> label(space.pmr(), n);
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+
+  bool changed = true;
+  for (int iter = 0; iter < max_iters_ && changed; ++iter) {
+    changed = false;
+    for (int t = 0; t < num_threads; ++t) {
+      auto [begin, end] = ThreadChunk(n, t, num_threads);
+      for (std::size_t uu = begin; uu < end; ++uu) {
+        VertexId u = static_cast<VertexId>(uu);
+        tb.Load(t, label.AddrOf(u), 8);   // property: my label
+        tb.Load(t, g.OffsetAddr(u), 8);   // structure: row ptr
+        std::int64_t lu = label[u];
+        EdgeId e = g.OffsetOf(u);
+        for (VertexId v : g.Neighbors(u)) {
+          tb.Load(t, g.NeighborAddr(e), 4);             // structure
+          tb.Compute(t, 1, /*dep=*/true);               // address generation
+          tb.Compute(t, 1);                             // loop bookkeeping
+          tb.Load(t, label.AddrOf(v), 8, /*dep=*/true,
+                  /*fusable_cmp=*/true);  // property (min-label block)
+          tb.Branch(t, /*dep=*/true);
+          if (lu < label[v]) {
+            tb.Atomic(t, label.AddrOf(v), hmc::AtomicOp::kCasEqual8, 8,
+                      /*want_return=*/true, /*dep=*/true);
+            tb.Branch(t, /*dep=*/true);
+            label[v] = lu;
+            changed = true;
+          }
+          ++e;
+        }
+      }
+    }
+    tb.Barrier();
+  }
+
+  labels_.assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) labels_[v] = label[v];
+}
+
+}  // namespace graphpim::workloads

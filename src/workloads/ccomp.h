@@ -1,0 +1,34 @@
+// Connected component (GraphBIG CComp): min-label propagation.
+//
+// Offloading target (Table II): lock cmpxchg -> CAS-if-equal on the label
+// property.
+#ifndef GRAPHPIM_WORKLOADS_CCOMP_H_
+#define GRAPHPIM_WORKLOADS_CCOMP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace graphpim::workloads {
+
+class CcompWorkload : public Workload {
+ public:
+  explicit CcompWorkload(int max_iters = 64) : max_iters_(max_iters) {}
+
+  const WorkloadInfo& info() const override;
+  void Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                TraceBuilder& tb) override;
+
+  // Functional result: component label per vertex (min vertex id reachable
+  // following directed edges repeatedly).
+  const std::vector<std::int64_t>& labels() const { return labels_; }
+
+ private:
+  int max_iters_;
+  std::vector<std::int64_t> labels_;
+};
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_CCOMP_H_

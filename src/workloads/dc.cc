@@ -1,0 +1,57 @@
+#include "workloads/dc.h"
+
+#include "graph/property.h"
+
+namespace graphpim::workloads {
+
+const WorkloadInfo& DcWorkload::info() const {
+  static const WorkloadInfo kInfo{
+      "dc",
+      "Degree Centrality",
+      WorkloadCategory::kGraphTraversal,
+      /*pim_applicable=*/true,
+      /*missing_op=*/"",
+      /*host_instr=*/"lock addw",
+      /*pim_op=*/"Signed add",
+      /*needs_fp_extension=*/false};
+  return kInfo;
+}
+
+void DcWorkload::Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                          TraceBuilder& tb) {
+  const VertexId n = g.num_vertices();
+  const int num_threads = tb.num_threads();
+
+  graph::PropertyArray<std::int64_t> centr(space.pmr(), n, 0);
+
+  for (int t = 0; t < num_threads; ++t) {
+    auto [begin, end] = ThreadChunk(n, t, num_threads);
+    for (std::size_t uu = begin; uu < end; ++uu) {
+      VertexId u = static_cast<VertexId>(uu);
+      tb.Load(t, g.OffsetAddr(u), 8);  // structure: row ptr
+      // Out-degree contribution: one atomic add of the full out degree.
+      tb.Compute(t, 1, /*dep=*/true);
+      tb.Atomic(t, centr.AddrOf(u), hmc::AtomicOp::kDualAdd8, 8,
+                /*want_return=*/false, /*dep=*/true);
+      centr[u] += g.OutDegree(u);
+      // In-degree contributions: one atomic add per edge on the neighbor's
+      // centrality — irregular, shared, no dependent consumer.
+      EdgeId e = g.OffsetOf(u);
+      for (VertexId v : g.Neighbors(u)) {
+        tb.Load(t, g.NeighborAddr(e), 4);  // structure: neighbor id
+        tb.Compute(t, 1, /*dep=*/true);    // property address generation
+        tb.Compute(t, 1, /*dep=*/true);    // loop bookkeeping
+        tb.Atomic(t, centr.AddrOf(v), hmc::AtomicOp::kDualAdd8, 8,
+                  /*want_return=*/false, /*dep=*/true);
+        centr[v] += 1;
+        ++e;
+      }
+    }
+  }
+  tb.Barrier();
+
+  centrality_.assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) centrality_[v] = centr[v];
+}
+
+}  // namespace graphpim::workloads

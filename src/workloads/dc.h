@@ -1,0 +1,31 @@
+// Degree centrality (GraphBIG DCentr).
+//
+// Offloading target (Table II): lock addw -> signed add on the centrality
+// property. One atomic per edge with no dependent consumer: the workload
+// with the highest host-atomic overhead (Fig 4, up to 64%).
+#ifndef GRAPHPIM_WORKLOADS_DC_H_
+#define GRAPHPIM_WORKLOADS_DC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace graphpim::workloads {
+
+class DcWorkload : public Workload {
+ public:
+  const WorkloadInfo& info() const override;
+  void Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                TraceBuilder& tb) override;
+
+  // Functional result: in-degree + out-degree per vertex.
+  const std::vector<std::int64_t>& centrality() const { return centrality_; }
+
+ private:
+  std::vector<std::int64_t> centrality_;
+};
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_DC_H_

@@ -1,0 +1,67 @@
+#include "workloads/dfs.h"
+
+#include "graph/property.h"
+
+namespace graphpim::workloads {
+
+const WorkloadInfo& DfsWorkload::info() const {
+  static const WorkloadInfo kInfo{
+      "dfs",
+      "Depth-first Search",
+      WorkloadCategory::kGraphTraversal,
+      /*pim_applicable=*/true,
+      /*missing_op=*/"",
+      /*host_instr=*/"lock cmpxchg",
+      /*pim_op=*/"CAS if equal",
+      /*needs_fp_extension=*/false};
+  return kInfo;
+}
+
+void DfsWorkload::Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                           TraceBuilder& tb) {
+  const VertexId n = g.num_vertices();
+  const int num_threads = tb.num_threads();
+
+  graph::PropertyArray<std::int64_t> visited(space.pmr(), n, 0);
+  Addr stack_addr = space.meta().Allocate(static_cast<std::uint64_t>(n) * 4);
+
+  for (int t = 0; t < num_threads; ++t) {
+    auto [begin, end] = ThreadChunk(n, t, num_threads);
+    for (std::size_t root = begin; root < end; ++root) {
+      if (visited[root] != 0) continue;
+      std::vector<VertexId> stack{static_cast<VertexId>(root)};
+      while (!stack.empty()) {
+        VertexId u = stack.back();
+        stack.pop_back();
+        // Dependent chain: pop -> visited load -> branch -> CAS.
+        tb.Load(t, stack_addr + stack.size() * 4, 4, /*dep=*/true);  // meta: pop
+        tb.Load(t, visited.AddrOf(u), 8, /*dep=*/true);              // property
+        tb.Branch(t, /*dep=*/true);
+        if (visited[u] != 0) continue;
+        tb.Atomic(t, visited.AddrOf(u), hmc::AtomicOp::kCasEqual8, 8,
+                  /*want_return=*/true, /*dep=*/true);
+        tb.Branch(t, /*dep=*/true);
+        visited[u] = 1;
+        tb.Load(t, g.OffsetAddr(u), 8);
+        EdgeId e = g.OffsetOf(u);
+        for (VertexId v : g.Neighbors(u)) {
+          tb.Load(t, g.NeighborAddr(e), 4);
+          tb.Load(t, visited.AddrOf(v), 8, /*dep=*/true);  // property: peek
+          tb.Branch(t, /*dep=*/true);
+          // Range-restricted: only recurse into this thread's partition.
+          if (visited[v] == 0 && v >= begin && v < end) {
+            tb.Store(t, stack_addr + stack.size() * 4, 4);  // meta: push
+            stack.push_back(v);
+          }
+          ++e;
+        }
+      }
+    }
+  }
+  tb.Barrier();
+
+  visited_out_.assign(n, false);
+  for (VertexId v = 0; v < n; ++v) visited_out_[v] = visited[v] != 0;
+}
+
+}  // namespace graphpim::workloads

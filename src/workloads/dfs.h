@@ -1,0 +1,35 @@
+// Depth-first search (GraphBIG DFS).
+//
+// Offloadable (Table III): the visited flag is claimed with lock cmpxchg ->
+// CAS-if-equal. The stack discipline creates long dependent chains
+// (pop -> load -> CAS), giving the low ILP typical of the GT category.
+//
+// Parallelization: each thread runs DFS restricted to its own vertex range
+// (cross-range neighbors are only inspected), the deterministic equivalent
+// of work-partitioned parallel DFS.
+#ifndef GRAPHPIM_WORKLOADS_DFS_H_
+#define GRAPHPIM_WORKLOADS_DFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace graphpim::workloads {
+
+class DfsWorkload : public Workload {
+ public:
+  const WorkloadInfo& info() const override;
+  void Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                TraceBuilder& tb) override;
+
+  // Functional result: visit marks.
+  const std::vector<bool>& visited() const { return visited_out_; }
+
+ private:
+  std::vector<bool> visited_out_;
+};
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_DFS_H_

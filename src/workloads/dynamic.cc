@@ -1,0 +1,162 @@
+#include "workloads/dynamic.h"
+
+#include "common/random.h"
+#include "graph/property.h"
+
+namespace graphpim::workloads {
+
+namespace {
+
+constexpr std::uint32_t kNumLocks = 1024;
+
+}  // namespace
+
+const WorkloadInfo& GconsWorkload::info() const {
+  static const WorkloadInfo kInfo{
+      "gcons",
+      "Graph Construction",
+      WorkloadCategory::kDynamicGraph,
+      /*pim_applicable=*/false,
+      /*missing_op=*/"Complex operation",
+      /*host_instr=*/"-",
+      /*pim_op=*/"-",
+      /*needs_fp_extension=*/false};
+  return kInfo;
+}
+
+void GconsWorkload::Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                             TraceBuilder& tb) {
+  const VertexId n = g.num_vertices();
+  const int num_threads = tb.num_threads();
+
+  // Dynamic adjacency: per-vertex head pointer (property) + node pool
+  // (property) + hashed bucket locks (meta).
+  graph::PropertyArray<std::int64_t> head(space.pmr(), n, 0);
+  Addr node_pool = space.pmr().Allocate(g.num_edges() * 16 + 16);
+  Addr locks = space.meta().Allocate(kNumLocks * 8);
+
+  inserted_ = 0;
+  std::uint64_t next_node = 0;
+  for (int t = 0; t < num_threads; ++t) {
+    auto [begin, end] = ThreadChunk(n, t, num_threads);
+    for (std::size_t uu = begin; uu < end; ++uu) {
+      VertexId u = static_cast<VertexId>(uu);
+      tb.Load(t, g.OffsetAddr(u), 8);  // structure: source edge stream
+      EdgeId e = g.OffsetOf(u);
+      for ([[maybe_unused]] VertexId v : g.Neighbors(u)) {
+        tb.Load(t, g.NeighborAddr(e), 4);
+        // Bucket lock (meta region: not offloadable by design).
+        tb.Atomic(t, locks + (u % kNumLocks) * 8, hmc::AtomicOp::kCasEqual8, 8,
+                  /*want_return=*/true, /*dep=*/true);
+        tb.Branch(t, /*dep=*/true);
+        // Pointer-chase to the list head and link a new node.
+        tb.Load(t, head.AddrOf(u), 8, /*dep=*/true);
+        tb.Store(t, node_pool + next_node * 16, 16, /*dep=*/true);
+        tb.Store(t, head.AddrOf(u), 8, /*dep=*/true);
+        head[u] = static_cast<std::int64_t>(next_node);
+        // Unlock.
+        tb.Store(t, locks + (u % kNumLocks) * 8, 8);
+        ++next_node;
+        ++inserted_;
+        ++e;
+      }
+    }
+  }
+  tb.Barrier();
+}
+
+const WorkloadInfo& GupWorkload::info() const {
+  static const WorkloadInfo kInfo{
+      "gup",
+      "Graph Update",
+      WorkloadCategory::kDynamicGraph,
+      /*pim_applicable=*/false,
+      /*missing_op=*/"Complex operation",
+      /*host_instr=*/"-",
+      /*pim_op=*/"-",
+      /*needs_fp_extension=*/false};
+  return kInfo;
+}
+
+void GupWorkload::Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                           TraceBuilder& tb) {
+  const VertexId n = g.num_vertices();
+  const int num_threads = tb.num_threads();
+
+  graph::PropertyArray<std::int64_t> head(space.pmr(), n, -1);
+  Addr node_pool = space.pmr().Allocate(g.num_edges() * 16 + 16);
+  Addr locks = space.meta().Allocate(kNumLocks * 8);
+  Rng rng(0xD06);
+
+  updated_ = 0;
+  for (int t = 0; t < num_threads; ++t) {
+    auto [begin, end] = ThreadChunk(n, t, num_threads);
+    for (std::size_t uu = begin; uu < end; ++uu) {
+      VertexId u = static_cast<VertexId>(uu);
+      if (!rng.NextBool(update_fraction_)) continue;
+      // Lock, then walk the adjacency chain (dependent loads), rewrite one
+      // node, unlock.
+      tb.Atomic(t, locks + (u % kNumLocks) * 8, hmc::AtomicOp::kCasEqual8, 8,
+                /*want_return=*/true, /*dep=*/true);
+      tb.Branch(t, /*dep=*/true);
+      tb.Load(t, head.AddrOf(u), 8, /*dep=*/true);
+      std::uint32_t chain = 1 + g.OutDegree(u) / 4;
+      for (std::uint32_t c = 0; c < chain; ++c) {
+        tb.Load(t, node_pool + ((static_cast<std::uint64_t>(u) * 7 + c) %
+                                (g.num_edges() + 1)) * 16, 16, /*dep=*/true);
+        tb.Branch(t, /*dep=*/true);
+      }
+      tb.Store(t, node_pool + (static_cast<std::uint64_t>(u) %
+                               (g.num_edges() + 1)) * 16, 16, /*dep=*/true);
+      tb.Store(t, locks + (u % kNumLocks) * 8, 8);
+      ++updated_;
+    }
+  }
+  tb.Barrier();
+}
+
+const WorkloadInfo& TmorphWorkload::info() const {
+  static const WorkloadInfo kInfo{
+      "tmorph",
+      "Topology Morphing",
+      WorkloadCategory::kDynamicGraph,
+      /*pim_applicable=*/false,
+      /*missing_op=*/"Complex operation",
+      /*host_instr=*/"-",
+      /*pim_op=*/"-",
+      /*needs_fp_extension=*/false};
+  return kInfo;
+}
+
+void TmorphWorkload::Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                              TraceBuilder& tb) {
+  const VertexId n = g.num_vertices();
+  const int num_threads = tb.num_threads();
+
+  // Morphed copy of the topology plus an allocation cursor (meta).
+  Addr new_struct = space.pmr().Allocate(g.num_edges() * 8 + 8);
+  Addr alloc_cursor = space.meta().Allocate(64);
+
+  moved_ = 0;
+  for (int t = 0; t < num_threads; ++t) {
+    auto [begin, end] = ThreadChunk(n, t, num_threads);
+    for (std::size_t uu = begin; uu < end; ++uu) {
+      VertexId u = static_cast<VertexId>(uu);
+      tb.Load(t, g.OffsetAddr(u), 8);
+      // Reserve space in the morphed structure (meta atomic: host side).
+      tb.Atomic(t, alloc_cursor, hmc::AtomicOp::kDualAdd8, 8,
+                /*want_return=*/true, /*dep=*/true);
+      EdgeId e = g.OffsetOf(u);
+      for ([[maybe_unused]] VertexId v : g.Neighbors(u)) {
+        tb.Load(t, g.NeighborAddr(e), 4);
+        tb.Compute(t, 1, /*dep=*/true);  // remap vertex id
+        tb.Store(t, new_struct + (e % (g.num_edges() + 1)) * 8, 8, /*dep=*/true);
+        ++moved_;
+        ++e;
+      }
+    }
+  }
+  tb.Barrier();
+}
+
+}  // namespace graphpim::workloads

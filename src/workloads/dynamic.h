@@ -1,0 +1,64 @@
+// Dynamic Graph (DG) category workloads: Graph Construction (GCons),
+// Graph Update (GUp), Topology Morphing (TMorph).
+//
+// None are offloadable (Table III: complex operations — their updates need
+// indirect accesses and multiple memory operands). Their synchronization
+// atomics target meta-region bucket locks, which never fall in the PMR, so
+// the POU correctly leaves them on the host under every configuration.
+#ifndef GRAPHPIM_WORKLOADS_DYNAMIC_H_
+#define GRAPHPIM_WORKLOADS_DYNAMIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace graphpim::workloads {
+
+// Builds a dynamic adjacency structure edge by edge (linked chunks).
+class GconsWorkload : public Workload {
+ public:
+  const WorkloadInfo& info() const override;
+  void Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                TraceBuilder& tb) override;
+
+  std::uint64_t inserted_edges() const { return inserted_; }
+
+ private:
+  std::uint64_t inserted_ = 0;
+};
+
+// Deletes/re-weights a sample of edges in the dynamic structure.
+class GupWorkload : public Workload {
+ public:
+  explicit GupWorkload(double update_fraction = 0.25)
+      : update_fraction_(update_fraction) {}
+
+  const WorkloadInfo& info() const override;
+  void Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                TraceBuilder& tb) override;
+
+  std::uint64_t updated_edges() const { return updated_; }
+
+ private:
+  double update_fraction_;
+  std::uint64_t updated_ = 0;
+};
+
+// Rewrites the topology into a transformed layout (triangulation-style
+// morphing pass).
+class TmorphWorkload : public Workload {
+ public:
+  const WorkloadInfo& info() const override;
+  void Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                TraceBuilder& tb) override;
+
+  std::uint64_t moved_edges() const { return moved_; }
+
+ private:
+  std::uint64_t moved_ = 0;
+};
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_DYNAMIC_H_

@@ -1,0 +1,69 @@
+#include "workloads/fusion.h"
+
+namespace graphpim::workloads {
+
+using cpu::MicroOp;
+using cpu::OpType;
+
+namespace {
+
+bool IsFusableLoad(const MicroOp& op, const graph::AddressSpace& space) {
+  return op.type == OpType::kLoad && (op.flags & cpu::kFlagFusableCmp) != 0 &&
+         space.ComponentOf(op.addr) == DataComponent::kProperty;
+}
+
+bool IsDepBranch(const MicroOp& op) {
+  return op.type == OpType::kBranch && op.DepPrev();
+}
+
+bool IsCasEqualTo(const MicroOp& op, Addr addr) {
+  return op.type == OpType::kAtomic && op.aop == hmc::AtomicOp::kCasEqual8 &&
+         op.addr == addr;
+}
+
+}  // namespace
+
+Trace FuseComparisonBlocks(const Trace& trace, const graph::AddressSpace& space,
+                           FusionStats* stats) {
+  FusionStats local;
+  Trace out;
+  out.streams.reserve(trace.streams.size());
+  for (const auto& stream : trace.streams) {
+    std::vector<MicroOp> s;
+    s.reserve(stream.size());
+    std::size_t i = 0;
+    while (i < stream.size()) {
+      // Pattern: property load ; dependent branch ; [CAS same addr ; branch]
+      if (i + 1 < stream.size() && IsFusableLoad(stream[i], space) &&
+          IsDepBranch(stream[i + 1])) {
+        const MicroOp& load = stream[i];
+        bool with_cas = i + 3 < stream.size() &&
+                        IsCasEqualTo(stream[i + 2], load.addr) &&
+                        IsDepBranch(stream[i + 3]);
+        MicroOp fused = load;
+        fused.type = OpType::kAtomic;
+        fused.aop = hmc::AtomicOp::kCasLess16;
+        fused.flags |= cpu::kFlagWantReturn;  // the branch consumes the flag
+        s.push_back(fused);
+        // Keep one consuming branch (the block's control decision).
+        s.push_back(stream[i + 1]);
+        if (with_cas) {
+          ++local.fused_with_cas;
+          local.ops_removed += 2;
+          i += 4;
+        } else {
+          ++local.fused_compare_only;
+          i += 2;
+        }
+        continue;
+      }
+      s.push_back(stream[i]);
+      ++i;
+    }
+    out.streams.push_back(std::move(s));
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace graphpim::workloads

@@ -1,0 +1,36 @@
+// Instruction-block fusion (Section III-B, "Offloading Target").
+//
+// Some PIM-atomic operations (CAS-if-greater, CAS-if-less) have no single
+// host-instruction equivalent: compilers emit a small block — load the
+// property, compare, branch, then a CAS — instead. The paper proposes that
+// "the host architecture may incorporate a mechanism to identify such
+// small instruction blocks that can translate into the PIM-Atomic
+// operations"; the identified block offloads as ONE PIM command.
+//
+// FuseComparisonBlocks() implements that mechanism as a trace pass: a
+// property load followed by its dependent compare-branch and (optionally)
+// a CAS-if-equal retry to the same address becomes a single CAS-if-less
+// PIM atomic plus the consuming branch. SSSP's relax and CComp's min-label
+// update match the pattern; BFS's plain CAS does not need it.
+#ifndef GRAPHPIM_WORKLOADS_FUSION_H_
+#define GRAPHPIM_WORKLOADS_FUSION_H_
+
+#include "graph/region.h"
+#include "workloads/trace.h"
+
+namespace graphpim::workloads {
+
+struct FusionStats {
+  std::uint64_t fused_with_cas = 0;     // load+branch+CAS+branch -> CAS-less+branch
+  std::uint64_t fused_compare_only = 0; // load+branch (failed compare) -> CAS-less+branch
+  std::uint64_t ops_removed = 0;
+};
+
+// Returns a copy of `trace` with comparison blocks on PMR addresses fused
+// into kCasLess16 PIM atomics. `space` provides the PMR classification.
+Trace FuseComparisonBlocks(const Trace& trace, const graph::AddressSpace& space,
+                           FusionStats* stats = nullptr);
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_FUSION_H_

@@ -1,0 +1,70 @@
+#include "workloads/gibbs.h"
+
+#include <cmath>
+
+#include "graph/property.h"
+
+namespace graphpim::workloads {
+
+const WorkloadInfo& GibbsWorkload::info() const {
+  static const WorkloadInfo kInfo{
+      "gibbs",
+      "Gibbs Inference",
+      WorkloadCategory::kRichProperty,
+      /*pim_applicable=*/false,
+      /*missing_op=*/"Computation intensive",
+      /*host_instr=*/"-",
+      /*pim_op=*/"-",
+      /*needs_fp_extension=*/false};
+  return kInfo;
+}
+
+void GibbsWorkload::Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                             TraceBuilder& tb) {
+  const VertexId n = g.num_vertices();
+  const int num_threads = tb.num_threads();
+  const std::uint64_t table_bytes = static_cast<std::uint64_t>(table_entries_) * 16;
+
+  // Rich property: a stochastic table per vertex plus the sampled state.
+  graph::PropertyArray<double> state(space.pmr(), n, 0.5);
+  Addr tables = space.pmr().Allocate(static_cast<std::uint64_t>(n) * table_bytes);
+
+  for (int iter = 0; iter < iters_; ++iter) {
+    for (int t = 0; t < num_threads; ++t) {
+      auto [begin, end] = ThreadChunk(n, t, num_threads);
+      for (std::size_t uu = begin; uu < end; ++uu) {
+        VertexId u = static_cast<VertexId>(uu);
+        // Read the conditional-probability table (rich property data).
+        double acc = state[u];
+        for (int k = 0; k < table_entries_; ++k) {
+          tb.Load(t, tables + static_cast<std::uint64_t>(u) * table_bytes +
+                         static_cast<std::uint64_t>(k) * 16, 16);
+          // Numeric work within the property (sampling math).
+          tb.Compute(t, 1, /*dep=*/true, /*fp=*/true);
+          tb.Compute(t, 1, /*dep=*/true, /*fp=*/true);
+          tb.Compute(t, 1, /*dep=*/true, /*fp=*/true);
+          acc = acc * 0.75 + 0.25 * std::sin(static_cast<double>(u + k));
+        }
+        // Neighbor influence.
+        tb.Load(t, g.OffsetAddr(u), 8);
+        EdgeId e = g.OffsetOf(u);
+        for (VertexId v : g.Neighbors(u)) {
+          tb.Load(t, g.NeighborAddr(e), 4);
+          tb.Load(t, state.AddrOf(v), 8, /*dep=*/true);
+          tb.Compute(t, 1, /*dep=*/true, /*fp=*/true);
+          acc += 0.01 * state[v];
+          ++e;
+        }
+        tb.Compute(t, 1, /*dep=*/true, /*fp=*/true);
+        tb.Store(t, state.AddrOf(u), 8, /*dep=*/true);
+        state[u] = acc / (1.0 + 0.01 * g.OutDegree(u));
+      }
+    }
+    tb.Barrier();
+  }
+
+  states_.assign(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) states_[v] = state[v];
+}
+
+}  // namespace graphpim::workloads

@@ -1,0 +1,36 @@
+// Gibbs inference (GraphBIG GibbsInf): Rich Property category.
+//
+// Not offloadable (Table III: computation intensive): each vertex carries a
+// stochastic table and the work is numeric sampling within the property,
+// not simple RMW updates. Behaves like a conventional compute-bound
+// application (Fig 1: RP shows the highest IPC).
+#ifndef GRAPHPIM_WORKLOADS_GIBBS_H_
+#define GRAPHPIM_WORKLOADS_GIBBS_H_
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace graphpim::workloads {
+
+class GibbsWorkload : public Workload {
+ public:
+  explicit GibbsWorkload(int iters = 2, int table_entries = 4)
+      : iters_(iters), table_entries_(table_entries) {}
+
+  const WorkloadInfo& info() const override;
+  void Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                TraceBuilder& tb) override;
+
+  // Functional result: final sampled state per vertex.
+  const std::vector<double>& states() const { return states_; }
+
+ private:
+  int iters_;
+  int table_entries_;
+  std::vector<double> states_;
+};
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_GIBBS_H_

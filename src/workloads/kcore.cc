@@ -1,0 +1,80 @@
+#include "workloads/kcore.h"
+
+#include "graph/property.h"
+
+namespace graphpim::workloads {
+
+const WorkloadInfo& KcoreWorkload::info() const {
+  static const WorkloadInfo kInfo{
+      "kcore",
+      "kCore Decomposition",
+      WorkloadCategory::kGraphTraversal,
+      /*pim_applicable=*/true,
+      /*missing_op=*/"",
+      /*host_instr=*/"lock subw",
+      /*pim_op=*/"Signed add",
+      /*needs_fp_extension=*/false};
+  return kInfo;
+}
+
+void KcoreWorkload::Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                             TraceBuilder& tb) {
+  const VertexId n = g.num_vertices();
+  const int num_threads = tb.num_threads();
+  const std::int64_t k = k_;
+
+  // Effective degree and active flag are both graph properties.
+  graph::PropertyArray<std::int64_t> deg(space.pmr(), n, 0);
+  graph::PropertyArray<std::int64_t> active(space.pmr(), n, 1);
+
+  // Initialization pass: effective degree = out degree.
+  for (int t = 0; t < num_threads; ++t) {
+    auto [begin, end] = ThreadChunk(n, t, num_threads);
+    for (std::size_t uu = begin; uu < end; ++uu) {
+      VertexId u = static_cast<VertexId>(uu);
+      tb.Load(t, g.OffsetAddr(u), 8);
+      tb.Compute(t, 1, /*dep=*/true);
+      tb.Store(t, deg.AddrOf(u), 8, /*dep=*/true);
+      deg[u] = g.OutDegree(u);
+    }
+  }
+  tb.Barrier();
+
+  bool changed = true;
+  for (int round = 0; round < max_rounds_ && changed; ++round) {
+    changed = false;
+    for (int t = 0; t < num_threads; ++t) {
+      auto [begin, end] = ThreadChunk(n, t, num_threads);
+      for (std::size_t uu = begin; uu < end; ++uu) {
+        VertexId u = static_cast<VertexId>(uu);
+        // Check phase: this is where kCore spends its time — scanning
+        // (mostly inactive) vertices.
+        tb.Load(t, active.AddrOf(u), 8);              // property: active flag
+        tb.Branch(t, /*dep=*/true);
+        if (active[u] == 0) continue;
+        tb.Load(t, deg.AddrOf(u), 8);                 // property: degree
+        tb.Branch(t, /*dep=*/true);
+        if (deg[u] >= k) continue;
+        // Peel the vertex.
+        active[u] = 0;
+        changed = true;
+        tb.Store(t, active.AddrOf(u), 8);
+        tb.Load(t, g.OffsetAddr(u), 8);
+        EdgeId e = g.OffsetOf(u);
+        for (VertexId v : g.Neighbors(u)) {
+          tb.Load(t, g.NeighborAddr(e), 4);
+          tb.Atomic(t, deg.AddrOf(v), hmc::AtomicOp::kDualAdd8, 8,
+                    /*want_return=*/false, /*dep=*/true);  // lock subw
+          deg[v] -= 1;
+          ++e;
+        }
+      }
+    }
+    tb.Barrier();
+  }
+
+  in_core_.assign(n, false);
+  for (VertexId v = 0; v < n; ++v) in_core_[v] = active[v] != 0;
+}
+
+}  // namespace graphpim::workloads

@@ -1,0 +1,37 @@
+// k-core decomposition (GraphBIG kCore): iterative peeling.
+//
+// Offloading target (Table II): lock subw -> signed add (negative) on the
+// effective-degree property. Most execution time scans inactive vertices
+// (property loads + branches), so the atomic fraction is small and the
+// GraphPIM benefit is limited (Section IV-B1).
+#ifndef GRAPHPIM_WORKLOADS_KCORE_H_
+#define GRAPHPIM_WORKLOADS_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace graphpim::workloads {
+
+class KcoreWorkload : public Workload {
+ public:
+  explicit KcoreWorkload(int k = 3, int max_rounds = 24)
+      : k_(k), max_rounds_(max_rounds) {}
+
+  const WorkloadInfo& info() const override;
+  void Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                TraceBuilder& tb) override;
+
+  // Functional result: true if the vertex survives in the k-core.
+  const std::vector<bool>& in_core() const { return in_core_; }
+
+ private:
+  int k_;
+  int max_rounds_;
+  std::vector<bool> in_core_;
+};
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_KCORE_H_

@@ -1,0 +1,72 @@
+#include "workloads/prank.h"
+
+#include "graph/property.h"
+
+namespace graphpim::workloads {
+
+const WorkloadInfo& PrankWorkload::info() const {
+  static const WorkloadInfo kInfo{
+      "prank",
+      "Page Rank",
+      WorkloadCategory::kGraphTraversal,
+      /*pim_applicable=*/false,  // base HMC 2.0 (Table III)
+      /*missing_op=*/"Floating point add",
+      /*host_instr=*/"lock cmpxchg (FP CAS loop)",
+      /*pim_op=*/"FP add (extension)",
+      /*needs_fp_extension=*/true};
+  return kInfo;
+}
+
+void PrankWorkload::Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                             TraceBuilder& tb) {
+  const VertexId n = g.num_vertices();
+  const int num_threads = tb.num_threads();
+  const double base = (1.0 - damping_) / static_cast<double>(n);
+
+  graph::PropertyArray<double> rank(space.pmr(), n, 1.0 / static_cast<double>(n));
+  graph::PropertyArray<double> next(space.pmr(), n, base);
+
+  for (int iter = 0; iter < iters_; ++iter) {
+    // Scatter phase: push damped contributions along every edge.
+    for (int t = 0; t < num_threads; ++t) {
+      auto [begin, end] = ThreadChunk(n, t, num_threads);
+      for (std::size_t uu = begin; uu < end; ++uu) {
+        VertexId u = static_cast<VertexId>(uu);
+        std::uint32_t deg = g.OutDegree(u);
+        if (deg == 0) continue;
+        tb.Load(t, rank.AddrOf(u), 8);   // property: my rank
+        tb.Load(t, g.OffsetAddr(u), 8);  // structure: row ptr
+        tb.Compute(t, 1, /*dep=*/true, /*fp=*/true);  // contrib = d*r/deg
+        double contrib = damping_ * rank[u] / static_cast<double>(deg);
+        EdgeId e = g.OffsetOf(u);
+        for (VertexId v : g.Neighbors(u)) {
+          tb.Load(t, g.NeighborAddr(e), 4);  // structure: neighbor id
+          tb.Atomic(t, next.AddrOf(v), hmc::AtomicOp::kFpAdd64, 8,
+                    /*want_return=*/false, /*dep=*/true);
+          next[v] += contrib;
+          ++e;
+        }
+      }
+    }
+    tb.Barrier();
+    // Gather phase: swap rank <- next, reset next.
+    for (int t = 0; t < num_threads; ++t) {
+      auto [begin, end] = ThreadChunk(n, t, num_threads);
+      for (std::size_t uu = begin; uu < end; ++uu) {
+        VertexId u = static_cast<VertexId>(uu);
+        tb.Load(t, next.AddrOf(u), 8);
+        tb.Compute(t, 1, /*dep=*/true, /*fp=*/true);
+        tb.Store(t, rank.AddrOf(u), 8, /*dep=*/true);
+        tb.Store(t, next.AddrOf(u), 8);
+        rank[u] = next[u];
+        next[u] = base;
+      }
+    }
+    tb.Barrier();
+  }
+
+  ranks_.assign(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) ranks_[v] = rank[v];
+}
+
+}  // namespace graphpim::workloads

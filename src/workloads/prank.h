@@ -1,0 +1,35 @@
+// PageRank (GraphBIG PRank), push-style with per-edge atomic FP adds.
+//
+// Not offloadable under base HMC 2.0 (Table III: floating-point add
+// missing); offloadable with the Section III-C FP extension, where it shows
+// the paper's largest speedup (2.4x, Fig 7).
+#ifndef GRAPHPIM_WORKLOADS_PRANK_H_
+#define GRAPHPIM_WORKLOADS_PRANK_H_
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace graphpim::workloads {
+
+class PrankWorkload : public Workload {
+ public:
+  explicit PrankWorkload(int iters = 3, double damping = 0.85)
+      : iters_(iters), damping_(damping) {}
+
+  const WorkloadInfo& info() const override;
+  void Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                TraceBuilder& tb) override;
+
+  // Functional result: rank per vertex after `iters` iterations.
+  const std::vector<double>& ranks() const { return ranks_; }
+
+ private:
+  int iters_;
+  double damping_;
+  std::vector<double> ranks_;
+};
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_PRANK_H_

@@ -1,0 +1,37 @@
+// Single-source shortest path (GraphBIG SSSP), frontier Bellman-Ford.
+//
+// Offloading target (Table II): lock cmpxchg -> CAS-if-equal on the
+// distance property.
+#ifndef GRAPHPIM_WORKLOADS_SSSP_H_
+#define GRAPHPIM_WORKLOADS_SSSP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace graphpim::workloads {
+
+class SsspWorkload : public Workload {
+ public:
+  explicit SsspWorkload(VertexId root = 0, int max_iters = 64)
+      : root_(root), max_iters_(max_iters) {}
+
+  const WorkloadInfo& info() const override;
+  void Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                TraceBuilder& tb) override;
+
+  static constexpr std::int64_t kInf = (1LL << 62);
+
+  // Functional result: shortest distance per vertex (kInf = unreachable).
+  const std::vector<std::int64_t>& distances() const { return dist_; }
+
+ private:
+  VertexId root_;
+  int max_iters_;
+  std::vector<std::int64_t> dist_;
+};
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_SSSP_H_

@@ -1,0 +1,87 @@
+// Trace recording: workloads execute functionally while appending the
+// per-thread micro-op streams replayed by the timing model.
+//
+// The builder classifies each memory address into its data component using
+// the framework's address space, samples branch-misprediction outcomes
+// deterministically per thread (so every machine configuration replays an
+// identical stream), and supports an op cap for sampled simulation of large
+// inputs.
+#ifndef GRAPHPIM_WORKLOADS_TRACE_H_
+#define GRAPHPIM_WORKLOADS_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "cpu/uop.h"
+#include "graph/region.h"
+
+namespace graphpim::workloads {
+
+// The product: one micro-op stream per hardware thread (== core).
+struct Trace {
+  std::vector<std::vector<cpu::MicroOp>> streams;
+
+  std::uint64_t TotalOps() const {
+    std::uint64_t n = 0;
+    for (const auto& s : streams) n += s.size();
+    return n;
+  }
+};
+
+class TraceBuilder {
+ public:
+  TraceBuilder(int num_threads, const graph::AddressSpace* space,
+               double mispredict_rate = 0.06, std::uint64_t seed = 0x5eed);
+
+  int num_threads() const { return static_cast<int>(trace_.streams.size()); }
+
+  // Limits the total recorded ops (sampling large runs); 0 = unlimited.
+  void SetOpCap(std::uint64_t cap) { op_cap_ = cap; }
+  bool Capped() const { return capped_; }
+
+  // --- op emitters (thread `t`) -------------------------------------------
+  void Compute(int t, int lat_cycles = 1, bool dep = false, bool fp = false);
+  void Branch(int t, bool dep = true);
+  void Load(int t, Addr addr, std::uint8_t size, bool dep = false,
+            bool fusable_cmp = false);
+  void Store(int t, Addr addr, std::uint8_t size, bool dep = false);
+  void Atomic(int t, Addr addr, hmc::AtomicOp aop, std::uint8_t size,
+              bool want_return, bool dep = false);
+
+  // Appends a barrier to every thread (superstep boundary).
+  void Barrier();
+
+  // Takes the finished trace (builder is left empty).
+  Trace Take();
+
+  std::uint64_t total_ops() const { return total_ops_; }
+
+ private:
+  void Push(int t, const cpu::MicroOp& op);
+
+  Trace trace_;
+  const graph::AddressSpace* space_;
+  double mispredict_rate_;
+  std::vector<Rng> rngs_;  // one per thread: interleaving-independent
+  std::uint64_t op_cap_ = 0;
+  std::uint64_t total_ops_ = 0;
+  std::uint64_t barrier_id_ = 0;
+  bool capped_ = false;
+};
+
+// Splits `total` items into `num_threads` nearly equal chunks; returns the
+// [begin, end) range owned by `t`.
+std::pair<std::size_t, std::size_t> ThreadChunk(std::size_t total, int t,
+                                                int num_threads);
+
+// Returns a copy of `trace` with every atomic op replaced by a plain load +
+// store to the same address — the paper's Fig 4 methodology ("running the
+// benchmarks while including/excluding the atomic operations on the graph
+// property"). Also used to attribute atomic time by ablation (Fig 9).
+Trace ReplaceAtomicsWithPlain(const Trace& trace);
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_TRACE_H_

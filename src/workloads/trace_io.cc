@@ -1,0 +1,101 @@
+#include "workloads/trace_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace graphpim::workloads {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'P', 'T', 'R', 'A', 'C', 'E', '1'};
+
+// On-disk micro-op record: fixed layout independent of MicroOp's in-memory
+// packing.
+struct Record {
+  std::uint64_t addr;
+  std::uint8_t type;
+  std::uint8_t comp;
+  std::uint8_t aop;
+  std::uint8_t size;
+  std::uint8_t flags;
+  std::uint8_t compute_lat;
+  std::uint8_t pad[2];
+};
+static_assert(sizeof(Record) == 16);
+
+}  // namespace
+
+bool SaveTrace(const Trace& trace, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1;
+  std::uint64_t streams = trace.streams.size();
+  ok = ok && std::fwrite(&streams, sizeof(streams), 1, f) == 1;
+  for (const auto& s : trace.streams) {
+    std::uint64_t n = s.size();
+    ok = ok && std::fwrite(&n, sizeof(n), 1, f) == 1;
+    for (const cpu::MicroOp& op : s) {
+      Record r{};
+      r.addr = op.addr;
+      r.type = static_cast<std::uint8_t>(op.type);
+      r.comp = static_cast<std::uint8_t>(op.comp);
+      r.aop = static_cast<std::uint8_t>(op.aop);
+      r.size = op.size;
+      r.flags = op.flags;
+      r.compute_lat = op.compute_lat;
+      ok = ok && std::fwrite(&r, sizeof(r), 1, f) == 1;
+      if (!ok) break;
+    }
+    if (!ok) break;
+  }
+  std::fclose(f);
+  return ok;
+}
+
+bool LoadTrace(const std::string& path, Trace* out) {
+  GP_CHECK(out != nullptr);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[8];
+  if (std::fread(magic, sizeof(magic), 1, f) != 1 ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(f);
+    GP_FATAL("not a GraphPIM trace file: ", path);
+  }
+  std::uint64_t streams = 0;
+  if (std::fread(&streams, sizeof(streams), 1, f) != 1 || streams > 4096) {
+    std::fclose(f);
+    GP_FATAL("corrupt trace header in ", path);
+  }
+  out->streams.assign(streams, {});
+  for (auto& s : out->streams) {
+    std::uint64_t n = 0;
+    if (std::fread(&n, sizeof(n), 1, f) != 1) {
+      std::fclose(f);
+      GP_FATAL("truncated trace in ", path);
+    }
+    s.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Record r{};
+      if (std::fread(&r, sizeof(r), 1, f) != 1) {
+        std::fclose(f);
+        GP_FATAL("truncated trace in ", path);
+      }
+      cpu::MicroOp op;
+      op.addr = r.addr;
+      op.type = static_cast<cpu::OpType>(r.type);
+      op.comp = static_cast<DataComponent>(r.comp);
+      op.aop = static_cast<hmc::AtomicOp>(r.aop);
+      op.size = r.size;
+      op.flags = r.flags;
+      op.compute_lat = r.compute_lat;
+      s.push_back(op);
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace graphpim::workloads

@@ -1,0 +1,22 @@
+// Binary trace serialization: snapshot a generated trace to disk so large
+// inputs are traced once and replayed across many machine-configuration
+// sweeps (the usual trace-driven-simulator workflow).
+#ifndef GRAPHPIM_WORKLOADS_TRACE_IO_H_
+#define GRAPHPIM_WORKLOADS_TRACE_IO_H_
+
+#include <string>
+
+#include "workloads/trace.h"
+
+namespace graphpim::workloads {
+
+// Writes `trace` to `path`; returns false on I/O failure.
+bool SaveTrace(const Trace& trace, const std::string& path);
+
+// Loads a trace written by SaveTrace. Returns false on I/O failure;
+// malformed content (bad magic/version/counts) is fatal.
+bool LoadTrace(const std::string& path, Trace* out);
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_TRACE_IO_H_

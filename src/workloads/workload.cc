@@ -1,0 +1,46 @@
+#include "workloads/workload.h"
+
+#include "common/log.h"
+#include "workloads/bc.h"
+#include "workloads/bfs.h"
+#include "workloads/ccomp.h"
+#include "workloads/dc.h"
+#include "workloads/dfs.h"
+#include "workloads/dynamic.h"
+#include "workloads/gibbs.h"
+#include "workloads/kcore.h"
+#include "workloads/prank.h"
+#include "workloads/sssp.h"
+#include "workloads/tc.h"
+
+namespace graphpim::workloads {
+
+std::unique_ptr<Workload> CreateWorkload(const std::string& name) {
+  if (name == "bfs") return std::make_unique<BfsWorkload>();
+  if (name == "dfs") return std::make_unique<DfsWorkload>();
+  if (name == "dc") return std::make_unique<DcWorkload>();
+  if (name == "bc") return std::make_unique<BcWorkload>();
+  if (name == "sssp") return std::make_unique<SsspWorkload>();
+  if (name == "kcore") return std::make_unique<KcoreWorkload>();
+  if (name == "ccomp") return std::make_unique<CcompWorkload>();
+  if (name == "prank") return std::make_unique<PrankWorkload>();
+  if (name == "tc") return std::make_unique<TcWorkload>();
+  if (name == "gibbs") return std::make_unique<GibbsWorkload>();
+  if (name == "gcons") return std::make_unique<GconsWorkload>();
+  if (name == "gup") return std::make_unique<GupWorkload>();
+  if (name == "tmorph") return std::make_unique<TmorphWorkload>();
+  GP_FATAL("unknown workload '", name, "'");
+}
+
+std::vector<std::string> AllWorkloadNames() {
+  // Table III order.
+  return {"bfs",   "dfs",   "dc",    "bc",  "sssp",  "kcore", "ccomp",
+          "prank", "gcons", "gup",   "tmorph", "tc",  "gibbs"};
+}
+
+std::vector<std::string> EvalWorkloadNames() {
+  // Fig 7 order.
+  return {"bfs", "ccomp", "dc", "kcore", "sssp", "tc", "bc", "prank"};
+}
+
+}  // namespace graphpim::workloads

@@ -1,0 +1,56 @@
+// Workload interface and registry: the GraphBIG-equivalent suite.
+//
+// Each workload executes its algorithm functionally on the CSR graph while
+// emitting per-thread micro-op traces (see trace.h). The WorkloadInfo block
+// carries the paper's Table II (offloading target) and Table III
+// (applicability) metadata.
+#ifndef GRAPHPIM_WORKLOADS_WORKLOAD_H_
+#define GRAPHPIM_WORKLOADS_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/csr.h"
+#include "graph/region.h"
+#include "workloads/trace.h"
+
+namespace graphpim::workloads {
+
+struct WorkloadInfo {
+  std::string name;          // short id used on the command line ("bfs")
+  std::string display;       // paper display name ("Breadth-first Search")
+  WorkloadCategory category;
+  bool pim_applicable;       // Table III
+  std::string missing_op;    // Table III reason when not applicable
+  std::string host_instr;    // Table II host atomic ("lock cmpxchg")
+  std::string pim_op;        // Table II PIM-atomic type ("CAS if equal")
+  bool needs_fp_extension;   // applicable only with Section III-C FP ops
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const WorkloadInfo& info() const = 0;
+
+  // Runs the algorithm on `g`, allocating properties from `space` (the PMR
+  // for offloadable ones) and recording ops into `tb`.
+  virtual void Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                        TraceBuilder& tb) = 0;
+};
+
+// Factory. Names: bfs, dfs, dc, bc, sssp, kcore, ccomp, prank, tc, gibbs,
+// gcons, gup, tmorph. Fatal on unknown names.
+std::unique_ptr<Workload> CreateWorkload(const std::string& name);
+
+// All 13 GraphBIG-style workloads (Table III order).
+std::vector<std::string> AllWorkloadNames();
+
+// The eight workloads of the evaluation figures (Figs 7, 9-15).
+std::vector<std::string> EvalWorkloadNames();
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,193 @@
+// Unit tests for the common substrate: config, strings, RNG, stats, types.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/types.h"
+
+namespace graphpim {
+namespace {
+
+TEST(Types, NsToTicksRoundTrips) {
+  EXPECT_EQ(NsToTicks(1.0), 1000u);
+  EXPECT_EQ(NsToTicks(13.75), 13750u);
+  EXPECT_DOUBLE_EQ(TicksToNs(27500), 27.5);
+}
+
+TEST(Types, ComponentNames) {
+  EXPECT_STREQ(ToString(DataComponent::kMeta), "meta");
+  EXPECT_STREQ(ToString(DataComponent::kStructure), "structure");
+  EXPECT_STREQ(ToString(DataComponent::kProperty), "property");
+  EXPECT_STREQ(ToString(WorkloadCategory::kGraphTraversal), "GT");
+  EXPECT_STREQ(ToString(WorkloadCategory::kRichProperty), "RP");
+  EXPECT_STREQ(ToString(WorkloadCategory::kDynamicGraph), "DG");
+}
+
+TEST(Config, ParsesArgs) {
+  const char* argv[] = {"prog", "--vertices=1024", "mode=GraphPIM", "--scale=1.5",
+                        "--fp=true"};
+  Config cfg = Config::FromArgs(5, const_cast<char**>(argv));
+  EXPECT_EQ(cfg.GetUint("vertices", 0), 1024u);
+  EXPECT_EQ(cfg.GetString("mode", ""), "GraphPIM");
+  EXPECT_DOUBLE_EQ(cfg.GetDouble("scale", 0.0), 1.5);
+  EXPECT_TRUE(cfg.GetBool("fp", false));
+}
+
+TEST(Config, DefaultsWhenAbsent) {
+  Config cfg;
+  EXPECT_EQ(cfg.GetInt("missing", -7), -7);
+  EXPECT_EQ(cfg.GetUint("missing", 42), 42u);
+  EXPECT_DOUBLE_EQ(cfg.GetDouble("missing", 2.5), 2.5);
+  EXPECT_FALSE(cfg.GetBool("missing", false));
+  EXPECT_EQ(cfg.GetString("missing", "x"), "x");
+  EXPECT_FALSE(cfg.Has("missing"));
+}
+
+TEST(Config, BoolSpellings) {
+  Config cfg;
+  for (const char* v : {"1", "true", "yes", "on"}) {
+    cfg.Set("k", v);
+    EXPECT_TRUE(cfg.GetBool("k", false)) << v;
+  }
+  for (const char* v : {"0", "false", "no", "off"}) {
+    cfg.Set("k", v);
+    EXPECT_FALSE(cfg.GetBool("k", true)) << v;
+  }
+}
+
+TEST(Config, SetOverrides) {
+  Config cfg;
+  cfg.Set("a", "1");
+  cfg.Set("a", "2");
+  EXPECT_EQ(cfg.GetInt("a", 0), 2);
+  EXPECT_EQ(cfg.Items().size(), 1u);
+}
+
+TEST(StringUtil, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+}
+
+TEST(StringUtil, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(Random, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Random, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Random, BoundedStaysInRange) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Random, BoundedCoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.NextBool(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Stats, AddIncSetGet) {
+  StatSet s;
+  EXPECT_DOUBLE_EQ(s.Get("x"), 0.0);
+  s.Inc("x");
+  s.Add("x", 2.5);
+  EXPECT_DOUBLE_EQ(s.Get("x"), 3.5);
+  s.Set("x", 1.0);
+  EXPECT_DOUBLE_EQ(s.Get("x"), 1.0);
+  EXPECT_TRUE(s.Has("x"));
+}
+
+TEST(Stats, Merge) {
+  StatSet a;
+  StatSet b;
+  a.Add("x", 1);
+  b.Add("x", 2);
+  b.Add("y", 3);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Get("x"), 3);
+  EXPECT_DOUBLE_EQ(a.Get("y"), 3);
+}
+
+TEST(Stats, ItemsSorted) {
+  StatSet s;
+  s.Inc("b");
+  s.Inc("a");
+  auto items = s.Items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].first, "a");
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(10.0, 4);
+  h.Record(5);
+  h.Record(15);
+  h.Record(35);
+  h.Record(1000);  // overflow
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.counts()[4], 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.mean(), (5 + 15 + 35 + 1000) / 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace graphpim

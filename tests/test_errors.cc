@@ -1,0 +1,75 @@
+// Failure-injection tests: invariant violations and user errors must
+// terminate with a diagnostic rather than corrupt the simulation.
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "common/log.h"
+#include "graph/generator.h"
+#include "graph/region.h"
+#include "mem/cache.h"
+#include "workloads/workload.h"
+
+namespace graphpim {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(ErrorPaths, CheckMacroAborts) {
+  EXPECT_DEATH({ GP_CHECK(1 == 2, "impossible"); }, "check failed");
+}
+
+TEST(ErrorPaths, PanicAborts) {
+  EXPECT_DEATH({ GP_PANIC("boom ", 42); }, "boom 42");
+}
+
+TEST(ErrorPaths, FatalExitsWithDiagnostic) {
+  EXPECT_EXIT({ GP_FATAL("bad config"); }, ::testing::ExitedWithCode(1), "bad config");
+}
+
+TEST(ErrorPaths, ConfigRejectsMalformedArg) {
+  const char* argv[] = {"prog", "--no-equals-sign"};
+  EXPECT_EXIT({ Config::FromArgs(2, const_cast<char**>(argv)); },
+              ::testing::ExitedWithCode(1), "malformed argument");
+}
+
+TEST(ErrorPaths, ConfigRejectsNonNumeric) {
+  Config cfg;
+  cfg.Set("n", "abc");
+  EXPECT_EXIT({ cfg.GetInt("n", 0); }, ::testing::ExitedWithCode(1),
+              "not an integer");
+}
+
+TEST(ErrorPaths, RegionExhaustionIsFatal) {
+  graph::Region r(0, 128);
+  r.Allocate(100);
+  EXPECT_DEATH({ r.Allocate(100); }, "region exhausted");
+}
+
+TEST(ErrorPaths, CacheRejectsBadGeometry) {
+  EXPECT_DEATH({ mem::CacheArray c(1000, 3, 64); }, "");
+  EXPECT_DEATH({ mem::CacheArray c(4096, 4, 48); }, "power of two");
+}
+
+TEST(ErrorPaths, CacheDoubleInsertIsBug) {
+  mem::CacheArray c(4096, 4, 64);
+  c.Insert(0x40, false);
+  EXPECT_DEATH({ c.Insert(0x40, false); }, "already present");
+}
+
+TEST(ErrorPaths, UnknownWorkloadIsFatal) {
+  EXPECT_EXIT({ workloads::CreateWorkload("nope"); }, ::testing::ExitedWithCode(1),
+              "unknown workload");
+}
+
+TEST(ErrorPaths, UnknownProfileIsFatal) {
+  EXPECT_EXIT({ graph::GenerateProfile("nope", 1024, 1); },
+              ::testing::ExitedWithCode(1), "unknown graph profile");
+}
+
+TEST(ErrorPaths, UnknownLdbcNameIsFatal) {
+  EXPECT_EXIT({ graph::LdbcSizeFromName("ldbc-9z"); }, ::testing::ExitedWithCode(1),
+              "unknown LDBC dataset");
+}
+
+}  // namespace
+}  // namespace graphpim

@@ -1,0 +1,228 @@
+// Tests for the extension features: comparison-block fusion (Section
+// III-B), hybrid HMC+DRAM placement, trace serialization, and reports.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/report.h"
+#include "core/runner.h"
+#include "core/system.h"
+#include "graph/generator.h"
+#include "workloads/ccomp.h"
+#include "workloads/fusion.h"
+#include "workloads/kcore.h"
+#include "workloads/sssp.h"
+#include "workloads/trace_io.h"
+
+namespace graphpim {
+namespace {
+
+using workloads::Trace;
+
+struct Built {
+  graph::AddressSpace space;
+  graph::CsrGraph g;
+  explicit Built(VertexId n = 256)
+      : g(graph::GenerateUniform(n, 6.0, 5), space) {}
+};
+
+Trace Gen(workloads::Workload& w, Built& b) {
+  workloads::TraceBuilder tb(4, &b.space);
+  w.Generate(b.g, b.space, tb);
+  return tb.Take();
+}
+
+std::uint64_t CountOps(const Trace& t, cpu::OpType type) {
+  std::uint64_t n = 0;
+  for (const auto& s : t.streams) {
+    for (const auto& op : s) {
+      if (op.type == type) ++n;
+    }
+  }
+  return n;
+}
+
+TEST(Fusion, SsspRelaxBlocksFuse) {
+  Built b;
+  workloads::SsspWorkload sssp(0);
+  Trace t = Gen(sssp, b);
+  workloads::FusionStats fs;
+  Trace fused = workloads::FuseComparisonBlocks(t, b.space, &fs);
+  EXPECT_GT(fs.fused_with_cas + fs.fused_compare_only, 0u);
+  // Every fused block becomes a CAS-if-less atomic.
+  std::uint64_t casless = 0;
+  for (const auto& s : fused.streams) {
+    for (const auto& op : s) {
+      if (op.type == cpu::OpType::kAtomic && op.aop == hmc::AtomicOp::kCasLess16) {
+        ++casless;
+        EXPECT_TRUE(op.WantReturn());
+      }
+    }
+  }
+  EXPECT_EQ(casless, fs.fused_with_cas + fs.fused_compare_only);
+  EXPECT_EQ(fused.TotalOps(), t.TotalOps() - fs.ops_removed);
+}
+
+TEST(Fusion, KcoreScanLoadsDoNotFuse) {
+  // kCore's property scans are plain checks, not comparison blocks; the
+  // pass must leave them alone.
+  Built b;
+  workloads::KcoreWorkload kc(3, 8);
+  Trace t = Gen(kc, b);
+  workloads::FusionStats fs;
+  Trace fused = workloads::FuseComparisonBlocks(t, b.space, &fs);
+  EXPECT_EQ(fs.fused_with_cas + fs.fused_compare_only, 0u);
+  EXPECT_EQ(fused.TotalOps(), t.TotalOps());
+}
+
+TEST(Fusion, BarrierStructurePreserved) {
+  Built b;
+  workloads::CcompWorkload cc;
+  Trace t = Gen(cc, b);
+  Trace fused = workloads::FuseComparisonBlocks(t, b.space);
+  ASSERT_EQ(fused.streams.size(), t.streams.size());
+  for (std::size_t i = 0; i < t.streams.size(); ++i) {
+    EXPECT_EQ(CountOps(fused, cpu::OpType::kBarrier),
+              CountOps(t, cpu::OpType::kBarrier));
+  }
+}
+
+TEST(Fusion, SpeedsUpCcompUnderGraphPim) {
+  core::Experiment::Options o;
+  o.num_threads = 8;
+  o.op_cap = 1'500'000;
+  core::Experiment exp("ldbc", 8 * 1024, "ccomp", o);
+  core::SimConfig cfg = core::SimConfig::Scaled(core::Mode::kGraphPim);
+  cfg.num_cores = 8;
+  core::SimResults plain = exp.Run(cfg);
+  graph::AddressSpace space;
+  Trace fused = workloads::FuseComparisonBlocks(exp.trace(), space);
+  core::SimResults f =
+      core::RunSimulation(fused, cfg, exp.pmr_base(), exp.pmr_end());
+  EXPECT_LT(f.cycles, plain.cycles);
+}
+
+TEST(Hybrid, ZeroFractionMatchesBaselineBehavior) {
+  core::Experiment::Options o;
+  o.num_threads = 8;
+  o.op_cap = 1'000'000;
+  core::Experiment exp("ldbc", 4 * 1024, "dc", o);
+  core::SimConfig none = core::SimConfig::Scaled(core::Mode::kGraphPim);
+  none.num_cores = 8;
+  none.pmr_hmc_fraction = 0.0;
+  core::SimResults r = exp.Run(none);
+  EXPECT_EQ(r.offloaded_atomics, 0u) << "no property page in the HMC";
+  EXPECT_GT(r.raw.Get("cache.access.property"), 0.0) << "conventional path";
+}
+
+TEST(Hybrid, FractionScalesOffloadCount) {
+  core::Experiment::Options o;
+  o.num_threads = 8;
+  o.op_cap = 1'000'000;
+  core::Experiment exp("ldbc", 4 * 1024, "dc", o);
+  std::uint64_t prev = 0;
+  for (double f : {0.25, 0.5, 1.0}) {
+    core::SimConfig cfg = core::SimConfig::Scaled(core::Mode::kGraphPim);
+    cfg.num_cores = 8;
+    cfg.pmr_hmc_fraction = f;
+    core::SimResults r = exp.Run(cfg);
+    EXPECT_GT(r.offloaded_atomics, prev);
+    prev = r.offloaded_atomics;
+  }
+  EXPECT_EQ(prev, exp.Run(core::SimConfig::Scaled(core::Mode::kGraphPim)).atomics);
+}
+
+TEST(TraceIo, RoundTrip) {
+  Built b;
+  workloads::SsspWorkload sssp(0);
+  Trace t = Gen(sssp, b);
+  std::string path = ::testing::TempDir() + "/graphpim_trace_test.bin";
+  ASSERT_TRUE(workloads::SaveTrace(t, path));
+  Trace in;
+  ASSERT_TRUE(workloads::LoadTrace(path, &in));
+  ASSERT_EQ(in.streams.size(), t.streams.size());
+  for (std::size_t s = 0; s < t.streams.size(); ++s) {
+    ASSERT_EQ(in.streams[s].size(), t.streams[s].size());
+    for (std::size_t i = 0; i < t.streams[s].size(); ++i) {
+      const auto& a = t.streams[s][i];
+      const auto& c = in.streams[s][i];
+      EXPECT_EQ(a.addr, c.addr);
+      EXPECT_EQ(a.type, c.type);
+      EXPECT_EQ(a.aop, c.aop);
+      EXPECT_EQ(a.flags, c.flags);
+      EXPECT_EQ(a.size, c.size);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplaySameResult) {
+  core::Experiment::Options o;
+  o.num_threads = 4;
+  o.op_cap = 200'000;
+  core::Experiment exp("ldbc", 2 * 1024, "bfs", o);
+  std::string path = ::testing::TempDir() + "/graphpim_trace_replay.bin";
+  ASSERT_TRUE(workloads::SaveTrace(exp.trace(), path));
+  Trace loaded;
+  ASSERT_TRUE(workloads::LoadTrace(path, &loaded));
+  core::SimConfig cfg = core::SimConfig::Scaled(core::Mode::kGraphPim);
+  cfg.num_cores = 4;
+  core::SimResults a = exp.Run(cfg);
+  core::SimResults b2 =
+      core::RunSimulation(loaded, cfg, exp.pmr_base(), exp.pmr_end());
+  EXPECT_EQ(a.cycles, b2.cycles);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileFails) {
+  Trace t;
+  EXPECT_FALSE(workloads::LoadTrace("/nonexistent/trace.bin", &t));
+}
+
+TEST(Report, FormatContainsHeadlines) {
+  core::Experiment::Options o;
+  o.num_threads = 4;
+  o.op_cap = 100'000;
+  core::Experiment exp("ldbc", 1024, "bfs", o);
+  core::SimConfig cfg = core::SimConfig::Scaled(core::Mode::kGraphPim);
+  cfg.num_cores = 4;
+  core::SimResults r = exp.Run(cfg);
+  std::string report = core::FormatReport(r);
+  EXPECT_NE(report.find("GraphPIM"), std::string::npos);
+  EXPECT_NE(report.find("cycles:"), std::string::npos);
+  EXPECT_NE(report.find("uncore energy"), std::string::npos);
+}
+
+TEST(Report, JsonWritesAndParsesRoughly) {
+  core::Experiment::Options o;
+  o.num_threads = 4;
+  o.op_cap = 100'000;
+  core::Experiment exp("ldbc", 1024, "bfs", o);
+  core::SimConfig cfg = core::SimConfig::Scaled(core::Mode::kBaseline);
+  cfg.num_cores = 4;
+  core::SimResults r = exp.Run(cfg);
+  std::string json = core::ToJson(r);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"cycles\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  std::string path = ::testing::TempDir() + "/graphpim_report.json";
+  EXPECT_TRUE(core::WriteJson(r, path));
+  std::remove(path.c_str());
+}
+
+TEST(BusLock, GlobalSerializationOrdersAtomics) {
+  // Two UC-NoPIM atomics from different cores must serialize globally.
+  core::SimConfig cfg = core::SimConfig::Scaled(core::Mode::kUncacheNoPim);
+  core::MemorySystem sys(cfg, 0x4'0000'0000ULL, 0x5'0000'0000ULL);
+  cpu::MicroOp op;
+  op.type = cpu::OpType::kAtomic;
+  op.addr = 0x4'0000'0100ULL;
+  op.size = 8;
+  auto a = sys.Access(0, op, 0);
+  op.addr = 0x4'0000'9000ULL;  // different address, different bank
+  auto b = sys.Access(1, op, 0);
+  EXPECT_GE(b.complete, a.complete) << "bus lock holds the whole interconnect";
+}
+
+}  // namespace
+}  // namespace graphpim

@@ -1,0 +1,222 @@
+// Tests for the graph framework: generators, CSR, regions, properties, I/O.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "graph/generator.h"
+#include "graph/property.h"
+#include "graph/region.h"
+
+namespace graphpim::graph {
+namespace {
+
+TEST(Region, BumpAllocatesAligned) {
+  Region r(0x1000, 4096);
+  Addr a = r.Allocate(10, 64);
+  Addr b = r.Allocate(10, 64);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 10);
+  EXPECT_EQ(r.used_bytes(), b + 10 - 0x1000);
+}
+
+TEST(Region, ResetReclaims) {
+  Region r(0, 4096);
+  r.Allocate(1000);
+  r.Reset();
+  EXPECT_EQ(r.used_bytes(), 0u);
+}
+
+TEST(AddressSpace, SegmentsDisjointAndClassified) {
+  AddressSpace space;
+  Addr m = space.meta().Allocate(64);
+  Addr s = space.structure().Allocate(64);
+  Addr p = space.PmrMalloc(64);
+  EXPECT_EQ(space.ComponentOf(m), DataComponent::kMeta);
+  EXPECT_EQ(space.ComponentOf(s), DataComponent::kStructure);
+  EXPECT_EQ(space.ComponentOf(p), DataComponent::kProperty);
+  EXPECT_GE(p, space.pmr_base());
+  EXPECT_LT(p, space.pmr_end());
+}
+
+TEST(PropertyArray, StrideSeparatesVertices) {
+  AddressSpace space;
+  PropertyArray<std::int64_t> prop(space.pmr(), 100, -1);
+  EXPECT_EQ(prop.stride(), kVertexPropertyStride);
+  EXPECT_EQ(prop.AddrOf(1) - prop.AddrOf(0), kVertexPropertyStride);
+  EXPECT_EQ(prop[5], -1);
+  prop[5] = 9;
+  EXPECT_EQ(prop[5], 9);
+  // No two vertices share a cache line under the default stride.
+  EXPECT_NE(prop.AddrOf(0) / 64, prop.AddrOf(1) / 64);
+}
+
+TEST(PropertyArray, PackedStrideOption) {
+  AddressSpace space;
+  PropertyArray<double> packed(space.meta(), 16, 0.0, sizeof(double));
+  EXPECT_EQ(packed.AddrOf(1) - packed.AddrOf(0), sizeof(double));
+}
+
+TEST(Generator, Deterministic) {
+  RmatParams p;
+  p.num_vertices = 1024;
+  p.avg_degree = 8;
+  EdgeList a = GenerateRmat(p);
+  EdgeList b = GenerateRmat(p);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  EXPECT_TRUE(std::equal(a.edges.begin(), a.edges.end(), b.edges.begin()));
+}
+
+TEST(Generator, SeedChangesGraph) {
+  RmatParams p;
+  p.num_vertices = 1024;
+  p.avg_degree = 8;
+  EdgeList a = GenerateRmat(p);
+  p.seed = 99;
+  EdgeList b = GenerateRmat(p);
+  EXPECT_FALSE(std::equal(a.edges.begin(), a.edges.end(), b.edges.begin()));
+}
+
+TEST(Generator, TargetEdgeCountAndNoSelfLoops) {
+  RmatParams p;
+  p.num_vertices = 2048;
+  p.avg_degree = 10;
+  EdgeList el = GenerateRmat(p);
+  EXPECT_EQ(el.num_vertices, 2048u);
+  EXPECT_EQ(el.edges.size(), 20480u);
+  for (const Edge& e : el.edges) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_LT(e.src, el.num_vertices);
+    EXPECT_LT(e.dst, el.num_vertices);
+    EXPECT_GE(e.weight, 1u);
+    EXPECT_LE(e.weight, p.max_weight);
+  }
+}
+
+TEST(Generator, DegreeCapHolds) {
+  RmatParams p;
+  p.num_vertices = 4096;
+  p.avg_degree = 8;
+  p.max_degree_factor = 4.0;  // cap = 32
+  EdgeList el = GenerateRmat(p);
+  std::vector<std::uint32_t> in(el.num_vertices, 0);
+  std::vector<std::uint32_t> out(el.num_vertices, 0);
+  for (const Edge& e : el.edges) {
+    ++out[e.src];
+    ++in[e.dst];
+  }
+  for (VertexId v = 0; v < el.num_vertices; ++v) {
+    EXPECT_LE(in[v], 33u);
+    EXPECT_LE(out[v], 33u);
+  }
+}
+
+TEST(Generator, SkewedDegreesVsUniform) {
+  RmatParams p;
+  p.num_vertices = 8192;
+  p.avg_degree = 16;
+  p.max_degree_factor = 16.0;
+  EdgeList rmat = GenerateRmat(p);
+  EdgeList uni = GenerateUniform(8192, 16, 1);
+  auto max_out = [](const EdgeList& el) {
+    std::vector<std::uint32_t> out(el.num_vertices, 0);
+    for (const Edge& e : el.edges) ++out[e.src];
+    return *std::max_element(out.begin(), out.end());
+  };
+  EXPECT_GT(max_out(rmat), 2 * max_out(uni));
+}
+
+TEST(Generator, Profiles) {
+  EdgeList ldbc = GenerateProfile("ldbc", 1024, 1);
+  EXPECT_NEAR(static_cast<double>(ldbc.edges.size()) / ldbc.num_vertices, 28.8, 0.1);
+  EdgeList btc = GenerateProfile("bitcoin", 1024, 1);
+  EXPECT_NEAR(static_cast<double>(btc.edges.size()) / btc.num_vertices, 2.5, 0.1);
+  EdgeList tw = GenerateProfile("twitter", 1024, 1);
+  EXPECT_NEAR(static_cast<double>(tw.edges.size()) / tw.num_vertices, 7.7, 0.1);
+}
+
+TEST(Generator, LdbcNames) {
+  EXPECT_EQ(LdbcSizeFromName("ldbc-1k"), 1024u);
+  EXPECT_EQ(LdbcSizeFromName("ldbc-10k"), 10u * 1024);
+  EXPECT_EQ(LdbcSizeFromName("ldbc-100k"), 100u * 1024);
+  EXPECT_EQ(LdbcSizeFromName("ldbc-1m"), 1024u * 1024);
+}
+
+TEST(Csr, BuildsOffsetsAndSortedNeighbors) {
+  EdgeList el;
+  el.num_vertices = 4;
+  el.edges = {{0, 2, 5}, {0, 1, 3}, {2, 3, 1}, {0, 3, 2}};
+  AddressSpace space;
+  CsrGraph g(el, space);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 3u);
+  EXPECT_EQ(g.OutDegree(1), 0u);
+  EXPECT_EQ(g.OutDegree(2), 1u);
+  auto n0 = g.Neighbors(0);
+  ASSERT_EQ(n0.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(n0.begin(), n0.end()));
+  // Weights follow their edges through the sort.
+  auto w0 = g.Weights(0);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(w0[0], 3u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_EQ(w0[1], 5u);
+}
+
+TEST(Csr, DedupKeepsFirstWeight) {
+  EdgeList el;
+  el.num_vertices = 3;
+  el.edges = {{0, 1, 7}, {0, 1, 9}, {0, 2, 1}};
+  AddressSpace space;
+  CsrGraph g(el, space, /*dedup=*/true);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+}
+
+TEST(Csr, StructureAddressesInStructureSegment) {
+  EdgeList el = GenerateUniform(64, 4, 3);
+  AddressSpace space;
+  CsrGraph g(el, space);
+  EXPECT_EQ(space.ComponentOf(g.OffsetAddr(0)), DataComponent::kStructure);
+  EXPECT_EQ(space.ComponentOf(g.NeighborAddr(0)), DataComponent::kStructure);
+  EXPECT_EQ(space.ComponentOf(g.WeightAddr(0)), DataComponent::kStructure);
+  EXPECT_GT(g.StructureBytes(), 0u);
+}
+
+TEST(Csr, EdgeIdsMatchOffsets) {
+  EdgeList el = GenerateUniform(128, 8, 5);
+  AddressSpace space;
+  CsrGraph g(el, space);
+  EdgeId total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.OffsetOf(v), total);
+    total += g.OutDegree(v);
+  }
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(EdgeListIo, RoundTrip) {
+  EdgeList el;
+  el.num_vertices = 5;
+  el.edges = {{0, 1, 2}, {3, 4, 7}, {2, 0, 1}};
+  std::string path = ::testing::TempDir() + "/graphpim_el_test.txt";
+  ASSERT_TRUE(SaveEdgeList(el, path));
+  EdgeList in;
+  ASSERT_TRUE(LoadEdgeList(path, &in));
+  ASSERT_EQ(in.edges.size(), el.edges.size());
+  EXPECT_EQ(in.num_vertices, 5u);
+  EXPECT_TRUE(std::equal(el.edges.begin(), el.edges.end(), in.edges.begin()));
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, LoadMissingFileFails) {
+  EdgeList el;
+  EXPECT_FALSE(LoadEdgeList("/nonexistent/path/x.el", &el));
+}
+
+}  // namespace
+}  // namespace graphpim::graph

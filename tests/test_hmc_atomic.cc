@@ -1,0 +1,195 @@
+// Functional tests for every HMC 2.0 atomic operation (paper Table I) and
+// the Section III-C floating-point extension ops.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "hmc/atomic.h"
+
+namespace graphpim::hmc {
+namespace {
+
+Value16 V(std::uint64_t lo, std::uint64_t hi = 0) { return Value16{lo, hi}; }
+
+TEST(AtomicTable, EighteenBaseOps) {
+  int base = 0;
+  for (int i = 0; i < static_cast<int>(AtomicOp::kNumOps); ++i) {
+    if (!GetOpInfo(static_cast<AtomicOp>(i)).extension) ++base;
+  }
+  EXPECT_EQ(base, kNumBaseOps);
+}
+
+TEST(AtomicTable, CategoryCounts) {
+  // Table I: arithmetic, bitwise, boolean, comparison (plus FP extension).
+  int arith = 0;
+  int bitw = 0;
+  int boolean = 0;
+  int cmp = 0;
+  int fp = 0;
+  for (int i = 0; i < static_cast<int>(AtomicOp::kNumOps); ++i) {
+    switch (GetOpInfo(static_cast<AtomicOp>(i)).category) {
+      case AtomicCategory::kArithmetic: ++arith; break;
+      case AtomicCategory::kBitwise: ++bitw; break;
+      case AtomicCategory::kBoolean: ++boolean; break;
+      case AtomicCategory::kComparison: ++cmp; break;
+      case AtomicCategory::kFloatingPoint: ++fp; break;
+    }
+  }
+  EXPECT_EQ(arith, 4);
+  EXPECT_EQ(bitw, 4);
+  EXPECT_EQ(boolean, 5);
+  EXPECT_EQ(cmp, 5);
+  EXPECT_EQ(fp, 3);
+}
+
+TEST(AtomicExec, DualAdd8AddsLanesIndependently) {
+  auto out = ExecuteAtomic(AtomicOp::kDualAdd8, V(10, 20), V(1, 2));
+  EXPECT_TRUE(out.wrote);
+  EXPECT_EQ(out.new_value.lo, 11u);
+  EXPECT_EQ(out.new_value.hi, 22u);
+  EXPECT_EQ(out.returned.lo, 10u);  // original data
+}
+
+TEST(AtomicExec, DualAdd8SignedWrap) {
+  // Signed add: adding -1 (two's complement) decrements.
+  auto out = ExecuteAtomic(AtomicOp::kDualAdd8, V(5, 5),
+                           V(static_cast<std::uint64_t>(-1), 0));
+  EXPECT_EQ(static_cast<std::int64_t>(out.new_value.lo), 4);
+  EXPECT_EQ(out.new_value.hi, 5u);
+}
+
+TEST(AtomicExec, Add16CarriesAcrossLanes) {
+  auto out = ExecuteAtomic(AtomicOp::kAdd16, V(~0ull, 0), V(1, 0));
+  EXPECT_EQ(out.new_value.lo, 0u);
+  EXPECT_EQ(out.new_value.hi, 1u);  // carry propagated
+}
+
+TEST(AtomicExec, Add16RetReturnsOriginal) {
+  auto out = ExecuteAtomic(AtomicOp::kAdd16Ret, V(7, 0), V(3, 0));
+  EXPECT_EQ(out.new_value.lo, 10u);
+  EXPECT_EQ(out.returned.lo, 7u);
+  EXPECT_TRUE(GetOpInfo(AtomicOp::kAdd16Ret).returns_data);
+}
+
+TEST(AtomicExec, Swap16) {
+  auto out = ExecuteAtomic(AtomicOp::kSwap16, V(1, 2), V(3, 4));
+  EXPECT_EQ(out.new_value.lo, 3u);
+  EXPECT_EQ(out.new_value.hi, 4u);
+  EXPECT_EQ(out.returned.lo, 1u);
+  EXPECT_EQ(out.returned.hi, 2u);
+}
+
+TEST(AtomicExec, BitWrite8UsesMask) {
+  // operand.lo = data, operand.hi = mask.
+  auto out = ExecuteAtomic(AtomicOp::kBitWrite8, V(0xFF00FF00ull, 0),
+                           V(0x0F0F0F0Full, 0x0000FFFFull));
+  EXPECT_EQ(out.new_value.lo, 0xFF000F0Full);
+}
+
+TEST(AtomicExec, BooleanOps) {
+  EXPECT_EQ(ExecuteAtomic(AtomicOp::kAnd16, V(0b1100), V(0b1010)).new_value.lo, 0b1000u);
+  EXPECT_EQ(ExecuteAtomic(AtomicOp::kOr16, V(0b1100), V(0b1010)).new_value.lo, 0b1110u);
+  EXPECT_EQ(ExecuteAtomic(AtomicOp::kXor16, V(0b1100), V(0b1010)).new_value.lo, 0b0110u);
+  EXPECT_EQ(ExecuteAtomic(AtomicOp::kNand16, V(0b1100), V(0b1010)).new_value.lo,
+            ~0b1000ull);
+  EXPECT_EQ(ExecuteAtomic(AtomicOp::kNor16, V(0b1100), V(0b1010)).new_value.lo,
+            ~0b1110ull);
+}
+
+TEST(AtomicExec, CasEqual8SucceedsOnMatch) {
+  // operand.hi = compare, operand.lo = new value.
+  auto out = ExecuteAtomic(AtomicOp::kCasEqual8, V(5), V(9, 5));
+  EXPECT_TRUE(out.flag);
+  EXPECT_TRUE(out.wrote);
+  EXPECT_EQ(out.new_value.lo, 9u);
+  EXPECT_EQ(out.returned.lo, 5u);
+}
+
+TEST(AtomicExec, CasEqual8FailsOnMismatch) {
+  auto out = ExecuteAtomic(AtomicOp::kCasEqual8, V(6), V(9, 5));
+  EXPECT_FALSE(out.flag);
+  EXPECT_FALSE(out.wrote);
+  EXPECT_EQ(out.new_value.lo, 6u);
+}
+
+TEST(AtomicExec, CasZero16) {
+  EXPECT_TRUE(ExecuteAtomic(AtomicOp::kCasZero16, V(0, 0), V(7, 8)).flag);
+  EXPECT_FALSE(ExecuteAtomic(AtomicOp::kCasZero16, V(1, 0), V(7, 8)).flag);
+  EXPECT_FALSE(ExecuteAtomic(AtomicOp::kCasZero16, V(0, 1), V(7, 8)).flag);
+}
+
+TEST(AtomicExec, CasGreaterLessSigned) {
+  // Signed 128-bit comparison: -1 (all ones) is less than 0.
+  Value16 minus_one{~0ull, ~0ull};
+  auto gt = ExecuteAtomic(AtomicOp::kCasGreater16, V(0, 0), minus_one);
+  EXPECT_FALSE(gt.flag) << "-1 > 0 must fail signed";
+  auto lt = ExecuteAtomic(AtomicOp::kCasLess16, V(0, 0), minus_one);
+  EXPECT_TRUE(lt.flag) << "-1 < 0 must succeed signed";
+  EXPECT_EQ(lt.new_value.lo, ~0ull);
+}
+
+TEST(AtomicExec, CompareEqual16DoesNotWrite) {
+  auto eq = ExecuteAtomic(AtomicOp::kCompareEqual16, V(3, 4), V(3, 4));
+  EXPECT_TRUE(eq.flag);
+  EXPECT_FALSE(eq.wrote);
+  auto ne = ExecuteAtomic(AtomicOp::kCompareEqual16, V(3, 4), V(3, 5));
+  EXPECT_FALSE(ne.flag);
+}
+
+TEST(AtomicExec, FpAdd64) {
+  Value16 mem{std::bit_cast<std::uint64_t>(1.5), 0};
+  Value16 op{std::bit_cast<std::uint64_t>(2.25), 0};
+  auto out = ExecuteAtomic(AtomicOp::kFpAdd64, mem, op);
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(out.new_value.lo), 3.75);
+}
+
+TEST(AtomicExec, FpSub64) {
+  Value16 mem{std::bit_cast<std::uint64_t>(1.0), 0};
+  Value16 op{std::bit_cast<std::uint64_t>(0.25), 0};
+  auto out = ExecuteAtomic(AtomicOp::kFpSub64, mem, op);
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(out.new_value.lo), 0.75);
+}
+
+TEST(AtomicExec, FpAdd32) {
+  Value16 mem{std::bit_cast<std::uint32_t>(1.5f), 0};
+  Value16 op{std::bit_cast<std::uint32_t>(2.0f), 0};
+  auto out = ExecuteAtomic(AtomicOp::kFpAdd32, mem, op);
+  EXPECT_FLOAT_EQ(std::bit_cast<float>(static_cast<std::uint32_t>(out.new_value.lo)),
+                  3.5f);
+}
+
+TEST(AtomicExec, FpOpsAreExtension) {
+  EXPECT_TRUE(IsFpOp(AtomicOp::kFpAdd64));
+  EXPECT_TRUE(GetOpInfo(AtomicOp::kFpAdd64).extension);
+  EXPECT_FALSE(IsFpOp(AtomicOp::kCasEqual8));
+  EXPECT_FALSE(GetOpInfo(AtomicOp::kAdd16).extension);
+}
+
+class AllOpsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllOpsTest, MetadataConsistent) {
+  AtomicOp op = static_cast<AtomicOp>(GetParam());
+  const AtomicOpInfo& info = GetOpInfo(op);
+  EXPECT_NE(info.name, nullptr);
+  EXPECT_TRUE(info.operand_bytes == 8 || info.operand_bytes == 16);
+  EXPECT_EQ(ToString(op), info.name);
+}
+
+TEST_P(AllOpsTest, IdempotentWhenNotWriting) {
+  AtomicOp op = static_cast<AtomicOp>(GetParam());
+  Value16 mem{0x1234, 0x5678};
+  auto out = ExecuteAtomic(op, mem, Value16{1, 1});
+  if (!out.wrote) {
+    EXPECT_EQ(out.new_value.lo, mem.lo);
+    EXPECT_EQ(out.new_value.hi, mem.hi);
+  }
+  // The response always carries the original data.
+  EXPECT_EQ(out.returned.lo, mem.lo);
+  EXPECT_EQ(out.returned.hi, mem.hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, AllOpsTest,
+                         ::testing::Range(0, static_cast<int>(AtomicOp::kNumOps)));
+
+}  // namespace
+}  // namespace graphpim::hmc

@@ -1,0 +1,239 @@
+// Tests for the HMC model: FLIT accounting (Table V), bank timing, bank
+// locking during RMW, FU pools, links, address mapping, functional store,
+// and the epoch throttle.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hmc/cube.h"
+#include "hmc/flit.h"
+#include "hmc/throttle.h"
+
+namespace graphpim::hmc {
+namespace {
+
+TEST(Flits, TableV) {
+  // 64-byte READ: 1 request FLIT, 5 response FLITs.
+  EXPECT_EQ(ReadRequestFlits(64), 1u);
+  EXPECT_EQ(ReadResponseFlits(64), 5u);
+  // 64-byte WRITE: 5 request FLITs, 1 response FLIT.
+  EXPECT_EQ(WriteRequestFlits(64), 5u);
+  EXPECT_EQ(WriteResponseFlits(64), 1u);
+  // add without return: 2 request, 1 response.
+  EXPECT_EQ(AtomicRequestFlits(AtomicOp::kAdd16), 2u);
+  EXPECT_EQ(AtomicResponseFlits(AtomicOp::kAdd16, false), 1u);
+  // add with return: 2 request, 2 response.
+  EXPECT_EQ(AtomicResponseFlits(AtomicOp::kAdd16Ret, true), 2u);
+  // boolean/bitwise/CAS: 2 request, 2 response.
+  EXPECT_EQ(AtomicRequestFlits(AtomicOp::kCasEqual8), 2u);
+  EXPECT_EQ(AtomicResponseFlits(AtomicOp::kCasEqual8, true), 2u);
+  EXPECT_EQ(AtomicResponseFlits(AtomicOp::kSwap16, true), 2u);
+  // compare-if-equal: 2 request, 1 response (flag only).
+  EXPECT_EQ(AtomicResponseFlits(AtomicOp::kCompareEqual16, true), 1u);
+}
+
+TEST(Flits, SubLineSizes) {
+  // GraphPIM's exact-size UC accesses use fewer FLITs than line fills.
+  EXPECT_EQ(ReadResponseFlits(8), 2u);
+  EXPECT_EQ(WriteRequestFlits(8), 2u);
+  EXPECT_LT(ReadResponseFlits(8), ReadResponseFlits(64));
+}
+
+TEST(Throttle, AdmitsUpToCapacityPerEpoch) {
+  EpochThrottle t(/*epoch=*/1000, /*per_unit=*/100);  // capacity 10
+  Tick first = t.Reserve(1, 0);
+  EXPECT_EQ(first, 100u);
+  // Ten units fill epoch 0; the eleventh spills into epoch 1.
+  for (int i = 0; i < 9; ++i) t.Reserve(1, 0);
+  Tick spill = t.Reserve(1, 0);
+  EXPECT_GE(spill, 1000u);
+}
+
+TEST(Throttle, OutOfOrderReservationsDoNotBlockEarlier) {
+  EpochThrottle t(1000, 100);
+  // A far-future reservation must not delay an earlier one.
+  t.Reserve(1, 50000);
+  Tick early = t.Reserve(1, 0);
+  EXPECT_LE(early, 200u);
+}
+
+TEST(Throttle, TracksBusyTime) {
+  EpochThrottle t(1000, 100);
+  t.Reserve(3, 0);
+  EXPECT_EQ(t.busy_ticks(), 300u);
+}
+
+HmcParams TestParams() {
+  HmcParams p;
+  return p;
+}
+
+TEST(Cube, VaultMappingCoversAllVaults) {
+  HmcCube cube(TestParams());
+  std::set<std::uint32_t> vaults;
+  for (Addr a = 0; a < 64 * 64; a += 64) vaults.insert(cube.VaultOf(a));
+  EXPECT_EQ(vaults.size(), 32u);
+}
+
+TEST(Cube, VaultLocalAddrIndependentOfVaultBits) {
+  HmcCube cube(TestParams());
+  // Two addresses in different vaults with the same local offset pattern
+  // must decode to the same local address.
+  Addr a = 0x10000;
+  Addr b = a + 64;  // next vault
+  EXPECT_NE(cube.VaultOf(a), cube.VaultOf(b));
+  EXPECT_EQ(cube.VaultLocalAddr(a), cube.VaultLocalAddr(b));
+}
+
+TEST(Cube, ReadLatencyComponents) {
+  HmcCube cube(TestParams());
+  Completion c = cube.Read(0x1000, 64, 0);
+  // Idle read: link + xbar + ctrl + tRCD + tCL + burst + response.
+  double ns = TicksToNs(c.response_at_host);
+  EXPECT_GT(ns, 30.0);
+  EXPECT_LT(ns, 60.0);
+  EXPECT_EQ(c.req_flits, 1u);
+  EXPECT_EQ(c.resp_flits, 5u);
+}
+
+TEST(Cube, RowHitFasterThanRowMiss) {
+  HmcCube cube(TestParams());
+  Completion first = cube.Read(0x2000, 8, 0);
+  EXPECT_FALSE(first.row_hit);
+  // Same row, later access: row hit, shorter bank time.
+  Completion second = cube.Read(0x2008, 8, first.internal_done + 1000);
+  EXPECT_TRUE(second.row_hit);
+  Tick t1 = first.response_at_host;
+  Tick t2 = second.response_at_host - (first.internal_done + 1000);
+  EXPECT_LT(t2, t1);
+}
+
+TEST(Cube, BankLockedDuringAtomic) {
+  HmcCube cube(TestParams());
+  // An atomic locks its bank; a read right behind it to the same bank must
+  // wait for the full RMW (including write-back).
+  Completion a = cube.Atomic(0x4000, AtomicOp::kAdd16, Value16{1, 0}, false, 0);
+  Completion r = cube.Read(0x4000, 8, 0);
+  EXPECT_GE(r.internal_done, a.internal_done);
+}
+
+TEST(Cube, AtomicResponseBeforeWriteback) {
+  HmcCube cube(TestParams());
+  Completion a = cube.Atomic(0x6000, AtomicOp::kAdd16Ret, Value16{1, 0}, true, 0);
+  // The response leaves once the FU has the result; the bank frees later
+  // (after write recovery).
+  EXPECT_GT(a.internal_done, 0u);
+  EXPECT_EQ(a.resp_flits, 2u);
+}
+
+TEST(Cube, SingleFpFuSerializes) {
+  HmcParams p = TestParams();
+  p.fp_fus_per_vault = 1;
+  HmcCube one(p);
+  // Two FP atomics to the same vault, different banks: FU is shared.
+  Addr a1 = 0x0;                  // vault 0
+  Addr a2 = 64ull * 32 * 32;      // vault 0, different bank region
+  ASSERT_EQ(one.VaultOf(a1), one.VaultOf(a2));
+  Completion c1 = one.Atomic(a1, AtomicOp::kFpAdd64, Value16{}, false, 0);
+  Completion c2 = one.Atomic(a2, AtomicOp::kFpAdd64, Value16{}, false, 0);
+  (void)c1;
+  // The FP FU busy time equals two op latencies (they did not overlap).
+  EXPECT_EQ(one.TotalFpFuBusy(), 2 * p.fu_fp_latency);
+  EXPECT_GT(c2.response_at_host, c1.response_at_host);
+}
+
+TEST(Cube, FpAtomicRequiresExtension) {
+  HmcParams p = TestParams();
+  p.enable_fp_atomics = true;
+  HmcCube cube(p);
+  Completion c = cube.Atomic(0x100, AtomicOp::kFpAdd64, Value16{}, false, 0);
+  EXPECT_GT(c.response_at_host, 0u);
+}
+
+TEST(Cube, FunctionalAtomicChain) {
+  HmcCube cube(TestParams());
+  cube.set_functional(true);
+  Addr a = 0x9000;
+  cube.FunctionalWrite(a, Value16{10, 0});
+  cube.Atomic(a, AtomicOp::kAdd16, Value16{5, 0}, false, 0);
+  cube.Atomic(a, AtomicOp::kAdd16, Value16{7, 0}, false, 0);
+  EXPECT_EQ(cube.FunctionalRead(a).lo, 22u);
+  // CAS only fires on match.
+  Completion c = cube.Atomic(a, AtomicOp::kCasEqual8, Value16{99, 22}, true, 0);
+  EXPECT_TRUE(c.outcome.flag);
+  EXPECT_EQ(cube.FunctionalRead(a).lo, 99u);
+}
+
+TEST(Cube, StatsAccumulateFlits) {
+  StatSet stats;
+  HmcCube cube(TestParams(), &stats);
+  cube.Read(0, 64, 0);
+  cube.Write(64, 64, 0);
+  cube.Atomic(128, AtomicOp::kAdd16, Value16{}, false, 0);
+  EXPECT_DOUBLE_EQ(stats.Get("hmc.reads"), 1);
+  EXPECT_DOUBLE_EQ(stats.Get("hmc.writes"), 1);
+  EXPECT_DOUBLE_EQ(stats.Get("hmc.atomics"), 1);
+  EXPECT_DOUBLE_EQ(stats.Get("hmc.req_flits"), 1 + 5 + 2);
+  EXPECT_DOUBLE_EQ(stats.Get("hmc.resp_flits"), 5 + 1 + 1);
+}
+
+TEST(Cube, LinkBandwidthScaleSpeedsSerialization) {
+  HmcParams slow = TestParams();
+  slow.link_bw_scale = 0.01;  // pathological: make serialization dominant
+  HmcParams fast = TestParams();
+  fast.link_bw_scale = 1.0;
+  HmcCube s(slow);
+  HmcCube f(fast);
+  Tick ts = s.Read(0, 64, 0).response_at_host;
+  Tick tf = f.Read(0, 64, 0).response_at_host;
+  EXPECT_GT(ts, tf);
+}
+
+TEST(Cube, ClosedPageUniformLatency) {
+  HmcParams p = TestParams();
+  p.closed_page = true;
+  HmcCube cube(p);
+  // Same row back to back: closed-page never row-hits, both accesses see
+  // the same activate+access latency.
+  Completion a = cube.Read(0x2000, 8, 0);
+  Completion b = cube.Read(0x2008, 8, a.internal_done + 10000);
+  EXPECT_FALSE(a.row_hit);
+  EXPECT_FALSE(b.row_hit);
+}
+
+TEST(Cube, RefreshWindowStallsAccess) {
+  HmcParams p = TestParams();
+  p.t_refi = NsToTicks(1000.0);
+  p.t_rfc = NsToTicks(200.0);
+  StatSet stats;
+  HmcCube cube(p, &stats);
+  // Land inside the refresh window [800ns, 1000ns).
+  cube.Read(0x3000, 8, NsToTicks(850.0));
+  EXPECT_GE(stats.Get("hmc.refresh_stalls"), 1.0);
+}
+
+TEST(Cube, RefreshDisabled) {
+  HmcParams p = TestParams();
+  p.t_refi = 0;
+  StatSet stats;
+  HmcCube cube(p, &stats);
+  cube.Read(0x3000, 8, NsToTicks(850.0));
+  EXPECT_DOUBLE_EQ(stats.Get("hmc.refresh_stalls"), 0.0);
+}
+
+TEST(Cube, TightTrasGatesRowCycling) {
+  HmcParams p = TestParams();
+  HmcCube cube(p);
+  // Conflicting rows in the same bank back to back: the second access
+  // cannot precharge until tRAS after the first activate.
+  Addr row0 = 0x0;
+  Addr row1 = 64ull * 32 * 32 * 16;  // same vault+bank, different row
+  ASSERT_EQ(cube.VaultOf(row0), cube.VaultOf(row1));
+  Completion c0 = cube.Read(row0, 8, 0);
+  Completion c1 = cube.Read(row1, 8, 0);
+  EXPECT_FALSE(c1.row_hit);
+  EXPECT_GT(c1.response_at_host, c0.response_at_host);
+}
+
+}  // namespace
+}  // namespace graphpim::hmc

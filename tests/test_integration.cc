@@ -1,0 +1,175 @@
+// End-to-end integration tests: paired runs reproduce the paper's headline
+// relationships on CI-scale graphs.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+
+namespace graphpim::core {
+namespace {
+
+Experiment::Options SmallOpts() {
+  Experiment::Options o;
+  o.num_threads = 8;
+  o.op_cap = 2'000'000;
+  return o;
+}
+
+constexpr VertexId kN = 8 * 1024;
+
+SimConfig Scaled(Mode m) {
+  SimConfig cfg = SimConfig::Scaled(m);
+  cfg.num_cores = 8;
+  return cfg;
+}
+
+TEST(Integration, GraphPimSpeedsUpAtomicHeavyWorkloads) {
+  for (const char* wl : {"dc", "prank", "ccomp"}) {
+    Experiment exp("ldbc", kN, wl, SmallOpts());
+    SimResults base = exp.Run(Scaled(Mode::kBaseline));
+    SimResults pim = exp.Run(Scaled(Mode::kGraphPim));
+    EXPECT_GT(Speedup(base, pim), 1.2) << wl;
+    EXPECT_EQ(pim.offloaded_atomics, pim.atomics) << wl;
+    EXPECT_EQ(base.offloaded_atomics, 0u) << wl;
+  }
+}
+
+TEST(Integration, ComputeBoundWorkloadsUnaffected) {
+  Experiment exp("ldbc", kN, "tc", SmallOpts());
+  SimResults base = exp.Run(Scaled(Mode::kBaseline));
+  SimResults pim = exp.Run(Scaled(Mode::kGraphPim));
+  double s = Speedup(base, pim);
+  EXPECT_GT(s, 0.85);
+  EXPECT_LT(s, 1.3);
+}
+
+TEST(Integration, TraceIsIdenticalAcrossConfigs) {
+  Experiment exp("ldbc", kN, "bfs", SmallOpts());
+  SimResults a = exp.Run(Scaled(Mode::kBaseline));
+  SimResults b = exp.Run(Scaled(Mode::kGraphPim));
+  EXPECT_EQ(a.insts, b.insts);
+  EXPECT_EQ(a.atomics, b.atomics);
+}
+
+TEST(Integration, RunsAreDeterministic) {
+  Experiment exp("ldbc", kN, "bfs", SmallOpts());
+  SimResults a = exp.Run(Scaled(Mode::kGraphPim));
+  SimResults b = exp.Run(Scaled(Mode::kGraphPim));
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.insts, b.insts);
+  EXPECT_DOUBLE_EQ(a.req_flits, b.req_flits);
+}
+
+TEST(Integration, CacheBypassCutsCacheTraffic) {
+  Experiment exp("ldbc", kN, "bfs", SmallOpts());
+  SimResults base = exp.Run(Scaled(Mode::kBaseline));
+  SimResults pim = exp.Run(Scaled(Mode::kGraphPim));
+  EXPECT_LT(pim.raw.Get("cache.access.property"), 1.0)
+      << "GraphPIM property accesses must bypass the hierarchy";
+  EXPECT_GT(base.raw.Get("cache.access.property"), 1000.0);
+}
+
+TEST(Integration, BandwidthSavingsFromSmallPackets) {
+  // Fig 12: GraphPIM reduces link traffic for atomic-heavy workloads. The
+  // effect needs the paper's footprint regime (property >> LLC), so this
+  // test uses the full bench scale.
+  Experiment::Options o = SmallOpts();
+  o.op_cap = 4'000'000;
+  Experiment exp("ldbc", 32 * 1024, "dc", o);
+  SimResults base = exp.Run(Scaled(Mode::kBaseline));
+  SimResults pim = exp.Run(Scaled(Mode::kGraphPim));
+  EXPECT_LT(pim.req_flits + pim.resp_flits, base.req_flits + base.resp_flits);
+}
+
+TEST(Integration, HighCandidateMissRateInBaseline) {
+  // Fig 10: offloading candidates mostly miss the cache hierarchy.
+  Experiment::Options o = SmallOpts();
+  o.op_cap = 4'000'000;
+  Experiment exp("ldbc", 32 * 1024, "dc", o);
+  SimResults base = exp.Run(Scaled(Mode::kBaseline));
+  EXPECT_GT(base.atomic_miss_rate, 0.4);
+}
+
+TEST(Integration, FuCountInsensitive) {
+  // Fig 11: even one FU per vault sustains the atomic throughput.
+  Experiment exp("ldbc", kN, "dc", SmallOpts());
+  SimConfig one = Scaled(Mode::kGraphPim);
+  one.hmc.fus_per_vault = 1;
+  SimConfig sixteen = Scaled(Mode::kGraphPim);
+  sixteen.hmc.fus_per_vault = 16;
+  SimResults r1 = exp.Run(one);
+  SimResults r16 = exp.Run(sixteen);
+  double ratio = static_cast<double>(r1.cycles) / static_cast<double>(r16.cycles);
+  EXPECT_LT(ratio, 1.3);
+  EXPECT_GT(ratio, 0.85);
+}
+
+TEST(Integration, LinkBandwidthInsensitive) {
+  // Fig 13: halving/doubling link bandwidth barely moves performance.
+  Experiment exp("ldbc", kN, "bfs", SmallOpts());
+  SimConfig half = Scaled(Mode::kGraphPim);
+  half.hmc.link_bw_scale = 0.5;
+  SimConfig dbl = Scaled(Mode::kGraphPim);
+  dbl.hmc.link_bw_scale = 2.0;
+  SimResults rh = exp.Run(half);
+  SimResults rd = exp.Run(dbl);
+  double ratio = static_cast<double>(rh.cycles) / static_cast<double>(rd.cycles);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(Integration, UncoreEnergyDropsForAtomicHeavy) {
+  // Fig 15 direction: GraphPIM cuts uncore energy.
+  Experiment exp("ldbc", kN, "dc", SmallOpts());
+  SimResults base = exp.Run(Scaled(Mode::kBaseline));
+  SimResults pim = exp.Run(Scaled(Mode::kGraphPim));
+  EXPECT_LT(pim.energy.Total(), base.energy.Total());
+}
+
+TEST(Integration, BusLockAblationIsWorseThanBaseline) {
+  // Section III-B: UC property without PIM-atomics degrades to bus locks.
+  Experiment exp("ldbc", kN, "dc", SmallOpts());
+  SimResults base = exp.Run(Scaled(Mode::kBaseline));
+  SimResults uc = exp.Run(Scaled(Mode::kUncacheNoPim));
+  EXPECT_LT(Speedup(base, uc), 1.0);
+}
+
+TEST(Integration, FpExtensionAblationForPrank) {
+  // Without FP atomics, PRank cannot offload (Table III) and loses the
+  // GraphPIM benefit.
+  Experiment exp("ldbc", kN, "prank", SmallOpts());
+  SimConfig with = Scaled(Mode::kGraphPim);
+  SimConfig without = Scaled(Mode::kGraphPim);
+  without.hmc.enable_fp_atomics = false;
+  SimResults rw = exp.Run(with);
+  SimResults ro = exp.Run(without);
+  EXPECT_EQ(ro.offloaded_atomics, 0u);
+  EXPECT_GT(rw.offloaded_atomics, 0u);
+  EXPECT_LT(rw.cycles, ro.cycles);
+}
+
+TEST(Integration, BreakdownFractionsSane) {
+  Experiment exp("ldbc", kN, "bfs", SmallOpts());
+  SimResults base = exp.Run(Scaled(Mode::kBaseline));
+  EXPECT_GT(base.ipc, 0.0);
+  EXPECT_LE(base.frac_retiring + base.frac_frontend + base.frac_badspec, 1.0);
+  EXPECT_GT(base.frac_backend, 0.4) << "graph workloads are backend bound (Fig 2)";
+  EXPECT_GT(base.l3_mpki, 1.0);
+}
+
+TEST(Integration, IpcWellBelowOne) {
+  // Fig 1: graph traversal workloads run far below IPC 1 per core.
+  Experiment exp("ldbc", 16 * 1024, "bfs", SmallOpts());
+  SimResults base = exp.Run(Scaled(Mode::kBaseline));
+  EXPECT_LT(base.ipc, 0.5);
+}
+
+TEST(Integration, BitcoinAndTwitterProfilesRun) {
+  for (const char* profile : {"bitcoin", "twitter"}) {
+    Experiment exp(profile, 4 * 1024, "ccomp", SmallOpts());
+    SimResults base = exp.Run(Scaled(Mode::kBaseline));
+    SimResults pim = exp.Run(Scaled(Mode::kGraphPim));
+    EXPECT_GT(Speedup(base, pim), 1.0) << profile;
+  }
+}
+
+}  // namespace
+}  // namespace graphpim::core

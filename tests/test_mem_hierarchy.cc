@@ -1,0 +1,165 @@
+// Tests for the cache hierarchy: hit levels, inclusion, coherence costs,
+// MSHR backpressure, prefetch coverage, and atomic line serialization.
+#include <gtest/gtest.h>
+
+#include "hmc/cube.h"
+#include "mem/hierarchy.h"
+
+namespace graphpim::mem {
+namespace {
+
+struct Fixture {
+  StatSet stats;
+  hmc::HmcParams hp;
+  hmc::HmcCube cube;
+  CacheParams cp;
+  CacheHierarchy hier;
+
+  explicit Fixture(int cores = 2, CacheParams params = CacheParams())
+      : cube(hp, &stats), cp(params), hier(cores, cp, &cube, &stats) {}
+};
+
+TEST(Hierarchy, MissThenHitLevels) {
+  Fixture f;
+  AccessResult miss = f.hier.Access(0, AccessType::kRead, 0x1000, 0);
+  EXPECT_EQ(miss.hit_level, 0);
+  EXPECT_GT(TicksToNs(miss.complete), 50.0);  // walk + memory
+  AccessResult hit = f.hier.Access(0, AccessType::kRead, 0x1000, miss.complete);
+  EXPECT_EQ(hit.hit_level, 1);
+  EXPECT_EQ(hit.complete - miss.complete, f.cp.l1_latency);
+}
+
+TEST(Hierarchy, RemoteCoreHitsInL3) {
+  Fixture f;
+  AccessResult m = f.hier.Access(0, AccessType::kRead, 0x2000, 0);
+  // The other core finds the line in the shared L3, not its private levels.
+  AccessResult r = f.hier.Access(1, AccessType::kRead, 0x2000, m.complete);
+  EXPECT_EQ(r.hit_level, 3);
+}
+
+TEST(Hierarchy, WriteInvalidatesRemoteCopy) {
+  Fixture f;
+  AccessResult a = f.hier.Access(0, AccessType::kRead, 0x3000, 0);
+  AccessResult b = f.hier.Access(1, AccessType::kRead, 0x3000, a.complete);
+  AccessResult w = f.hier.Access(1, AccessType::kWrite, 0x3000, b.complete);
+  EXPECT_TRUE(w.coherence_inval);
+  EXPECT_EQ(f.hier.ProbeLevel(0, 0x3000), 3) << "core 0 private copy invalidated";
+  EXPECT_DOUBLE_EQ(f.stats.Get("cache.coherence_invals"), 1);
+}
+
+TEST(Hierarchy, ProbeLevelNonDestructive) {
+  Fixture f;
+  EXPECT_EQ(f.hier.ProbeLevel(0, 0x4000), 0);
+  f.hier.Access(0, AccessType::kRead, 0x4000, 0);
+  EXPECT_EQ(f.hier.ProbeLevel(0, 0x4000), 1);
+  EXPECT_EQ(f.hier.ProbeLevel(1, 0x4000), 3);  // only in shared L3 for core 1
+}
+
+TEST(Hierarchy, AtomicLineSerializes) {
+  Fixture f;
+  AccessResult a = f.hier.Access(0, AccessType::kAtomicRmw, 0x5000, 0);
+  AccessResult b = f.hier.Access(1, AccessType::kAtomicRmw, 0x5000, 0);
+  EXPECT_GE(b.complete, a.complete);
+  EXPECT_DOUBLE_EQ(f.stats.Get("cache.atomic_line_waits"), 1);
+}
+
+TEST(Hierarchy, AtomicsToDifferentLinesDoNotSerialize) {
+  Fixture f;
+  f.hier.Access(0, AccessType::kAtomicRmw, 0x6000, 0);
+  AccessResult b = f.hier.Access(1, AccessType::kAtomicRmw, 0x7000, 0);
+  (void)b;
+  EXPECT_DOUBLE_EQ(f.stats.Get("cache.atomic_line_waits"), 0);
+}
+
+TEST(Hierarchy, MshrBackpressureReported) {
+  CacheParams cp;
+  cp.mshrs_per_core = 2;
+  cp.prefetch_streams = 0;
+  Fixture f(1, cp);
+  // Three parallel misses with two MSHRs: the third must report a stall.
+  AccessResult r1 = f.hier.Access(0, AccessType::kRead, 0x10000, 0);
+  AccessResult r2 = f.hier.Access(0, AccessType::kRead, 0x20000, 0);
+  AccessResult r3 = f.hier.Access(0, AccessType::kRead, 0x30000, 0);
+  EXPECT_EQ(r1.issue_stall, 0u);
+  EXPECT_EQ(r2.issue_stall, 0u);
+  EXPECT_GT(r3.issue_stall, 0u);
+}
+
+TEST(Hierarchy, PrefetcherCoversSequentialStream) {
+  Fixture f;
+  Tick t = 0;
+  // Establish the stream with two sequential misses, then the rest are
+  // covered by the prefetcher (fast completion).
+  AccessResult first = f.hier.Access(0, AccessType::kRead, 0x100000, t);
+  AccessResult second = f.hier.Access(0, AccessType::kRead, 0x100040, first.complete);
+  AccessResult third = f.hier.Access(0, AccessType::kRead, 0x100080, second.complete);
+  EXPECT_LT(third.complete - second.complete, first.complete);
+  EXPECT_GE(f.stats.Get("cache.prefetch_covered"), 1);
+}
+
+TEST(Hierarchy, PrefetcherIgnoresRandomMisses) {
+  Fixture f;
+  StatSet& s = f.stats;
+  f.hier.Access(0, AccessType::kRead, 0x200000, 0);
+  f.hier.Access(0, AccessType::kRead, 0x543210 & ~63ull, 0);
+  f.hier.Access(0, AccessType::kRead, 0x9abcd0 & ~63ull, 0);
+  EXPECT_DOUBLE_EQ(s.Get("cache.prefetch_covered"), 0);
+}
+
+TEST(Hierarchy, DirtyEvictionWritesBack) {
+  CacheParams cp;
+  cp.l1_size = 512;   // tiny caches to force eviction quickly
+  cp.l1_ways = 2;
+  cp.l2_size = 1024;
+  cp.l2_ways = 2;
+  cp.l3_size = 2048;
+  cp.l3_ways = 2;
+  cp.prefetch_streams = 0;
+  Fixture f(1, cp);
+  // Dirty a line, then stream enough conflicting lines through to evict it
+  // out of the whole (inclusive) hierarchy.
+  f.hier.Access(0, AccessType::kWrite, 0x0, 0);
+  for (Addr a = 64; a < 64 * 200; a += 64) {
+    f.hier.Access(0, AccessType::kRead, a, 1000000);
+  }
+  EXPECT_GE(f.stats.Get("cache.writebacks"), 1);
+  EXPECT_DOUBLE_EQ(f.stats.Get("hmc.writes"), f.stats.Get("cache.writebacks"));
+}
+
+TEST(Hierarchy, InclusiveBackInvalidation) {
+  CacheParams cp;
+  cp.l1_size = 4 * kKiB;
+  cp.l2_size = 8 * kKiB;
+  cp.l3_size = 2048;  // tiny shared L3: 32 lines
+  cp.l3_ways = 2;
+  cp.prefetch_streams = 0;
+  Fixture f(1, cp);
+  f.hier.Access(0, AccessType::kRead, 0x0, 0);
+  ASSERT_EQ(f.hier.ProbeLevel(0, 0x0), 1);
+  // Fill L3's set containing 0x0 until the line is evicted; inclusion must
+  // purge the private copies too.
+  for (int i = 1; i <= 64; ++i) {
+    f.hier.Access(0, AccessType::kRead, static_cast<Addr>(i) * 2048, 0);
+  }
+  EXPECT_EQ(f.hier.ProbeLevel(0, 0x0), 0);
+}
+
+TEST(Hierarchy, AtomicMissStatsForFig10) {
+  Fixture f;
+  f.hier.Access(0, AccessType::kAtomicRmw, 0x8000, 0);  // cold: miss
+  f.hier.Access(0, AccessType::kAtomicRmw, 0x8000, 1000000);  // now hits
+  EXPECT_DOUBLE_EQ(f.stats.Get("cache.atomic_reqs"), 2);
+  EXPECT_DOUBLE_EQ(f.stats.Get("cache.atomic_mem_misses"), 1);
+}
+
+TEST(Hierarchy, PerComponentStats) {
+  Fixture f;
+  f.hier.Access(0, AccessType::kRead, 0x9000, 0, DataComponent::kProperty);
+  f.hier.Access(0, AccessType::kRead, 0xA000, 0, DataComponent::kStructure);
+  EXPECT_DOUBLE_EQ(f.stats.Get("cache.access.property"), 1);
+  EXPECT_DOUBLE_EQ(f.stats.Get("cache.access.structure"), 1);
+  EXPECT_DOUBLE_EQ(f.stats.Get("cache.l3_miss.property"), 1);
+}
+
+}  // namespace
+}  // namespace graphpim::mem

@@ -1,0 +1,115 @@
+// Tests for the energy model and the analytical model (Section IV-B5).
+#include <gtest/gtest.h>
+
+#include "analytic/model.h"
+#include "energy/energy.h"
+
+namespace graphpim {
+namespace {
+
+using analytic::ModelInputs;
+
+TEST(Energy, StaticPowerScalesWithRuntime) {
+  StatSet empty;
+  energy::EnergyParams p;
+  auto e1 = energy::ComputeUncoreEnergy(empty, 1.0, p);
+  auto e2 = energy::ComputeUncoreEnergy(empty, 2.0, p);
+  EXPECT_NEAR(e2.Total(), 2.0 * e1.Total(), 1e-9);
+  EXPECT_GT(e1.link_j, 0.0);
+}
+
+TEST(Energy, DynamicComponentsFollowCounters) {
+  StatSet s;
+  s.Set("cache.l1_hits", 1e6);
+  s.Set("hmc.req_flits", 1e6);
+  s.Set("hmc.reads", 1e5);
+  s.Set("hmc.row_misses", 1e5);
+  s.Set("hmc.fu_fp_ops", 1e5);
+  energy::EnergyParams p;
+  // Zero out statics to isolate dynamic scaling.
+  p.cache_static_w = p.link_static_w = p.ll_static_w = p.dram_static_w = 0;
+  p.fu_fp_static_w = 0;
+  auto e = energy::ComputeUncoreEnergy(s, 1.0, p);
+  EXPECT_NEAR(e.caches_j, 1e6 * p.l1_access_nj * 1e-9, 1e-12);
+  EXPECT_NEAR(e.link_j, 1e6 * p.link_flit_nj * 1e-9, 1e-12);
+  EXPECT_NEAR(e.fu_j, 1e5 * p.fu_fp_nj * 1e-9, 1e-12);
+  EXPECT_GT(e.dram_j, 0.0);
+  EXPECT_GT(e.logic_j, 0.0);
+}
+
+TEST(Energy, SerDesShareIsLargest) {
+  // [34][36]: SerDes links consume ~43% of HMC power; with idle links the
+  // link share must dominate the HMC-side components.
+  StatSet empty;
+  energy::EnergyParams p;
+  auto e = energy::ComputeUncoreEnergy(empty, 1.0, p);
+  EXPECT_GT(e.link_j, e.logic_j);
+  EXPECT_GT(e.link_j, e.dram_j);
+  EXPECT_GT(e.link_j, e.fu_j);
+}
+
+TEST(Analytic, Equation2Components) {
+  ModelInputs in;
+  in.lat_cache = 30;
+  in.miss_atomic = 0.5;
+  in.lat_mem = 100;
+  in.c_incore = 40;
+  EXPECT_DOUBLE_EQ(analytic::AtomicOverheadBaseline(in), 30 + 0.5 * 100 + 40);
+}
+
+TEST(Analytic, Equation1Form) {
+  ModelInputs in;
+  in.cpi_other = 2.0;
+  in.overlap = 0.25;
+  in.r_atomic = 0.1;
+  double aio = analytic::AtomicOverheadBaseline(in);
+  EXPECT_DOUBLE_EQ(analytic::CpiBaseline(in), 2.0 * 0.75 + 0.1 * aio);
+}
+
+TEST(Analytic, SpeedupAboveOneWhenAtomicsMatter) {
+  ModelInputs in;
+  in.r_atomic = 0.1;
+  in.miss_atomic = 0.9;
+  EXPECT_GT(analytic::PredictSpeedup(in), 1.2);
+}
+
+TEST(Analytic, NoAtomicsNoSpeedup) {
+  ModelInputs in;
+  in.r_atomic = 0.0;
+  EXPECT_DOUBLE_EQ(analytic::PredictSpeedup(in), 1.0);
+}
+
+TEST(Analytic, SpeedupMonotonicInAtomicRate) {
+  ModelInputs lo;
+  lo.r_atomic = 0.01;
+  ModelInputs hi = lo;
+  hi.r_atomic = 0.2;
+  EXPECT_GT(analytic::PredictSpeedup(hi), analytic::PredictSpeedup(lo));
+}
+
+TEST(Analytic, SpeedupMonotonicInMissRate) {
+  ModelInputs lo;
+  lo.r_atomic = 0.05;
+  lo.miss_atomic = 0.2;
+  ModelInputs hi = lo;
+  hi.miss_atomic = 0.95;
+  EXPECT_GT(analytic::PredictSpeedup(hi), analytic::PredictSpeedup(lo));
+}
+
+TEST(Analytic, RealWorldEstimatesInPaperRange) {
+  // Table VIII inputs -> Fig 17 outputs: FD ~1.5x / RS ~1.9x speedup,
+  // 32% / 48% energy reduction.
+  analytic::RealWorldApp fd{"FD", 0.10, 21.3, 0.028, 0.658, 0.838, 0.013, 0.17, 0.07};
+  analytic::RealWorldApp rs{"RS", 0.12, 20.6, 0.134, 0.527, 0.888, 0.029, 0.32, 0.17};
+  auto efd = analytic::EstimateRealWorld(fd);
+  auto ers = analytic::EstimateRealWorld(rs);
+  EXPECT_GT(efd.speedup, 1.1);
+  EXPECT_LT(efd.speedup, 1.8);
+  EXPECT_GT(ers.speedup, efd.speedup);
+  EXPECT_LT(ers.speedup, 2.3);
+  EXPECT_LT(efd.energy_norm, 0.95);
+  EXPECT_LT(ers.energy_norm, efd.energy_norm);
+}
+
+}  // namespace
+}  // namespace graphpim

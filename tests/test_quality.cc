@@ -1,0 +1,94 @@
+// Remaining targeted coverage: FP compute latency, throttle window wrap,
+// prefetcher disable, energy parameter sensitivity.
+#include <gtest/gtest.h>
+
+#include "energy/energy.h"
+#include "hmc/throttle.h"
+#include "mem/hierarchy.h"
+#include "cpu/core.h"
+
+namespace graphpim {
+namespace {
+
+class InstantMem : public cpu::MemoryInterface {
+ public:
+  cpu::MemOutcome Access(int, const cpu::MicroOp&, Tick when) override {
+    cpu::MemOutcome out;
+    out.complete = when;
+    out.retire_ready = when;
+    return out;
+  }
+};
+
+TEST(CoreQuality, FpComputeSlowerThanInt) {
+  InstantMem mem;
+  cpu::CoreParams p;
+  p.fp_compute_lat = 8;
+  cpu::OooCore core(0, p, &mem);
+  auto run = [&](bool fp) {
+    std::vector<cpu::MicroOp> trace;
+    for (int i = 0; i < 1000; ++i) {
+      cpu::MicroOp op;
+      op.type = cpu::OpType::kCompute;
+      op.flags = cpu::kFlagDepPrev | (fp ? cpu::kFlagFpCompute : 0);
+      trace.push_back(op);
+    }
+    core.Reset(&trace);
+    while (core.Advance(core.Now() + NsToTicks(1e6)) != cpu::OooCore::Status::kDone) {
+    }
+    return core.Now();
+  };
+  Tick int_time = run(false);
+  Tick fp_time = run(true);
+  EXPECT_NEAR(static_cast<double>(fp_time) / static_cast<double>(int_time), 8.0, 0.5);
+}
+
+TEST(ThrottleQuality, LongHorizonJumpResetsWindow) {
+  hmc::EpochThrottle t(/*epoch=*/1000, /*unit=*/100, /*window=*/4);
+  for (int i = 0; i < 10; ++i) t.Reserve(1, 0);
+  // A reservation far past the window must not see stale usage.
+  Tick far = t.Reserve(1, 1'000'000'000);
+  EXPECT_GE(far, 1'000'000'000u);
+  EXPECT_LE(far, 1'000'000'000u + 2000u);
+  // And the window keeps working after the jump.
+  Tick next = t.Reserve(1, 1'000'000'000);
+  EXPECT_GT(next, far - 2000);
+}
+
+TEST(HierarchyQuality, PrefetcherCanBeDisabled) {
+  StatSet stats;
+  hmc::HmcParams hp;
+  hmc::HmcCube cube(hp, &stats);
+  mem::CacheParams cp;
+  cp.prefetch_streams = 0;
+  mem::CacheHierarchy hier(1, cp, &cube, &stats);
+  Tick t = 0;
+  for (int i = 0; i < 16; ++i) {
+    t = hier.Access(0, mem::AccessType::kRead, 0x100000 + i * 64, t).complete;
+  }
+  EXPECT_DOUBLE_EQ(stats.Get("cache.prefetch_covered"), 0.0);
+}
+
+TEST(EnergyQuality, MoreFlitsMoreLinkEnergy) {
+  StatSet a;
+  StatSet b;
+  a.Set("hmc.req_flits", 1e6);
+  b.Set("hmc.req_flits", 2e6);
+  energy::EnergyParams p;
+  p.link_static_w = 0;
+  EXPECT_LT(energy::ComputeUncoreEnergy(a, 1.0, p).link_j,
+            energy::ComputeUncoreEnergy(b, 1.0, p).link_j);
+}
+
+TEST(EnergyQuality, FpFuStaticOnlyWhenEnabled) {
+  StatSet s;
+  energy::EnergyParams p;
+  p.fp_fus_enabled = false;
+  double off = energy::ComputeUncoreEnergy(s, 1.0, p).fu_j;
+  p.fp_fus_enabled = true;
+  double on = energy::ComputeUncoreEnergy(s, 1.0, p).fu_j;
+  EXPECT_GT(on, off);
+}
+
+}  // namespace
+}  // namespace graphpim

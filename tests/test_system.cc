@@ -1,0 +1,156 @@
+// Tests for the machine configurations: routing per mode, applicability
+// fallbacks, and the run harness.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "core/system.h"
+
+namespace graphpim::core {
+namespace {
+
+using cpu::MicroOp;
+using cpu::OpType;
+
+constexpr Addr kPmrBase = 0x4'0000'0000ULL;
+constexpr Addr kPmrEnd = kPmrBase + 0x1000'0000ULL;
+
+MicroOp PropAtomic(hmc::AtomicOp aop = hmc::AtomicOp::kDualAdd8, bool ret = false) {
+  MicroOp op;
+  op.type = OpType::kAtomic;
+  op.addr = kPmrBase + 0x100;
+  op.size = 8;
+  op.aop = aop;
+  op.comp = DataComponent::kProperty;
+  if (ret) op.flags |= cpu::kFlagWantReturn;
+  return op;
+}
+
+MicroOp PropLoad() {
+  MicroOp op;
+  op.type = OpType::kLoad;
+  op.addr = kPmrBase + 0x200;
+  op.size = 8;
+  op.comp = DataComponent::kProperty;
+  return op;
+}
+
+MicroOp MetaAtomic() {
+  MicroOp op = PropAtomic();
+  op.addr = 0x2000;
+  op.comp = DataComponent::kMeta;
+  return op;
+}
+
+SimConfig Cfg(Mode m) { return SimConfig::Scaled(m); }
+
+TEST(MemorySystem, BaselineSerializesAllAtomics) {
+  MemorySystem sys(Cfg(Mode::kBaseline), kPmrBase, kPmrEnd);
+  auto out = sys.Access(0, PropAtomic(), 0);
+  EXPECT_TRUE(out.serializing);
+  EXPECT_FALSE(out.offloaded);
+  EXPECT_DOUBLE_EQ(sys.stats().Get("pou.offloaded_atomics"), 0);
+}
+
+TEST(MemorySystem, GraphPimOffloadsPmrAtomics) {
+  MemorySystem sys(Cfg(Mode::kGraphPim), kPmrBase, kPmrEnd);
+  auto out = sys.Access(0, PropAtomic(), 0);
+  EXPECT_FALSE(out.serializing);
+  EXPECT_TRUE(out.offloaded);
+  EXPECT_DOUBLE_EQ(sys.stats().Get("pou.offloaded_atomics"), 1);
+  EXPECT_DOUBLE_EQ(sys.stats().Get("hmc.atomics"), 1);
+}
+
+TEST(MemorySystem, GraphPimKeepsMetaAtomicsOnHost) {
+  MemorySystem sys(Cfg(Mode::kGraphPim), kPmrBase, kPmrEnd);
+  auto out = sys.Access(0, MetaAtomic(), 0);
+  EXPECT_TRUE(out.serializing);
+  EXPECT_FALSE(out.offloaded);
+  EXPECT_DOUBLE_EQ(sys.stats().Get("hmc.atomics"), 0);
+}
+
+TEST(MemorySystem, GraphPimBypassesPmrLoads) {
+  MemorySystem sys(Cfg(Mode::kGraphPim), kPmrBase, kPmrEnd);
+  sys.Access(0, PropLoad(), 0);
+  EXPECT_DOUBLE_EQ(sys.stats().Get("pou.uc_reads"), 1);
+  EXPECT_DOUBLE_EQ(sys.stats().Get("cache.l1_misses"), 0)
+      << "UC accesses must not touch the hierarchy";
+}
+
+TEST(MemorySystem, PostedAtomicRetiresEarly) {
+  MemorySystem sys(Cfg(Mode::kGraphPim), kPmrBase, kPmrEnd);
+  auto posted = sys.Access(0, PropAtomic(hmc::AtomicOp::kDualAdd8, false), 0);
+  EXPECT_LT(posted.retire_ready, posted.complete);
+  auto ret = sys.Access(1, PropAtomic(hmc::AtomicOp::kCasEqual8, true), 0);
+  EXPECT_EQ(ret.retire_ready, ret.complete);
+}
+
+TEST(MemorySystem, FpAtomicFallsBackWithoutExtension) {
+  SimConfig cfg = Cfg(Mode::kGraphPim);
+  cfg.hmc.enable_fp_atomics = false;
+  MemorySystem sys(cfg, kPmrBase, kPmrEnd);
+  auto out = sys.Access(0, PropAtomic(hmc::AtomicOp::kFpAdd64, true), 0);
+  EXPECT_FALSE(out.offloaded);
+  EXPECT_TRUE(out.serializing);  // UC host atomic degrades to bus locking
+  EXPECT_DOUBLE_EQ(sys.stats().Get("pou.bus_lock_atomics"), 1);
+}
+
+TEST(MemorySystem, FpAtomicOffloadsWithExtension) {
+  SimConfig cfg = Cfg(Mode::kGraphPim);
+  cfg.hmc.enable_fp_atomics = true;
+  MemorySystem sys(cfg, kPmrBase, kPmrEnd);
+  auto out = sys.Access(0, PropAtomic(hmc::AtomicOp::kFpAdd64, true), 0);
+  EXPECT_TRUE(out.offloaded);
+}
+
+TEST(MemorySystem, UPeiOffloadsOnMissExecutesOnHit) {
+  MemorySystem sys(Cfg(Mode::kUPei), kPmrBase, kPmrEnd);
+  // Cold: miss -> offload with cache-walk cost.
+  auto miss = sys.Access(0, PropAtomic(hmc::AtomicOp::kCasEqual8, true), 0);
+  EXPECT_TRUE(miss.offloaded);
+  EXPECT_GT(miss.check_ticks, 0u);
+  // Warm the line via a cacheable load path (PEI keeps the PMR cacheable).
+  sys.Access(0, PropLoad(), 0);
+  MicroOp warm = PropAtomic(hmc::AtomicOp::kCasEqual8, true);
+  warm.addr = PropLoad().addr;
+  auto hit = sys.Access(0, warm, NsToTicks(10000.0));
+  EXPECT_FALSE(hit.offloaded);
+  EXPECT_FALSE(hit.serializing);  // idealized PEI host execution
+}
+
+TEST(MemorySystem, UPeiPropertyLoadsStayCacheable) {
+  MemorySystem sys(Cfg(Mode::kUPei), kPmrBase, kPmrEnd);
+  sys.Access(0, PropLoad(), 0);
+  EXPECT_DOUBLE_EQ(sys.stats().Get("pou.uc_reads"), 0);
+  EXPECT_GE(sys.stats().Get("cache.l1_misses"), 1);
+}
+
+TEST(MemorySystem, UcSlotBackpressure) {
+  SimConfig cfg = Cfg(Mode::kGraphPim);
+  cfg.uc_queue_depth = 2;
+  MemorySystem sys(cfg, kPmrBase, kPmrEnd);
+  sys.Access(0, PropLoad(), 0);
+  sys.Access(0, PropLoad(), 0);
+  auto third = sys.Access(0, PropLoad(), 0);
+  EXPECT_GT(third.issue_stall_until, 0u);
+}
+
+TEST(SimConfig, PresetsDiffer) {
+  SimConfig paper = SimConfig::Paper(Mode::kBaseline);
+  SimConfig scaled = SimConfig::Scaled(Mode::kBaseline);
+  EXPECT_EQ(paper.cache.l3_size, 16 * kMiB);
+  EXPECT_LT(scaled.cache.l3_size, paper.cache.l3_size);
+  EXPECT_EQ(paper.num_cores, 16);
+  EXPECT_EQ(paper.hmc.num_vaults, 32u);
+  EXPECT_EQ(paper.hmc.banks_per_vault, 16u);
+  EXPECT_FALSE(paper.Describe().empty());
+}
+
+TEST(SimConfig, ModeNames) {
+  EXPECT_STREQ(ToString(Mode::kBaseline), "Baseline");
+  EXPECT_STREQ(ToString(Mode::kUPei), "U-PEI");
+  EXPECT_STREQ(ToString(Mode::kGraphPim), "GraphPIM");
+  EXPECT_STREQ(ToString(Mode::kUncacheNoPim), "UC-NoPIM");
+}
+
+}  // namespace
+}  // namespace graphpim::core

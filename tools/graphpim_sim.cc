@@ -1,0 +1,111 @@
+// graphpim_sim — the general simulator driver.
+//
+// Runs any workload on any synthetic profile under one or all machine
+// configurations and prints a full report (optionally as JSON).
+//
+//   graphpim_sim [--workload=bfs] [--profile=ldbc] [--vertices=32768]
+//                [--mode=all|baseline|upei|graphpim|ucnopim] [--full=0]
+//                [--threads=16] [--seed=1] [--opcap=12000000]
+//                [--fp=1] [--fus=16] [--linkbw=1.0] [--hybrid=1.0]
+//                [--fuse=0]           # Section III-B comparison-block fusion
+//                [--json=out.json]    # machine-readable results (last mode)
+//                [--trace-out=t.bin] [--trace-in=t.bin]
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "core/report.h"
+#include "core/runner.h"
+#include "graph/region.h"
+#include "workloads/fusion.h"
+#include "workloads/trace_io.h"
+#include "workloads/workload.h"
+
+using namespace graphpim;
+
+int main(int argc, char** argv) {
+  Config cfg = Config::FromArgs(argc, argv);
+  const std::string workload = cfg.GetString("workload", "bfs");
+  const std::string profile = cfg.GetString("profile", "ldbc");
+  const auto vertices = static_cast<VertexId>(cfg.GetUint("vertices", 32 * 1024));
+  const std::string mode_arg = cfg.GetString("mode", "all");
+  const bool full = cfg.GetBool("full", false);
+
+  core::Experiment::Options opts;
+  opts.num_threads = static_cast<int>(cfg.GetInt("threads", 16));
+  opts.seed = cfg.GetUint("seed", 1);
+  opts.op_cap = cfg.GetUint("opcap", 12'000'000);
+
+  core::Experiment exp(profile, vertices, workload, opts);
+  std::printf("graphpim_sim: %s on %s-%u (%llu edges, %llu micro-ops)\n\n",
+              workload.c_str(), profile.c_str(), vertices,
+              static_cast<unsigned long long>(exp.graph().num_edges()),
+              static_cast<unsigned long long>(exp.trace().TotalOps()));
+
+  // Optional trace snapshotting.
+  workloads::Trace trace = exp.trace();
+  if (cfg.Has("trace-in")) {
+    GP_CHECK(workloads::LoadTrace(cfg.GetString("trace-in", ""), &trace),
+             "cannot read trace");
+    std::printf("replaying trace from %s (%llu ops)\n\n",
+                cfg.GetString("trace-in", "").c_str(),
+                static_cast<unsigned long long>(trace.TotalOps()));
+  }
+  if (cfg.Has("trace-out")) {
+    GP_CHECK(workloads::SaveTrace(trace, cfg.GetString("trace-out", "")),
+             "cannot write trace");
+    std::printf("trace saved to %s\n\n", cfg.GetString("trace-out", "").c_str());
+  }
+  if (cfg.GetBool("fuse", false)) {
+    graph::AddressSpace space;
+    workloads::FusionStats fs;
+    trace = workloads::FuseComparisonBlocks(trace, space, &fs);
+    std::printf("fusion: %llu comparison blocks -> CAS-if-less "
+                "(%llu ops removed)\n\n",
+                static_cast<unsigned long long>(fs.fused_with_cas +
+                                                fs.fused_compare_only),
+                static_cast<unsigned long long>(fs.ops_removed));
+  }
+
+  std::vector<core::Mode> modes;
+  if (mode_arg == "all") {
+    modes = {core::Mode::kBaseline, core::Mode::kUPei, core::Mode::kGraphPim};
+  } else if (mode_arg == "baseline") {
+    modes = {core::Mode::kBaseline};
+  } else if (mode_arg == "upei") {
+    modes = {core::Mode::kUPei};
+  } else if (mode_arg == "graphpim") {
+    modes = {core::Mode::kGraphPim};
+  } else if (mode_arg == "ucnopim") {
+    modes = {core::Mode::kUncacheNoPim};
+  } else {
+    GP_FATAL("unknown --mode '", mode_arg, "'");
+  }
+
+  std::unique_ptr<core::SimResults> baseline;
+  core::SimResults last;
+  for (core::Mode m : modes) {
+    core::SimConfig sc = full ? core::SimConfig::Paper(m) : core::SimConfig::Scaled(m);
+    sc.num_cores = opts.num_threads;
+    sc.hmc.enable_fp_atomics = cfg.GetBool("fp", true);
+    sc.hmc.fus_per_vault =
+        static_cast<std::uint32_t>(cfg.GetUint("fus", sc.hmc.fus_per_vault));
+    sc.hmc.link_bw_scale = cfg.GetDouble("linkbw", 1.0);
+    sc.pmr_hmc_fraction = cfg.GetDouble("hybrid", 1.0);
+    last = core::RunSimulation(trace, sc, exp.pmr_base(), exp.pmr_end());
+    std::printf("%s", core::FormatReport(last).c_str());
+    if (m == core::Mode::kBaseline) {
+      baseline = std::make_unique<core::SimResults>(last);
+    } else if (baseline != nullptr) {
+      std::printf("speedup over baseline: %.2fx\n", core::Speedup(*baseline, last));
+    }
+    std::printf("\n");
+  }
+
+  if (cfg.Has("json")) {
+    GP_CHECK(core::WriteJson(last, cfg.GetString("json", "")), "cannot write JSON");
+    std::printf("JSON written to %s\n", cfg.GetString("json", "").c_str());
+  }
+  return 0;
+}
