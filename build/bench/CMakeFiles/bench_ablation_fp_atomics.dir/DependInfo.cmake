@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_fp_atomics.cc" "bench/CMakeFiles/bench_ablation_fp_atomics.dir/bench_ablation_fp_atomics.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_fp_atomics.dir/bench_ablation_fp_atomics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/graphpim_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/graphpim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/graphpim_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/graphpim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/graphpim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graphpim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/graphpim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/graphpim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmc/CMakeFiles/graphpim_hmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/graphpim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

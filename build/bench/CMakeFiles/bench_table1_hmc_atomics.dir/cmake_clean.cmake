@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_hmc_atomics.dir/bench_table1_hmc_atomics.cc.o"
+  "CMakeFiles/bench_table1_hmc_atomics.dir/bench_table1_hmc_atomics.cc.o.d"
+  "bench_table1_hmc_atomics"
+  "bench_table1_hmc_atomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hmc_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_offload_targets.dir/bench_table2_offload_targets.cc.o"
+  "CMakeFiles/bench_table2_offload_targets.dir/bench_table2_offload_targets.cc.o.d"
+  "bench_table2_offload_targets"
+  "bench_table2_offload_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_offload_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

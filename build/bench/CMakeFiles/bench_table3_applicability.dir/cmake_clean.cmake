@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_applicability.dir/bench_table3_applicability.cc.o"
+  "CMakeFiles/bench_table3_applicability.dir/bench_table3_applicability.cc.o.d"
+  "bench_table3_applicability"
+  "bench_table3_applicability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_applicability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

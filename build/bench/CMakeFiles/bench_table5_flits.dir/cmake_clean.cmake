@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_flits.dir/bench_table5_flits.cc.o"
+  "CMakeFiles/bench_table5_flits.dir/bench_table5_flits.cc.o.d"
+  "bench_table5_flits"
+  "bench_table5_flits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_flits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

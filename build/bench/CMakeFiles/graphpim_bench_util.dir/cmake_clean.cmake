@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphpim_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/graphpim_bench_util.dir/bench_util.cc.o.d"
+  "libgraphpim_bench_util.a"
+  "libgraphpim_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphpim_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

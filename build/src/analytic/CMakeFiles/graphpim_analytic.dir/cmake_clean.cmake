@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphpim_analytic.dir/model.cc.o"
+  "CMakeFiles/graphpim_analytic.dir/model.cc.o.d"
+  "libgraphpim_analytic.a"
+  "libgraphpim_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphpim_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

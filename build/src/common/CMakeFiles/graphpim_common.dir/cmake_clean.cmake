@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphpim_common.dir/config.cc.o"
+  "CMakeFiles/graphpim_common.dir/config.cc.o.d"
+  "CMakeFiles/graphpim_common.dir/log.cc.o"
+  "CMakeFiles/graphpim_common.dir/log.cc.o.d"
+  "CMakeFiles/graphpim_common.dir/string_util.cc.o"
+  "CMakeFiles/graphpim_common.dir/string_util.cc.o.d"
+  "CMakeFiles/graphpim_common.dir/types.cc.o"
+  "CMakeFiles/graphpim_common.dir/types.cc.o.d"
+  "libgraphpim_common.a"
+  "libgraphpim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphpim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

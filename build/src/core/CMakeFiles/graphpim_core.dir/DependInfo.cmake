@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/graphpim_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/graphpim_core.dir/report.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/core/CMakeFiles/graphpim_core.dir/runner.cc.o" "gcc" "src/core/CMakeFiles/graphpim_core.dir/runner.cc.o.d"
+  "/root/repo/src/core/sim_config.cc" "src/core/CMakeFiles/graphpim_core.dir/sim_config.cc.o" "gcc" "src/core/CMakeFiles/graphpim_core.dir/sim_config.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/graphpim_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/graphpim_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/graphpim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/graphpim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/graphpim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graphpim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmc/CMakeFiles/graphpim_hmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/graphpim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/graphpim_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

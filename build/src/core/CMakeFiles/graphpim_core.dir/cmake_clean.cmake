@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphpim_core.dir/report.cc.o"
+  "CMakeFiles/graphpim_core.dir/report.cc.o.d"
+  "CMakeFiles/graphpim_core.dir/runner.cc.o"
+  "CMakeFiles/graphpim_core.dir/runner.cc.o.d"
+  "CMakeFiles/graphpim_core.dir/sim_config.cc.o"
+  "CMakeFiles/graphpim_core.dir/sim_config.cc.o.d"
+  "CMakeFiles/graphpim_core.dir/system.cc.o"
+  "CMakeFiles/graphpim_core.dir/system.cc.o.d"
+  "libgraphpim_core.a"
+  "libgraphpim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphpim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

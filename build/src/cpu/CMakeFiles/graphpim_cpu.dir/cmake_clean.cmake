@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphpim_cpu.dir/core.cc.o"
+  "CMakeFiles/graphpim_cpu.dir/core.cc.o.d"
+  "libgraphpim_cpu.a"
+  "libgraphpim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphpim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphpim_energy.dir/energy.cc.o"
+  "CMakeFiles/graphpim_energy.dir/energy.cc.o.d"
+  "libgraphpim_energy.a"
+  "libgraphpim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphpim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphpim_graph.dir/csr.cc.o"
+  "CMakeFiles/graphpim_graph.dir/csr.cc.o.d"
+  "CMakeFiles/graphpim_graph.dir/edge_list.cc.o"
+  "CMakeFiles/graphpim_graph.dir/edge_list.cc.o.d"
+  "CMakeFiles/graphpim_graph.dir/generator.cc.o"
+  "CMakeFiles/graphpim_graph.dir/generator.cc.o.d"
+  "libgraphpim_graph.a"
+  "libgraphpim_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphpim_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

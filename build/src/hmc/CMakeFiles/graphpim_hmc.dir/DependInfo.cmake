@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hmc/atomic.cc" "src/hmc/CMakeFiles/graphpim_hmc.dir/atomic.cc.o" "gcc" "src/hmc/CMakeFiles/graphpim_hmc.dir/atomic.cc.o.d"
+  "/root/repo/src/hmc/cube.cc" "src/hmc/CMakeFiles/graphpim_hmc.dir/cube.cc.o" "gcc" "src/hmc/CMakeFiles/graphpim_hmc.dir/cube.cc.o.d"
+  "/root/repo/src/hmc/flit.cc" "src/hmc/CMakeFiles/graphpim_hmc.dir/flit.cc.o" "gcc" "src/hmc/CMakeFiles/graphpim_hmc.dir/flit.cc.o.d"
+  "/root/repo/src/hmc/vault.cc" "src/hmc/CMakeFiles/graphpim_hmc.dir/vault.cc.o" "gcc" "src/hmc/CMakeFiles/graphpim_hmc.dir/vault.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/graphpim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphpim_hmc.dir/atomic.cc.o"
+  "CMakeFiles/graphpim_hmc.dir/atomic.cc.o.d"
+  "CMakeFiles/graphpim_hmc.dir/cube.cc.o"
+  "CMakeFiles/graphpim_hmc.dir/cube.cc.o.d"
+  "CMakeFiles/graphpim_hmc.dir/flit.cc.o"
+  "CMakeFiles/graphpim_hmc.dir/flit.cc.o.d"
+  "CMakeFiles/graphpim_hmc.dir/vault.cc.o"
+  "CMakeFiles/graphpim_hmc.dir/vault.cc.o.d"
+  "libgraphpim_hmc.a"
+  "libgraphpim_hmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphpim_hmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

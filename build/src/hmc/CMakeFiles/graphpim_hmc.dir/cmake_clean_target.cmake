@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgraphpim_hmc.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphpim_mem.dir/cache.cc.o"
+  "CMakeFiles/graphpim_mem.dir/cache.cc.o.d"
+  "CMakeFiles/graphpim_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/graphpim_mem.dir/hierarchy.cc.o.d"
+  "libgraphpim_mem.a"
+  "libgraphpim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphpim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

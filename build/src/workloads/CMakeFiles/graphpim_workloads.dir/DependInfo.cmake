@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bc.cc" "src/workloads/CMakeFiles/graphpim_workloads.dir/bc.cc.o" "gcc" "src/workloads/CMakeFiles/graphpim_workloads.dir/bc.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/workloads/CMakeFiles/graphpim_workloads.dir/bfs.cc.o" "gcc" "src/workloads/CMakeFiles/graphpim_workloads.dir/bfs.cc.o.d"
+  "/root/repo/src/workloads/ccomp.cc" "src/workloads/CMakeFiles/graphpim_workloads.dir/ccomp.cc.o" "gcc" "src/workloads/CMakeFiles/graphpim_workloads.dir/ccomp.cc.o.d"
+  "/root/repo/src/workloads/dc.cc" "src/workloads/CMakeFiles/graphpim_workloads.dir/dc.cc.o" "gcc" "src/workloads/CMakeFiles/graphpim_workloads.dir/dc.cc.o.d"
+  "/root/repo/src/workloads/dfs.cc" "src/workloads/CMakeFiles/graphpim_workloads.dir/dfs.cc.o" "gcc" "src/workloads/CMakeFiles/graphpim_workloads.dir/dfs.cc.o.d"
+  "/root/repo/src/workloads/dynamic.cc" "src/workloads/CMakeFiles/graphpim_workloads.dir/dynamic.cc.o" "gcc" "src/workloads/CMakeFiles/graphpim_workloads.dir/dynamic.cc.o.d"
+  "/root/repo/src/workloads/fusion.cc" "src/workloads/CMakeFiles/graphpim_workloads.dir/fusion.cc.o" "gcc" "src/workloads/CMakeFiles/graphpim_workloads.dir/fusion.cc.o.d"
+  "/root/repo/src/workloads/gibbs.cc" "src/workloads/CMakeFiles/graphpim_workloads.dir/gibbs.cc.o" "gcc" "src/workloads/CMakeFiles/graphpim_workloads.dir/gibbs.cc.o.d"
+  "/root/repo/src/workloads/kcore.cc" "src/workloads/CMakeFiles/graphpim_workloads.dir/kcore.cc.o" "gcc" "src/workloads/CMakeFiles/graphpim_workloads.dir/kcore.cc.o.d"
+  "/root/repo/src/workloads/prank.cc" "src/workloads/CMakeFiles/graphpim_workloads.dir/prank.cc.o" "gcc" "src/workloads/CMakeFiles/graphpim_workloads.dir/prank.cc.o.d"
+  "/root/repo/src/workloads/sssp.cc" "src/workloads/CMakeFiles/graphpim_workloads.dir/sssp.cc.o" "gcc" "src/workloads/CMakeFiles/graphpim_workloads.dir/sssp.cc.o.d"
+  "/root/repo/src/workloads/tc.cc" "src/workloads/CMakeFiles/graphpim_workloads.dir/tc.cc.o" "gcc" "src/workloads/CMakeFiles/graphpim_workloads.dir/tc.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/workloads/CMakeFiles/graphpim_workloads.dir/trace.cc.o" "gcc" "src/workloads/CMakeFiles/graphpim_workloads.dir/trace.cc.o.d"
+  "/root/repo/src/workloads/trace_io.cc" "src/workloads/CMakeFiles/graphpim_workloads.dir/trace_io.cc.o" "gcc" "src/workloads/CMakeFiles/graphpim_workloads.dir/trace_io.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/graphpim_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/graphpim_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/graphpim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/graphpim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graphpim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmc/CMakeFiles/graphpim_hmc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

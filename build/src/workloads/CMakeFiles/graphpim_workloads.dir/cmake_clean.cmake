@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphpim_workloads.dir/bc.cc.o"
+  "CMakeFiles/graphpim_workloads.dir/bc.cc.o.d"
+  "CMakeFiles/graphpim_workloads.dir/bfs.cc.o"
+  "CMakeFiles/graphpim_workloads.dir/bfs.cc.o.d"
+  "CMakeFiles/graphpim_workloads.dir/ccomp.cc.o"
+  "CMakeFiles/graphpim_workloads.dir/ccomp.cc.o.d"
+  "CMakeFiles/graphpim_workloads.dir/dc.cc.o"
+  "CMakeFiles/graphpim_workloads.dir/dc.cc.o.d"
+  "CMakeFiles/graphpim_workloads.dir/dfs.cc.o"
+  "CMakeFiles/graphpim_workloads.dir/dfs.cc.o.d"
+  "CMakeFiles/graphpim_workloads.dir/dynamic.cc.o"
+  "CMakeFiles/graphpim_workloads.dir/dynamic.cc.o.d"
+  "CMakeFiles/graphpim_workloads.dir/fusion.cc.o"
+  "CMakeFiles/graphpim_workloads.dir/fusion.cc.o.d"
+  "CMakeFiles/graphpim_workloads.dir/gibbs.cc.o"
+  "CMakeFiles/graphpim_workloads.dir/gibbs.cc.o.d"
+  "CMakeFiles/graphpim_workloads.dir/kcore.cc.o"
+  "CMakeFiles/graphpim_workloads.dir/kcore.cc.o.d"
+  "CMakeFiles/graphpim_workloads.dir/prank.cc.o"
+  "CMakeFiles/graphpim_workloads.dir/prank.cc.o.d"
+  "CMakeFiles/graphpim_workloads.dir/sssp.cc.o"
+  "CMakeFiles/graphpim_workloads.dir/sssp.cc.o.d"
+  "CMakeFiles/graphpim_workloads.dir/tc.cc.o"
+  "CMakeFiles/graphpim_workloads.dir/tc.cc.o.d"
+  "CMakeFiles/graphpim_workloads.dir/trace.cc.o"
+  "CMakeFiles/graphpim_workloads.dir/trace.cc.o.d"
+  "CMakeFiles/graphpim_workloads.dir/trace_io.cc.o"
+  "CMakeFiles/graphpim_workloads.dir/trace_io.cc.o.d"
+  "CMakeFiles/graphpim_workloads.dir/workload.cc.o"
+  "CMakeFiles/graphpim_workloads.dir/workload.cc.o.d"
+  "libgraphpim_workloads.a"
+  "libgraphpim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphpim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/graphpim_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_cpu_core.cc" "tests/CMakeFiles/graphpim_tests.dir/test_cpu_core.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_cpu_core.cc.o.d"
+  "/root/repo/tests/test_errors.cc" "tests/CMakeFiles/graphpim_tests.dir/test_errors.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_errors.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/graphpim_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/graphpim_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_graph.cc.o.d"
+  "/root/repo/tests/test_hmc_atomic.cc" "tests/CMakeFiles/graphpim_tests.dir/test_hmc_atomic.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_hmc_atomic.cc.o.d"
+  "/root/repo/tests/test_hmc_cube.cc" "tests/CMakeFiles/graphpim_tests.dir/test_hmc_cube.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_hmc_cube.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/graphpim_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_mem_cache.cc" "tests/CMakeFiles/graphpim_tests.dir/test_mem_cache.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_mem_cache.cc.o.d"
+  "/root/repo/tests/test_mem_hierarchy.cc" "tests/CMakeFiles/graphpim_tests.dir/test_mem_hierarchy.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_mem_hierarchy.cc.o.d"
+  "/root/repo/tests/test_models.cc" "tests/CMakeFiles/graphpim_tests.dir/test_models.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_models.cc.o.d"
+  "/root/repo/tests/test_more.cc" "tests/CMakeFiles/graphpim_tests.dir/test_more.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_more.cc.o.d"
+  "/root/repo/tests/test_quality.cc" "tests/CMakeFiles/graphpim_tests.dir/test_quality.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_quality.cc.o.d"
+  "/root/repo/tests/test_sweeps.cc" "tests/CMakeFiles/graphpim_tests.dir/test_sweeps.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_sweeps.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/graphpim_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/graphpim_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/graphpim_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/graphpim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/graphpim_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/graphpim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/graphpim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graphpim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/graphpim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/graphpim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmc/CMakeFiles/graphpim_hmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/graphpim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

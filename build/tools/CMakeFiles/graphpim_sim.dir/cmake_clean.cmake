@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphpim_sim.dir/graphpim_sim.cc.o"
+  "CMakeFiles/graphpim_sim.dir/graphpim_sim.cc.o.d"
+  "graphpim_sim"
+  "graphpim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphpim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
