@@ -21,13 +21,18 @@ int main(int argc, char** argv) {
 
   std::printf("%-8s %12s %12s %12s\n", "workload", "Baseline", "UC-NoPIM",
               "GraphPIM");
-  for (const auto& name : {"bfs", "dc", "ccomp", "kcore"}) {
+  const std::vector<std::string> names = {"bfs", "dc", "ccomp", "kcore"};
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
     auto exp = ctx.MakeExperiment(name);
-    core::SimResults base = exp->Run(ctx.MakeConfig(core::Mode::kBaseline));
-    core::SimResults uc = exp->Run(ctx.MakeConfig(core::Mode::kUncacheNoPim));
-    core::SimResults pim = exp->Run(ctx.MakeConfig(core::Mode::kGraphPim));
-    std::printf("%-8s %11.2fx %11.2fx %11.2fx\n", name, 1.0,
-                core::Speedup(base, uc), core::Speedup(base, pim));
+    return RunPaired(*exp,
+                     {core::Mode::kBaseline, core::Mode::kUncacheNoPim,
+                      core::Mode::kGraphPim},
+                     ctx);
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const core::SimResults& base = rows[i][0];
+    std::printf("%-8s %11.2fx %11.2fx %11.2fx\n", names[i].c_str(), 1.0,
+                core::Speedup(base, rows[i][1]), core::Speedup(base, rows[i][2]));
   }
   std::printf("\nexpected: UC-NoPIM well below 1x (bus-locked atomics);\n"
               "bypass helps only together with PIM-atomic offloading\n");

@@ -16,15 +16,21 @@ int main(int argc, char** argv) {
 
   std::printf("%-8s %14s %14s %16s\n", "workload", "GraphPIM+FP", "GraphPIM-noFP",
               "offloaded (+FP)");
-  for (const auto& name : {"prank", "bc", "bfs", "dc"}) {
+  const std::vector<std::string> names = {"prank", "bc", "bfs", "dc"};
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
     auto exp = ctx.MakeExperiment(name);
-    core::SimResults base = exp->Run(ctx.MakeConfig(core::Mode::kBaseline));
-    core::SimConfig with = ctx.MakeConfig(core::Mode::kGraphPim);
     core::SimConfig without = ctx.MakeConfig(core::Mode::kGraphPim);
     without.hmc.enable_fp_atomics = false;
-    core::SimResults rw = exp->Run(with);
-    core::SimResults ro = exp->Run(without);
-    std::printf("%-8s %13.2fx %13.2fx %11llu/%llu\n", name,
+    return RunGrid(*exp,
+                   {ctx.MakeConfig(core::Mode::kBaseline),
+                    ctx.MakeConfig(core::Mode::kGraphPim), without},
+                   ctx);
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const core::SimResults& base = rows[i][0];
+    const core::SimResults& rw = rows[i][1];
+    const core::SimResults& ro = rows[i][2];
+    std::printf("%-8s %13.2fx %13.2fx %11llu/%llu\n", names[i].c_str(),
                 core::Speedup(base, rw), core::Speedup(base, ro),
                 static_cast<unsigned long long>(rw.offloaded_atomics),
                 static_cast<unsigned long long>(rw.atomics));

@@ -21,28 +21,36 @@ int main(int argc, char** argv) {
 
   std::printf("%-8s %12s %14s %12s %12s\n", "workload", "GraphPIM", "GraphPIM+fuse",
               "blocks", "ops saved");
-  for (const auto& name : {"sssp", "ccomp", "bfs"}) {
-    core::Experiment::Options o;
-    o.num_threads = ctx.threads;
-    o.seed = ctx.seed;
-    o.op_cap = ctx.op_cap;
-    core::Experiment exp(ctx.profile, ctx.vertices, name, o);
-    core::SimResults base = exp.Run(ctx.MakeConfig(core::Mode::kBaseline));
-    core::SimResults pim = exp.Run(ctx.MakeConfig(core::Mode::kGraphPim));
+  const std::vector<std::string> names = {"sssp", "ccomp", "bfs"};
+  struct Row {
+    core::SimResults base;
+    core::SimResults pim;
+    core::SimResults fused;
+    workloads::FusionStats fstats;
+  };
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
+    auto exp = ctx.MakeExperiment(name);
+    auto rs = RunPaired(*exp, {core::Mode::kBaseline, core::Mode::kGraphPim}, ctx);
+    Row r;
+    r.base = std::move(rs[0]);
+    r.pim = std::move(rs[1]);
 
     // The fusion pass needs the address-space classification; rebuild one
     // (the segment layout is static).
     graph::AddressSpace space;
-    workloads::FusionStats fstats;
     workloads::Trace fused =
-        workloads::FuseComparisonBlocks(exp.trace(), space, &fstats);
-    core::SimResults pf = core::RunSimulation(fused, ctx.MakeConfig(core::Mode::kGraphPim),
-                                              exp.pmr_base(), exp.pmr_end());
-    std::printf("%-8s %11.2fx %13.2fx %12llu %12llu\n", name,
-                core::Speedup(base, pim), core::Speedup(base, pf),
-                static_cast<unsigned long long>(fstats.fused_with_cas +
-                                                fstats.fused_compare_only),
-                static_cast<unsigned long long>(fstats.ops_removed));
+        workloads::FuseComparisonBlocks(exp->trace(), space, &r.fstats);
+    r.fused = core::RunSimulation(fused, ctx.MakeConfig(core::Mode::kGraphPim),
+                                  exp->pmr_base(), exp->pmr_end());
+    return r;
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("%-8s %11.2fx %13.2fx %12llu %12llu\n", names[i].c_str(),
+                core::Speedup(r.base, r.pim), core::Speedup(r.base, r.fused),
+                static_cast<unsigned long long>(r.fstats.fused_with_cas +
+                                                r.fstats.fused_compare_only),
+                static_cast<unsigned long long>(r.fstats.ops_removed));
   }
   std::printf("\nexpected: sssp/ccomp gain from one PIM round trip per relax;\n"
               "bfs (already a single CAS per edge) is unchanged\n");

@@ -21,15 +21,22 @@ int main(int argc, char** argv) {
   std::printf("%-8s", "workload");
   for (double f : fractions) std::printf("  HMC=%.0f%%", 100 * f);
   std::printf("\n");
-  for (const auto& name : {"dc", "bfs", "prank"}) {
+  const std::vector<std::string> names = {"dc", "bfs", "prank"};
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
     auto exp = ctx.MakeExperiment(name);
-    core::SimResults base = exp->Run(ctx.MakeConfig(core::Mode::kBaseline));
-    std::printf("%-8s", name);
+    std::vector<core::SimConfig> cfgs = {ctx.MakeConfig(core::Mode::kBaseline)};
     for (double f : fractions) {
       core::SimConfig cfg = ctx.MakeConfig(core::Mode::kGraphPim);
       cfg.pmr_hmc_fraction = f;
-      core::SimResults r = exp->Run(cfg);
-      std::printf(" %7.2fx", core::Speedup(base, r));
+      cfgs.push_back(cfg);
+    }
+    return RunGrid(*exp, cfgs, ctx);
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const core::SimResults& base = rows[i][0];
+    std::printf("%-8s", names[i].c_str());
+    for (std::size_t k = 1; k < rows[i].size(); ++k) {
+      std::printf(" %7.2fx", core::Speedup(base, rows[i][k]));
     }
     std::printf("\n");
   }

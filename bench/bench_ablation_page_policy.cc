@@ -17,24 +17,27 @@ int main(int argc, char** argv) {
   std::printf("%-8s | %-21s | %-21s\n", "", "Baseline cycles", "GraphPIM speedup");
   std::printf("%-8s   %10s %10s   %10s %10s\n", "workload", "open", "closed",
               "open", "closed");
-  for (const auto& name : {"dc", "bfs", "kcore", "prank"}) {
+  const std::vector<std::string> names = {"dc", "bfs", "kcore", "prank"};
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
     auto exp = ctx.MakeExperiment(name);
-    double base_cycles[2];
-    double pim_speedup[2];
-    int i = 0;
+    std::vector<core::SimConfig> cfgs;
     for (bool closed : {false, true}) {
       core::SimConfig bcfg = ctx.MakeConfig(core::Mode::kBaseline);
       bcfg.hmc.closed_page = closed;
       core::SimConfig pcfg = ctx.MakeConfig(core::Mode::kGraphPim);
       pcfg.hmc.closed_page = closed;
-      core::SimResults b = exp->Run(bcfg);
-      core::SimResults p = exp->Run(pcfg);
-      base_cycles[i] = static_cast<double>(b.cycles);
-      pim_speedup[i] = core::Speedup(b, p);
-      ++i;
+      cfgs.push_back(bcfg);
+      cfgs.push_back(pcfg);
     }
-    std::printf("%-8s   %10.0f %10.0f   %9.2fx %9.2fx\n", name, base_cycles[0],
-                base_cycles[1], pim_speedup[0], pim_speedup[1]);
+    return RunGrid(*exp, cfgs, ctx);
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    // Order per workload: base/open, pim/open, base/closed, pim/closed.
+    const auto& rs = rows[i];
+    std::printf("%-8s   %10.0f %10.0f   %9.2fx %9.2fx\n", names[i].c_str(),
+                static_cast<double>(rs[0].cycles),
+                static_cast<double>(rs[2].cycles), core::Speedup(rs[0], rs[1]),
+                core::Speedup(rs[2], rs[3]));
   }
   std::printf("\nexpected: policies within a few percent of each other —\n"
               "scattered property traffic defeats the row buffer either way\n");

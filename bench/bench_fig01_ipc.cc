@@ -17,13 +17,17 @@ int main(int argc, char** argv) {
   PrintHeader("Fig 1: IPC of graph workloads (baseline machine)", ctx);
 
   std::printf("%-8s %-4s %8s\n", "workload", "cat", "IPC");
-  for (const auto& name : workloads::AllWorkloadNames()) {
-    auto wl = workloads::CreateWorkload(name);
+  const auto names = workloads::AllWorkloadNames();
+  const core::SimConfig cfg = ctx.MakeConfig(core::Mode::kBaseline);
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
+    return ctx.MakeExperiment(name)->Run(cfg);
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    auto wl = workloads::CreateWorkload(names[i]);
     WorkloadCategory cat = wl->info().category;
-    auto exp = ctx.MakeExperiment(name);
-    core::SimResults base = exp->Run(ctx.MakeConfig(core::Mode::kBaseline));
-    std::printf("%-8s %-4s %8.3f  |%s\n", name.c_str(), ToString(cat), base.ipc,
-                Bar(base.ipc / 0.7).c_str());
+    const core::SimResults& base = rows[i];
+    std::printf("%-8s %-4s %8.3f  |%s\n", names[i].c_str(), ToString(cat),
+                base.ipc, Bar(base.ipc / 0.7).c_str());
   }
   std::printf("\npaper: GT workloads often below 0.1 IPC; all well below 1\n");
   return 0;

@@ -17,11 +17,15 @@ int main(int argc, char** argv) {
 
   std::printf("%-8s %8s %9s %8s %8s | %8s %8s %8s\n", "workload", "backend",
               "frontend", "badspec", "retire", "L1D-MPKI", "L2-MPKI", "L3-MPKI");
-  for (const auto& name : workloads::AllWorkloadNames()) {
-    auto exp = ctx.MakeExperiment(name);
-    core::SimResults r = exp->Run(ctx.MakeConfig(core::Mode::kBaseline));
+  const auto names = workloads::AllWorkloadNames();
+  const core::SimConfig cfg = ctx.MakeConfig(core::Mode::kBaseline);
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
+    return ctx.MakeExperiment(name)->Run(cfg);
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const core::SimResults& r = rows[i];
     std::printf("%-8s %7.1f%% %8.1f%% %7.1f%% %7.1f%% | %8.1f %8.1f %8.1f\n",
-                name.c_str(), 100 * r.frac_backend, 100 * r.frac_frontend,
+                names[i].c_str(), 100 * r.frac_backend, 100 * r.frac_frontend,
                 100 * r.frac_badspec, 100 * r.frac_retiring, r.l1_mpki, r.l2_mpki,
                 r.l3_mpki);
   }

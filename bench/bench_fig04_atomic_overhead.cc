@@ -24,20 +24,28 @@ int main(int argc, char** argv) {
   double sum = 0;
   int n = 0;
   auto names = workloads::EvalWorkloadNames();
-  for (const auto& name : names) {
+  struct Row {
+    core::SimResults with;
+    core::SimResults without;
+  };
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
     auto exp = ctx.MakeExperiment(name);
-    core::SimResults with = exp->Run(cfg);
+    Row r;
+    r.with = exp->Run(cfg);
     workloads::Trace plain = workloads::ReplaceAtomicsWithPlain(exp->trace());
-    core::SimResults without =
-        core::RunSimulation(plain, cfg, exp->pmr_base(), exp->pmr_end());
-    double overhead = static_cast<double>(with.cycles) /
-                          static_cast<double>(without.cycles) -
+    r.without = core::RunSimulation(plain, cfg, exp->pmr_base(), exp->pmr_end());
+    return r;
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const Row& r = rows[i];
+    double overhead = static_cast<double>(r.with.cycles) /
+                          static_cast<double>(r.without.cycles) -
                       1.0;
     sum += overhead;
     ++n;
-    std::printf("%-8s %14llu %14llu %9.1f%%  |%s\n", name.c_str(),
-                static_cast<unsigned long long>(with.cycles),
-                static_cast<unsigned long long>(without.cycles), 100 * overhead,
+    std::printf("%-8s %14llu %14llu %9.1f%%  |%s\n", names[i].c_str(),
+                static_cast<unsigned long long>(r.with.cycles),
+                static_cast<unsigned long long>(r.without.cycles), 100 * overhead,
                 Bar(overhead).c_str());
   }
   std::printf("%-8s %40.1f%%\n", "average", 100 * sum / n);

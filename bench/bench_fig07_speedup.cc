@@ -19,16 +19,19 @@ int main(int argc, char** argv) {
   double sum_upei = 0;
   double sum_pim = 0;
   auto names = workloads::EvalWorkloadNames();
-  for (const auto& name : names) {
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
     auto exp = ctx.MakeExperiment(name);
-    core::SimResults base = exp->Run(ctx.MakeConfig(core::Mode::kBaseline));
-    core::SimResults upei = exp->Run(ctx.MakeConfig(core::Mode::kUPei));
-    core::SimResults pim = exp->Run(ctx.MakeConfig(core::Mode::kGraphPim));
-    double su = core::Speedup(base, upei);
-    double sp = core::Speedup(base, pim);
+    return RunPaired(
+        *exp, {core::Mode::kBaseline, core::Mode::kUPei, core::Mode::kGraphPim},
+        ctx);
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const core::SimResults& base = rows[i][0];
+    double su = core::Speedup(base, rows[i][1]);
+    double sp = core::Speedup(base, rows[i][2]);
     sum_upei += su;
     sum_pim += sp;
-    std::printf("%-8s %7.2fx %7.2fx %10.3f  |%s\n", name.c_str(), su, sp,
+    std::printf("%-8s %7.2fx %7.2fx %10.3f  |%s\n", names[i].c_str(), su, sp,
                 static_cast<double>(base.cycles) / 1e9, Bar(sp / 2.5).c_str());
   }
   std::printf("%-8s %7.2fx %7.2fx\n", "average",

@@ -26,16 +26,31 @@ int main(int argc, char** argv) {
 
   std::printf("%-8s %-9s %10s %14s %15s %8s\n", "workload", "config", "norm-time",
               "atomic-inCore", "atomic-inCache", "other");
-  for (const auto& name : workloads::EvalWorkloadNames()) {
+  const auto names = workloads::EvalWorkloadNames();
+  struct Row {
+    core::SimResults with[2];
+    core::SimResults without[2];
+  };
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
     auto exp = ctx.MakeExperiment(name);
     workloads::Trace plain = workloads::ReplaceAtomicsWithPlain(exp->trace());
-    double base_cycles = 0;
+    Row r;
+    int i = 0;
     for (core::Mode mode : {core::Mode::kBaseline, core::Mode::kGraphPim}) {
       core::SimConfig cfg = ctx.MakeConfig(mode);
-      core::SimResults with = exp->Run(cfg);
-      core::SimResults without =
+      r.with[i] = exp->Run(cfg);
+      r.without[i] =
           core::RunSimulation(plain, cfg, exp->pmr_base(), exp->pmr_end());
-      if (mode == core::Mode::kBaseline) base_cycles = static_cast<double>(with.cycles);
+      ++i;
+    }
+    return r;
+  });
+  for (std::size_t wi = 0; wi < names.size(); ++wi) {
+    const std::string& name = names[wi];
+    double base_cycles = static_cast<double>(rows[wi].with[0].cycles);
+    for (int mi = 0; mi < 2; ++mi) {
+      const core::SimResults& with = rows[wi].with[mi];
+      const core::SimResults& without = rows[wi].without[mi];
       double norm = static_cast<double>(with.cycles) / base_cycles;
       double atomic_share = std::max(
           0.0, 1.0 - static_cast<double>(without.cycles) /

@@ -21,14 +21,18 @@ int main(int argc, char** argv) {
   // baseline.
   std::printf("%-8s %10s %12s %14s\n", "workload", "miss-rate", "candidates",
               "atomic-miss");
-  for (const auto& name : workloads::EvalWorkloadNames()) {
-    auto exp = ctx.MakeExperiment(name);
-    core::SimResults base = exp->Run(ctx.MakeConfig(core::Mode::kBaseline));
+  const auto names = workloads::EvalWorkloadNames();
+  const core::SimConfig cfg = ctx.MakeConfig(core::Mode::kBaseline);
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
+    return ctx.MakeExperiment(name)->Run(cfg);
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const core::SimResults& base = rows[i];
     double acc = base.raw.Get("cache.access.property");
     double miss = base.raw.Get("cache.l3_miss.property");
     double rate = acc > 0 ? miss / acc : 0.0;
-    std::printf("%-8s %9.1f%% %12.0f %13.1f%%  |%s\n", name.c_str(), 100 * rate,
-                acc, 100 * base.atomic_miss_rate, Bar(rate).c_str());
+    std::printf("%-8s %9.1f%% %12.0f %13.1f%%  |%s\n", names[i].c_str(),
+                100 * rate, acc, 100 * base.atomic_miss_rate, Bar(rate).c_str());
   }
   std::printf("\npaper: >80%% for most workloads; kCore/TC/BC lower\n");
   return 0;

@@ -20,15 +20,22 @@ int main(int argc, char** argv) {
   std::printf("%-8s", "workload");
   for (std::uint32_t f : fus) std::printf("   FU=%-2u", f);
   std::printf("\n");
-  for (const auto& name : workloads::EvalWorkloadNames()) {
+  const auto names = workloads::EvalWorkloadNames();
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
     auto exp = ctx.MakeExperiment(name);
-    core::SimResults base = exp->Run(ctx.MakeConfig(core::Mode::kBaseline));
-    std::printf("%-8s", name.c_str());
+    std::vector<core::SimConfig> cfgs = {ctx.MakeConfig(core::Mode::kBaseline)};
     for (std::uint32_t f : fus) {
       core::SimConfig cfg = ctx.MakeConfig(core::Mode::kGraphPim);
       cfg.hmc.fus_per_vault = f;
-      core::SimResults r = exp->Run(cfg);
-      std::printf(" %6.2fx", core::Speedup(base, r));
+      cfgs.push_back(cfg);
+    }
+    return RunGrid(*exp, cfgs, ctx);
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const core::SimResults& base = rows[i][0];
+    std::printf("%-8s", names[i].c_str());
+    for (std::size_t k = 1; k < rows[i].size(); ++k) {
+      std::printf(" %6.2fx", core::Speedup(base, rows[i][k]));
     }
     std::printf("\n");
   }

@@ -18,16 +18,19 @@ int main(int argc, char** argv) {
 
   std::printf("%-8s %-9s %9s %9s %9s\n", "workload", "config", "request",
               "response", "total");
-  for (const auto& name : workloads::EvalWorkloadNames()) {
+  const auto names = workloads::EvalWorkloadNames();
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
     auto exp = ctx.MakeExperiment(name);
-    core::SimResults base = exp->Run(ctx.MakeConfig(core::Mode::kBaseline));
+    return RunPaired(
+        *exp, {core::Mode::kBaseline, core::Mode::kUPei, core::Mode::kGraphPim},
+        ctx);
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const core::SimResults& base = rows[i][0];
     double norm = base.req_flits + base.resp_flits;
-    for (core::Mode mode :
-         {core::Mode::kBaseline, core::Mode::kUPei, core::Mode::kGraphPim}) {
-      core::SimResults r =
-          mode == core::Mode::kBaseline ? base : exp->Run(ctx.MakeConfig(mode));
-      std::printf("%-8s %-9s %9.3f %9.3f %9.3f\n", name.c_str(), r.mode.c_str(),
-                  r.req_flits / norm, r.resp_flits / norm,
+    for (const core::SimResults& r : rows[i]) {
+      std::printf("%-8s %-9s %9.3f %9.3f %9.3f\n", names[i].c_str(),
+                  r.mode.c_str(), r.req_flits / norm, r.resp_flits / norm,
                   (r.req_flits + r.resp_flits) / norm);
     }
   }

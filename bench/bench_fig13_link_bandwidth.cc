@@ -20,19 +20,26 @@ int main(int argc, char** argv) {
   std::printf("%-8s | %-23s | %-23s\n", "", "Baseline", "GraphPIM");
   std::printf("%-8s   %6s %6s %6s    %6s %6s %6s\n", "workload", "half", "1x",
               "double", "half", "1x", "double");
-  for (const auto& name : workloads::EvalWorkloadNames()) {
+  const auto names = workloads::EvalWorkloadNames();
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
     auto exp = ctx.MakeExperiment(name);
-    core::SimResults ref = exp->Run(ctx.MakeConfig(core::Mode::kBaseline));
-    std::printf("%-8s  ", name.c_str());
+    std::vector<core::SimConfig> cfgs;
     for (core::Mode mode : {core::Mode::kBaseline, core::Mode::kGraphPim}) {
       for (double s : scales) {
         core::SimConfig cfg = ctx.MakeConfig(mode);
         cfg.hmc.link_bw_scale = s;
-        core::SimResults r =
-            (mode == core::Mode::kBaseline && s == 1.0) ? ref : exp->Run(cfg);
-        std::printf(" %5.2fx", core::Speedup(ref, r));
+        cfgs.push_back(cfg);
       }
-      std::printf("   ");
+    }
+    return RunGrid(*exp, cfgs, ctx);
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    // Reference: baseline at 1x bandwidth (index 1 in the scales order).
+    const core::SimResults& ref = rows[i][1];
+    std::printf("%-8s  ", names[i].c_str());
+    for (std::size_t k = 0; k < rows[i].size(); ++k) {
+      std::printf(" %5.2fx", core::Speedup(ref, rows[i][k]));
+      if ((k + 1) % 3 == 0) std::printf("   ");
     }
     std::printf("\n");
   }

@@ -43,25 +43,36 @@ int main(int argc, char** argv) {
   for (const Size& s : sizes) std::printf(" %9s", s.label);
   std::printf("\n");
 
-  for (const auto& name : workloads::EvalWorkloadNames()) {
+  const auto names = workloads::EvalWorkloadNames();
+  struct Row {
     std::vector<double> vs_upei;
     std::vector<double> vs_base;
+  };
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
+    Row row;
     for (const Size& s : sizes) {
       BenchContext local = ctx;
       local.vertices = s.n;
       auto exp = local.MakeExperiment(name);
-      core::SimResults base = exp->Run(local.MakeConfig(core::Mode::kBaseline));
-      core::SimResults upei = exp->Run(local.MakeConfig(core::Mode::kUPei));
-      core::SimResults pim = exp->Run(local.MakeConfig(core::Mode::kGraphPim));
-      vs_upei.push_back(100.0 * (static_cast<double>(upei.cycles) /
-                                     static_cast<double>(pim.cycles) -
-                                 1.0));
-      vs_base.push_back(core::Speedup(base, pim));
+      auto rs = RunPaired(
+          *exp,
+          {core::Mode::kBaseline, core::Mode::kUPei, core::Mode::kGraphPim},
+          ctx);
+      const core::SimResults& base = rs[0];
+      const core::SimResults& upei = rs[1];
+      const core::SimResults& pim = rs[2];
+      row.vs_upei.push_back(100.0 * (static_cast<double>(upei.cycles) /
+                                         static_cast<double>(pim.cycles) -
+                                     1.0));
+      row.vs_base.push_back(core::Speedup(base, pim));
     }
-    std::printf("%-8s", name.c_str());
-    for (double v : vs_upei) std::printf(" %8.1f%%", v);
+    return row;
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::printf("%-8s", names[i].c_str());
+    for (double v : rows[i].vs_upei) std::printf(" %8.1f%%", v);
     std::printf("  |");
-    for (double v : vs_base) std::printf(" %8.2fx", v);
+    for (double v : rows[i].vs_base) std::printf(" %8.2fx", v);
     std::printf("\n");
   }
   std::printf("\npaper: (a) shrinks (negative for BC / small graphs) as data\n"

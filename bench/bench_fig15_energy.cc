@@ -19,10 +19,15 @@ int main(int argc, char** argv) {
               "caches", "link", "FU", "logic", "DRAM", "total");
   double sum = 0;
   int n = 0;
-  for (const auto& name : workloads::EvalWorkloadNames()) {
+  const auto names = workloads::EvalWorkloadNames();
+  const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
     auto exp = ctx.MakeExperiment(name);
-    core::SimResults base = exp->Run(ctx.MakeConfig(core::Mode::kBaseline));
-    core::SimResults pim = exp->Run(ctx.MakeConfig(core::Mode::kGraphPim));
+    return RunPaired(*exp, {core::Mode::kBaseline, core::Mode::kGraphPim}, ctx);
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const core::SimResults& base = rows[i][0];
+    const core::SimResults& pim = rows[i][1];
     double norm = base.energy.Total();
     for (const core::SimResults* r : {&base, &pim}) {
       std::printf("%-8s %-9s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n", name.c_str(),

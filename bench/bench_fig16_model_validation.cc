@@ -39,8 +39,10 @@ struct Counters {
 Counters Measure(const BenchContext& ctx, const std::string& name) {
   auto exp = ctx.MakeExperiment(name);
   core::SimConfig base_cfg = ctx.MakeConfig(core::Mode::kBaseline);
-  core::SimResults base = exp->Run(base_cfg);
-  core::SimResults pim = exp->Run(ctx.MakeConfig(core::Mode::kGraphPim));
+  auto paired =
+      RunPaired(*exp, {core::Mode::kBaseline, core::Mode::kGraphPim}, ctx);
+  core::SimResults& base = paired[0];
+  core::SimResults& pim = paired[1];
   workloads::Trace plain = workloads::ReplaceAtomicsWithPlain(exp->trace());
   core::SimResults without =
       core::RunSimulation(plain, base_cfg, exp->pmr_base(), exp->pmr_end());
@@ -98,8 +100,8 @@ int main(int argc, char** argv) {
   // Measure counters for every workload, then fit the two machine
   // constants (AIO_pim, K_bypass) by least squares across the suite —
   // the counter-driven calibration a real deployment would perform once.
-  std::vector<Counters> cs;
-  for (const auto& name : names) cs.push_back(Measure(ctx, name));
+  const std::vector<Counters> cs = ParallelMap(
+      names, ctx, [&](const std::string& name) { return Measure(ctx, name); });
 
   // Target per workload: residual after the measured atomic removal is a
   // linear function of [r, r*amiss, -p]; solve the 3x3 normal equations.

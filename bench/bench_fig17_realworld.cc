@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   std::printf("  RS: Twitter-like follower graph (paper: 11M vertices,\n"
               "      85M edges, ~5GB) — scaled to %u vertices\n\n", ctx.vertices);
 
-  const AppSpec apps[] = {
+  const std::vector<AppSpec> apps = {
       {"FD", "bitcoin", {"ccomp", "sssp"}, {0.5, 0.5}, 0.35},
       {"RS", "twitter", {"tc", "dc"}, {0.25, 0.75}, 0.15},
   };
@@ -61,6 +61,28 @@ int main(int argc, char** argv) {
     double energy;
   };
   std::vector<AppResult> results;
+  struct StagePair {
+    core::SimResults base;
+    core::SimResults pim;
+  };
+  // One pool job per (app, stage) pair: flatten, replay, then regroup.
+  std::vector<std::pair<std::size_t, std::size_t>> stage_keys;
+  for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+    for (std::size_t si = 0; si < apps[ai].stages.size(); ++si) {
+      stage_keys.emplace_back(ai, si);
+    }
+  }
+  const auto stage_rows = ParallelMap(
+      stage_keys, ctx, [&](const std::pair<std::size_t, std::size_t>& key) {
+        const AppSpec& app = apps[key.first];
+        BenchContext local = ctx;
+        local.profile = app.profile;
+        auto exp = local.MakeExperiment(app.stages[key.second]);
+        auto rs = RunPaired(
+            *exp, {core::Mode::kBaseline, core::Mode::kGraphPim}, ctx);
+        return StagePair{std::move(rs[0]), std::move(rs[1])};
+      });
+  std::size_t flat = 0;
   for (const AppSpec& app : apps) {
     double ipc = 0;
     double mpki = 0;
@@ -69,11 +91,9 @@ int main(int argc, char** argv) {
     double atomic_pct = 0;
     double inv_speedup = 0;  // graph-time share after GraphPIM
     for (std::size_t si = 0; si < app.stages.size(); ++si) {
-      BenchContext local = ctx;
-      local.profile = app.profile;
-      auto exp = local.MakeExperiment(app.stages[si]);
-      core::SimResults base = exp->Run(local.MakeConfig(core::Mode::kBaseline));
-      core::SimResults pim = exp->Run(local.MakeConfig(core::Mode::kGraphPim));
+      const core::SimResults& base = stage_rows[flat].base;
+      const core::SimResults& pim = stage_rows[flat].pim;
+      ++flat;
       double w = app.weights[si];
       ipc += w * base.ipc;
       mpki += w * base.l3_mpki;

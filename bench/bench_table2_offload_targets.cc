@@ -16,22 +16,22 @@ int main(int argc, char** argv) {
 
   std::printf("%-26s %-28s %-18s %10s\n", "workload", "offloading target",
               "PIM-atomic type", "offloaded");
-  for (const auto& name : {"bfs", "dc", "sssp", "kcore", "ccomp", "tc"}) {
-    auto wl = workloads::CreateWorkload(name);
-    auto exp = ctx.MakeExperiment(name);
-    core::SimResults pim = exp->Run(ctx.MakeConfig(core::Mode::kGraphPim));
-    double pct = pim.atomics > 0 ? 100.0 * pim.offloaded_atomics / pim.atomics : 0.0;
-    std::printf("%-26s %-28s %-18s %9.1f%%\n", wl->info().display.c_str(),
-                wl->info().host_instr.c_str(), wl->info().pim_op.c_str(), pct);
-  }
+  const core::SimConfig cfg = ctx.MakeConfig(core::Mode::kGraphPim);
+  auto run_all = [&](const std::vector<std::string>& names) {
+    const auto rows = ParallelMap(names, ctx, [&](const std::string& name) {
+      return ctx.MakeExperiment(name)->Run(cfg);
+    });
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      auto wl = workloads::CreateWorkload(names[i]);
+      const core::SimResults& pim = rows[i];
+      double pct =
+          pim.atomics > 0 ? 100.0 * pim.offloaded_atomics / pim.atomics : 0.0;
+      std::printf("%-26s %-28s %-18s %9.1f%%\n", wl->info().display.c_str(),
+                  wl->info().host_instr.c_str(), wl->info().pim_op.c_str(), pct);
+    }
+  };
+  run_all({"bfs", "dc", "sssp", "kcore", "ccomp", "tc"});
   std::printf("\nWith the Section III-C FP extension:\n");
-  for (const auto& name : {"bc", "prank"}) {
-    auto wl = workloads::CreateWorkload(name);
-    auto exp = ctx.MakeExperiment(name);
-    core::SimResults pim = exp->Run(ctx.MakeConfig(core::Mode::kGraphPim));
-    double pct = pim.atomics > 0 ? 100.0 * pim.offloaded_atomics / pim.atomics : 0.0;
-    std::printf("%-26s %-28s %-18s %9.1f%%\n", wl->info().display.c_str(),
-                wl->info().host_instr.c_str(), wl->info().pim_op.c_str(), pct);
-  }
+  run_all({"bc", "prank"});
   return 0;
 }

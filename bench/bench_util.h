@@ -6,6 +6,9 @@
 //   --opcap=N       micro-op sampling cap per run
 //   --threads=N     worker threads (== cores simulated)
 //   --seed=N        generator seed
+//   --jobs=N        host threads replaying configs in parallel
+//                   (0 = hardware concurrency; results are identical for
+//                   any N — see src/exec determinism contract)
 #ifndef GRAPHPIM_BENCH_BENCH_UTIL_H_
 #define GRAPHPIM_BENCH_BENCH_UTIL_H_
 
@@ -15,6 +18,7 @@
 
 #include "common/config.h"
 #include "core/runner.h"
+#include "exec/thread_pool.h"
 
 namespace graphpim::bench {
 
@@ -26,6 +30,7 @@ struct BenchContext {
   int threads = 16;
   std::uint64_t seed = 1;
   std::string profile = "ldbc";
+  int jobs = 0;  // pool width; 0 = hardware concurrency
 
   core::SimConfig MakeConfig(core::Mode mode) const {
     core::SimConfig c =
@@ -41,7 +46,45 @@ struct BenchContext {
     o.op_cap = op_cap;
     return std::make_unique<core::Experiment>(profile, vertices, workload, o);
   }
+
+  // Process-wide replay pool, created on first use with `jobs` workers.
+  exec::ThreadPool& Pool() const;
+
+ private:
+  mutable std::shared_ptr<exec::ThreadPool> pool_;
 };
+
+// Replays `exp` under every config on the shared pool; results come back
+// in input order, bit-identical to serial exp.Run() calls.
+std::vector<core::SimResults> RunGrid(const core::Experiment& exp,
+                                      const std::vector<core::SimConfig>& cfgs,
+                                      const BenchContext& ctx);
+
+// Paired-run helper: replays `exp` under ctx.MakeConfig(m) for each mode,
+// in parallel, keeping the paper's paired-trace methodology.
+std::vector<core::SimResults> RunPaired(const core::Experiment& exp,
+                                        const std::vector<core::Mode>& modes,
+                                        const BenchContext& ctx);
+
+// Runs `fn(item)` for every item on the shared pool and returns the results
+// in input order (completion order does not leak out, so bench output stays
+// deterministic). `fn` may itself call RunGrid/RunPaired: nested calls from
+// a worker thread execute inline rather than re-entering the pool.
+template <typename Item, typename F>
+auto ParallelMap(const std::vector<Item>& items, const BenchContext& ctx, F fn)
+    -> std::vector<std::invoke_result_t<F&, const Item&>> {
+  using R = std::invoke_result_t<F&, const Item&>;
+  exec::ThreadPool& pool = ctx.Pool();
+  std::vector<exec::TaskFuture<R>> futs;
+  futs.reserve(items.size());
+  for (const Item& item : items) {
+    futs.push_back(pool.Submit([&fn, &item] { return fn(item); }));
+  }
+  std::vector<R> out;
+  out.reserve(items.size());
+  for (auto& f : futs) out.push_back(std::move(*f.Get()));
+  return out;
+}
 
 // Parses the common flags; `default_vertices` lets heavyweight sweeps pick
 // a smaller default.

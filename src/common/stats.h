@@ -6,6 +6,7 @@
 #ifndef GRAPHPIM_COMMON_STATS_H_
 #define GRAPHPIM_COMMON_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -68,7 +69,29 @@ class Histogram {
 
   std::uint64_t total() const { return total_; }
   double mean() const { return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_); }
+  double Mean() const { return mean(); }
   double max() const { return max_; }
+
+  // Value at percentile `p` in [0, 100], linearly interpolated inside the
+  // containing bucket. Ranks falling in the overflow bucket report max(),
+  // since per-value resolution is lost there. Returns 0 when empty.
+  double Percentile(double p) const {
+    if (total_ == 0) return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const double target = p / 100.0 * static_cast<double>(total_);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i + 1 < counts_.size(); ++i) {
+      if (counts_[i] == 0) continue;
+      const double in_bucket = static_cast<double>(counts_[i]);
+      if (static_cast<double>(cum) + in_bucket >= target) {
+        const double frac =
+            std::clamp((target - static_cast<double>(cum)) / in_bucket, 0.0, 1.0);
+        return (static_cast<double>(i) + frac) * width_;
+      }
+      cum += counts_[i];
+    }
+    return max_;
+  }
   const std::vector<std::uint64_t>& counts() const { return counts_; }
   double bucket_width() const { return width_; }
 

@@ -1,0 +1,263 @@
+#include "exec/sweep.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "common/log.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "exec/thread_pool.h"
+
+namespace graphpim::exec {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Checked numeric parse with the grid key in the diagnostic (matches the
+// Config::GetInt idiom; a stray std::stoull would abort uncaught instead).
+std::uint64_t ParseGridUint(const std::string& key, const std::string& val) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(val.c_str(), &end, 0);
+  if (end == nullptr || end == val.c_str() || *end != '\0') {
+    GP_FATAL("grid spec key '", key, "': '", val, "' is not an integer");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t DeriveCellSeed(std::uint64_t base_seed, std::size_t workload_idx,
+                             std::size_t profile_idx) {
+  // Two SplitMix64 rounds: one to decorrelate the user seed, one to fold in
+  // the cell coordinates. Purely value-dependent, so stable everywhere.
+  SplitMix64 a(base_seed);
+  const std::uint64_t mixed = a.Next();
+  SplitMix64 b(mixed ^ ((static_cast<std::uint64_t>(workload_idx) << 32) |
+                        static_cast<std::uint64_t>(profile_idx)));
+  return b.Next();
+}
+
+const SweepRow* SweepResultTable::Find(const std::string& workload,
+                                       const std::string& profile,
+                                       const std::string& config_name) const {
+  for (const SweepRow& r : rows) {
+    if (r.workload == workload && r.profile == profile &&
+        r.config_name == config_name) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+double SweepResultTable::SpeedupVsFirstConfig(const SweepRow& row) const {
+  for (const SweepRow& r : rows) {
+    if (r.workload_idx == row.workload_idx && r.profile_idx == row.profile_idx &&
+        r.config_idx == 0) {
+      if (row.results.cycles == 0) return 0.0;
+      return static_cast<double>(r.results.cycles) /
+             static_cast<double>(row.results.cycles);
+    }
+  }
+  return 0.0;
+}
+
+SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
+  GP_CHECK(!grid.workloads.empty(), "sweep grid has no workloads");
+  GP_CHECK(!grid.profiles.empty(), "sweep grid has no profiles");
+  GP_CHECK(!grid.configs.empty(), "sweep grid has no configs");
+  GP_CHECK(grid.config_names.size() == grid.configs.size(),
+           "config_names must parallel configs");
+  for (const core::SimConfig& c : grid.configs) {
+    GP_CHECK(c.num_cores >= grid.sim_threads,
+             "config simulates fewer cores than the trace has streams");
+  }
+
+  const auto sweep_t0 = std::chrono::steady_clock::now();
+  const std::size_t num_cells = grid.NumCells();
+  const std::size_t num_configs = grid.configs.size();
+  const std::size_t total = grid.NumJobs();
+
+  struct JobOut {
+    core::SimResults results;
+    double wall_ms = 0.0;
+  };
+
+  ThreadPool pool(opts_.jobs);
+
+  // Cell tasks build the shared Experiment, then fan the per-config replay
+  // jobs out from the worker thread itself, so replays start the moment
+  // their trace exists. The main thread harvests futures in grid order.
+  std::mutex mu;
+  std::condition_variable cell_cv;
+  std::vector<TaskFuture<JobOut>> job_futs(total);
+  std::vector<char> cell_ready(num_cells, 0);
+  std::vector<double> cell_build_ms(num_cells, 0.0);
+
+  std::mutex progress_mu;
+  std::size_t completed = 0;
+
+  for (std::size_t ci = 0; ci < num_cells; ++ci) {
+    const std::size_t wi = ci / grid.profiles.size();
+    const std::size_t pi = ci % grid.profiles.size();
+    pool.Submit([&, ci, wi, pi] {
+      const auto build_t0 = std::chrono::steady_clock::now();
+      core::Experiment::Options eo;
+      eo.num_threads = grid.sim_threads;
+      eo.seed = DeriveCellSeed(grid.base_seed, wi, pi);
+      eo.op_cap = grid.op_cap;
+      auto exp = std::make_shared<core::Experiment>(
+          grid.profiles[pi], grid.vertices, grid.workloads[wi], eo);
+      const double build_ms = MsSince(build_t0);
+
+      std::vector<TaskFuture<JobOut>> futs;
+      futs.reserve(num_configs);
+      for (std::size_t k = 0; k < num_configs; ++k) {
+        futs.push_back(pool.Submit([&, exp, wi, pi, k] {
+          const auto run_t0 = std::chrono::steady_clock::now();
+          JobOut out;
+          out.results = exp->Run(grid.configs[k]);
+          out.wall_ms = MsSince(run_t0);
+          if (opts_.on_progress) {
+            std::lock_guard<std::mutex> lk(progress_mu);
+            ++completed;
+            SweepProgress p;
+            p.completed = completed;
+            p.total = total;
+            p.workload = grid.workloads[wi];
+            p.profile = grid.profiles[pi];
+            p.config_name = grid.config_names[k];
+            p.wall_ms = out.wall_ms;
+            opts_.on_progress(p);
+          }
+          return out;
+        }));
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        for (std::size_t k = 0; k < num_configs; ++k) {
+          job_futs[ci * num_configs + k] = std::move(futs[k]);
+        }
+        cell_build_ms[ci] = build_ms;
+        cell_ready[ci] = 1;
+      }
+      cell_cv.notify_all();
+    });
+  }
+
+  SweepResultTable table;
+  table.rows.reserve(total);
+  for (std::size_t ci = 0; ci < num_cells; ++ci) {
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cell_cv.wait(lk, [&] { return cell_ready[ci] != 0; });
+    }
+    table.build_wall_ms += cell_build_ms[ci];
+    const std::size_t wi = ci / grid.profiles.size();
+    const std::size_t pi = ci % grid.profiles.size();
+    for (std::size_t k = 0; k < num_configs; ++k) {
+      auto out = job_futs[ci * num_configs + k].Get();
+      GP_CHECK(out.has_value(), "sweep job was cancelled mid-run");
+      SweepRow row;
+      row.workload_idx = wi;
+      row.profile_idx = pi;
+      row.config_idx = k;
+      row.workload = grid.workloads[wi];
+      row.profile = grid.profiles[pi];
+      row.config_name = grid.config_names[k];
+      row.seed = DeriveCellSeed(grid.base_seed, wi, pi);
+      row.results = std::move(out->results);
+      row.wall_ms = out->wall_ms;
+      table.job_wall_ms.Record(row.wall_ms);
+      table.run_wall_ms += row.wall_ms;
+      table.rows.push_back(std::move(row));
+    }
+  }
+  pool.Shutdown();
+  table.total_wall_ms = MsSince(sweep_t0);
+  return table;
+}
+
+std::vector<core::Mode> ParseModeList(const std::string& arg) {
+  std::vector<core::Mode> modes;
+  for (const std::string& tok : Split(arg, ',')) {
+    const std::string m = Trim(tok);
+    if (m.empty()) continue;
+    if (m == "all") {
+      modes.push_back(core::Mode::kBaseline);
+      modes.push_back(core::Mode::kUPei);
+      modes.push_back(core::Mode::kGraphPim);
+    } else if (m == "baseline") {
+      modes.push_back(core::Mode::kBaseline);
+    } else if (m == "upei") {
+      modes.push_back(core::Mode::kUPei);
+    } else if (m == "graphpim") {
+      modes.push_back(core::Mode::kGraphPim);
+    } else if (m == "ucnopim") {
+      modes.push_back(core::Mode::kUncacheNoPim);
+    } else {
+      GP_FATAL("unknown mode '", m, "' (want baseline|upei|graphpim|ucnopim|all)");
+    }
+  }
+  GP_CHECK(!modes.empty(), "empty mode list");
+  return modes;
+}
+
+SweepGrid ParseGridSpec(const std::string& spec) {
+  SweepGrid grid;
+  grid.profiles.clear();
+  std::vector<core::Mode> modes;
+  bool full = false;
+
+  for (const std::string& field : Split(spec, ';')) {
+    const std::string f = Trim(field);
+    if (f.empty()) continue;
+    const auto eq = f.find('=');
+    GP_CHECK(eq != std::string::npos, "grid spec field '", f, "' is not key=value");
+    const std::string key = Trim(f.substr(0, eq));
+    const std::string val = Trim(f.substr(eq + 1));
+    if (key == "workloads") {
+      for (const std::string& w : Split(val, ','))
+        if (!Trim(w).empty()) grid.workloads.push_back(Trim(w));
+    } else if (key == "profiles") {
+      for (const std::string& p : Split(val, ','))
+        if (!Trim(p).empty()) grid.profiles.push_back(Trim(p));
+    } else if (key == "modes") {
+      modes = ParseModeList(val);
+    } else if (key == "vertices") {
+      grid.vertices = static_cast<VertexId>(ParseGridUint(key, val));
+    } else if (key == "threads") {
+      grid.sim_threads = static_cast<int>(ParseGridUint(key, val));
+    } else if (key == "opcap") {
+      grid.op_cap = ParseGridUint(key, val);
+    } else if (key == "seed") {
+      grid.base_seed = ParseGridUint(key, val);
+    } else if (key == "full") {
+      full = (val == "1" || val == "true");
+    } else {
+      GP_FATAL("unknown grid spec key '", key,
+               "' (want workloads|profiles|modes|vertices|threads|opcap|seed|full)");
+    }
+  }
+
+  GP_CHECK(!grid.workloads.empty(), "grid spec needs workloads=...");
+  if (grid.profiles.empty()) grid.profiles.push_back("ldbc");
+  if (modes.empty()) modes = ParseModeList("all");
+  for (core::Mode m : modes) {
+    core::SimConfig c =
+        full ? core::SimConfig::Paper(m) : core::SimConfig::Scaled(m);
+    c.num_cores = grid.sim_threads;
+    grid.configs.push_back(c);
+    grid.config_names.push_back(ToString(m));
+  }
+  return grid;
+}
+
+}  // namespace graphpim::exec

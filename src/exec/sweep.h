@@ -1,0 +1,130 @@
+// Deterministic parallel sweep execution.
+//
+// A sweep is a job matrix: workloads × profiles × machine configs. Each
+// (workload, profile) cell generates ONE Experiment (graph + functional
+// trace) that every config of the cell replays, so comparisons stay paired
+// exactly like the serial benches. Cells are seeded independently of job
+// count and scheduling order, and rows are emitted in grid order, so:
+//
+//   DETERMINISM CONTRACT: the same SweepGrid produces bit-identical
+//   SimResults rows for --jobs=1 and --jobs=N. Only wall-time metadata
+//   (wall_ms, histogram, totals) may differ between runs.
+//
+// Execution overlaps trace generation and replay: each cell's config jobs
+// are submitted the moment that cell's Experiment is built, so a slow cell
+// does not serialize the rest of the grid.
+#ifndef GRAPHPIM_EXEC_SWEEP_H_
+#define GRAPHPIM_EXEC_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/runner.h"
+#include "core/sim_config.h"
+
+namespace graphpim::exec {
+
+// The job matrix. `configs` and `config_names` are parallel arrays; names
+// key the result table (typically the mode string, e.g. "GraphPIM").
+struct SweepGrid {
+  std::vector<std::string> workloads;
+  std::vector<std::string> profiles = {"ldbc"};
+  std::vector<core::SimConfig> configs;
+  std::vector<std::string> config_names;
+
+  VertexId vertices = 32 * 1024;
+  int sim_threads = 16;  // cores simulated per job (== trace streams)
+  std::uint64_t op_cap = 12'000'000;
+  std::uint64_t base_seed = 1;
+
+  std::size_t NumCells() const { return workloads.size() * profiles.size(); }
+  std::size_t NumJobs() const { return NumCells() * configs.size(); }
+};
+
+// Expands a deterministic per-cell seed from `base_seed` and the cell
+// coordinates via SplitMix64. Stable across job counts, scheduling, and
+// platforms; distinct cells get decorrelated seeds.
+std::uint64_t DeriveCellSeed(std::uint64_t base_seed, std::size_t workload_idx,
+                             std::size_t profile_idx);
+
+// One finished job, keyed by grid coordinates.
+struct SweepRow {
+  std::size_t workload_idx = 0;
+  std::size_t profile_idx = 0;
+  std::size_t config_idx = 0;
+  std::string workload;
+  std::string profile;
+  std::string config_name;
+  std::uint64_t seed = 0;  // the cell seed the trace was generated with
+  core::SimResults results;
+  double wall_ms = 0.0;  // replay wall time (timing metadata, not results)
+};
+
+// Snapshot passed to the progress callback as each job retires.
+struct SweepProgress {
+  std::size_t completed = 0;
+  std::size_t total = 0;
+  std::string workload;
+  std::string profile;
+  std::string config_name;
+  double wall_ms = 0.0;
+};
+
+struct SweepResultTable {
+  // Rows in grid order: workload-major, then profile, then config. This
+  // ordering (not completion order) is part of the determinism contract.
+  std::vector<SweepRow> rows;
+
+  // Timing metadata (NOT covered by the determinism contract).
+  Histogram job_wall_ms{5.0, 400};  // 5 ms buckets up to 2 s + overflow
+  double build_wall_ms = 0.0;       // summed Experiment construction time
+  double run_wall_ms = 0.0;         // summed replay time
+  double total_wall_ms = 0.0;       // end-to-end sweep wall clock
+
+  // Lookup by names; nullptr when absent.
+  const SweepRow* Find(const std::string& workload, const std::string& profile,
+                       const std::string& config_name) const;
+
+  // Speedup of `row` relative to config 0 of the same cell (the
+  // conventional "vs baseline" column); 0 when the cell's config 0 is
+  // missing or has zero cycles.
+  double SpeedupVsFirstConfig(const SweepRow& row) const;
+};
+
+class SweepRunner {
+ public:
+  struct Options {
+    int jobs = 1;  // pool width; <= 0 selects hardware_concurrency()
+    // Invoked serially (under a lock) as each job retires; may print.
+    std::function<void(const SweepProgress&)> on_progress;
+  };
+
+  explicit SweepRunner(Options opts) : opts_(std::move(opts)) {}
+  SweepRunner() : SweepRunner(Options{}) {}
+
+  // Runs the full grid; blocks until every job finished.
+  SweepResultTable Run(const SweepGrid& grid) const;
+
+ private:
+  Options opts_;
+};
+
+// Parses a compact grid spec of the form
+//   "workloads=bfs,prank;modes=baseline,graphpim;profiles=ldbc;
+//    vertices=16384;threads=16;opcap=2000000;seed=1;full=0"
+// Keys may appear in any order; all are optional except workloads.
+// modes accepts baseline|upei|graphpim|ucnopim or "all" (the three
+// paper-evaluated machines); full=1 selects Table IV-size machines.
+// Unknown keys are fatal (user error).
+SweepGrid ParseGridSpec(const std::string& spec);
+
+// "baseline,graphpim" / "all" -> mode list (shared by the CLI drivers).
+std::vector<core::Mode> ParseModeList(const std::string& arg);
+
+}  // namespace graphpim::exec
+
+#endif  // GRAPHPIM_EXEC_SWEEP_H_

@@ -189,5 +189,45 @@ TEST(Histogram, BucketsAndOverflow) {
   EXPECT_NEAR(h.mean(), (5 + 15 + 35 + 1000) / 4.0, 1e-9);
 }
 
+TEST(Histogram, MeanMatchesLowercaseAccessor) {
+  Histogram h(1.0, 8);
+  h.Record(2.0);
+  h.Record(4.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), h.mean());
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+}
+
+TEST(Histogram, PercentileEmptyIsZero) {
+  Histogram h(1.0, 4);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(Histogram, PercentileUniform) {
+  // 100 values 0..99 into [0,10) buckets: each bucket holds 10 samples.
+  Histogram h(10.0, 10);
+  for (int i = 0; i < 100; ++i) h.Record(i);
+  EXPECT_NEAR(h.Percentile(50), 50.0, 1e-9);
+  EXPECT_NEAR(h.Percentile(95), 95.0, 1e-9);
+  EXPECT_NEAR(h.Percentile(10), 10.0, 1e-9);
+  // p=0 resolves to the start of the first populated bucket.
+  EXPECT_NEAR(h.Percentile(0), 0.0, 1e-9);
+  // p=100 lands at the top of the last populated bucket.
+  EXPECT_NEAR(h.Percentile(100), 100.0, 1e-9);
+}
+
+TEST(Histogram, PercentileSkipsEmptyBucketsAndClampsOverflow) {
+  Histogram h(10.0, 4);  // buckets [0,10) [10,20) [20,30) [30,40) + overflow
+  h.Record(5);
+  h.Record(35);
+  h.Record(500);  // overflow
+  // Rank 1 of 3 sits in the first bucket.
+  EXPECT_NEAR(h.Percentile(30), (0.0 + 0.9) * 10.0, 1e-9);
+  // Ranks in the overflow bucket report the recorded max.
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 500.0);
+  // Out-of-range p is clamped rather than UB.
+  EXPECT_DOUBLE_EQ(h.Percentile(150), 500.0);
+  EXPECT_GE(h.Percentile(-5), 0.0);
+}
+
 }  // namespace
 }  // namespace graphpim

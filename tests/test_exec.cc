@@ -1,0 +1,261 @@
+// src/exec tests: thread-pool lifecycle (drain-on-shutdown, cancellation,
+// futures, stats), deterministic sweep seeding, the grid-spec parser, the
+// result sinks, and the headline regression — a small BFS grid must produce
+// bit-identical results at --jobs=1 and --jobs=4.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report.h"
+#include "exec/result_sink.h"
+#include "exec/sweep.h"
+#include "exec/thread_pool.h"
+
+namespace graphpim::exec {
+namespace {
+
+// A manually released gate used to hold a worker busy while the test pokes
+// at the pool's pending queue.
+class Gate {
+ public:
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(ThreadPool, ReturnsValuesAndRecordsWallTime) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 6 * 7; });
+  auto g = pool.Submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  });
+  ASSERT_TRUE(f.Get().has_value());
+  EXPECT_EQ(*f.Get(), 42);
+  EXPECT_EQ(f.state(), TaskState::kDone);
+  ASSERT_TRUE(g.Get().has_value());  // void task yields a `true` marker
+  EXPECT_GE(g.wall_ms(), 4.0);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    Gate gate;
+    pool.Submit([&] { gate.Wait(); });
+    // These sit pending behind the gated task; Shutdown must run them all.
+    for (int i = 0; i < 16; ++i) pool.Submit([&] { ran.fetch_add(1); });
+    gate.Open();
+    pool.Shutdown();
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, CancelWinsOnlyWhilePending) {
+  ThreadPool pool(1);
+  Gate gate;
+  std::atomic<bool> started{false};
+  auto running = pool.Submit([&] {
+    started = true;
+    gate.Wait();
+  });
+  while (!started) std::this_thread::yield();
+  EXPECT_FALSE(running.Cancel());  // already running: cancel must lose
+
+  auto pending = pool.Submit([] { return 1; });
+  EXPECT_TRUE(pending.Cancel());
+  EXPECT_EQ(pending.state(), TaskState::kCancelled);
+  EXPECT_FALSE(pending.Get().has_value());
+
+  gate.Open();
+  pool.Shutdown();
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.submitted, 2u);
+  EXPECT_EQ(s.executed, 1u);
+  EXPECT_EQ(s.cancelled, 1u);
+}
+
+TEST(ThreadPool, CancelPendingSweepsTheQueues) {
+  ThreadPool pool(1);
+  Gate gate;
+  std::atomic<bool> started{false};
+  pool.Submit([&] {
+    started = true;
+    gate.Wait();
+  });
+  // Only once the gate task is RUNNING is "pending" exactly the 8 below.
+  while (!started) std::this_thread::yield();
+  std::vector<TaskFuture<int>> futs;
+  for (int i = 0; i < 8; ++i) futs.push_back(pool.Submit([i] { return i; }));
+  EXPECT_EQ(pool.CancelPending(), 8u);
+  gate.Open();
+  pool.WaitIdle();
+  for (auto& f : futs) EXPECT_FALSE(f.Get().has_value());
+  EXPECT_EQ(pool.stats().cancelled, 8u);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilEverythingFinished) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      ran.fetch_add(1);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_EQ(pool.stats().executed, 64u);
+}
+
+TEST(ThreadPool, OnWorkerThreadDistinguishesInsideFromOutside) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.OnWorkerThread());
+  auto f = pool.Submit([&pool] { return pool.OnWorkerThread(); });
+  ASSERT_TRUE(f.Get().has_value());
+  EXPECT_TRUE(*f.Get());
+}
+
+TEST(SweepSeed, DeterministicAndDecorrelated) {
+  const std::uint64_t a = DeriveCellSeed(1, 0, 0);
+  EXPECT_EQ(a, DeriveCellSeed(1, 0, 0));  // pure function of its inputs
+  std::set<std::uint64_t> seeds;
+  for (std::size_t w = 0; w < 8; ++w) {
+    for (std::size_t p = 0; p < 4; ++p) seeds.insert(DeriveCellSeed(1, w, p));
+  }
+  EXPECT_EQ(seeds.size(), 32u);  // no collisions across a realistic grid
+  EXPECT_NE(DeriveCellSeed(1, 0, 0), DeriveCellSeed(2, 0, 0));
+}
+
+TEST(SweepGridSpec, ParsesEveryKey) {
+  const SweepGrid g = ParseGridSpec(
+      "workloads=bfs,prank;profiles=ldbc,twitter;modes=baseline,graphpim;"
+      "vertices=2048;threads=8;opcap=100000;seed=7;full=0");
+  EXPECT_EQ(g.workloads, (std::vector<std::string>{"bfs", "prank"}));
+  EXPECT_EQ(g.profiles, (std::vector<std::string>{"ldbc", "twitter"}));
+  ASSERT_EQ(g.configs.size(), 2u);
+  EXPECT_EQ(g.config_names[0], "Baseline");
+  EXPECT_EQ(g.config_names[1], "GraphPIM");
+  EXPECT_EQ(g.vertices, 2048u);
+  EXPECT_EQ(g.sim_threads, 8);
+  EXPECT_EQ(g.op_cap, 100000u);
+  EXPECT_EQ(g.base_seed, 7u);
+  EXPECT_EQ(g.NumCells(), 4u);
+  EXPECT_EQ(g.NumJobs(), 8u);
+}
+
+TEST(SweepGridSpec, ModeAllExpandsToThePaperMachines) {
+  const SweepGrid g = ParseGridSpec("workloads=bfs;modes=all");
+  ASSERT_EQ(g.configs.size(), 3u);
+  EXPECT_EQ(g.config_names,
+            (std::vector<std::string>{"Baseline", "U-PEI", "GraphPIM"}));
+}
+
+TEST(SweepGridSpec, RejectsUnknownKeysAndEmptyWorkloads) {
+  EXPECT_EXIT({ ParseGridSpec("workloads=bfs;bogus=1"); },
+              ::testing::ExitedWithCode(1), "unknown grid spec key");
+  EXPECT_DEATH({ ParseGridSpec("modes=all"); }, "needs workloads");
+  EXPECT_EXIT({ ParseGridSpec("workloads=bfs;vertices=abc"); },
+              ::testing::ExitedWithCode(1), "not an integer");
+}
+
+// Shared tiny grid for the runner tests: 1 workload x 1 profile x 3 paper
+// machines on a small graph, so the whole sweep stays fast enough for CI.
+SweepGrid TinyGrid() {
+  SweepGrid g = ParseGridSpec("workloads=bfs;modes=all");
+  g.vertices = 2048;
+  g.op_cap = 120'000;
+  return g;
+}
+
+TEST(SweepRunner, RowsComeBackInGridOrderWithProgress) {
+  std::mutex mu;
+  std::size_t calls = 0;
+  SweepRunner::Options opts;
+  opts.jobs = 2;
+  opts.on_progress = [&](const SweepProgress& p) {
+    std::lock_guard<std::mutex> lk(mu);
+    ++calls;
+    EXPECT_EQ(p.total, 3u);
+  };
+  const SweepResultTable t = SweepRunner(opts).Run(TinyGrid());
+  ASSERT_EQ(t.rows.size(), 3u);
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(t.rows[0].config_name, "Baseline");
+  EXPECT_EQ(t.rows[1].config_name, "U-PEI");
+  EXPECT_EQ(t.rows[2].config_name, "GraphPIM");
+  for (const SweepRow& r : t.rows) {
+    EXPECT_EQ(r.workload, "bfs");
+    EXPECT_GT(r.results.cycles, 0u);
+  }
+  // GraphPIM must beat the baseline even on the tiny graph.
+  EXPECT_GT(t.SpeedupVsFirstConfig(t.rows[2]), 1.0);
+  const SweepRow* found = t.Find("bfs", "ldbc", "GraphPIM");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->config_idx, 2u);
+  EXPECT_EQ(t.Find("bfs", "ldbc", "nope"), nullptr);
+}
+
+TEST(SweepRunner, JobCountDoesNotChangeResults) {
+  const SweepGrid grid = TinyGrid();
+  SweepRunner::Options serial_opts;
+  serial_opts.jobs = 1;
+  SweepRunner::Options parallel_opts;
+  parallel_opts.jobs = 4;
+  const SweepResultTable serial = SweepRunner(serial_opts).Run(grid);
+  const SweepResultTable parallel = SweepRunner(parallel_opts).Run(grid);
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_EQ(serial.rows[i].seed, parallel.rows[i].seed);
+    // Bit-identical per-run payload, field by field via the JSON report.
+    EXPECT_EQ(core::ToJson(serial.rows[i].results),
+              core::ToJson(parallel.rows[i].results))
+        << "row " << i << " (" << serial.rows[i].config_name << ")";
+  }
+  // The deterministic serialization must match byte for byte.
+  EXPECT_EQ(ToDeterministicCsv(serial), ToDeterministicCsv(parallel));
+}
+
+TEST(ResultSink, CsvAndJsonCarryTheTable) {
+  SweepRunner::Options opts;
+  opts.jobs = 2;
+  const SweepResultTable t = SweepRunner(opts).Run(TinyGrid());
+  const std::string csv = ToCsv(t);
+  EXPECT_NE(csv.find("workload,profile,config,seed,cycles"), std::string::npos);
+  EXPECT_NE(csv.find("bfs,ldbc,GraphPIM"), std::string::npos);
+  // Header + one line per row.
+  EXPECT_EQ(static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n')),
+            1 + t.rows.size());
+  const std::string det = ToDeterministicCsv(t);
+  EXPECT_EQ(det.find("wall_ms"), std::string::npos);
+
+  const std::string json = ToJson(t);
+  EXPECT_NE(json.find("\"rows\""), std::string::npos);
+  EXPECT_NE(json.find("\"timing\""), std::string::npos);
+  EXPECT_NE(json.find("\"config\": \"GraphPIM\""), std::string::npos);
+  // Each row embeds the full core report object.
+  EXPECT_NE(json.find("\"l2_mpki\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphpim::exec

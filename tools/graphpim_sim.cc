@@ -8,8 +8,15 @@
 //                [--threads=16] [--seed=1] [--opcap=12000000]
 //                [--fp=1] [--fus=16] [--linkbw=1.0] [--hybrid=1.0]
 //                [--fuse=0]           # Section III-B comparison-block fusion
+//                [--jobs=N]           # replay modes in parallel (0 = nproc)
 //                [--json=out.json]    # machine-readable results (last mode)
 //                [--trace-out=t.bin] [--trace-in=t.bin]
+//
+// Sweep mode (runs a whole job matrix instead of a single experiment; see
+// src/exec/sweep.h for the grid-spec syntax and determinism contract):
+//
+//   graphpim_sim --sweep='workloads=bfs,prank;modes=all;vertices=16384'
+//                [--jobs=N] [--json=out.json] [--csv=out.csv]
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -17,6 +24,9 @@
 #include "common/config.h"
 #include "core/report.h"
 #include "core/runner.h"
+#include "exec/result_sink.h"
+#include "exec/sweep.h"
+#include "exec/thread_pool.h"
 #include "graph/region.h"
 #include "workloads/fusion.h"
 #include "workloads/trace_io.h"
@@ -24,8 +34,50 @@
 
 using namespace graphpim;
 
+namespace {
+
+int RunSweep(const Config& cfg) {
+  exec::SweepGrid grid = exec::ParseGridSpec(cfg.GetString("sweep", ""));
+  exec::SweepRunner::Options opts;
+  opts.jobs = static_cast<int>(cfg.GetInt("jobs", 0));
+  opts.on_progress = [](const exec::SweepProgress& p) {
+    std::printf("[%3zu/%3zu] %s/%s/%s  %.0f ms\n", p.completed, p.total,
+                p.workload.c_str(), p.profile.c_str(), p.config_name.c_str(),
+                p.wall_ms);
+  };
+  std::printf("graphpim_sim sweep: %zu jobs (%zu cells x %zu configs)\n\n",
+              grid.NumJobs(), grid.NumCells(), grid.configs.size());
+  exec::SweepResultTable table = exec::SweepRunner(opts).Run(grid);
+
+  std::printf("\n%-8s %-8s %-10s %14s %10s %10s\n", "workload", "profile",
+              "config", "cycles", "IPC", "speedup");
+  for (const exec::SweepRow& r : table.rows) {
+    std::printf("%-8s %-8s %-10s %14llu %10.4f %9.2fx\n", r.workload.c_str(),
+                r.profile.c_str(), r.config_name.c_str(),
+                static_cast<unsigned long long>(r.results.cycles), r.results.ipc,
+                table.SpeedupVsFirstConfig(r));
+  }
+  std::printf("\nwall: %.0f ms total | job p50 %.0f ms p95 %.0f ms\n",
+              table.total_wall_ms, table.job_wall_ms.Percentile(50),
+              table.job_wall_ms.Percentile(95));
+  if (cfg.Has("json")) {
+    GP_CHECK(exec::WriteJson(table, cfg.GetString("json", "")),
+             "cannot write JSON");
+    std::printf("JSON written to %s\n", cfg.GetString("json", "").c_str());
+  }
+  if (cfg.Has("csv")) {
+    GP_CHECK(exec::WriteCsv(table, cfg.GetString("csv", "")),
+             "cannot write CSV");
+    std::printf("CSV written to %s\n", cfg.GetString("csv", "").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Config cfg = Config::FromArgs(argc, argv);
+  if (cfg.Has("sweep")) return RunSweep(cfg);
   const std::string workload = cfg.GetString("workload", "bfs");
   const std::string profile = cfg.GetString("profile", "ldbc");
   const auto vertices = static_cast<VertexId>(cfg.GetUint("vertices", 32 * 1024));
@@ -83,8 +135,10 @@ int main(int argc, char** argv) {
     GP_FATAL("unknown --mode '", mode_arg, "'");
   }
 
-  std::unique_ptr<core::SimResults> baseline;
-  core::SimResults last;
+  // Replay every mode — in parallel when --jobs allows it. Replays are pure
+  // (RunSimulation has no shared mutable state), so the parallel path yields
+  // bit-identical results; reports still print in mode-list order.
+  std::vector<core::SimConfig> mode_cfgs;
   for (core::Mode m : modes) {
     core::SimConfig sc = full ? core::SimConfig::Paper(m) : core::SimConfig::Scaled(m);
     sc.num_cores = opts.num_threads;
@@ -93,9 +147,29 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(cfg.GetUint("fus", sc.hmc.fus_per_vault));
     sc.hmc.link_bw_scale = cfg.GetDouble("linkbw", 1.0);
     sc.pmr_hmc_fraction = cfg.GetDouble("hybrid", 1.0);
-    last = core::RunSimulation(trace, sc, exp.pmr_base(), exp.pmr_end());
+    mode_cfgs.push_back(sc);
+  }
+  std::vector<core::SimResults> mode_results(modes.size());
+  {
+    exec::ThreadPool pool(static_cast<int>(cfg.GetInt("jobs", 0)));
+    std::vector<exec::TaskFuture<core::SimResults>> futs;
+    futs.reserve(modes.size());
+    for (const core::SimConfig& sc : mode_cfgs) {
+      futs.push_back(pool.Submit([&trace, &sc, &exp] {
+        return core::RunSimulation(trace, sc, exp.pmr_base(), exp.pmr_end());
+      }));
+    }
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      mode_results[i] = std::move(*futs[i].Get());
+    }
+  }
+
+  std::unique_ptr<core::SimResults> baseline;
+  core::SimResults last;
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    last = mode_results[i];
     std::printf("%s", core::FormatReport(last).c_str());
-    if (m == core::Mode::kBaseline) {
+    if (modes[i] == core::Mode::kBaseline) {
       baseline = std::make_unique<core::SimResults>(last);
     } else if (baseline != nullptr) {
       std::printf("speedup over baseline: %.2fx\n", core::Speedup(*baseline, last));

@@ -1,0 +1,105 @@
+// graphpim_sweep — run full paper-reproduction grids in one invocation.
+//
+// Expands a workload × profile × machine-config job matrix, executes it on
+// the src/exec work-stealing pool, and prints a keyed result table with
+// speedups against the first config (baseline). Results are bit-identical
+// for any --jobs value (see src/exec/sweep.h for the determinism contract).
+//
+//   graphpim_sweep [--workloads=bfs,prank,...]   # default: the 5 paper evals
+//                  [--profiles=ldbc]             # synthetic graph profiles
+//                  [--modes=all|baseline,upei,graphpim,ucnopim]
+//                  [--vertices=32768] [--full=0] # full=1: Table IV machines
+//                  [--threads=16] [--opcap=12000000] [--seed=1]
+//                  [--jobs=N]                    # pool width (0 = nproc)
+//                  [--progress=1]
+//                  [--json=out.json] [--csv=out.csv]
+#include <cstdio>
+#include <string>
+
+#include "common/config.h"
+#include "common/string_util.h"
+#include "exec/result_sink.h"
+#include "exec/sweep.h"
+#include "workloads/workload.h"
+
+using namespace graphpim;
+
+namespace {
+
+std::string Join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += ",";
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg = Config::FromArgs(argc, argv);
+
+  // Assemble a grid spec from the individual flags and reuse the shared
+  // parser so graphpim_sim --sweep=... and this driver cannot diverge.
+  std::string spec =
+      "workloads=" +
+      cfg.GetString("workloads", Join(workloads::EvalWorkloadNames()));
+  spec += ";profiles=" + cfg.GetString("profiles", "ldbc");
+  spec += ";modes=" + cfg.GetString("modes", "all");
+  spec += ";vertices=" + std::to_string(cfg.GetUint("vertices", 32 * 1024));
+  spec += ";threads=" + std::to_string(cfg.GetInt("threads", 16));
+  spec += ";opcap=" + std::to_string(cfg.GetUint("opcap", 12'000'000));
+  spec += ";seed=" + std::to_string(cfg.GetUint("seed", 1));
+  spec += ";full=" + std::string(cfg.GetBool("full", false) ? "1" : "0");
+  exec::SweepGrid grid = exec::ParseGridSpec(spec);
+
+  exec::SweepRunner::Options opts;
+  opts.jobs = static_cast<int>(cfg.GetInt("jobs", 0));
+  if (cfg.GetBool("progress", true)) {
+    opts.on_progress = [](const exec::SweepProgress& p) {
+      std::printf("[%3zu/%3zu] %-8s %-8s %-10s %7.0f ms\n", p.completed,
+                  p.total, p.workload.c_str(), p.profile.c_str(),
+                  p.config_name.c_str(), p.wall_ms);
+    };
+  }
+
+  std::printf("graphpim_sweep: %zu workloads x %zu profiles x %zu configs "
+              "= %zu jobs (--jobs=%d)\n\n",
+              grid.workloads.size(), grid.profiles.size(), grid.configs.size(),
+              grid.NumJobs(), opts.jobs);
+  exec::SweepResultTable table = exec::SweepRunner(opts).Run(grid);
+
+  std::printf("\n%-8s %-8s %-10s %14s %8s %9s %9s %9s\n", "workload",
+              "profile", "config", "cycles", "IPC", "MPKI(L2)", "offload%",
+              "speedup");
+  for (const exec::SweepRow& r : table.rows) {
+    const double offload_pct =
+        r.results.atomics == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(r.results.offloaded_atomics) /
+                  static_cast<double>(r.results.atomics);
+    std::printf("%-8s %-8s %-10s %14llu %8.3f %9.2f %8.1f%% %8.2fx\n",
+                r.workload.c_str(), r.profile.c_str(), r.config_name.c_str(),
+                static_cast<unsigned long long>(r.results.cycles),
+                r.results.ipc, r.results.l2_mpki, offload_pct,
+                table.SpeedupVsFirstConfig(r));
+  }
+  std::printf("\nwall: %.0f ms total (build %.0f ms + run %.0f ms of work) | "
+              "job p50 %.0f ms  p95 %.0f ms  max %.0f ms\n",
+              table.total_wall_ms, table.build_wall_ms, table.run_wall_ms,
+              table.job_wall_ms.Percentile(50), table.job_wall_ms.Percentile(95),
+              table.job_wall_ms.max());
+
+  if (cfg.Has("json")) {
+    GP_CHECK(exec::WriteJson(table, cfg.GetString("json", "")),
+             "cannot write JSON");
+    std::printf("JSON written to %s\n", cfg.GetString("json", "").c_str());
+  }
+  if (cfg.Has("csv")) {
+    GP_CHECK(exec::WriteCsv(table, cfg.GetString("csv", "")),
+             "cannot write CSV");
+    std::printf("CSV written to %s\n", cfg.GetString("csv", "").c_str());
+  }
+  return 0;
+}
