@@ -74,6 +74,26 @@ bool Config::GetBool(const std::string& key, bool def) const {
   GP_FATAL("config key '", key, "': '", v, "' is not a boolean");
 }
 
+void Config::RequireKeys(const std::vector<std::string>& accepted) const {
+  for (const auto& [key, value] : values_) {
+    bool known = false;
+    for (const std::string& a : accepted) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::string list;
+      for (const std::string& a : accepted) {
+        if (!list.empty()) list += "|";
+        list += a;
+      }
+      GP_THROW("unknown option '--", key, "' (accepted: ", list, ")");
+    }
+  }
+}
+
 std::vector<std::pair<std::string, std::string>> Config::Items() const {
   return {values_.begin(), values_.end()};
 }

@@ -33,6 +33,12 @@ class Config {
   double GetDouble(const std::string& key, double def) const;
   bool GetBool(const std::string& key, bool def) const;
 
+  // Validates that every present key is in `accepted`; throws SimError
+  // naming the offending key and listing the accepted keys otherwise.
+  // Drivers call this right after FromArgs so a typo'd flag produces an
+  // actionable diagnostic instead of being silently ignored.
+  void RequireKeys(const std::vector<std::string>& accepted) const;
+
   // All key/value pairs in key order (for reproducibility banners).
   std::vector<std::pair<std::string, std::string>> Items() const;
 

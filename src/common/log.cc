@@ -3,7 +3,13 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/string_util.h"
+
 namespace graphpim {
+
+SimError::SimError(const char* file, int line, const std::string& msg)
+    : std::runtime_error(StrFormat("%s (%s:%d)", msg.c_str(), file, line)),
+      message_(msg) {}
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
@@ -21,6 +27,10 @@ void PanicImpl(const char* file, int line, const std::string& msg) {
 void FatalImpl(const char* file, int line, const std::string& msg) {
   std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
   std::exit(1);
+}
+
+void ThrowImpl(const char* file, int line, const std::string& msg) {
+  throw SimError(file, line, msg);
 }
 
 void WarnImpl(const std::string& msg) {

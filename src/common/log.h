@@ -2,15 +2,32 @@
 //
 // Follows the gem5 convention: Panic() for "this is a simulator bug",
 // Fatal() for "the user asked for something impossible", Warn()/Inform()
-// for status. No exceptions are used anywhere in the library; invariant
-// violations terminate with a diagnostic.
+// for status. Invariant violations terminate with a diagnostic.
+//
+// Recoverable errors — bad user input, a job of a sweep that cannot be
+// built or run — use GP_THROW/SimError instead: harness code (the sweep
+// runner, the CLI drivers) catches SimError at an isolation boundary and
+// degrades gracefully rather than taking down the whole process.
 #ifndef GRAPHPIM_COMMON_LOG_H_
 #define GRAPHPIM_COMMON_LOG_H_
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace graphpim {
+
+// Recoverable simulation/configuration error. what() carries the message
+// plus the throw site, so a journaled error string pinpoints the failure.
+class SimError : public std::runtime_error {
+ public:
+  SimError(const char* file, int line, const std::string& msg);
+
+  const std::string& message() const { return message_; }
+
+ private:
+  std::string message_;  // the bare message, without the file:line suffix
+};
 
 enum class LogLevel : int {
   kQuiet = 0,
@@ -28,6 +45,9 @@ LogLevel GetLogLevel();
 
 // Terminates the program: user/configuration error (exit(1)).
 [[noreturn]] void FatalImpl(const char* file, int line, const std::string& msg);
+
+// Raises a recoverable SimError.
+[[noreturn]] void ThrowImpl(const char* file, int line, const std::string& msg);
 
 void WarnImpl(const std::string& msg);
 void InformImpl(const std::string& msg);
@@ -52,6 +72,15 @@ std::string Cat(Args&&... args) {
 
 #define GP_FATAL(...) \
   ::graphpim::FatalImpl(__FILE__, __LINE__, ::graphpim::log_internal::Cat(__VA_ARGS__))
+
+// Recoverable error: throws SimError. Use for conditions a harness layer
+// can isolate (one bad sweep job, one malformed spec), not for invariant
+// violations.
+#define GP_THROW(...) \
+  ::graphpim::ThrowImpl(__FILE__, __LINE__, ::graphpim::log_internal::Cat(__VA_ARGS__))
+
+// Long-form alias (the name used in docs and issues).
+#define GRAPHPIM_THROW(...) GP_THROW(__VA_ARGS__)
 
 #define GP_WARN(...) ::graphpim::WarnImpl(::graphpim::log_internal::Cat(__VA_ARGS__))
 

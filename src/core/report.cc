@@ -21,6 +21,17 @@ std::string FormatReport(const SimResults& r) {
                    100 * r.atomic_miss_rate);
   out += StrFormat("link FLITs: %.0f request / %.0f response\n", r.req_flits,
                    r.resp_flits);
+  // Degraded-mode line only when fault injection actually fired, so
+  // fault-free reports stay byte-identical to the ideal model's.
+  if (r.link_crc_errors > 0 || r.poisoned_ops > 0 || r.vault_stalls > 0) {
+    out += StrFormat("faults: %llu CRC errors, %llu retries (%.0f FLITs "
+                     "replayed), %llu poisoned, %llu vault stalls\n",
+                     static_cast<unsigned long long>(r.link_crc_errors),
+                     static_cast<unsigned long long>(r.link_retries),
+                     r.retry_flits,
+                     static_cast<unsigned long long>(r.poisoned_ops),
+                     static_cast<unsigned long long>(r.vault_stalls));
+  }
   out += StrFormat("breakdown: backend %.1f%% frontend %.1f%% badspec %.1f%% "
                    "retiring %.1f%%\n",
                    100 * r.frac_backend, 100 * r.frac_frontend,
@@ -52,6 +63,16 @@ std::string ToJson(const SimResults& r) {
   out += StrFormat("  \"atomic_miss_rate\": %.4f,\n", r.atomic_miss_rate);
   out += StrFormat("  \"req_flits\": %.0f,\n  \"resp_flits\": %.0f,\n", r.req_flits,
                    r.resp_flits);
+  if (r.link_crc_errors > 0 || r.poisoned_ops > 0 || r.vault_stalls > 0) {
+    out += StrFormat("  \"fault\": {\"link_crc_errors\": %llu, "
+                     "\"link_retries\": %llu, \"retry_flits\": %.0f, "
+                     "\"poisoned_ops\": %llu, \"vault_stalls\": %llu},\n",
+                     static_cast<unsigned long long>(r.link_crc_errors),
+                     static_cast<unsigned long long>(r.link_retries),
+                     r.retry_flits,
+                     static_cast<unsigned long long>(r.poisoned_ops),
+                     static_cast<unsigned long long>(r.vault_stalls));
+  }
   out += StrFormat("  \"frac_backend\": %.4f,\n  \"frac_frontend\": %.4f,\n",
                    r.frac_backend, r.frac_frontend);
   out += StrFormat("  \"frac_badspec\": %.4f,\n  \"frac_retiring\": %.4f,\n",

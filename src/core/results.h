@@ -34,6 +34,14 @@ struct SimResults {
   double req_flits = 0.0;
   double resp_flits = 0.0;
 
+  // Fault injection & degraded modes (src/fault, DESIGN.md §9). All zero
+  // on a fault-free run.
+  std::uint64_t link_crc_errors = 0;  // corrupted packets detected at RX
+  std::uint64_t link_retries = 0;     // retry-buffer replays
+  double retry_flits = 0.0;           // FLITs retransmitted by replays
+  std::uint64_t poisoned_ops = 0;     // responses delivered poisoned
+  std::uint64_t vault_stalls = 0;     // injected vault busy-stalls
+
   // Execution-time attribution, fractions of total core time (Fig 9).
   double frac_atomic_incore = 0.0;
   double frac_atomic_incache = 0.0;

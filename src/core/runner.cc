@@ -50,6 +50,11 @@ SimResults Collect(const SimConfig& cfg, const std::vector<std::unique_ptr<OooCo
   r.offloaded_atomics = totals.offloaded_atomics;
   r.req_flits = s.Get("hmc.req_flits");
   r.resp_flits = s.Get("hmc.resp_flits");
+  r.link_crc_errors = static_cast<std::uint64_t>(s.Get("fault.link_crc_errors"));
+  r.link_retries = static_cast<std::uint64_t>(s.Get("fault.link_retries"));
+  r.retry_flits = s.Get("fault.retry_flits");
+  r.poisoned_ops = static_cast<std::uint64_t>(s.Get("fault.poisoned_ops"));
+  r.vault_stalls = static_cast<std::uint64_t>(s.Get("fault.vault_stalls"));
 
   // Attribution fractions over aggregate core time.
   double total_core_ticks =

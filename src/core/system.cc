@@ -86,6 +86,22 @@ MemOutcome MemorySystem::HostPath(int core, const MicroOp& op, Tick when) {
 }
 
 MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
+  // Bounded recovery from a poisoned response (fault injection): the host
+  // re-issues the transaction once at the poisoned packet's arrival tick.
+  // A second poisoning is accepted as-is — real drivers surface it as an
+  // MCE rather than retrying forever.
+  auto reissue_once = [this](hmc::Completion c, auto issue_fn) {
+    if (c.poisoned) {
+      stats_.Inc("pou.poison_reissues");
+      hmc::Completion retry = issue_fn(c.response_at_host);
+      if (!retry.poisoned) return retry;
+      stats_.Inc("pou.poison_unrecovered");
+      retry.poisoned = true;
+      return retry;
+    }
+    return c;
+  };
+
   MemOutcome out;
   std::size_t slot = 0;
   Tick issue = AcquireUcSlot(core, when, &slot);
@@ -93,7 +109,9 @@ MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
   stats_.Add("pou.uc_slot_wait_ns", TicksToNs(issue - when));
   switch (op.type) {
     case OpType::kLoad: {
-      hmc::Completion c = cube_->Read(op.addr, op.size, issue);
+      hmc::Completion c = reissue_once(
+          cube_->Read(op.addr, op.size, issue),
+          [&](Tick at) { return cube_->Read(op.addr, op.size, at); });
       stats_.Add("pou.uc_service_ns", TicksToNs(c.response_at_host - issue));
       out.complete = c.response_at_host;
       out.retire_ready = c.response_at_host;
@@ -110,8 +128,12 @@ MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
       break;
     }
     case OpType::kAtomic: {
-      hmc::Completion c =
-          cube_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(), issue);
+      hmc::Completion c = reissue_once(
+          cube_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(), issue),
+          [&](Tick at) {
+            return cube_->Atomic(op.addr, op.aop, hmc::Value16{},
+                                 op.WantReturn(), at);
+          });
       out.complete = c.response_at_host;
       out.retire_ready = op.WantReturn() ? c.response_at_host : issue;
       ReleaseUcSlot(core, slot,
@@ -166,6 +188,13 @@ MemOutcome MemorySystem::UPeiAtomic(int core, const MicroOp& op, Tick when) {
     }
     hmc::Completion c =
         cube_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(), issue);
+    if (c.poisoned) {
+      // Same bounded recovery as the GraphPIM bypass path.
+      stats_.Inc("pou.poison_reissues");
+      c = cube_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(),
+                        c.response_at_host);
+      if (c.poisoned) stats_.Inc("pou.poison_unrecovered");
+    }
     out.complete = c.response_at_host;
     out.retire_ready = op.WantReturn() ? c.response_at_host : issue;
     ReleaseUcSlot(core, slot,

@@ -21,8 +21,11 @@ EnergyBreakdown ComputeUncoreEnergy(const StatSet& s, double runtime_sec,
                    kNj +
                p.cache_static_w * runtime_sec;
 
-  // SerDes links: per-FLIT transfer energy + idle power.
-  double flits = s.Get("hmc.req_flits") + s.Get("hmc.resp_flits");
+  // SerDes links: per-FLIT transfer energy + idle power. Retransmitted
+  // FLITs (fault-injection retry-buffer replays) burn the same per-FLIT
+  // energy as first transmissions.
+  double flits = s.Get("hmc.req_flits") + s.Get("hmc.resp_flits") +
+                 s.Get("fault.retry_flits");
   e.link_j = flits * p.link_flit_nj * kNj + p.link_static_w * runtime_sec;
 
   // Logic layer: packet processing (requests + responses) + static.

@@ -1,0 +1,69 @@
+// Crash-safe sweep journal (DESIGN.md §9).
+//
+// An append-only JSONL file: one header line fingerprinting the grid, then
+// one line per finished OK row. Rows are appended in grid order as the
+// runner harvests them and flushed immediately, so a SIGKILL loses at most
+// the line being written; a truncated trailing line is silently dropped on
+// load. Doubles are emitted with %.17g (exact round-trip), so a row
+// restored by --resume is bit-identical to the row that was journaled —
+// which, by the determinism contract, is bit-identical to what re-running
+// the job would have produced.
+//
+// The format is our own narrow JSON subset (objects, arrays, strings,
+// numbers); LoadJournal's parser handles exactly that subset and rejects
+// anything else by dropping the line, so a corrupt journal degrades to a
+// shorter one instead of a crash.
+#ifndef GRAPHPIM_EXEC_JOURNAL_H_
+#define GRAPHPIM_EXEC_JOURNAL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exec/sweep.h"
+
+namespace graphpim::exec {
+
+// Stable identity of a grid: workloads, profiles, config names + machine
+// descriptors (including fault knobs), sizing, and base seed. A journal
+// written under a different fingerprint must not be resumed — the
+// coordinates would mean different experiments.
+std::string GridFingerprint(const SweepGrid& grid);
+
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter() { Close(); }
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  // Opens `path` for append, writing the header line first when the file
+  // is new or empty. Throws SimError when the path is unwritable.
+  void Open(const std::string& path, const std::string& fingerprint);
+
+  bool is_open() const { return f_ != nullptr; }
+
+  // Appends one finished OK row and flushes it.
+  void Append(const SweepRow& row);
+
+  void Close();
+
+ private:
+  std::FILE* f_ = nullptr;
+};
+
+struct JournalData {
+  std::string fingerprint;
+  std::vector<SweepRow> rows;     // all restored rows are status=kOk
+  std::size_t dropped_lines = 0;  // malformed/truncated lines skipped
+};
+
+// Loads a journal. False when the file does not exist (fresh start); a
+// file with an unreadable header loads as zero rows with an empty
+// fingerprint, which the runner then rejects as a mismatch.
+bool LoadJournal(const std::string& path, JournalData* out);
+
+}  // namespace graphpim::exec
+
+#endif  // GRAPHPIM_EXEC_JOURNAL_H_

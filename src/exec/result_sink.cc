@@ -9,6 +9,19 @@ namespace graphpim::exec {
 
 namespace {
 
+// Escapes a string for embedding in a JSON string literal (error messages
+// can contain quotes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    if (ch == '\n') { out += "\\n"; continue; }
+    out += ch;
+  }
+  return out;
+}
+
 // Indents a multi-line JSON fragment by `pad` spaces (for embedding
 // core::ToJson() output inside a row object).
 std::string Indent(const std::string& json, int pad) {
@@ -73,6 +86,13 @@ std::string ToJson(const SweepResultTable& t) {
     out += StrFormat("      \"config\": \"%s\",\n", r.config_name.c_str());
     out += StrFormat("      \"seed\": %llu,\n",
                      static_cast<unsigned long long>(r.seed));
+    // Fault-tolerance fields only when a job actually failed or retried,
+    // so fault-free sweeps serialize byte-identically to the ideal model.
+    if (r.status != JobStatus::kOk || r.attempts != 1) {
+      out += StrFormat("      \"status\": \"%s\",\n", ToString(r.status));
+      out += StrFormat("      \"attempts\": %d,\n", r.attempts);
+      out += StrFormat("      \"error\": \"%s\",\n", JsonEscape(r.error).c_str());
+    }
     out += StrFormat("      \"speedup_vs_first\": %.6f,\n",
                      t.SpeedupVsFirstConfig(r));
     out += StrFormat("      \"wall_ms\": %.3f,\n", r.wall_ms);
@@ -106,6 +126,10 @@ bool WriteJson(const SweepResultTable& t, const std::string& path) {
 
 bool WriteCsv(const SweepResultTable& t, const std::string& path) {
   return WriteFile(ToCsv(t), path);
+}
+
+bool WriteDeterministicCsv(const SweepResultTable& t, const std::string& path) {
+  return WriteFile(ToDeterministicCsv(t), path);
 }
 
 }  // namespace graphpim::exec

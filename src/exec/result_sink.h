@@ -29,6 +29,7 @@ std::string ToDeterministicCsv(const SweepResultTable& table);
 
 bool WriteJson(const SweepResultTable& table, const std::string& path);
 bool WriteCsv(const SweepResultTable& table, const std::string& path);
+bool WriteDeterministicCsv(const SweepResultTable& table, const std::string& path);
 
 }  // namespace graphpim::exec
 

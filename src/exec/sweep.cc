@@ -5,15 +5,28 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <utility>
 
 #include "common/log.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "exec/journal.h"
 #include "exec/thread_pool.h"
+#include "fault/fault.h"
 
 namespace graphpim::exec {
 
 namespace {
+
+// Salt folded into the cell seed for a watchdog retry, so the speculative
+// rerun draws a decorrelated trace/fault stream from the (possibly
+// pathological) original.
+constexpr std::uint64_t kRetrySalt = 0x72657472792d3031ULL;  // "retry-01"
+
+constexpr const char* kGridKeys =
+    "workloads|profiles|modes|vertices|threads|opcap|seed|full|"
+    "link_ber|vault_stall_ppm|poison_ppm|max_retries|retry_ns";
 
 double MsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
@@ -21,15 +34,34 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-// Checked numeric parse with the grid key in the diagnostic (matches the
-// Config::GetInt idiom; a stray std::stoull would abort uncaught instead).
+// Checked numeric parses with the grid key in the diagnostic. These are
+// user errors, so they throw SimError (recoverable) rather than abort.
 std::uint64_t ParseGridUint(const std::string& key, const std::string& val) {
   char* end = nullptr;
   const std::uint64_t v = std::strtoull(val.c_str(), &end, 0);
   if (end == nullptr || end == val.c_str() || *end != '\0') {
-    GP_FATAL("grid spec key '", key, "': '", val, "' is not an integer");
+    GP_THROW("grid spec key '", key, "': '", val, "' is not an integer");
   }
   return v;
+}
+
+double ParseGridDouble(const std::string& key, const std::string& val) {
+  char* end = nullptr;
+  const double v = std::strtod(val.c_str(), &end);
+  if (end == nullptr || end == val.c_str() || *end != '\0') {
+    GP_THROW("grid spec key '", key, "': '", val, "' is not a number");
+  }
+  return v;
+}
+
+void RejectDuplicates(const std::vector<std::string>& names, const char* what) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      if (names[i] == names[j]) {
+        GP_THROW("duplicate ", what, " '", names[i], "' in grid spec");
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -43,6 +75,10 @@ std::uint64_t DeriveCellSeed(std::uint64_t base_seed, std::size_t workload_idx,
   SplitMix64 b(mixed ^ ((static_cast<std::uint64_t>(workload_idx) << 32) |
                         static_cast<std::uint64_t>(profile_idx)));
   return b.Next();
+}
+
+const char* ToString(JobStatus s) {
+  return s == JobStatus::kOk ? "ok" : "failed";
 }
 
 const SweepRow* SweepResultTable::Find(const std::string& workload,
@@ -86,9 +122,46 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
   const std::size_t total = grid.NumJobs();
 
   struct JobOut {
-    core::SimResults results;
+    std::optional<core::SimResults> results;  // empty on failure
+    std::string error;
     double wall_ms = 0.0;
+    int attempts = 1;
   };
+
+  // Resume: restore journaled rows keyed by flat grid index. The
+  // fingerprint gate makes a stale journal (different grid) an error
+  // instead of a silent wrong-answer.
+  const std::string fingerprint =
+      opts_.journal_path.empty() ? std::string() : GridFingerprint(grid);
+  std::vector<std::unique_ptr<SweepRow>> restored(total);
+  if (opts_.resume) {
+    GP_CHECK(!opts_.journal_path.empty(), "resume requires a journal path");
+    JournalData jd;
+    if (LoadJournal(opts_.journal_path, &jd)) {
+      if (jd.fingerprint != fingerprint) {
+        GP_THROW("sweep journal '", opts_.journal_path,
+                 "' was written for a different grid (fingerprint mismatch); "
+                 "delete it or point --journal elsewhere to start fresh");
+      }
+      for (SweepRow& r : jd.rows) {
+        if (r.workload_idx >= grid.workloads.size() ||
+            r.profile_idx >= grid.profiles.size() ||
+            r.config_idx >= num_configs) {
+          continue;
+        }
+        const std::size_t idx =
+            (r.workload_idx * grid.profiles.size() + r.profile_idx) *
+                num_configs +
+            r.config_idx;
+        if (restored[idx] == nullptr) {
+          restored[idx] = std::make_unique<SweepRow>(std::move(r));
+        }
+      }
+    }
+  }
+
+  JournalWriter writer;
+  if (!opts_.journal_path.empty()) writer.Open(opts_.journal_path, fingerprint);
 
   ThreadPool pool(opts_.jobs);
 
@@ -100,50 +173,94 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
   std::vector<TaskFuture<JobOut>> job_futs(total);
   std::vector<char> cell_ready(num_cells, 0);
   std::vector<double> cell_build_ms(num_cells, 0.0);
+  std::vector<std::string> cell_error(num_cells);
 
   std::mutex progress_mu;
   std::size_t completed = 0;
+  auto report_progress = [&](std::size_t wi, std::size_t pi, std::size_t k,
+                             double wall_ms, JobStatus status) {
+    if (!opts_.on_progress) return;
+    std::lock_guard<std::mutex> lk(progress_mu);
+    ++completed;
+    SweepProgress p;
+    p.completed = completed;
+    p.total = total;
+    p.workload = grid.workloads[wi];
+    p.profile = grid.profiles[pi];
+    p.config_name = grid.config_names[k];
+    p.wall_ms = wall_ms;
+    p.status = status;
+    opts_.on_progress(p);
+  };
 
   for (std::size_t ci = 0; ci < num_cells; ++ci) {
     const std::size_t wi = ci / grid.profiles.size();
     const std::size_t pi = ci % grid.profiles.size();
-    pool.Submit([&, ci, wi, pi] {
+
+    // Configs this cell still has to simulate (the rest came back from the
+    // journal). A fully-restored cell skips the Experiment build entirely.
+    std::vector<std::size_t> needed;
+    for (std::size_t k = 0; k < num_configs; ++k) {
+      if (restored[ci * num_configs + k] == nullptr) needed.push_back(k);
+    }
+    if (needed.empty()) {
+      cell_ready[ci] = 1;  // pre-pool, no lock needed
+      continue;
+    }
+
+    pool.Submit([&, ci, wi, pi, needed] {
       const auto build_t0 = std::chrono::steady_clock::now();
-      core::Experiment::Options eo;
-      eo.num_threads = grid.sim_threads;
-      eo.seed = DeriveCellSeed(grid.base_seed, wi, pi);
-      eo.op_cap = grid.op_cap;
-      auto exp = std::make_shared<core::Experiment>(
-          grid.profiles[pi], grid.vertices, grid.workloads[wi], eo);
+      const std::uint64_t cell_seed = DeriveCellSeed(grid.base_seed, wi, pi);
+      std::shared_ptr<core::Experiment> exp;
+      try {
+        core::Experiment::Options eo;
+        eo.num_threads = grid.sim_threads;
+        eo.seed = cell_seed;
+        eo.op_cap = grid.op_cap;
+        exp = std::make_shared<core::Experiment>(
+            grid.profiles[pi], grid.vertices, grid.workloads[wi], eo);
+      } catch (const std::exception& e) {
+        // The cell is unbuildable (bad workload/profile name, degenerate
+        // graph, ...): every job of the cell fails with this message, and
+        // the rest of the grid proceeds.
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          cell_error[ci] = e.what();
+          cell_build_ms[ci] = MsSince(build_t0);
+          cell_ready[ci] = 1;
+        }
+        cell_cv.notify_all();
+        return;
+      }
       const double build_ms = MsSince(build_t0);
 
       std::vector<TaskFuture<JobOut>> futs;
-      futs.reserve(num_configs);
-      for (std::size_t k = 0; k < num_configs; ++k) {
-        futs.push_back(pool.Submit([&, exp, wi, pi, k] {
+      futs.reserve(needed.size());
+      for (std::size_t k : needed) {
+        futs.push_back(pool.Submit([&, exp, cell_seed, wi, pi, k] {
           const auto run_t0 = std::chrono::steady_clock::now();
           JobOut out;
-          out.results = exp->Run(grid.configs[k]);
-          out.wall_ms = MsSince(run_t0);
-          if (opts_.on_progress) {
-            std::lock_guard<std::mutex> lk(progress_mu);
-            ++completed;
-            SweepProgress p;
-            p.completed = completed;
-            p.total = total;
-            p.workload = grid.workloads[wi];
-            p.profile = grid.profiles[pi];
-            p.config_name = grid.config_names[k];
-            p.wall_ms = out.wall_ms;
-            opts_.on_progress(p);
+          // Jobs must not leak exceptions into the pool (a throwing task
+          // would take its worker thread down): a failed replay becomes a
+          // status=kFailed row instead.
+          try {
+            core::SimConfig cfg = grid.configs[k];
+            cfg.hmc.fault.seed = fault::DeriveFaultSeed(cell_seed, k);
+            out.results = exp->Run(cfg);
+          } catch (const std::exception& e) {
+            out.error = e.what();
           }
+          out.wall_ms = MsSince(run_t0);
+          report_progress(wi, pi, k, out.wall_ms,
+                          out.results.has_value() ? JobStatus::kOk
+                                                  : JobStatus::kFailed);
           return out;
         }));
       }
       {
         std::lock_guard<std::mutex> lk(mu);
-        for (std::size_t k = 0; k < num_configs; ++k) {
-          job_futs[ci * num_configs + k] = std::move(futs[k]);
+        for (std::size_t i = 0; i < needed.size(); ++i) {
+          job_futs[ci * num_configs + needed[i]] = std::move(futs[i]);
         }
         cell_build_ms[ci] = build_ms;
         cell_ready[ci] = 1;
@@ -162,9 +279,18 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
     table.build_wall_ms += cell_build_ms[ci];
     const std::size_t wi = ci / grid.profiles.size();
     const std::size_t pi = ci % grid.profiles.size();
+    const std::uint64_t cell_seed = DeriveCellSeed(grid.base_seed, wi, pi);
     for (std::size_t k = 0; k < num_configs; ++k) {
-      auto out = job_futs[ci * num_configs + k].Get();
-      GP_CHECK(out.has_value(), "sweep job was cancelled mid-run");
+      const std::size_t idx = ci * num_configs + k;
+
+      if (restored[idx] != nullptr) {
+        SweepRow row = std::move(*restored[idx]);
+        ++table.resumed_rows;
+        report_progress(wi, pi, k, 0.0, JobStatus::kOk);
+        table.rows.push_back(std::move(row));
+        continue;
+      }
+
       SweepRow row;
       row.workload_idx = wi;
       row.profile_idx = pi;
@@ -172,15 +298,89 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
       row.workload = grid.workloads[wi];
       row.profile = grid.profiles[pi];
       row.config_name = grid.config_names[k];
-      row.seed = DeriveCellSeed(grid.base_seed, wi, pi);
-      row.results = std::move(out->results);
-      row.wall_ms = out->wall_ms;
+      row.seed = cell_seed;
+
+      if (!cell_error[ci].empty()) {
+        row.status = JobStatus::kFailed;
+        row.error = cell_error[ci];
+        ++table.failed_rows;
+        report_progress(wi, pi, k, 0.0, JobStatus::kFailed);
+        table.rows.push_back(std::move(row));
+        continue;
+      }
+
+      auto& fut = job_futs[idx];
+      JobOut out;
+      {
+        // Soft watchdog: an overdue job gets ONE speculative retry with a
+        // decorrelated seed. The original is never interrupted (simulation
+        // jobs are not interruptible) and deterministically wins if it
+        // completes OK; the retry only replaces a *failed* original.
+        TaskFuture<JobOut> retry_fut;
+        std::uint64_t retry_seed = 0;
+        if (opts_.job_timeout_ms > 0 && !fut.WaitFor(opts_.job_timeout_ms)) {
+          retry_seed = fault::DeriveFaultSeed(cell_seed ^ kRetrySalt, k);
+          retry_fut = pool.Submit([&, retry_seed, wi, pi, k] {
+            const auto t0 = std::chrono::steady_clock::now();
+            JobOut r;
+            r.attempts = 2;
+            try {
+              core::Experiment::Options eo;
+              eo.num_threads = grid.sim_threads;
+              eo.seed = retry_seed;
+              eo.op_cap = grid.op_cap;
+              core::Experiment exp(grid.profiles[pi], grid.vertices,
+                                   grid.workloads[wi], eo);
+              core::SimConfig cfg = grid.configs[k];
+              cfg.hmc.fault.seed = fault::DeriveFaultSeed(retry_seed, k);
+              r.results = exp.Run(cfg);
+            } catch (const std::exception& e) {
+              r.error = e.what();
+            }
+            r.wall_ms = MsSince(t0);
+            return r;
+          });
+        }
+        auto o = fut.Get();
+        GP_CHECK(o.has_value(), "sweep job was cancelled mid-run");
+        out = std::move(*o);
+        if (retry_fut.valid()) {
+          if (out.results.has_value()) {
+            retry_fut.Cancel();  // best-effort; a running retry is discarded
+            out.attempts = 2;
+          } else {
+            auto r = retry_fut.Get();
+            GP_CHECK(r.has_value(), "retry job was cancelled mid-run");
+            if (r->results.has_value()) {
+              out = std::move(*r);
+              row.seed = retry_seed;  // row reflects the seed actually used
+            } else {
+              out.attempts = 2;
+              out.error += "; retry: " + r->error;
+            }
+          }
+        }
+      }
+
+      row.wall_ms = out.wall_ms;
+      row.attempts = out.attempts;
+      if (out.results.has_value()) {
+        row.results = std::move(*out.results);
+        // Journal only freshly-computed OK rows: failed rows must be
+        // retried by a resume, and restored rows are already on disk.
+        writer.Append(row);
+      } else {
+        row.status = JobStatus::kFailed;
+        row.error = out.error;
+        ++table.failed_rows;
+      }
       table.job_wall_ms.Record(row.wall_ms);
       table.run_wall_ms += row.wall_ms;
       table.rows.push_back(std::move(row));
     }
   }
   pool.Shutdown();
+  writer.Close();
   table.total_wall_ms = MsSince(sweep_t0);
   return table;
 }
@@ -203,10 +403,10 @@ std::vector<core::Mode> ParseModeList(const std::string& arg) {
     } else if (m == "ucnopim") {
       modes.push_back(core::Mode::kUncacheNoPim);
     } else {
-      GP_FATAL("unknown mode '", m, "' (want baseline|upei|graphpim|ucnopim|all)");
+      GP_THROW("unknown mode '", m, "' (want baseline|upei|graphpim|ucnopim|all)");
     }
   }
-  GP_CHECK(!modes.empty(), "empty mode list");
+  if (modes.empty()) GP_THROW("empty mode list");
   return modes;
 }
 
@@ -215,12 +415,16 @@ SweepGrid ParseGridSpec(const std::string& spec) {
   grid.profiles.clear();
   std::vector<core::Mode> modes;
   bool full = false;
+  fault::FaultParams faults;
 
   for (const std::string& field : Split(spec, ';')) {
     const std::string f = Trim(field);
     if (f.empty()) continue;
     const auto eq = f.find('=');
-    GP_CHECK(eq != std::string::npos, "grid spec field '", f, "' is not key=value");
+    if (eq == std::string::npos) {
+      GP_THROW("grid spec field '", f, "' is not key=value (accepted keys: ",
+               kGridKeys, ")");
+    }
     const std::string key = Trim(f.substr(0, eq));
     const std::string val = Trim(f.substr(eq + 1));
     if (key == "workloads") {
@@ -233,30 +437,63 @@ SweepGrid ParseGridSpec(const std::string& spec) {
       modes = ParseModeList(val);
     } else if (key == "vertices") {
       grid.vertices = static_cast<VertexId>(ParseGridUint(key, val));
+      if (grid.vertices == 0) GP_THROW("grid spec key 'vertices' must be > 0");
     } else if (key == "threads") {
       grid.sim_threads = static_cast<int>(ParseGridUint(key, val));
+      if (grid.sim_threads < 1) GP_THROW("grid spec key 'threads' must be >= 1");
     } else if (key == "opcap") {
       grid.op_cap = ParseGridUint(key, val);
     } else if (key == "seed") {
       grid.base_seed = ParseGridUint(key, val);
     } else if (key == "full") {
       full = (val == "1" || val == "true");
+    } else if (key == "link_ber") {
+      faults.link_ber = ParseGridDouble(key, val);
+      if (faults.link_ber < 0.0 || faults.link_ber > 1.0) {
+        GP_THROW("grid spec key 'link_ber' must be in [0, 1], got ", val);
+      }
+    } else if (key == "vault_stall_ppm") {
+      const std::uint64_t ppm = ParseGridUint(key, val);
+      if (ppm > 1'000'000) {
+        GP_THROW("grid spec key 'vault_stall_ppm' must be <= 1000000, got ", val);
+      }
+      faults.vault_stall_ppm = static_cast<std::uint32_t>(ppm);
+    } else if (key == "poison_ppm") {
+      const std::uint64_t ppm = ParseGridUint(key, val);
+      if (ppm > 1'000'000) {
+        GP_THROW("grid spec key 'poison_ppm' must be <= 1000000, got ", val);
+      }
+      faults.poison_ppm = static_cast<std::uint32_t>(ppm);
+    } else if (key == "max_retries") {
+      faults.max_retries = static_cast<std::uint32_t>(ParseGridUint(key, val));
+    } else if (key == "retry_ns") {
+      const double ns = ParseGridDouble(key, val);
+      if (ns < 0.0) GP_THROW("grid spec key 'retry_ns' must be >= 0, got ", val);
+      faults.retry_latency = NsToTicks(ns);
     } else {
-      GP_FATAL("unknown grid spec key '", key,
-               "' (want workloads|profiles|modes|vertices|threads|opcap|seed|full)");
+      GP_THROW("unknown grid spec key '", key, "' (accepted keys: ", kGridKeys,
+               ")");
     }
   }
 
-  GP_CHECK(!grid.workloads.empty(), "grid spec needs workloads=...");
+  if (grid.workloads.empty()) {
+    GP_THROW("grid spec needs workloads=... (accepted keys: ", kGridKeys, ")");
+  }
+  RejectDuplicates(grid.workloads, "workload");
+  RejectDuplicates(grid.profiles, "profile");
   if (grid.profiles.empty()) grid.profiles.push_back("ldbc");
   if (modes.empty()) modes = ParseModeList("all");
   for (core::Mode m : modes) {
     core::SimConfig c =
         full ? core::SimConfig::Paper(m) : core::SimConfig::Scaled(m);
     c.num_cores = grid.sim_threads;
+    // Fault knobs apply grid-wide; the per-job fault seed is derived from
+    // the cell seed at run time (SweepRunner), so it stays zero here.
+    c.hmc.fault = faults;
     grid.configs.push_back(c);
     grid.config_names.push_back(ToString(m));
   }
+  RejectDuplicates(grid.config_names, "mode");
   return grid;
 }
 

@@ -13,6 +13,17 @@
 // Execution overlaps trace generation and replay: each cell's config jobs
 // are submitted the moment that cell's Experiment is built, so a slow cell
 // does not serialize the rest of the grid.
+//
+// Fault tolerance (DESIGN.md §9): a job that throws (bad workload name,
+// simulation invariant escalated as SimError, ...) yields a SweepRow with
+// status=kFailed and the error text instead of killing the sweep. An
+// optional journal streams finished rows to disk so a killed sweep can be
+// resumed (--resume) without redoing completed coordinates; because replays
+// are deterministic, a resumed table is bit-identical to an uninterrupted
+// run. An optional soft watchdog spawns one speculative retry (fresh
+// decorrelated seed) for overdue jobs; the original result is preferred
+// whenever it completes OK, so the contract holds unless a retry actually
+// replaces a failed original.
 #ifndef GRAPHPIM_EXEC_SWEEP_H_
 #define GRAPHPIM_EXEC_SWEEP_H_
 
@@ -51,6 +62,10 @@ struct SweepGrid {
 std::uint64_t DeriveCellSeed(std::uint64_t base_seed, std::size_t workload_idx,
                              std::size_t profile_idx);
 
+enum class JobStatus { kOk, kFailed };
+
+const char* ToString(JobStatus s);
+
 // One finished job, keyed by grid coordinates.
 struct SweepRow {
   std::size_t workload_idx = 0;
@@ -62,6 +77,14 @@ struct SweepRow {
   std::uint64_t seed = 0;  // the cell seed the trace was generated with
   core::SimResults results;
   double wall_ms = 0.0;  // replay wall time (timing metadata, not results)
+
+  // Fault tolerance. A failed row has default-constructed `results` and a
+  // human-readable `error`; failed rows are never journaled, so a resume
+  // retries them.
+  JobStatus status = JobStatus::kOk;
+  std::string error;
+  int attempts = 1;           // 2 when the watchdog spawned a retry
+  bool from_journal = false;  // restored by resume, not re-simulated
 };
 
 // Snapshot passed to the progress callback as each job retires.
@@ -72,12 +95,17 @@ struct SweepProgress {
   std::string profile;
   std::string config_name;
   double wall_ms = 0.0;
+  JobStatus status = JobStatus::kOk;
 };
 
 struct SweepResultTable {
   // Rows in grid order: workload-major, then profile, then config. This
   // ordering (not completion order) is part of the determinism contract.
   std::vector<SweepRow> rows;
+
+  // Fault-tolerance accounting.
+  std::size_t failed_rows = 0;   // rows with status == kFailed
+  std::size_t resumed_rows = 0;  // rows restored from the journal
 
   // Timing metadata (NOT covered by the determinism contract).
   Histogram job_wall_ms{5.0, 400};  // 5 ms buckets up to 2 s + overflow
@@ -99,6 +127,21 @@ class SweepRunner {
  public:
   struct Options {
     int jobs = 1;  // pool width; <= 0 selects hardware_concurrency()
+
+    // Soft per-job watchdog: when > 0, a job overdue at harvest time gets
+    // ONE speculative retry with a fresh decorrelated seed. The original
+    // run is never interrupted and wins if it completes OK, so the
+    // determinism contract only bends when the retry replaces a *failed*
+    // original. 0 disables (the default, and the contract-safe setting).
+    double job_timeout_ms = 0.0;
+
+    // Crash-safe journal: when non-empty, every OK row is appended (and
+    // flushed) to this JSONL file as it is harvested. With `resume`, rows
+    // already present are restored instead of re-simulated; the journal
+    // header fingerprints the grid and a mismatch throws SimError.
+    std::string journal_path;
+    bool resume = false;
+
     // Invoked serially (under a lock) as each job retires; may print.
     std::function<void(const SweepProgress&)> on_progress;
   };
@@ -106,7 +149,9 @@ class SweepRunner {
   explicit SweepRunner(Options opts) : opts_(std::move(opts)) {}
   SweepRunner() : SweepRunner(Options{}) {}
 
-  // Runs the full grid; blocks until every job finished.
+  // Runs the full grid; blocks until every job finished. Throws SimError
+  // on a resume-journal/grid mismatch or an unwritable journal path;
+  // per-job failures come back as status=kFailed rows, not exceptions.
   SweepResultTable Run(const SweepGrid& grid) const;
 
  private:
@@ -115,14 +160,19 @@ class SweepRunner {
 
 // Parses a compact grid spec of the form
 //   "workloads=bfs,prank;modes=baseline,graphpim;profiles=ldbc;
-//    vertices=16384;threads=16;opcap=2000000;seed=1;full=0"
+//    vertices=16384;threads=16;opcap=2000000;seed=1;full=0;
+//    link_ber=1e-12;vault_stall_ppm=50;poison_ppm=5;max_retries=3;
+//    retry_ns=8"
 // Keys may appear in any order; all are optional except workloads.
 // modes accepts baseline|upei|graphpim|ucnopim or "all" (the three
-// paper-evaluated machines); full=1 selects Table IV-size machines.
-// Unknown keys are fatal (user error).
+// paper-evaluated machines); full=1 selects Table IV-size machines. The
+// fault keys apply to every config in the grid (src/fault knobs).
+// User errors (unknown keys, duplicates, malformed or out-of-range
+// values) throw SimError listing the accepted keys.
 SweepGrid ParseGridSpec(const std::string& spec);
 
 // "baseline,graphpim" / "all" -> mode list (shared by the CLI drivers).
+// Throws SimError on an unknown mode name or an empty list.
 std::vector<core::Mode> ParseModeList(const std::string& arg);
 
 }  // namespace graphpim::exec

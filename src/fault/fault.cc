@@ -1,0 +1,72 @@
+#include "fault/fault.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace graphpim::fault {
+
+namespace {
+
+// Distinct stream tags keep the per-class decision sequences decorrelated
+// even though they share one seed.
+constexpr std::uint64_t kCrcStream = 0x6c696e6b2d637263ULL;    // "link-crc"
+constexpr std::uint64_t kStallStream = 0x7661756c74737447ULL;  // "vaultstG"
+constexpr std::uint64_t kPoisonStream = 0x706f69736f6e2121ULL; // "poison!!"
+
+}  // namespace
+
+std::string FaultParams::Describe() const {
+  if (!Enabled()) return "faults off";
+  return StrFormat(
+      "link_ber=%.3g vault_stall_ppm=%u(%.0fns) poison_ppm=%u "
+      "max_retries=%u retry=%.1fns seed=%llu",
+      link_ber, vault_stall_ppm, TicksToNs(vault_stall_ticks), poison_ppm,
+      max_retries, TicksToNs(retry_latency),
+      static_cast<unsigned long long>(seed));
+}
+
+std::uint64_t DeriveFaultSeed(std::uint64_t cell_seed, std::uint64_t salt) {
+  // Same two-round SplitMix64 discipline as exec::DeriveCellSeed: one round
+  // to decorrelate the cell seed, one to fold in the salt.
+  SplitMix64 a(cell_seed ^ 0xfa17fa17fa17fa17ULL);
+  SplitMix64 b(a.Next() ^ salt);
+  return b.Next();
+}
+
+double FaultPlan::Uniform(std::uint64_t stream, std::uint64_t n) const {
+  // Counter-based: hash (seed, stream, n) through two SplitMix64 rounds.
+  // Purely value-dependent, so the decision for index n never depends on
+  // how many draws other streams have consumed.
+  SplitMix64 a(params_.seed ^ stream);
+  SplitMix64 b(a.Next() ^ n);
+  return static_cast<double>(b.Next() >> 11) * 0x1.0p-53;
+}
+
+bool FaultPlan::CorruptPacket(std::uint64_t bits) {
+  if (params_.link_ber <= 0.0 || bits == 0) return false;
+  // P(any bit flips) = 1 - (1-ber)^bits, computed in log space so tiny
+  // BERs (1e-15) survive the exponentiation without underflow.
+  double p;
+  if (params_.link_ber >= 1.0) {
+    p = 1.0;
+  } else {
+    p = -std::expm1(static_cast<double>(bits) * std::log1p(-params_.link_ber));
+  }
+  return Uniform(kCrcStream, crc_n_++) < p;
+}
+
+bool FaultPlan::VaultStall() {
+  if (params_.vault_stall_ppm == 0) return false;
+  return Uniform(kStallStream, stall_n_++) <
+         static_cast<double>(params_.vault_stall_ppm) * 1e-6;
+}
+
+bool FaultPlan::PoisonAtomic() {
+  if (params_.poison_ppm == 0) return false;
+  return Uniform(kPoisonStream, poison_n_++) <
+         static_cast<double>(params_.poison_ppm) * 1e-6;
+}
+
+}  // namespace graphpim::fault

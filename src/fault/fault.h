@@ -1,0 +1,101 @@
+// Deterministic fault injection (DESIGN.md §9).
+//
+// The paper evaluates GraphPIM on an ideal HMC: links never corrupt FLITs
+// and vaults never stall. Real HMC 2.0 hardware has link CRC with
+// retry-buffer recovery, and degraded-mode behavior changes the
+// performance story. This subsystem injects three fault classes into the
+// timing model:
+//
+//   - link CRC errors at a configurable bit error rate (BER), recovered by
+//     the HMC-style retry path in hmc/cube.cc;
+//   - vault busy-stalls (controller hiccups) at a parts-per-million rate;
+//   - poisoned atomic responses at a parts-per-million rate.
+//
+// Determinism: every injection decision is a pure function of
+// (seed, stream, decision index) via SplitMix64 — no global RNG state. A
+// simulation replay queries the plan in its own deterministic order, so a
+// given (FaultParams, seed) produces bit-identical injections regardless
+// of --jobs count, scheduling, or platform (the PR-1 determinism
+// contract). Seeds are derived from the sweep cell seed with
+// DeriveFaultSeed so distinct cells/configs get decorrelated fault
+// streams.
+#ifndef GRAPHPIM_FAULT_FAULT_H_
+#define GRAPHPIM_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace graphpim::fault {
+
+struct FaultParams {
+  // Link bit error rate: probability that any one transferred bit is
+  // corrupted (detected by the packet CRC at RX). 0 disables; real HMC
+  // SerDes lanes target ~1e-15..1e-12.
+  double link_ber = 0.0;
+
+  // Probability (parts per million) that a request finds its vault
+  // controller transiently busy and stalls for `vault_stall_ticks`.
+  std::uint32_t vault_stall_ppm = 0;
+  Tick vault_stall_ticks = NsToTicks(100.0);
+
+  // Probability (ppm) that an atomic's response comes back poisoned even
+  // though the link transfer was clean (internal ECC escalation).
+  std::uint32_t poison_ppm = 0;
+
+  // Link retry path: each detected CRC error costs `retry_latency` for the
+  // retry-buffer replay plus the packet's reserialization; after
+  // `max_retries` failed replays the response is poisoned instead.
+  std::uint32_t max_retries = 3;
+  Tick retry_latency = NsToTicks(8.0);
+
+  // Decision-stream seed; derive from the experiment/cell seed.
+  std::uint64_t seed = 0;
+
+  bool Enabled() const {
+    return link_ber > 0.0 || vault_stall_ppm > 0 || poison_ppm > 0;
+  }
+
+  std::string Describe() const;
+};
+
+// Expands a decorrelated fault seed from a sweep cell seed and a per-run
+// salt (typically the config index). Pure value function, stable across
+// platforms — same derivation discipline as exec::DeriveCellSeed.
+std::uint64_t DeriveFaultSeed(std::uint64_t cell_seed, std::uint64_t salt);
+
+// The per-run injection decision source. Each fault class consumes its own
+// counter stream, so e.g. adding vault-stall queries does not perturb the
+// link-error sequence.
+class FaultPlan {
+ public:
+  FaultPlan() : FaultPlan(FaultParams{}) {}
+  explicit FaultPlan(const FaultParams& params) : params_(params) {}
+
+  const FaultParams& params() const { return params_; }
+  bool enabled() const { return params_.Enabled(); }
+
+  // True if a packet of `bits` transferred bits arrives corrupted
+  // (probability 1 - (1-BER)^bits). Consumes one decision.
+  bool CorruptPacket(std::uint64_t bits);
+
+  // True if this vault request hits a busy-stall. Consumes one decision.
+  bool VaultStall();
+
+  // True if this atomic's response is poisoned. Consumes one decision.
+  bool PoisonAtomic();
+
+ private:
+  // Uniform [0,1) draw for decision `n` of `stream`.
+  double Uniform(std::uint64_t stream, std::uint64_t n) const;
+
+  FaultParams params_;
+  std::uint64_t crc_n_ = 0;
+  std::uint64_t stall_n_ = 0;
+  std::uint64_t poison_n_ = 0;
+};
+
+}  // namespace graphpim::fault
+
+#endif  // GRAPHPIM_FAULT_FAULT_H_

@@ -132,7 +132,9 @@ EdgeList GenerateProfile(const std::string& profile, VertexId num_vertices,
     p.b = 0.20;
     p.c = 0.20;
   } else {
-    GP_FATAL("unknown graph profile '", profile, "'");
+    // Recoverable for the same reason as CreateWorkload: one bad sweep
+    // cell must not kill the whole sweep.
+    GP_THROW("unknown graph profile '", profile, "'");
   }
   return GenerateRmat(p);
 }

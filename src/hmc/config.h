@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/types.h"
+#include "fault/fault.h"
 
 namespace graphpim::hmc {
 
@@ -52,6 +53,11 @@ struct HmcParams {
 
   // Section III-C extension: allow FP add/sub atomics.
   bool enable_fp_atomics = true;
+
+  // Fault injection (DESIGN.md §9): link CRC errors recovered by the
+  // retry path, vault busy-stalls, poisoned atomic responses. All knobs
+  // default to zero — an ideal cube, bit-identical to the fault-free model.
+  fault::FaultParams fault;
 
   // Derived helpers -------------------------------------------------------
 

@@ -14,10 +14,14 @@ namespace {
 // across the 32 vaults.
 constexpr std::uint64_t kVaultInterleave = 64;
 
+// Bits serialized per FLIT (16 bytes); the CRC decision covers the whole
+// packet's transferred bits.
+constexpr std::uint64_t kBitsPerFlit = 128;
+
 }  // namespace
 
 HmcCube::HmcCube(const HmcParams& params, StatSet* stats)
-    : params_(params), stats_(stats) {
+    : params_(params), stats_(stats), fault_plan_(params.fault) {
   GP_CHECK(params_.num_links > 0 && params_.num_vaults > 0);
   links_.reserve(params_.num_links);
   for (std::uint32_t i = 0; i < params_.num_links; ++i) {
@@ -41,22 +45,76 @@ Addr HmcCube::VaultLocalAddr(Addr addr) const {
 }
 
 std::uint32_t HmcCube::PickLink(Tick /*when*/) const {
+  const bool weigh_rx = fault_plan_.enabled();
+  auto backlog = [&](const Link& l) {
+    return weigh_rx ? l.tx_ready() + l.rx_ready() : l.tx_ready();
+  };
   std::uint32_t best = 0;
   for (std::uint32_t i = 1; i < links_.size(); ++i) {
-    if (links_[i].tx_ready() < links_[best].tx_ready()) best = i;
+    if (backlog(links_[i]) < backlog(links_[best])) best = i;
   }
   return best;
 }
 
-Tick HmcCube::RequestToVault(std::uint32_t flits, Tick when, std::uint32_t* link_idx) {
-  *link_idx = PickLink(when);
-  Tick serialized = links_[*link_idx].ReserveTx(flits, when);
-  return serialized + params_.link_latency + params_.xbar_latency;
+Tick HmcCube::TransferWithRetry(std::uint32_t link_idx, bool tx_lane,
+                                std::uint32_t flits, Tick when, bool* poisoned) {
+  Link& link = links_[link_idx];
+  Tick done = tx_lane ? link.ReserveTx(flits, when) : link.ReserveRx(flits, when);
+  if (params_.fault.link_ber <= 0.0) return done;
+
+  const Tick clean_done = done;
+  const std::uint64_t bits = static_cast<std::uint64_t>(flits) * kBitsPerFlit;
+  std::uint32_t attempt = 0;
+  while (fault_plan_.CorruptPacket(bits)) {
+    if (stats_ != nullptr) stats_->Inc("fault.link_crc_errors");
+    if (attempt >= params_.fault.max_retries) {
+      // Retry budget exhausted: give up and deliver a poisoned response.
+      *poisoned = true;
+      if (stats_ != nullptr) stats_->Inc("fault.retry_exhausted");
+      break;
+    }
+    ++attempt;
+    // Retry-buffer replay: the RX side signals the error back (folded into
+    // retry_latency), then the packet reserializes on the same lane.
+    Tick replay_at = done + params_.fault.retry_latency;
+    done = tx_lane ? link.ReserveTx(flits, replay_at)
+                   : link.ReserveRx(flits, replay_at);
+    if (stats_ != nullptr) {
+      stats_->Inc("fault.link_retries");
+      stats_->Add("fault.retry_flits", flits);
+    }
+  }
+  if (stats_ != nullptr && done > clean_done) {
+    stats_->Add("fault.retry_ns", TicksToNs(done - clean_done));
+  }
+  return done;
 }
 
-Tick HmcCube::ResponseToHost(std::uint32_t flits, Tick ready, std::uint32_t link_idx) {
+Tick HmcCube::MaybeStallVault(Tick at_vault) {
+  if (params_.fault.vault_stall_ppm == 0 || !fault_plan_.VaultStall()) {
+    return at_vault;
+  }
+  if (stats_ != nullptr) {
+    stats_->Inc("fault.vault_stalls");
+    stats_->Add("fault.vault_stall_ns", TicksToNs(params_.fault.vault_stall_ticks));
+  }
+  return at_vault + params_.fault.vault_stall_ticks;
+}
+
+Tick HmcCube::RequestToVault(std::uint32_t flits, Tick when, std::uint32_t* link_idx,
+                             bool* poisoned) {
+  *link_idx = PickLink(when);
+  Tick serialized = TransferWithRetry(*link_idx, /*tx_lane=*/true, flits, when,
+                                      poisoned);
+  Tick at_vault = serialized + params_.link_latency + params_.xbar_latency;
+  return MaybeStallVault(at_vault);
+}
+
+Tick HmcCube::ResponseToHost(std::uint32_t flits, Tick ready, std::uint32_t link_idx,
+                             bool* poisoned) {
   Tick at_link = ready + params_.xbar_latency;
-  Tick serialized = links_[link_idx].ReserveRx(flits, at_link);
+  Tick serialized = TransferWithRetry(link_idx, /*tx_lane=*/false, flits, at_link,
+                                      poisoned);
   return serialized + params_.link_latency;
 }
 
@@ -65,11 +123,12 @@ Completion HmcCube::Read(Addr addr, std::uint32_t size, Tick when) {
   c.req_flits = ReadRequestFlits(size);
   c.resp_flits = ReadResponseFlits(size);
   std::uint32_t link = 0;
-  Tick at_vault = RequestToVault(c.req_flits, when, &link);
+  Tick at_vault = RequestToVault(c.req_flits, when, &link, &c.poisoned);
   Vault::AccessResult r = vaults_[VaultOf(addr)]->Read(VaultLocalAddr(addr), at_vault);
   c.row_hit = r.row_hit;
   c.internal_done = r.done;
-  c.response_at_host = ResponseToHost(c.resp_flits, r.data_ready, link);
+  c.response_at_host = ResponseToHost(c.resp_flits, r.data_ready, link, &c.poisoned);
+  if (stats_ != nullptr && c.poisoned) stats_->Inc("fault.poisoned_ops");
   if (stats_ != nullptr) {
     stats_->Inc("hmc.reads");
     stats_->Add("hmc.dbg_req_path_ns", TicksToNs(at_vault - when));
@@ -86,11 +145,12 @@ Completion HmcCube::Write(Addr addr, std::uint32_t size, Tick when) {
   c.req_flits = WriteRequestFlits(size);
   c.resp_flits = WriteResponseFlits(size);
   std::uint32_t link = 0;
-  Tick at_vault = RequestToVault(c.req_flits, when, &link);
+  Tick at_vault = RequestToVault(c.req_flits, when, &link, &c.poisoned);
   Vault::AccessResult r = vaults_[VaultOf(addr)]->Write(VaultLocalAddr(addr), at_vault);
   c.row_hit = r.row_hit;
   c.internal_done = r.done;
-  c.response_at_host = ResponseToHost(c.resp_flits, r.data_ready, link);
+  c.response_at_host = ResponseToHost(c.resp_flits, r.data_ready, link, &c.poisoned);
+  if (stats_ != nullptr && c.poisoned) stats_->Inc("fault.poisoned_ops");
   if (stats_ != nullptr) {
     stats_->Inc("hmc.writes");
     stats_->Add("hmc.req_flits", c.req_flits);
@@ -107,11 +167,18 @@ Completion HmcCube::Atomic(Addr addr, AtomicOp op, const Value16& operand,
   c.req_flits = AtomicRequestFlits(op);
   c.resp_flits = AtomicResponseFlits(op, want_return);
   std::uint32_t link = 0;
-  Tick at_vault = RequestToVault(c.req_flits, when, &link);
+  Tick at_vault = RequestToVault(c.req_flits, when, &link, &c.poisoned);
   Vault::AccessResult r = vaults_[VaultOf(addr)]->Atomic(VaultLocalAddr(addr), op, at_vault);
   c.row_hit = r.row_hit;
   c.internal_done = r.done;
-  c.response_at_host = ResponseToHost(c.resp_flits, r.data_ready, link);
+  c.response_at_host = ResponseToHost(c.resp_flits, r.data_ready, link, &c.poisoned);
+  if (params_.fault.poison_ppm > 0 && fault_plan_.PoisonAtomic()) {
+    // Internal ECC escalation: the atomic executed but its response value
+    // is untrustworthy.
+    c.poisoned = true;
+    if (stats_ != nullptr) stats_->Inc("fault.poisoned_atomics");
+  }
+  if (stats_ != nullptr && c.poisoned) stats_->Inc("fault.poisoned_ops");
 
   if (functional_) {
     Addr granule = addr & ~static_cast<Addr>(15);

@@ -28,6 +28,11 @@ struct Completion {
   std::uint32_t req_flits = 0;
   std::uint32_t resp_flits = 0;
   bool row_hit = false;
+  // Fault injection only: the response is unusable — link retries were
+  // exhausted or the response was poisoned internally. Timing fields are
+  // still valid (the poisoned packet did arrive); the host side decides
+  // whether to re-issue.
+  bool poisoned = false;
   AtomicOutcome outcome;      // valid only in functional mode, for atomics
 };
 
@@ -72,20 +77,37 @@ class HmcCube {
   Tick TotalLinkBusy() const;
 
  private:
-  // Picks the link with the earliest-available TX lane.
+  // Picks the link with the earliest-available TX lane. With fault
+  // injection active the retry path loads both lanes, so selection also
+  // weighs the RX backlog; fault-free selection is TX-only (unchanged from
+  // the ideal model, preserving bit-identical results at zero knobs).
   std::uint32_t PickLink(Tick when) const;
 
   // Common front half: serialize request on a link, cross to the vault.
   // Returns arrival tick at the vault and sets *link_idx.
-  Tick RequestToVault(std::uint32_t flits, Tick when, std::uint32_t* link_idx);
+  Tick RequestToVault(std::uint32_t flits, Tick when, std::uint32_t* link_idx,
+                      bool* poisoned);
 
   // Common back half: serialize the response back to the host.
-  Tick ResponseToHost(std::uint32_t flits, Tick ready, std::uint32_t link_idx);
+  Tick ResponseToHost(std::uint32_t flits, Tick ready, std::uint32_t link_idx,
+                      bool* poisoned);
+
+  // Serializes one packet on a lane with the HMC 2.0 retry protocol: a
+  // packet whose CRC fails at RX is replayed from the retry buffer after
+  // `fault.retry_latency`; after `fault.max_retries` failed replays the
+  // transaction escalates to a poisoned response. Returns the tick the
+  // last good (or given-up) serialization finished.
+  Tick TransferWithRetry(std::uint32_t link_idx, bool tx_lane,
+                         std::uint32_t flits, Tick when, bool* poisoned);
+
+  // Applies an injected vault busy-stall to an arrival tick.
+  Tick MaybeStallVault(Tick at_vault);
 
   HmcParams params_;
   StatSet* stats_;
   std::vector<Link> links_;
   std::vector<std::unique_ptr<Vault>> vaults_;
+  fault::FaultPlan fault_plan_;
   bool functional_ = false;
   std::unordered_map<Addr, Value16> store_;
 };

@@ -33,11 +33,18 @@ class Link {
 
   // Same for the RX (response) lane.
   Tick ReserveRx(std::uint32_t flits, Tick earliest) {
-    return rx_.Reserve(flits, earliest);
+    Tick done = rx_.Reserve(flits, earliest);
+    rx_tail_ = done > rx_tail_ ? done : rx_tail_;
+    return done;
   }
 
   // Approximate TX backlog indicator used for link selection.
   Tick tx_ready() const { return tx_tail_; }
+
+  // Response-lane backlog. Mirrors tx_ready(): the retry model loads both
+  // lanes with replayed packets, so selection that only watched TX would
+  // pile responses onto a link whose RX lane is saturated with retries.
+  Tick rx_ready() const { return rx_tail_; }
 
   Tick busy_ticks() const { return tx_.busy_ticks() + rx_.busy_ticks(); }
 
@@ -48,6 +55,7 @@ class Link {
   EpochThrottle tx_;
   EpochThrottle rx_;
   Tick tx_tail_ = 0;
+  Tick rx_tail_ = 0;
 };
 
 }  // namespace graphpim::hmc

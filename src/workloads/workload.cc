@@ -29,7 +29,9 @@ std::unique_ptr<Workload> CreateWorkload(const std::string& name) {
   if (name == "gcons") return std::make_unique<GconsWorkload>();
   if (name == "gup") return std::make_unique<GupWorkload>();
   if (name == "tmorph") return std::make_unique<TmorphWorkload>();
-  GP_FATAL("unknown workload '", name, "'");
+  // Recoverable: a sweep cell naming a bad workload must fail that cell,
+  // not the whole sweep (the runner catches SimError per job).
+  GP_THROW("unknown workload '", name, "'");
 }
 
 std::vector<std::string> AllWorkloadNames() {

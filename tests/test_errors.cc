@@ -56,14 +56,45 @@ TEST(ErrorPaths, CacheDoubleInsertIsBug) {
   EXPECT_DEATH({ c.Insert(0x40, false); }, "already present");
 }
 
-TEST(ErrorPaths, UnknownWorkloadIsFatal) {
-  EXPECT_EXIT({ workloads::CreateWorkload("nope"); }, ::testing::ExitedWithCode(1),
-              "unknown workload");
+// Bad workload/profile names are recoverable (SimError): a sweep isolates
+// the failing cell instead of dying, and the CLI drivers catch at main().
+TEST(ErrorPaths, UnknownWorkloadThrows) {
+  EXPECT_THROW({ workloads::CreateWorkload("nope"); }, SimError);
+  try {
+    workloads::CreateWorkload("nope");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown workload"), std::string::npos);
+  }
 }
 
-TEST(ErrorPaths, UnknownProfileIsFatal) {
-  EXPECT_EXIT({ graph::GenerateProfile("nope", 1024, 1); },
-              ::testing::ExitedWithCode(1), "unknown graph profile");
+TEST(ErrorPaths, UnknownProfileThrows) {
+  EXPECT_THROW({ graph::GenerateProfile("nope", 1024, 1); }, SimError);
+}
+
+TEST(ErrorPaths, ThrowMacroCarriesMessageAndLocation) {
+  try {
+    GP_THROW("bad knob '", "x", "' value ", 42);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.message(), "bad knob 'x' value 42");
+    // what() appends file:line for log/CLI display.
+    EXPECT_NE(std::string(e.what()).find("test_errors.cc"), std::string::npos);
+  }
+}
+
+TEST(ErrorPaths, ConfigRequireKeysAcceptsAndRejects) {
+  Config cfg;
+  cfg.Set("jobs", "4");
+  cfg.Set("sede", "1");  // typo of "seed"
+  EXPECT_NO_THROW(cfg.RequireKeys({"jobs", "seed", "sede"}));
+  try {
+    cfg.RequireKeys({"jobs", "seed"});
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(e.message().find("sede"), std::string::npos);
+    EXPECT_NE(e.message().find("seed"), std::string::npos);  // lists accepted
+  }
 }
 
 TEST(ErrorPaths, UnknownLdbcNameIsFatal) {

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/log.h"
 #include "core/report.h"
 #include "exec/result_sink.h"
 #include "exec/sweep.h"
@@ -171,12 +172,61 @@ TEST(SweepGridSpec, ModeAllExpandsToThePaperMachines) {
             (std::vector<std::string>{"Baseline", "U-PEI", "GraphPIM"}));
 }
 
+// Grid-spec user errors throw SimError (recoverable) so a driver or
+// harness can report them without dying; the message names the accepted
+// keys to make typos self-diagnosing.
 TEST(SweepGridSpec, RejectsUnknownKeysAndEmptyWorkloads) {
-  EXPECT_EXIT({ ParseGridSpec("workloads=bfs;bogus=1"); },
-              ::testing::ExitedWithCode(1), "unknown grid spec key");
-  EXPECT_DEATH({ ParseGridSpec("modes=all"); }, "needs workloads");
-  EXPECT_EXIT({ ParseGridSpec("workloads=bfs;vertices=abc"); },
-              ::testing::ExitedWithCode(1), "not an integer");
+  try {
+    ParseGridSpec("workloads=bfs;bogus=1");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(e.message().find("unknown grid spec key"), std::string::npos);
+    EXPECT_NE(e.message().find("link_ber"), std::string::npos);  // lists keys
+  }
+  EXPECT_THROW({ ParseGridSpec("modes=all"); }, SimError);
+  EXPECT_THROW({ ParseGridSpec("workloads=bfs;vertices=abc"); }, SimError);
+}
+
+TEST(SweepGridSpec, RejectsMalformedAndOutOfRangeFields) {
+  // Not key=value.
+  EXPECT_THROW({ ParseGridSpec("workloads=bfs;threads"); }, SimError);
+  // Duplicates (same workload/profile twice would double-count cells).
+  EXPECT_THROW({ ParseGridSpec("workloads=bfs,bfs"); }, SimError);
+  EXPECT_THROW({ ParseGridSpec("workloads=bfs;profiles=ldbc,ldbc"); }, SimError);
+  EXPECT_THROW({ ParseGridSpec("workloads=bfs;modes=baseline,baseline"); },
+               SimError);
+  // Out-of-range numerics.
+  EXPECT_THROW({ ParseGridSpec("workloads=bfs;vertices=0"); }, SimError);
+  EXPECT_THROW({ ParseGridSpec("workloads=bfs;threads=0"); }, SimError);
+  EXPECT_THROW({ ParseGridSpec("workloads=bfs;link_ber=1.5"); }, SimError);
+  EXPECT_THROW({ ParseGridSpec("workloads=bfs;link_ber=-1e-9"); }, SimError);
+  EXPECT_THROW({ ParseGridSpec("workloads=bfs;link_ber=abc"); }, SimError);
+  EXPECT_THROW({ ParseGridSpec("workloads=bfs;vault_stall_ppm=2000000"); },
+               SimError);
+  EXPECT_THROW({ ParseGridSpec("workloads=bfs;poison_ppm=1000001"); }, SimError);
+  EXPECT_THROW({ ParseGridSpec("workloads=bfs;retry_ns=-1"); }, SimError);
+  // Unknown mode names come through ParseModeList.
+  EXPECT_THROW({ ParseGridSpec("workloads=bfs;modes=warp9"); }, SimError);
+  EXPECT_THROW({ ParseModeList(""); }, SimError);
+}
+
+TEST(SweepGridSpec, FaultKeysApplyToEveryConfig) {
+  SweepGrid g = ParseGridSpec(
+      "workloads=bfs;modes=baseline,graphpim;link_ber=1e-9;"
+      "vault_stall_ppm=50;poison_ppm=5;max_retries=7;retry_ns=12");
+  ASSERT_EQ(g.configs.size(), 2u);
+  for (const core::SimConfig& c : g.configs) {
+    EXPECT_DOUBLE_EQ(c.hmc.fault.link_ber, 1e-9);
+    EXPECT_EQ(c.hmc.fault.vault_stall_ppm, 50u);
+    EXPECT_EQ(c.hmc.fault.poison_ppm, 5u);
+    EXPECT_EQ(c.hmc.fault.max_retries, 7u);
+    EXPECT_EQ(c.hmc.fault.retry_latency, NsToTicks(12.0));
+    EXPECT_EQ(c.hmc.fault.seed, 0u);  // per-job seed is derived at run time
+    EXPECT_TRUE(c.hmc.fault.Enabled());
+  }
+  // Zero knobs leave the fault plan disabled (ideal-cube path).
+  SweepGrid ideal = ParseGridSpec("workloads=bfs");
+  EXPECT_FALSE(ideal.configs[0].hmc.fault.Enabled());
 }
 
 // Shared tiny grid for the runner tests: 1 workload x 1 profile x 3 paper

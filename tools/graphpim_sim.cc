@@ -17,7 +17,14 @@
 //
 //   graphpim_sim --sweep='workloads=bfs,prank;modes=all;vertices=16384'
 //                [--jobs=N] [--json=out.json] [--csv=out.csv]
+//                [--journal=rows.jsonl] [--resume=0] [--timeout-ms=0]
+//
+// Fault injection (src/fault; DESIGN.md §9): single-run mode accepts
+//   [--link-ber=1e-12] [--vault-stall-ppm=50] [--poison-ppm=5]
+//   [--max-retries=3] [--retry-ns=8]
+// and sweep mode takes the same knobs as grid-spec keys (link_ber=...).
 #include <cstdio>
+#include <exception>
 #include <memory>
 #include <vector>
 
@@ -27,6 +34,7 @@
 #include "exec/result_sink.h"
 #include "exec/sweep.h"
 #include "exec/thread_pool.h"
+#include "fault/fault.h"
 #include "graph/region.h"
 #include "workloads/fusion.h"
 #include "workloads/trace_io.h"
@@ -40,10 +48,14 @@ int RunSweep(const Config& cfg) {
   exec::SweepGrid grid = exec::ParseGridSpec(cfg.GetString("sweep", ""));
   exec::SweepRunner::Options opts;
   opts.jobs = static_cast<int>(cfg.GetInt("jobs", 0));
+  opts.job_timeout_ms = cfg.GetDouble("timeout-ms", 0.0);
+  opts.journal_path = cfg.GetString("journal", "");
+  opts.resume = cfg.GetBool("resume", false);
   opts.on_progress = [](const exec::SweepProgress& p) {
-    std::printf("[%3zu/%3zu] %s/%s/%s  %.0f ms\n", p.completed, p.total,
+    std::printf("[%3zu/%3zu] %s/%s/%s  %.0f ms%s\n", p.completed, p.total,
                 p.workload.c_str(), p.profile.c_str(), p.config_name.c_str(),
-                p.wall_ms);
+                p.wall_ms,
+                p.status == exec::JobStatus::kOk ? "" : "  FAILED");
   };
   std::printf("graphpim_sim sweep: %zu jobs (%zu cells x %zu configs)\n\n",
               grid.NumJobs(), grid.NumCells(), grid.configs.size());
@@ -52,10 +64,19 @@ int RunSweep(const Config& cfg) {
   std::printf("\n%-8s %-8s %-10s %14s %10s %10s\n", "workload", "profile",
               "config", "cycles", "IPC", "speedup");
   for (const exec::SweepRow& r : table.rows) {
+    if (r.status != exec::JobStatus::kOk) {
+      std::printf("%-8s %-8s %-10s FAILED: %s\n", r.workload.c_str(),
+                  r.profile.c_str(), r.config_name.c_str(), r.error.c_str());
+      continue;
+    }
     std::printf("%-8s %-8s %-10s %14llu %10.4f %9.2fx\n", r.workload.c_str(),
                 r.profile.c_str(), r.config_name.c_str(),
                 static_cast<unsigned long long>(r.results.cycles), r.results.ipc,
                 table.SpeedupVsFirstConfig(r));
+  }
+  if (table.failed_rows > 0) {
+    std::printf("\n%zu of %zu rows FAILED\n", table.failed_rows,
+                table.rows.size());
   }
   std::printf("\nwall: %.0f ms total | job p50 %.0f ms p95 %.0f ms\n",
               table.total_wall_ms, table.job_wall_ms.Percentile(50),
@@ -70,13 +91,15 @@ int RunSweep(const Config& cfg) {
              "cannot write CSV");
     std::printf("CSV written to %s\n", cfg.GetString("csv", "").c_str());
   }
-  return 0;
+  return table.failed_rows > 0 ? 2 : 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Config cfg = Config::FromArgs(argc, argv);
+int RunMain(const Config& cfg) {
+  cfg.RequireKeys({"sweep", "workload", "profile", "vertices", "mode", "full",
+                   "threads", "seed", "opcap", "fp", "fus", "linkbw", "hybrid",
+                   "fuse", "jobs", "json", "csv", "trace-out", "trace-in",
+                   "journal", "resume", "timeout-ms", "link-ber",
+                   "vault-stall-ppm", "poison-ppm", "max-retries", "retry-ns"});
   if (cfg.Has("sweep")) return RunSweep(cfg);
   const std::string workload = cfg.GetString("workload", "bfs");
   const std::string profile = cfg.GetString("profile", "ldbc");
@@ -120,20 +143,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(fs.ops_removed));
   }
 
-  std::vector<core::Mode> modes;
-  if (mode_arg == "all") {
-    modes = {core::Mode::kBaseline, core::Mode::kUPei, core::Mode::kGraphPim};
-  } else if (mode_arg == "baseline") {
-    modes = {core::Mode::kBaseline};
-  } else if (mode_arg == "upei") {
-    modes = {core::Mode::kUPei};
-  } else if (mode_arg == "graphpim") {
-    modes = {core::Mode::kGraphPim};
-  } else if (mode_arg == "ucnopim") {
-    modes = {core::Mode::kUncacheNoPim};
-  } else {
-    GP_FATAL("unknown --mode '", mode_arg, "'");
-  }
+  const std::vector<core::Mode> modes = exec::ParseModeList(mode_arg);
 
   // Replay every mode — in parallel when --jobs allows it. Replays are pure
   // (RunSimulation has no shared mutable state), so the parallel path yields
@@ -147,6 +157,19 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(cfg.GetUint("fus", sc.hmc.fus_per_vault));
     sc.hmc.link_bw_scale = cfg.GetDouble("linkbw", 1.0);
     sc.pmr_hmc_fraction = cfg.GetDouble("hybrid", 1.0);
+    sc.hmc.fault.link_ber = cfg.GetDouble("link-ber", 0.0);
+    sc.hmc.fault.vault_stall_ppm =
+        static_cast<std::uint32_t>(cfg.GetUint("vault-stall-ppm", 0));
+    sc.hmc.fault.poison_ppm =
+        static_cast<std::uint32_t>(cfg.GetUint("poison-ppm", 0));
+    sc.hmc.fault.max_retries =
+        static_cast<std::uint32_t>(cfg.GetUint("max-retries", 3));
+    sc.hmc.fault.retry_latency = NsToTicks(cfg.GetDouble("retry-ns", 8.0));
+    // Same per-(seed, config-index) derivation discipline as the sweep
+    // runner: distinct modes draw decorrelated fault streams, and reruns
+    // with the same --seed inject identically.
+    sc.hmc.fault.seed =
+        fault::DeriveFaultSeed(opts.seed, static_cast<std::uint64_t>(mode_cfgs.size()));
     mode_cfgs.push_back(sc);
   }
   std::vector<core::SimResults> mode_results(modes.size());
@@ -182,4 +205,17 @@ int main(int argc, char** argv) {
     std::printf("JSON written to %s\n", cfg.GetString("json", "").c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return RunMain(Config::FromArgs(argc, argv));
+  } catch (const std::exception& e) {
+    // User/config errors (SimError) surface here; exit cleanly instead of
+    // aborting so scripts can distinguish bad flags from simulator bugs.
+    std::fprintf(stderr, "graphpim_sim: error: %s\n", e.what());
+    return 1;
+  }
 }

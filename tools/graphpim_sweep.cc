@@ -12,8 +12,22 @@
 //                  [--threads=16] [--opcap=12000000] [--seed=1]
 //                  [--jobs=N]                    # pool width (0 = nproc)
 //                  [--progress=1]
-//                  [--json=out.json] [--csv=out.csv]
+//                  [--json=out.json] [--csv=out.csv] [--det-csv=out.csv]
+//
+// Fault injection (src/fault; DESIGN.md §9) — applied to every config:
+//                  [--link-ber=1e-12] [--vault-stall-ppm=50]
+//                  [--poison-ppm=5] [--max-retries=3] [--retry-ns=8]
+//
+// Fault tolerance: a job that fails produces a status=failed row (the rest
+// of the grid completes); --journal streams finished rows to a JSONL file,
+// and --resume restores them after a crash/SIGKILL so only missing rows
+// re-simulate. Because replays are deterministic, the resumed table is
+// bit-identical to an uninterrupted run. --timeout-ms arms a soft per-job
+// watchdog with one speculative retry.
+//                  [--journal=sweep.partial.jsonl] [--resume=0]
+//                  [--timeout-ms=0]
 #include <cstdio>
+#include <exception>
 #include <string>
 
 #include "common/config.h"
@@ -35,10 +49,12 @@ std::string Join(const std::vector<std::string>& parts) {
   return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Config cfg = Config::FromArgs(argc, argv);
+int Run(const Config& cfg) {
+  cfg.RequireKeys({"workloads", "profiles", "modes", "vertices", "full",
+                   "threads", "opcap", "seed", "jobs", "progress", "json",
+                   "csv", "det-csv", "journal", "resume", "timeout-ms",
+                   "link-ber", "vault-stall-ppm", "poison-ppm", "max-retries",
+                   "retry-ns"});
 
   // Assemble a grid spec from the individual flags and reuse the shared
   // parser so graphpim_sim --sweep=... and this driver cannot diverge.
@@ -52,15 +68,34 @@ int main(int argc, char** argv) {
   spec += ";opcap=" + std::to_string(cfg.GetUint("opcap", 12'000'000));
   spec += ";seed=" + std::to_string(cfg.GetUint("seed", 1));
   spec += ";full=" + std::string(cfg.GetBool("full", false) ? "1" : "0");
+  if (cfg.Has("link-ber")) {
+    spec += ";link_ber=" + cfg.GetString("link-ber", "0");
+  }
+  if (cfg.Has("vault-stall-ppm")) {
+    spec += ";vault_stall_ppm=" + cfg.GetString("vault-stall-ppm", "0");
+  }
+  if (cfg.Has("poison-ppm")) {
+    spec += ";poison_ppm=" + cfg.GetString("poison-ppm", "0");
+  }
+  if (cfg.Has("max-retries")) {
+    spec += ";max_retries=" + cfg.GetString("max-retries", "3");
+  }
+  if (cfg.Has("retry-ns")) {
+    spec += ";retry_ns=" + cfg.GetString("retry-ns", "8");
+  }
   exec::SweepGrid grid = exec::ParseGridSpec(spec);
 
   exec::SweepRunner::Options opts;
   opts.jobs = static_cast<int>(cfg.GetInt("jobs", 0));
+  opts.job_timeout_ms = cfg.GetDouble("timeout-ms", 0.0);
+  opts.journal_path = cfg.GetString("journal", "");
+  opts.resume = cfg.GetBool("resume", false);
   if (cfg.GetBool("progress", true)) {
     opts.on_progress = [](const exec::SweepProgress& p) {
-      std::printf("[%3zu/%3zu] %-8s %-8s %-10s %7.0f ms\n", p.completed,
+      std::printf("[%3zu/%3zu] %-8s %-8s %-10s %7.0f ms%s\n", p.completed,
                   p.total, p.workload.c_str(), p.profile.c_str(),
-                  p.config_name.c_str(), p.wall_ms);
+                  p.config_name.c_str(), p.wall_ms,
+                  p.status == exec::JobStatus::kOk ? "" : "  FAILED");
     };
   }
 
@@ -74,6 +109,11 @@ int main(int argc, char** argv) {
               "profile", "config", "cycles", "IPC", "MPKI(L2)", "offload%",
               "speedup");
   for (const exec::SweepRow& r : table.rows) {
+    if (r.status != exec::JobStatus::kOk) {
+      std::printf("%-8s %-8s %-10s FAILED: %s\n", r.workload.c_str(),
+                  r.profile.c_str(), r.config_name.c_str(), r.error.c_str());
+      continue;
+    }
     const double offload_pct =
         r.results.atomics == 0
             ? 0.0
@@ -90,6 +130,15 @@ int main(int argc, char** argv) {
               table.total_wall_ms, table.build_wall_ms, table.run_wall_ms,
               table.job_wall_ms.Percentile(50), table.job_wall_ms.Percentile(95),
               table.job_wall_ms.max());
+  if (table.resumed_rows > 0) {
+    std::printf("resumed %zu of %zu rows from %s\n", table.resumed_rows,
+                table.rows.size(), opts.journal_path.c_str());
+  }
+  if (table.failed_rows > 0) {
+    std::printf("%zu of %zu rows FAILED (failed rows are not journaled; "
+                "--resume retries them)\n",
+                table.failed_rows, table.rows.size());
+  }
 
   if (cfg.Has("json")) {
     GP_CHECK(exec::WriteJson(table, cfg.GetString("json", "")),
@@ -101,5 +150,24 @@ int main(int argc, char** argv) {
              "cannot write CSV");
     std::printf("CSV written to %s\n", cfg.GetString("csv", "").c_str());
   }
-  return 0;
+  if (cfg.Has("det-csv")) {
+    GP_CHECK(exec::WriteDeterministicCsv(table, cfg.GetString("det-csv", "")),
+             "cannot write CSV");
+    std::printf("deterministic CSV written to %s\n",
+                cfg.GetString("det-csv", "").c_str());
+  }
+  return table.failed_rows > 0 ? 2 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(Config::FromArgs(argc, argv));
+  } catch (const std::exception& e) {
+    // User/config errors (SimError) surface here; exit cleanly instead of
+    // aborting so scripts can distinguish bad flags from simulator bugs.
+    std::fprintf(stderr, "graphpim_sweep: error: %s\n", e.what());
+    return 1;
+  }
 }
