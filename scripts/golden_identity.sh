@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Golden byte-identity gate for the instrumentation substrate.
+#
+# Builds the PR branch AND its merge-base with main, runs both simulators
+# on the pinned golden scenarios (the same flags tests/golden/ was captured
+# with), and asserts the --json output and the deterministic report section
+# are byte-identical. This catches counter-surface drift the unit goldens
+# can't: it compares against the *actual base revision*, not a checked-in
+# snapshot, so an accidental regeneration of tests/golden/ cannot mask a
+# behavior change.
+#
+# Usage: scripts/golden_identity.sh [base-ref]   (default: origin/main,
+#        falling back to main). Requires a full clone (fetch-depth: 0).
+set -eu
+
+BASE_REF="${1:-}"
+if [[ -z "$BASE_REF" ]]; then
+  if git rev-parse --verify -q origin/main >/dev/null; then
+    BASE_REF=origin/main
+  else
+    BASE_REF=main
+  fi
+fi
+
+REPO="$(git rev-parse --show-toplevel)"
+cd "$REPO"
+BASE_SHA="$(git merge-base HEAD "$BASE_REF")"
+if [[ "$BASE_SHA" == "$(git rev-parse HEAD)" ]]; then
+  echo "golden_identity: HEAD is the merge base ($BASE_SHA); nothing to compare"
+  exit 0
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/graphpim_golden.XXXXXX")"
+trap 'rm -rf "$WORK" && git worktree prune' EXIT
+
+echo "== building base $BASE_SHA"
+git worktree add --detach "$WORK/base" "$BASE_SHA" >/dev/null
+cmake -B "$WORK/base/build" -S "$WORK/base" >/dev/null
+cmake --build "$WORK/base/build" -j "$(nproc)" --target graphpim_sim >/dev/null
+
+echo "== building HEAD"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target graphpim_sim >/dev/null
+
+# Pinned scenarios: one plain baseline, one GraphPIM, one fault-injecting
+# run (decorrelated RNG paths must survive the refactor too).
+SCENARIOS=(
+  "bfs_baseline|--workload=bfs --mode=baseline"
+  "bfs_graphpim|--workload=bfs --mode=graphpim"
+  "dc_graphpim_ber|--workload=dc --mode=graphpim --link-ber=1e-7"
+)
+COMMON=(--profile=ldbc --vertices=2048 --opcap=150000 --threads=8 --seed=1
+        --jobs=1)
+
+fail=0
+for sc in "${SCENARIOS[@]}"; do
+  name="${sc%%|*}"
+  read -r -a flags <<< "${sc#*|}"
+  for side in base head; do
+    if [[ "$side" == base ]]; then
+      sim="$WORK/base/build/tools/graphpim_sim"
+    else
+      sim="build/tools/graphpim_sim"
+    fi
+    "$sim" "${COMMON[@]}" "${flags[@]}" --json="$WORK/$name.$side.json" \
+        > "$WORK/$name.$side.out"
+    # The deterministic report section; driver chatter above/below carries
+    # wall-clock noise.
+    sed -n '/^config:/,/^uncore energy:/p' "$WORK/$name.$side.out" \
+        > "$WORK/$name.$side.report"
+  done
+  for kind in json report; do
+    if cmp -s "$WORK/$name.base.$kind" "$WORK/$name.head.$kind"; then
+      echo "   $name.$kind: identical"
+    else
+      echo "golden_identity: FAIL — $name.$kind differs from $BASE_SHA:" >&2
+      diff "$WORK/$name.base.$kind" "$WORK/$name.head.$kind" | head -20 >&2
+      fail=1
+    fi
+  done
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  exit 1
+fi
+echo "golden_identity: PASS — all scenarios byte-identical to $BASE_SHA"

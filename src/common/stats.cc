@@ -1,0 +1,75 @@
+#include "common/stats.h"
+
+namespace graphpim {
+
+StatId StatRegistry::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return StatId(it->second);
+  const std::uint32_t idx = static_cast<std::uint32_t>(values_.size());
+  values_.push_back(0.0);
+  touched_.push_back(0);
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), idx);
+  return StatId(idx);
+}
+
+void StatRegistry::Merge(const StatRegistry& other) {
+  for (std::size_t i = 0; i < other.values_.size(); ++i) {
+    if (other.touched_[i] == 0) continue;
+    Add(Intern(other.names_[i]), other.values_[i]);
+  }
+}
+
+void StatRegistry::Reset() {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] = 0.0;
+    touched_[i] = 0;
+  }
+}
+
+std::vector<std::pair<std::string, double>> StatRegistry::Items() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (touched_[i] == 0 || HiddenName(names_[i])) continue;
+    out.emplace_back(names_[i], values_[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> StatRegistry::AllItems() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (touched_[i] == 0) continue;
+    out.emplace_back(names_[i], values_[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StatSnapshot StatRegistry::Snapshot() const {
+  StatSnapshot snap;
+  snap.values = AllItems();
+  return snap;
+}
+
+std::vector<std::pair<std::string, double>> DeltaItems(
+    const StatSnapshot& now, const StatSnapshot& since) {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(now.values.size());
+  // Both sides are name-sorted: a single linear merge pass.
+  std::size_t j = 0;
+  for (const auto& [name, value] : now.values) {
+    while (j < since.values.size() && since.values[j].first < name) ++j;
+    const double before =
+        (j < since.values.size() && since.values[j].first == name)
+            ? since.values[j].second
+            : 0.0;
+    if (value != before) out.emplace_back(name, value - before);
+  }
+  return out;
+}
+
+}  // namespace graphpim

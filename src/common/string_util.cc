@@ -47,4 +47,25 @@ std::string StrFormat(const char* fmt, ...) {
   return out;
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(ch));
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace graphpim

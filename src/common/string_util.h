@@ -20,6 +20,9 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 // printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+// Escapes a string for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
 }  // namespace graphpim
 
 #endif  // GRAPHPIM_COMMON_STRING_UTIL_H_

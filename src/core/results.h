@@ -6,7 +6,6 @@
 #include <string>
 
 #include "common/stats.h"
-#include "cpu/core.h"
 #include "energy/energy.h"
 
 namespace graphpim::core {
@@ -57,9 +56,11 @@ struct SimResults {
   // Uncore energy (Fig 15).
   energy::EnergyBreakdown energy;
 
-  // Raw counters and per-core totals for deeper analysis.
-  StatSet raw;
-  cpu::CoreStats core_totals;
+  // The run's unified counter registry for deeper analysis: every
+  // component's counters plus the merged per-core "core." totals. The
+  // compatibility raw.Items() view (JSON "counters") hides the "core."
+  // scope; raw.AllItems() exposes everything.
+  StatRegistry raw;
 };
 
 }  // namespace graphpim::core

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/string_util.h"
 #include "core/system.h"
 #include "cpu/core.h"
 
@@ -20,22 +21,24 @@ SimResults Collect(const SimConfig& cfg, const std::vector<std::unique_ptr<OooCo
   SimResults r;
   r.mode = ToString(cfg.mode);
 
+  // Fold every core's "core." registry into the memory system's registry:
+  // one StatRegistry::Merge per core replaces the old field-by-field
+  // CoreStats aggregation, and the run ends with a single unified registry.
+  StatRegistry& s = mem.stats();
   Tick end_tick = 0;
-  cpu::CoreStats totals;
   for (const auto& c : cores) {
     end_tick = std::max(end_tick, c->Now());
-    totals.Merge(c->stats());
+    s.Merge(c->stats());
   }
   const double cycle_ticks = 1000.0 / cfg.core.freq_ghz;
   r.cycles = static_cast<std::uint64_t>(static_cast<double>(end_tick) / cycle_ticks);
-  r.insts = totals.insts;
+  r.insts = static_cast<std::uint64_t>(s.Get("core.insts"));
   r.seconds = TicksToNs(end_tick) * 1e-9;
   if (r.cycles > 0) {
     r.ipc = static_cast<double>(r.insts) /
             (static_cast<double>(r.cycles) * cfg.num_cores);
   }
 
-  const StatSet& s = mem.stats();
   double ki = static_cast<double>(r.insts) / 1000.0;
   if (ki > 0) {
     r.l1_mpki = s.Get("cache.l1_misses") / ki;
@@ -46,8 +49,8 @@ SimResults Collect(const SimConfig& cfg, const std::vector<std::unique_ptr<OooCo
   if (atomic_reqs > 0) {
     r.atomic_miss_rate = s.Get("cache.atomic_mem_misses") / atomic_reqs;
   }
-  r.atomics = totals.atomics;
-  r.offloaded_atomics = totals.offloaded_atomics;
+  r.atomics = static_cast<std::uint64_t>(s.Get("core.atomics"));
+  r.offloaded_atomics = static_cast<std::uint64_t>(s.Get("core.offloaded_atomics"));
   r.req_flits = s.Get("hmc.req_flits");
   r.resp_flits = s.Get("hmc.resp_flits");
   r.link_crc_errors = static_cast<std::uint64_t>(s.Get("fault.link_crc_errors"));
@@ -60,19 +63,16 @@ SimResults Collect(const SimConfig& cfg, const std::vector<std::unique_ptr<OooCo
   double total_core_ticks =
       static_cast<double>(end_tick) * static_cast<double>(cfg.num_cores);
   if (total_core_ticks > 0) {
-    r.frac_atomic_incore =
-        static_cast<double>(totals.atomic_incore_ticks) / total_core_ticks;
-    r.frac_atomic_incache =
-        static_cast<double>(totals.atomic_incache_ticks) / total_core_ticks;
-    r.frac_atomic_dep =
-        static_cast<double>(totals.atomic_dep_ticks) / total_core_ticks;
+    r.frac_atomic_incore = s.Get("core.atomic_incore_ticks") / total_core_ticks;
+    r.frac_atomic_incache = s.Get("core.atomic_incache_ticks") / total_core_ticks;
+    r.frac_atomic_dep = s.Get("core.atomic_dep_ticks") / total_core_ticks;
     r.frac_other = std::max(
         0.0, 1.0 - r.frac_atomic_incore - r.frac_atomic_incache - r.frac_atomic_dep);
 
     r.frac_retiring = static_cast<double>(r.insts) * cycle_ticks /
                       (cfg.core.issue_width * total_core_ticks);
-    r.frac_frontend = static_cast<double>(totals.frontend_ticks) / total_core_ticks;
-    r.frac_badspec = static_cast<double>(totals.badspec_ticks) / total_core_ticks;
+    r.frac_frontend = s.Get("core.frontend_ticks") / total_core_ticks;
+    r.frac_badspec = s.Get("core.badspec_ticks") / total_core_ticks;
     r.frac_backend = std::max(
         0.0, 1.0 - r.frac_retiring - r.frac_frontend - r.frac_badspec);
   }
@@ -83,7 +83,6 @@ SimResults Collect(const SimConfig& cfg, const std::vector<std::unique_ptr<OooCo
   r.energy = energy::ComputeUncoreEnergy(s, r.seconds, ep);
 
   r.raw = s;
-  r.core_totals = totals;
   return r;
 }
 
@@ -91,6 +90,11 @@ SimResults Collect(const SimConfig& cfg, const std::vector<std::unique_ptr<OooCo
 
 SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
                          Addr pmr_base, Addr pmr_end) {
+  return RunSimulation(trace, cfg, pmr_base, pmr_end, RunOptions());
+}
+
+SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
+                         Addr pmr_base, Addr pmr_end, const RunOptions& opts) {
   GP_CHECK(static_cast<int>(trace.streams.size()) <= cfg.num_cores,
            "trace has more streams than cores");
 
@@ -106,6 +110,23 @@ SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
     cores.back()->Reset(stream);
     status.push_back(OooCore::Status::kRunning);
   }
+
+  // Phase instrumentation: each BSP superstep ends at a barrier
+  // rendezvous; cutting there captures the counters that superstep
+  // accrued. The merged view is rebuilt per cut (mem registry + every
+  // core's registry) — cheap at superstep frequency, and it leaves the
+  // live registries untouched.
+  Tick phase_start = 0;
+  std::uint64_t superstep = 0;
+  auto cut_phase = [&](const char* what, Tick end) {
+    if (opts.phases == nullptr) return;
+    StatRegistry merged = mem.stats();
+    for (const auto& c : cores) merged.Merge(c->stats());
+    opts.phases->Cut(
+        StrFormat("%s.%llu", what, static_cast<unsigned long long>(superstep)),
+        phase_start, end, merged);
+    phase_start = end;
+  };
 
   // Loosely-synchronized quantum loop with barrier rendezvous.
   Tick quantum_end = cfg.quantum;
@@ -130,6 +151,8 @@ SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
           release = std::max(release, cores[static_cast<std::size_t>(i)]->BarrierArrival());
         }
       }
+      cut_phase("superstep", release);
+      ++superstep;
       for (int i = 0; i < cfg.num_cores; ++i) {
         if (status[i] == OooCore::Status::kBarrier) {
           cores[static_cast<std::size_t>(i)]->ReleaseBarrier(release);
@@ -148,6 +171,12 @@ SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
       }
       quantum_end = std::max(quantum_end + cfg.quantum, next + cfg.quantum);
     }
+  }
+
+  if (opts.phases != nullptr) {
+    Tick end_tick = 0;
+    for (const auto& c : cores) end_tick = std::max(end_tick, c->Now());
+    cut_phase("drain", end_tick);
   }
 
   return Collect(cfg, cores, mem);
@@ -183,6 +212,10 @@ void Experiment::Build(const graph::EdgeList& el, const std::string& workload_na
 
 SimResults Experiment::Run(const SimConfig& cfg) const {
   return RunSimulation(trace_, cfg, space_->pmr_base(), space_->pmr_end());
+}
+
+SimResults Experiment::Run(const SimConfig& cfg, const RunOptions& opts) const {
+  return RunSimulation(trace_, cfg, space_->pmr_base(), space_->pmr_end(), opts);
 }
 
 }  // namespace graphpim::core

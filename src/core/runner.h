@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "common/trace.h"
 #include "core/results.h"
 #include "core/sim_config.h"
 #include "graph/csr.h"
@@ -24,10 +25,21 @@
 
 namespace graphpim::core {
 
+// Optional instrumentation attached to one simulation run.
+struct RunOptions {
+  // When non-null, the run cuts a phase at every BSP superstep boundary
+  // (the barrier rendezvous) plus a final drain phase, recording per-phase
+  // counter deltas of the whole merged registry. Not reset by the run;
+  // attach a fresh PhaseLog per run.
+  trace::PhaseLog* phases = nullptr;
+};
+
 // Replays `trace` under `cfg`. `pmr_base`/`pmr_end` delimit the PMR the
 // POU recognizes.
 SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
                          Addr pmr_base, Addr pmr_end);
+SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
+                         Addr pmr_base, Addr pmr_end, const RunOptions& opts);
 
 // Speedup of `other` over `base` (paper convention: normalized to baseline).
 double Speedup(const SimResults& base, const SimResults& other);
@@ -59,6 +71,7 @@ class Experiment {
       : Experiment(el, workload_name, Options()) {}
 
   SimResults Run(const SimConfig& cfg) const;
+  SimResults Run(const SimConfig& cfg, const RunOptions& opts) const;
 
   const graph::CsrGraph& graph() const { return *graph_; }
   const workloads::Workload& workload() const { return *workload_; }

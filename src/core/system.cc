@@ -9,7 +9,18 @@ using cpu::MicroOp;
 using cpu::OpType;
 
 MemorySystem::MemorySystem(const SimConfig& cfg, Addr pmr_base, Addr pmr_end)
-    : cfg_(cfg) {
+    : cfg_(cfg),
+      sid_poison_reissues_(stats_.Intern("pou.poison_reissues")),
+      sid_poison_unrecovered_(stats_.Intern("pou.poison_unrecovered")),
+      sid_uc_slot_wait_ns_(stats_.Intern("pou.uc_slot_wait_ns")),
+      sid_uc_service_ns_(stats_.Intern("pou.uc_service_ns")),
+      sid_uc_reads_(stats_.Intern("pou.uc_reads")),
+      sid_uc_writes_(stats_.Intern("pou.uc_writes")),
+      sid_dbg_atomic_hold_ns_(stats_.Intern("pou.dbg_atomic_hold_ns")),
+      sid_offloaded_atomics_(stats_.Intern("pou.offloaded_atomics")),
+      sid_bus_lock_atomics_(stats_.Intern("pou.bus_lock_atomics")),
+      sid_upei_host_hits_(stats_.Intern("upei.host_hits")),
+      sid_upei_offloaded_(stats_.Intern("upei.offloaded")) {
   cube_ = std::make_unique<hmc::HmcCube>(cfg_.hmc, &stats_);
   hierarchy_ = std::make_unique<mem::CacheHierarchy>(cfg_.num_cores, cfg_.cache,
                                                      cube_.get(), &stats_);
@@ -92,10 +103,10 @@ MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
   // MCE rather than retrying forever.
   auto reissue_once = [this](hmc::Completion c, auto issue_fn) {
     if (c.poisoned) {
-      stats_.Inc("pou.poison_reissues");
+      stats_.Inc(sid_poison_reissues_);
       hmc::Completion retry = issue_fn(c.response_at_host);
       if (!retry.poisoned) return retry;
-      stats_.Inc("pou.poison_unrecovered");
+      stats_.Inc(sid_poison_unrecovered_);
       retry.poisoned = true;
       return retry;
     }
@@ -106,17 +117,17 @@ MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
   std::size_t slot = 0;
   Tick issue = AcquireUcSlot(core, when, &slot);
   if (issue > when) out.issue_stall_until = issue;
-  stats_.Add("pou.uc_slot_wait_ns", TicksToNs(issue - when));
+  stats_.Add(sid_uc_slot_wait_ns_, TicksToNs(issue - when));
   switch (op.type) {
     case OpType::kLoad: {
       hmc::Completion c = reissue_once(
           cube_->Read(op.addr, op.size, issue),
           [&](Tick at) { return cube_->Read(op.addr, op.size, at); });
-      stats_.Add("pou.uc_service_ns", TicksToNs(c.response_at_host - issue));
+      stats_.Add(sid_uc_service_ns_, TicksToNs(c.response_at_host - issue));
       out.complete = c.response_at_host;
       out.retire_ready = c.response_at_host;
       ReleaseUcSlot(core, slot, c.response_at_host);
-      stats_.Inc("pou.uc_reads");
+      stats_.Inc(sid_uc_reads_);
       break;
     }
     case OpType::kStore: {
@@ -124,7 +135,7 @@ MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
       out.complete = c.response_at_host;
       out.retire_ready = issue;  // posted
       ReleaseUcSlot(core, slot, c.internal_done);
-      stats_.Inc("pou.uc_writes");
+      stats_.Inc(sid_uc_writes_);
       break;
     }
     case OpType::kAtomic: {
@@ -138,10 +149,10 @@ MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
       out.retire_ready = op.WantReturn() ? c.response_at_host : issue;
       ReleaseUcSlot(core, slot,
                     op.WantReturn() ? c.response_at_host : c.internal_done);
-      stats_.Add("pou.dbg_atomic_hold_ns",
+      stats_.Add(sid_dbg_atomic_hold_ns_,
                  TicksToNs((op.WantReturn() ? c.response_at_host : c.internal_done) - issue));
       out.offloaded = true;
-      stats_.Inc("pou.offloaded_atomics");
+      stats_.Inc(sid_offloaded_atomics_);
       break;
     }
     default:
@@ -176,7 +187,7 @@ MemOutcome MemorySystem::UPeiAtomic(int core, const MicroOp& op, Tick when) {
     out.retire_ready = out.complete;
     out.check_ticks = r.check_ticks;
     out.offloaded = false;
-    stats_.Inc("upei.host_hits");
+    stats_.Inc(sid_upei_host_hits_);
   } else {
     // Miss: PEI pays the cache walk before dispatching to memory
     // (locality monitoring), then offloads; no fill on the way back.
@@ -190,10 +201,10 @@ MemOutcome MemorySystem::UPeiAtomic(int core, const MicroOp& op, Tick when) {
         cube_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(), issue);
     if (c.poisoned) {
       // Same bounded recovery as the GraphPIM bypass path.
-      stats_.Inc("pou.poison_reissues");
+      stats_.Inc(sid_poison_reissues_);
       c = cube_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(),
                         c.response_at_host);
-      if (c.poisoned) stats_.Inc("pou.poison_unrecovered");
+      if (c.poisoned) stats_.Inc(sid_poison_unrecovered_);
     }
     out.complete = c.response_at_host;
     out.retire_ready = op.WantReturn() ? c.response_at_host : issue;
@@ -201,8 +212,8 @@ MemOutcome MemorySystem::UPeiAtomic(int core, const MicroOp& op, Tick when) {
                   op.WantReturn() ? c.response_at_host : c.internal_done);
     out.check_ticks = walk;
     out.offloaded = true;
-    stats_.Inc("upei.offloaded");
-    stats_.Inc("pou.offloaded_atomics");
+    stats_.Inc(sid_upei_offloaded_);
+    stats_.Inc(sid_offloaded_atomics_);
   }
   return out;
 }
@@ -224,7 +235,7 @@ MemOutcome MemorySystem::BusLockAtomic(int core, const MicroOp& op, Tick when) {
   out.check_ticks = 0;
   out.offloaded = false;
   bus_lock_ready_ = out.complete;
-  stats_.Inc("pou.bus_lock_atomics");
+  stats_.Inc(sid_bus_lock_atomics_);
   return out;
 }
 

@@ -34,7 +34,8 @@ class MemorySystem : public cpu::MemoryInterface {
 
   cpu::MemOutcome Access(int core, const cpu::MicroOp& op, Tick when) override;
 
-  StatSet& stats() { return stats_; }
+  StatRegistry& stats() { return stats_; }
+  const StatRegistry& stats() const { return stats_; }
   const hmc::HmcCube& cube() const { return *cube_; }
   const mem::CacheHierarchy& hierarchy() const { return *hierarchy_; }
   const cpu::PimOffloadUnit& pou() const { return pou_; }
@@ -62,7 +63,18 @@ class MemorySystem : public cpu::MemoryInterface {
   }
 
   SimConfig cfg_;
-  StatSet stats_;
+  StatRegistry stats_;
+  StatId sid_poison_reissues_;
+  StatId sid_poison_unrecovered_;
+  StatId sid_uc_slot_wait_ns_;
+  StatId sid_uc_service_ns_;
+  StatId sid_uc_reads_;
+  StatId sid_uc_writes_;
+  StatId sid_dbg_atomic_hold_ns_;
+  StatId sid_offloaded_atomics_;
+  StatId sid_bus_lock_atomics_;
+  StatId sid_upei_host_hits_;
+  StatId sid_upei_offloaded_;
   std::unique_ptr<hmc::HmcCube> cube_;
   std::unique_ptr<mem::CacheHierarchy> hierarchy_;
   cpu::PimOffloadUnit pou_;  // identical in every core; modeled once

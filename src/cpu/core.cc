@@ -6,24 +6,23 @@
 
 namespace graphpim::cpu {
 
-void CoreStats::Merge(const CoreStats& o) {
-  insts += o.insts;
-  computes += o.computes;
-  branches += o.branches;
-  mispredicts += o.mispredicts;
-  loads += o.loads;
-  stores += o.stores;
-  atomics += o.atomics;
-  offloaded_atomics += o.offloaded_atomics;
-  atomic_incore_ticks += o.atomic_incore_ticks;
-  atomic_incache_ticks += o.atomic_incache_ticks;
-  atomic_dep_ticks += o.atomic_dep_ticks;
-  badspec_ticks += o.badspec_ticks;
-  frontend_ticks += o.frontend_ticks;
-}
-
 OooCore::OooCore(int id, const CoreParams& params, MemoryInterface* mem)
-    : id_(id), params_(params), mem_(mem) {
+    : id_(id),
+      params_(params),
+      mem_(mem),
+      sid_insts_(stats_.Intern("core.insts")),
+      sid_computes_(stats_.Intern("core.computes")),
+      sid_branches_(stats_.Intern("core.branches")),
+      sid_mispredicts_(stats_.Intern("core.mispredicts")),
+      sid_loads_(stats_.Intern("core.loads")),
+      sid_stores_(stats_.Intern("core.stores")),
+      sid_atomics_(stats_.Intern("core.atomics")),
+      sid_offloaded_atomics_(stats_.Intern("core.offloaded_atomics")),
+      sid_atomic_incore_ticks_(stats_.Intern("core.atomic_incore_ticks")),
+      sid_atomic_incache_ticks_(stats_.Intern("core.atomic_incache_ticks")),
+      sid_atomic_dep_ticks_(stats_.Intern("core.atomic_dep_ticks")),
+      sid_badspec_ticks_(stats_.Intern("core.badspec_ticks")),
+      sid_frontend_ticks_(stats_.Intern("core.frontend_ticks")) {
   GP_CHECK(mem != nullptr);
   GP_CHECK(params.issue_width > 0 && params.rob_size > 0);
   cycle_ticks_ = static_cast<Tick>(1000.0 / params_.freq_ghz + 0.5);
@@ -43,7 +42,7 @@ void OooCore::Reset(const std::vector<MicroOp>* trace) {
   max_outstanding_ = 0;
   max_store_complete_ = 0;
   barrier_arrival_ = 0;
-  stats_ = CoreStats();
+  stats_.Reset();
 }
 
 Tick OooCore::NextIssueSlot() {
@@ -110,7 +109,8 @@ void OooCore::IssueOp(const MicroOp& op) {
     const RobEntry& head = rob_[rob_head_];
     if (head.complete > dispatch) {
       if (head.is_atomic) {
-        stats_.atomic_dep_ticks += head.complete - dispatch;
+        stats_.Add(sid_atomic_dep_ticks_,
+                   static_cast<double>(head.complete - dispatch));
         head_is_atomic = true;
       }
       dispatch = head.complete;
@@ -123,7 +123,10 @@ void OooCore::IssueOp(const MicroOp& op) {
   // Execution start: operands must be ready.
   Tick exec_start = dispatch;
   if (op.DepPrev() && prev_complete_ > exec_start) {
-    if (prev_was_atomic_) stats_.atomic_dep_ticks += prev_complete_ - exec_start;
+    if (prev_was_atomic_) {
+      stats_.Add(sid_atomic_dep_ticks_,
+                 static_cast<double>(prev_complete_ - exec_start));
+    }
     exec_start = prev_complete_;
   }
 
@@ -133,7 +136,7 @@ void OooCore::IssueOp(const MicroOp& op) {
 
   switch (op.type) {
     case OpType::kCompute: {
-      ++stats_.computes;
+      stats_.Inc(sid_computes_);
       std::uint64_t lat = (op.flags & kFlagFpCompute) != 0
                               ? static_cast<std::uint64_t>(params_.fp_compute_lat)
                               : op.compute_lat;
@@ -142,22 +145,22 @@ void OooCore::IssueOp(const MicroOp& op) {
       break;
     }
     case OpType::kBranch: {
-      ++stats_.branches;
+      stats_.Inc(sid_branches_);
       complete = exec_start + cycle_ticks_;
       retire = complete;
       // Taken-branch fetch redirection costs one bubble.
       issue_block_ = std::max(issue_block_, dispatch + cycle_ticks_);
-      stats_.frontend_ticks += cycle_ticks_;
+      stats_.Add(sid_frontend_ticks_, static_cast<double>(cycle_ticks_));
       if (op.Mispredict()) {
-        ++stats_.mispredicts;
+        stats_.Inc(sid_mispredicts_);
         Tick penalty = CyclesToTicks(static_cast<std::uint64_t>(params_.mispredict_penalty));
         issue_block_ = std::max(issue_block_, complete + penalty);
-        stats_.badspec_ticks += penalty;
+        stats_.Add(sid_badspec_ticks_, static_cast<double>(penalty));
       }
       break;
     }
     case OpType::kLoad: {
-      ++stats_.loads;
+      stats_.Inc(sid_loads_);
       MemOutcome out = mem_->Access(id_, op, exec_start);
       complete = out.complete;
       retire = out.complete;
@@ -165,7 +168,7 @@ void OooCore::IssueOp(const MicroOp& op) {
       break;
     }
     case OpType::kStore: {
-      ++stats_.stores;
+      stats_.Inc(sid_stores_);
       MemOutcome out = mem_->Access(id_, op, exec_start);
       // Stores commit through the write buffer: dependents (if any) see the
       // value forwarded within a cycle; the entry retires quickly.
@@ -176,7 +179,7 @@ void OooCore::IssueOp(const MicroOp& op) {
       break;
     }
     case OpType::kAtomic: {
-      ++stats_.atomics;
+      stats_.Inc(sid_atomics_);
       is_atomic = true;
       MemOutcome out = mem_->Access(id_, op, exec_start);
       issue_block_ = std::max(issue_block_, out.issue_stall_until);
@@ -192,16 +195,17 @@ void OooCore::IssueOp(const MicroOp& op) {
         complete = drain + fixed + mem_lat;
         retire = complete;
         issue_block_ = std::max(issue_block_, drain + fixed);
-        stats_.atomic_incache_ticks += out.check_ticks;
+        stats_.Add(sid_atomic_incache_ticks_, static_cast<double>(out.check_ticks));
         // Only the non-overlappable freeze window counts as in-core time;
         // the RMW's memory latency surfaces through dependent stalls
         // (atomic_dep_ticks) and ROB pressure.
-        stats_.atomic_incore_ticks += (drain + fixed) - exec_start;
+        stats_.Add(sid_atomic_incore_ticks_,
+                   static_cast<double>((drain + fixed) - exec_start));
       } else {
         // Offloaded (or PEI host-executed) atomic: behaves like a
         // non-blocking load; posted forms retire without waiting.
-        if (out.offloaded) ++stats_.offloaded_atomics;
-        stats_.atomic_incache_ticks += out.check_ticks;
+        if (out.offloaded) stats_.Inc(sid_offloaded_atomics_);
+        stats_.Add(sid_atomic_incache_ticks_, static_cast<double>(out.check_ticks));
         complete = op.WantReturn() ? out.complete : exec_start + cycle_ticks_;
         retire = op.WantReturn() ? out.complete : out.retire_ready;
       }
@@ -212,7 +216,7 @@ void OooCore::IssueOp(const MicroOp& op) {
   }
 
   ConsumeIssueSlot(dispatch);
-  ++stats_.insts;
+  stats_.Inc(sid_insts_);
 
   rob_[(rob_head_ + rob_count_) % rob_.size()] = RobEntry{retire, is_atomic};
   ++rob_count_;

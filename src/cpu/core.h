@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/types.h"
 #include "cpu/memory_interface.h"
 #include "cpu/uop.h"
@@ -31,26 +32,18 @@ struct CoreParams {
   int fp_compute_lat = 4;           // cycles for FP ALU ops
 };
 
-// Counters a single core accumulates while replaying its trace.
-struct CoreStats {
-  std::uint64_t insts = 0;
-  std::uint64_t computes = 0;
-  std::uint64_t branches = 0;
-  std::uint64_t mispredicts = 0;
-  std::uint64_t loads = 0;
-  std::uint64_t stores = 0;
-  std::uint64_t atomics = 0;
-  std::uint64_t offloaded_atomics = 0;
-
-  // Attribution (all in Ticks).
-  Tick atomic_incore_ticks = 0;   // freeze + drain + RMW wait (baseline)
-  Tick atomic_incache_ticks = 0;  // tag walks + coherence for atomics
-  Tick atomic_dep_ticks = 0;      // dependents waiting on offloaded atomics
-  Tick badspec_ticks = 0;
-  Tick frontend_ticks = 0;
-
-  void Merge(const CoreStats& o);
-};
+// Each core accumulates its replay counters in its own small StatRegistry
+// under the "core." scope:
+//   core.insts, core.computes, core.branches, core.mispredicts,
+//   core.loads, core.stores, core.atomics, core.offloaded_atomics,
+// and the attribution sums (in Ticks) behind Fig 2 / Fig 9:
+//   core.atomic_incore_ticks   — freeze + drain + RMW wait (baseline)
+//   core.atomic_incache_ticks  — tag walks + coherence for atomics
+//   core.atomic_dep_ticks      — dependents waiting on offloaded atomics
+//   core.badspec_ticks, core.frontend_ticks
+// Per-core registries merge into the run's unified registry via
+// StatRegistry::Merge; the "core." scope is hidden from the compatibility
+// Items() view (it surfaces through SimResults headline fields instead).
 
 class OooCore {
  public:
@@ -85,7 +78,7 @@ class OooCore {
   }
 
   int id() const { return id_; }
-  const CoreStats& stats() const { return stats_; }
+  const StatRegistry& stats() const { return stats_; }
 
   Tick CyclesToTicks(std::uint64_t cycles) const {
     return static_cast<Tick>(static_cast<double>(cycles) * 1000.0 / params_.freq_ghz);
@@ -131,7 +124,20 @@ class OooCore {
 
   Tick barrier_arrival_ = 0;
 
-  CoreStats stats_;
+  StatRegistry stats_;
+  StatId sid_insts_;
+  StatId sid_computes_;
+  StatId sid_branches_;
+  StatId sid_mispredicts_;
+  StatId sid_loads_;
+  StatId sid_stores_;
+  StatId sid_atomics_;
+  StatId sid_offloaded_atomics_;
+  StatId sid_atomic_incore_ticks_;
+  StatId sid_atomic_incache_ticks_;
+  StatId sid_atomic_dep_ticks_;
+  StatId sid_badspec_ticks_;
+  StatId sid_frontend_ticks_;
 };
 
 }  // namespace graphpim::cpu

@@ -6,7 +6,7 @@ namespace {
 constexpr double kNj = 1e-9;
 }  // namespace
 
-EnergyBreakdown ComputeUncoreEnergy(const StatSet& s, double runtime_sec,
+EnergyBreakdown ComputeUncoreEnergy(const StatRegistry& s, double runtime_sec,
                                     const EnergyParams& p) {
   EnergyBreakdown e;
 

@@ -50,7 +50,7 @@ struct EnergyBreakdown {
 // Computes uncore energy from the run's counters and wall-clock (simulated)
 // runtime. Expects the stat names produced by mem::CacheHierarchy and
 // hmc::HmcCube plus "hmc.fu_busy_int_ns"/"hmc.fu_busy_fp_ns" if present.
-EnergyBreakdown ComputeUncoreEnergy(const StatSet& stats, double runtime_sec,
+EnergyBreakdown ComputeUncoreEnergy(const StatRegistry& stats, double runtime_sec,
                                     const EnergyParams& params = EnergyParams());
 
 }  // namespace graphpim::energy

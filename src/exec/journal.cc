@@ -12,27 +12,6 @@ namespace graphpim::exec {
 
 namespace {
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          out += StrFormat("\\u%04x", static_cast<unsigned>(ch));
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
-}
-
 // %.17g round-trips every finite double exactly; %llu keeps full-range
 // 64-bit seeds intact (a double detour would silently lose low bits).
 std::string D(double v) { return StrFormat("%.17g", v); }
@@ -186,44 +165,6 @@ class Parser {
 // ---------------------------------------------------------------------------
 // Row <-> line.
 
-// CoreStats as a 13-element array, field order fixed by this list.
-std::string CoreToJson(const cpu::CoreStats& c) {
-  std::string s = "[";
-  const std::uint64_t f[] = {c.insts, c.computes, c.branches, c.mispredicts,
-                             c.loads, c.stores, c.atomics, c.offloaded_atomics,
-                             c.atomic_incore_ticks, c.atomic_incache_ticks,
-                             c.atomic_dep_ticks, c.badspec_ticks,
-                             c.frontend_ticks};
-  for (std::size_t i = 0; i < 13; ++i) {
-    if (i != 0) s += ',';
-    s += U(f[i]);
-  }
-  return s + "]";
-}
-
-bool CoreFromJson(const JVal& v, cpu::CoreStats* c) {
-  if (v.kind != JVal::Kind::kArr || v.arr.size() != 13) return false;
-  std::uint64_t f[13];
-  for (std::size_t i = 0; i < 13; ++i) {
-    if (v.arr[i].kind != JVal::Kind::kNum) return false;
-    f[i] = v.arr[i].U64();
-  }
-  c->insts = f[0];
-  c->computes = f[1];
-  c->branches = f[2];
-  c->mispredicts = f[3];
-  c->loads = f[4];
-  c->stores = f[5];
-  c->atomics = f[6];
-  c->offloaded_atomics = f[7];
-  c->atomic_incore_ticks = f[8];
-  c->atomic_incache_ticks = f[9];
-  c->atomic_dep_ticks = f[10];
-  c->badspec_ticks = f[11];
-  c->frontend_ticks = f[12];
-  return true;
-}
-
 std::string ResultsToJson(const core::SimResults& r) {
   std::string s = "{";
   s += "\"mode\":\"" + JsonEscape(r.mode) + "\"";
@@ -249,10 +190,11 @@ std::string ResultsToJson(const core::SimResults& r) {
   s += ",\"energy\":[" + D(r.energy.caches_j) + ',' + D(r.energy.link_j) +
        ',' + D(r.energy.fu_j) + ',' + D(r.energy.logic_j) + ',' +
        D(r.energy.dram_j) + ']';
-  s += ",\"core\":" + CoreToJson(r.core_totals);
+  // The full registry, merged "core." totals included — the compatibility
+  // Items() view would silently drop them from the round trip.
   s += ",\"counters\":{";
   bool first = true;
-  for (const auto& [k, v] : r.raw.Items()) {
+  for (const auto& [k, v] : r.raw.AllItems()) {
     if (!first) s += ',';
     first = false;
     s += '"' + JsonEscape(k) + "\":" + D(v);
@@ -322,8 +264,6 @@ bool ResultsFromJson(const JVal& v, core::SimResults* r) {
   r->energy.fu_j = en->arr[2].Num();
   r->energy.logic_j = en->arr[3].Num();
   r->energy.dram_j = en->arr[4].Num();
-  const JVal* co = v.Get("core");
-  if (co == nullptr || !CoreFromJson(*co, &r->core_totals)) return false;
   const JVal* cnt = v.Get("counters");
   if (cnt == nullptr || cnt->kind != JVal::Kind::kObj) return false;
   for (const auto& [k, cv] : cnt->obj) {
@@ -388,7 +328,11 @@ bool RowFromJson(const std::string& line, SweepRow* row) {
 }  // namespace
 
 std::string GridFingerprint(const SweepGrid& grid) {
-  std::string fp = "v1|w=";
+  // v2: rows serialize the unified registry ("counters" includes the
+  // merged core.* totals; the legacy fixed-order "core" array is gone).
+  // Bumping the version makes pre-registry journals mismatch cleanly
+  // instead of resuming with silently core-less rows.
+  std::string fp = "v2|w=";
   for (std::size_t i = 0; i < grid.workloads.size(); ++i) {
     if (i != 0) fp += ',';
     fp += grid.workloads[i];
@@ -452,6 +396,37 @@ void JournalWriter::Append(const SweepRow& row) {
   std::fflush(f_);
 }
 
+void JournalWriter::AppendPhases(const SweepRow& row,
+                                 const trace::PhaseLog& log) {
+  if (f_ == nullptr || log.empty()) return;
+  // Sidecar line, keyed by the row's grid coordinates. LoadJournal skips
+  // these by prefix without counting them as dropped, so a phase-annotated
+  // journal resumes exactly like a plain one.
+  std::string s = "{\"phases_for\":{";
+  s += "\"w\":" + U(row.workload_idx);
+  s += ",\"p\":" + U(row.profile_idx);
+  s += ",\"c\":" + U(row.config_idx);
+  s += "},\"phases\":[";
+  bool first = true;
+  for (const trace::PhaseRecord& ph : log.phases()) {
+    if (!first) s += ',';
+    first = false;
+    s += "{\"phase\":\"" + JsonEscape(ph.name) + "\"";
+    s += ",\"start_ns\":" + D(TicksToNs(ph.start));
+    s += ",\"end_ns\":" + D(TicksToNs(ph.end));
+    s += ",\"deltas\":{";
+    for (std::size_t i = 0; i < ph.deltas.size(); ++i) {
+      if (i != 0) s += ',';
+      s += '"' + JsonEscape(ph.deltas[i].first) +
+           "\":" + trace::FormatStatValue(ph.deltas[i].second);
+    }
+    s += "}}";
+  }
+  s += "]}\n";
+  std::fwrite(s.data(), 1, s.size(), f_);
+  std::fflush(f_);
+}
+
 void JournalWriter::Close() {
   if (f_ != nullptr) {
     std::fclose(f_);
@@ -480,6 +455,9 @@ bool LoadJournal(const std::string& path, JournalData* out) {
       }
       continue;
     }
+    // Phase-metrics sidecar lines ({"phases_for":...}) are informational:
+    // not rows, not errors — skip without counting them as dropped.
+    if (line.compare(0, 14, "{\"phases_for\":") == 0) continue;
     SweepRow row;
     if (RowFromJson(line, &row)) {
       out->rows.push_back(std::move(row));

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "exec/sweep.h"
 
 namespace graphpim::exec {
@@ -46,6 +47,12 @@ class JournalWriter {
 
   // Appends one finished OK row and flushes it.
   void Append(const SweepRow& row);
+
+  // Appends a `{"phases_for":{coords},"phases":[...]}` sidecar line with
+  // the row's per-superstep counter deltas. LoadJournal skips sidecar
+  // lines (they are annotations, not rows), so a resume neither needs nor
+  // loses them. No-op when the log is empty.
+  void AppendPhases(const SweepRow& row, const trace::PhaseLog& log);
 
   void Close();
 

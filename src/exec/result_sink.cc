@@ -9,19 +9,6 @@ namespace graphpim::exec {
 
 namespace {
 
-// Escapes a string for embedding in a JSON string literal (error messages
-// can contain quotes).
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char ch : s) {
-    if (ch == '"' || ch == '\\') out += '\\';
-    if (ch == '\n') { out += "\\n"; continue; }
-    out += ch;
-  }
-  return out;
-}
-
 // Indents a multi-line JSON fragment by `pad` spaces (for embedding
 // core::ToJson() output inside a row object).
 std::string Indent(const std::string& json, int pad) {

@@ -126,7 +126,12 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
     std::string error;
     double wall_ms = 0.0;
     int attempts = 1;
+    trace::PhaseLog phases;  // populated only when journaling phases
   };
+
+  // Phase capture costs one registry merge per superstep, so only pay for
+  // it when there is a journal to carry the sidecar lines.
+  const bool want_phases = opts_.journal_phases && !opts_.journal_path.empty();
 
   // Resume: restore journaled rows keyed by flat grid index. The
   // fingerprint gate makes a stale journal (different grid) an error
@@ -246,7 +251,9 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
           try {
             core::SimConfig cfg = grid.configs[k];
             cfg.hmc.fault.seed = fault::DeriveFaultSeed(cell_seed, k);
-            out.results = exp->Run(cfg);
+            core::RunOptions ro;
+            if (want_phases) ro.phases = &out.phases;
+            out.results = exp->Run(cfg, ro);
           } catch (const std::exception& e) {
             out.error = e.what();
           }
@@ -333,7 +340,9 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
                                    grid.workloads[wi], eo);
               core::SimConfig cfg = grid.configs[k];
               cfg.hmc.fault.seed = fault::DeriveFaultSeed(retry_seed, k);
-              r.results = exp.Run(cfg);
+              core::RunOptions ro;
+              if (want_phases) ro.phases = &r.phases;
+              r.results = exp.Run(cfg, ro);
             } catch (const std::exception& e) {
               r.error = e.what();
             }
@@ -369,6 +378,7 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
         // Journal only freshly-computed OK rows: failed rows must be
         // retried by a resume, and restored rows are already on disk.
         writer.Append(row);
+        if (want_phases) writer.AppendPhases(row, out.phases);
       } else {
         row.status = JobStatus::kFailed;
         row.error = out.error;

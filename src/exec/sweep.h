@@ -142,6 +142,12 @@ class SweepRunner {
     std::string journal_path;
     bool resume = false;
 
+    // With a journal: also capture per-BSP-superstep phase deltas during
+    // each freshly-simulated job and append them as `{"phases_for":...}`
+    // sidecar lines after the row. Sidecars are skipped on load, so
+    // resume semantics are unchanged. Ignored without a journal.
+    bool journal_phases = false;
+
     // Invoked serially (under a lock) as each job retires; may print.
     std::function<void(const SweepProgress&)> on_progress;
   };

@@ -20,8 +20,31 @@ constexpr std::uint64_t kBitsPerFlit = 128;
 
 }  // namespace
 
-HmcCube::HmcCube(const HmcParams& params, StatSet* stats)
-    : params_(params), stats_(stats), fault_plan_(params.fault) {
+HmcCube::HmcCube(const HmcParams& params, StatRegistry* stats)
+    : params_(params),
+      stats_(stats, "hmc"),
+      fault_stats_(stats, "fault"),
+      sid_reads_(stats_.Counter("reads")),
+      sid_writes_(stats_.Counter("writes")),
+      sid_atomics_(stats_.Counter("atomics")),
+      sid_req_flits_(stats_.Counter("req_flits")),
+      sid_resp_flits_(stats_.Counter("resp_flits")),
+      sid_dbg_req_path_ns_(stats_.Counter("dbg_req_path_ns")),
+      sid_dbg_vault_ns_(stats_.Counter("dbg_vault_ns")),
+      sid_dbg_resp_path_ns_(stats_.Counter("dbg_resp_path_ns")),
+      sid_dbg_a_req_ns_(stats_.Counter("dbg_a_req_ns")),
+      sid_dbg_a_vault_ns_(stats_.Counter("dbg_a_vault_ns")),
+      sid_dbg_a_done_ns_(stats_.Counter("dbg_a_done_ns")),
+      sid_link_crc_errors_(fault_stats_.Counter("link_crc_errors")),
+      sid_retry_exhausted_(fault_stats_.Counter("retry_exhausted")),
+      sid_link_retries_(fault_stats_.Counter("link_retries")),
+      sid_retry_flits_(fault_stats_.Counter("retry_flits")),
+      sid_retry_ns_(fault_stats_.Counter("retry_ns")),
+      sid_vault_stalls_(fault_stats_.Counter("vault_stalls")),
+      sid_vault_stall_ns_(fault_stats_.Counter("vault_stall_ns")),
+      sid_poisoned_ops_(fault_stats_.Counter("poisoned_ops")),
+      sid_poisoned_atomics_(fault_stats_.Counter("poisoned_atomics")),
+      fault_plan_(params.fault) {
   GP_CHECK(params_.num_links > 0 && params_.num_vaults > 0);
   links_.reserve(params_.num_links);
   for (std::uint32_t i = 0; i < params_.num_links; ++i) {
@@ -29,7 +52,7 @@ HmcCube::HmcCube(const HmcParams& params, StatSet* stats)
   }
   vaults_.reserve(params_.num_vaults);
   for (std::uint32_t i = 0; i < params_.num_vaults; ++i) {
-    vaults_.push_back(std::make_unique<Vault>(params_, stats_));
+    vaults_.push_back(std::make_unique<Vault>(params_, stats_.registry()));
   }
 }
 
@@ -66,11 +89,11 @@ Tick HmcCube::TransferWithRetry(std::uint32_t link_idx, bool tx_lane,
   const std::uint64_t bits = static_cast<std::uint64_t>(flits) * kBitsPerFlit;
   std::uint32_t attempt = 0;
   while (fault_plan_.CorruptPacket(bits)) {
-    if (stats_ != nullptr) stats_->Inc("fault.link_crc_errors");
+    fault_stats_.Inc(sid_link_crc_errors_);
     if (attempt >= params_.fault.max_retries) {
       // Retry budget exhausted: give up and deliver a poisoned response.
       *poisoned = true;
-      if (stats_ != nullptr) stats_->Inc("fault.retry_exhausted");
+      fault_stats_.Inc(sid_retry_exhausted_);
       break;
     }
     ++attempt;
@@ -79,13 +102,11 @@ Tick HmcCube::TransferWithRetry(std::uint32_t link_idx, bool tx_lane,
     Tick replay_at = done + params_.fault.retry_latency;
     done = tx_lane ? link.ReserveTx(flits, replay_at)
                    : link.ReserveRx(flits, replay_at);
-    if (stats_ != nullptr) {
-      stats_->Inc("fault.link_retries");
-      stats_->Add("fault.retry_flits", flits);
-    }
+    fault_stats_.Inc(sid_link_retries_);
+    fault_stats_.Add(sid_retry_flits_, flits);
   }
-  if (stats_ != nullptr && done > clean_done) {
-    stats_->Add("fault.retry_ns", TicksToNs(done - clean_done));
+  if (done > clean_done) {
+    fault_stats_.Add(sid_retry_ns_, TicksToNs(done - clean_done));
   }
   return done;
 }
@@ -94,10 +115,8 @@ Tick HmcCube::MaybeStallVault(Tick at_vault) {
   if (params_.fault.vault_stall_ppm == 0 || !fault_plan_.VaultStall()) {
     return at_vault;
   }
-  if (stats_ != nullptr) {
-    stats_->Inc("fault.vault_stalls");
-    stats_->Add("fault.vault_stall_ns", TicksToNs(params_.fault.vault_stall_ticks));
-  }
+  fault_stats_.Inc(sid_vault_stalls_);
+  fault_stats_.Add(sid_vault_stall_ns_, TicksToNs(params_.fault.vault_stall_ticks));
   return at_vault + params_.fault.vault_stall_ticks;
 }
 
@@ -128,15 +147,13 @@ Completion HmcCube::Read(Addr addr, std::uint32_t size, Tick when) {
   c.row_hit = r.row_hit;
   c.internal_done = r.done;
   c.response_at_host = ResponseToHost(c.resp_flits, r.data_ready, link, &c.poisoned);
-  if (stats_ != nullptr && c.poisoned) stats_->Inc("fault.poisoned_ops");
-  if (stats_ != nullptr) {
-    stats_->Inc("hmc.reads");
-    stats_->Add("hmc.dbg_req_path_ns", TicksToNs(at_vault - when));
-    stats_->Add("hmc.dbg_vault_ns", TicksToNs(r.data_ready - at_vault));
-    stats_->Add("hmc.dbg_resp_path_ns", TicksToNs(c.response_at_host - r.data_ready));
-    stats_->Add("hmc.req_flits", c.req_flits);
-    stats_->Add("hmc.resp_flits", c.resp_flits);
-  }
+  if (c.poisoned) fault_stats_.Inc(sid_poisoned_ops_);
+  stats_.Inc(sid_reads_);
+  stats_.Add(sid_dbg_req_path_ns_, TicksToNs(at_vault - when));
+  stats_.Add(sid_dbg_vault_ns_, TicksToNs(r.data_ready - at_vault));
+  stats_.Add(sid_dbg_resp_path_ns_, TicksToNs(c.response_at_host - r.data_ready));
+  stats_.Add(sid_req_flits_, c.req_flits);
+  stats_.Add(sid_resp_flits_, c.resp_flits);
   return c;
 }
 
@@ -150,12 +167,10 @@ Completion HmcCube::Write(Addr addr, std::uint32_t size, Tick when) {
   c.row_hit = r.row_hit;
   c.internal_done = r.done;
   c.response_at_host = ResponseToHost(c.resp_flits, r.data_ready, link, &c.poisoned);
-  if (stats_ != nullptr && c.poisoned) stats_->Inc("fault.poisoned_ops");
-  if (stats_ != nullptr) {
-    stats_->Inc("hmc.writes");
-    stats_->Add("hmc.req_flits", c.req_flits);
-    stats_->Add("hmc.resp_flits", c.resp_flits);
-  }
+  if (c.poisoned) fault_stats_.Inc(sid_poisoned_ops_);
+  stats_.Inc(sid_writes_);
+  stats_.Add(sid_req_flits_, c.req_flits);
+  stats_.Add(sid_resp_flits_, c.resp_flits);
   return c;
 }
 
@@ -176,9 +191,9 @@ Completion HmcCube::Atomic(Addr addr, AtomicOp op, const Value16& operand,
     // Internal ECC escalation: the atomic executed but its response value
     // is untrustworthy.
     c.poisoned = true;
-    if (stats_ != nullptr) stats_->Inc("fault.poisoned_atomics");
+    fault_stats_.Inc(sid_poisoned_atomics_);
   }
-  if (stats_ != nullptr && c.poisoned) stats_->Inc("fault.poisoned_ops");
+  if (c.poisoned) fault_stats_.Inc(sid_poisoned_ops_);
 
   if (functional_) {
     Addr granule = addr & ~static_cast<Addr>(15);
@@ -187,14 +202,12 @@ Completion HmcCube::Atomic(Addr addr, AtomicOp op, const Value16& operand,
     if (c.outcome.wrote) FunctionalWrite(granule, c.outcome.new_value);
   }
 
-  if (stats_ != nullptr) {
-    stats_->Inc("hmc.atomics");
-    stats_->Add("hmc.dbg_a_req_ns", TicksToNs(at_vault - when));
-    stats_->Add("hmc.dbg_a_vault_ns", TicksToNs(r.data_ready - at_vault));
-    stats_->Add("hmc.dbg_a_done_ns", TicksToNs(r.done - at_vault));
-    stats_->Add("hmc.req_flits", c.req_flits);
-    stats_->Add("hmc.resp_flits", c.resp_flits);
-  }
+  stats_.Inc(sid_atomics_);
+  stats_.Add(sid_dbg_a_req_ns_, TicksToNs(at_vault - when));
+  stats_.Add(sid_dbg_a_vault_ns_, TicksToNs(r.data_ready - at_vault));
+  stats_.Add(sid_dbg_a_done_ns_, TicksToNs(r.done - at_vault));
+  stats_.Add(sid_req_flits_, c.req_flits);
+  stats_.Add(sid_resp_flits_, c.resp_flits);
   return c;
 }
 

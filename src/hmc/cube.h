@@ -38,7 +38,7 @@ struct Completion {
 
 class HmcCube {
  public:
-  explicit HmcCube(const HmcParams& params, StatSet* stats = nullptr);
+  explicit HmcCube(const HmcParams& params, StatRegistry* stats = nullptr);
 
   HmcCube(const HmcCube&) = delete;
   HmcCube& operator=(const HmcCube&) = delete;
@@ -104,7 +104,28 @@ class HmcCube {
   Tick MaybeStallVault(Tick at_vault);
 
   HmcParams params_;
-  StatSet* stats_;
+  StatScope stats_;        // "hmc." counters
+  StatScope fault_stats_;  // "fault." counters
+  StatId sid_reads_;
+  StatId sid_writes_;
+  StatId sid_atomics_;
+  StatId sid_req_flits_;
+  StatId sid_resp_flits_;
+  StatId sid_dbg_req_path_ns_;
+  StatId sid_dbg_vault_ns_;
+  StatId sid_dbg_resp_path_ns_;
+  StatId sid_dbg_a_req_ns_;
+  StatId sid_dbg_a_vault_ns_;
+  StatId sid_dbg_a_done_ns_;
+  StatId sid_link_crc_errors_;
+  StatId sid_retry_exhausted_;
+  StatId sid_link_retries_;
+  StatId sid_retry_flits_;
+  StatId sid_retry_ns_;
+  StatId sid_vault_stalls_;
+  StatId sid_vault_stall_ns_;
+  StatId sid_poisoned_ops_;
+  StatId sid_poisoned_atomics_;
   std::vector<Link> links_;
   std::vector<std::unique_ptr<Vault>> vaults_;
   fault::FaultPlan fault_plan_;

@@ -6,9 +6,15 @@
 
 namespace graphpim::hmc {
 
-Vault::Vault(const HmcParams& params, StatSet* stats)
+Vault::Vault(const HmcParams& params, StatRegistry* stats)
     : params_(params),
-      stats_(stats),
+      stats_(stats, "hmc"),
+      sid_row_hits_(stats_.Counter("row_hits")),
+      sid_row_misses_(stats_.Counter("row_misses")),
+      sid_refresh_stalls_(stats_.Counter("refresh_stalls")),
+      sid_fu_int_ops_(stats_.Counter("fu_int_ops")),
+      sid_fu_fp_ops_(stats_.Counter("fu_fp_ops")),
+      sid_bank_locked_ticks_(stats_.Counter("bank_locked_ticks")),
       banks_(params.banks_per_vault),
       int_fu_ready_(std::max<std::uint32_t>(1, params.fus_per_vault), 0),
       fp_fu_ready_(std::max<std::uint32_t>(1, params.fp_fus_per_vault), 0),
@@ -34,7 +40,7 @@ Tick Vault::BankAccess(Bank& bank, std::int64_t row, Tick start, bool* row_hit) 
   if (params_.t_refi != 0 && params_.t_rfc != 0) {
     Tick phase = t % params_.t_refi;
     if (phase >= params_.t_refi - params_.t_rfc) {
-      if (stats_ != nullptr) stats_->Inc("hmc.refresh_stalls");
+      stats_.Inc(sid_refresh_stalls_);
       t += params_.t_refi - phase;
     }
   }
@@ -72,9 +78,7 @@ Vault::AccessResult Vault::Read(Addr addr, Tick arrival) {
   r.data_ready = BankAccess(bank, RowOf(addr), start, &r.row_hit);
   r.done = r.data_ready;
   bank.ready = r.done;
-  if (stats_ != nullptr) {
-    stats_->Inc(r.row_hit ? "hmc.row_hits" : "hmc.row_misses");
-  }
+  stats_.Inc(r.row_hit ? sid_row_hits_ : sid_row_misses_);
   return r;
 }
 
@@ -85,9 +89,7 @@ Vault::AccessResult Vault::Write(Addr addr, Tick arrival) {
   r.data_ready = BankAccess(bank, RowOf(addr), start, &r.row_hit);
   r.done = r.data_ready + params_.t_wr;
   bank.ready = r.done;
-  if (stats_ != nullptr) {
-    stats_->Inc(r.row_hit ? "hmc.row_hits" : "hmc.row_misses");
-  }
+  stats_.Inc(r.row_hit ? sid_row_hits_ : sid_row_misses_);
   return r;
 }
 
@@ -115,11 +117,9 @@ Vault::AccessResult Vault::Atomic(Addr addr, AtomicOp op, Tick arrival) {
   r.done = fu_done + params_.t_wr;
   bank.ready = r.done;
 
-  if (stats_ != nullptr) {
-    stats_->Inc(r.row_hit ? "hmc.row_hits" : "hmc.row_misses");
-    stats_->Inc(fp ? "hmc.fu_fp_ops" : "hmc.fu_int_ops");
-    stats_->Add("hmc.bank_locked_ticks", static_cast<double>(r.done - start));
-  }
+  stats_.Inc(r.row_hit ? sid_row_hits_ : sid_row_misses_);
+  stats_.Inc(fp ? sid_fu_fp_ops_ : sid_fu_int_ops_);
+  stats_.Add(sid_bank_locked_ticks_, static_cast<double>(r.done - start));
   return r;
 }
 

@@ -24,8 +24,9 @@ namespace graphpim::hmc {
 
 class Vault {
  public:
-  // `stats` may be null (no stat collection); it is not owned.
-  Vault(const HmcParams& params, StatSet* stats);
+  // `stats` may be null (no stat collection); it is not owned. Counter
+  // names are interned once here; accesses update by StatId.
+  Vault(const HmcParams& params, StatRegistry* stats);
 
   struct AccessResult {
     Tick data_ready = 0;  // when read data / atomic response is available
@@ -62,7 +63,13 @@ class Vault {
   Tick BankAccess(Bank& bank, std::int64_t row, Tick start, bool* row_hit);
 
   const HmcParams& params_;
-  StatSet* stats_;
+  StatScope stats_;
+  StatId sid_row_hits_;
+  StatId sid_row_misses_;
+  StatId sid_refresh_stalls_;
+  StatId sid_fu_int_ops_;
+  StatId sid_fu_fp_ops_;
+  StatId sid_bank_locked_ticks_;
   std::vector<Bank> banks_;
   std::vector<Tick> int_fu_ready_;
   std::vector<Tick> fp_fu_ready_;

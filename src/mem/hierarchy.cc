@@ -7,28 +7,28 @@
 
 namespace graphpim::mem {
 
-namespace {
-
-const char* LevelName(int level) {
-  switch (level) {
-    case 1:
-      return "l1";
-    case 2:
-      return "l2";
-    case 3:
-      return "l3";
-    default:
-      return "mem";
-  }
-}
-
-}  // namespace
-
 CacheHierarchy::CacheHierarchy(int num_cores, const CacheParams& params,
-                               hmc::HmcCube* cube, StatSet* stats)
-    : num_cores_(num_cores), params_(params), cube_(cube), stats_(stats) {
+                               hmc::HmcCube* cube, StatRegistry* stats)
+    : num_cores_(num_cores),
+      params_(params),
+      cube_(cube),
+      stats_(stats, "cache"),
+      sid_atomic_reqs_(stats_.Counter("atomic_reqs")),
+      sid_writebacks_(stats_.Counter("writebacks")),
+      sid_coherence_invals_(stats_.Counter("coherence_invals")),
+      sid_atomic_mem_misses_(stats_.Counter("atomic_mem_misses")),
+      sid_atomic_line_waits_(stats_.Counter("atomic_line_waits")),
+      sid_prefetch_covered_(stats_.Counter("prefetch_covered")) {
   GP_CHECK(num_cores > 0);
   GP_CHECK(cube != nullptr);
+  for (int i = 0; i < 3; ++i) {
+    const std::string comp = ToString(static_cast<DataComponent>(i));
+    sid_access_[i] = stats_.Counter("access." + comp);
+    sid_l3_miss_[i] = stats_.Counter("l3_miss." + comp);
+    const std::string level = "l" + std::to_string(i + 1);
+    sid_hits_[i] = stats_.Counter(level + "_hits");
+    sid_misses_[i] = stats_.Counter(level + "_misses");
+  }
   for (int i = 0; i < num_cores; ++i) {
     l1_.push_back(std::make_unique<CacheArray>(params.l1_size, params.l1_ways,
                                                params.line_bytes, params.replacement));
@@ -114,7 +114,7 @@ void CacheHierarchy::FillLine(int core, Addr line, Tick when, bool dirty) {
       }
       if (victim_dirty) {
         cube_->Write(v3.line_addr, params_.line_bytes, when);
-        if (stats_ != nullptr) stats_->Inc("cache.writebacks");
+        stats_.Inc(sid_writebacks_);
       }
     }
   }
@@ -127,7 +127,7 @@ void CacheHierarchy::FillLine(int core, Addr line, Tick when, bool dirty) {
       if (v2.dirty || d1) {
         if (!l3_->SetDirty(v2.line_addr)) {
           cube_->Write(v2.line_addr, params_.line_bytes, when);
-          if (stats_ != nullptr) stats_->Inc("cache.writebacks");
+          stats_.Inc(sid_writebacks_);
         }
       }
     }
@@ -138,7 +138,7 @@ void CacheHierarchy::FillLine(int core, Addr line, Tick when, bool dirty) {
     if (v1.valid && v1.dirty) {
       if (!l2_[core]->SetDirty(v1.line_addr) && !l3_->SetDirty(v1.line_addr)) {
         cube_->Write(v1.line_addr, params_.line_bytes, when);
-        if (stats_ != nullptr) stats_->Inc("cache.writebacks");
+        stats_.Inc(sid_writebacks_);
       }
     }
   } else if (dirty) {
@@ -154,7 +154,7 @@ AccessResult CacheHierarchy::Access(int core, AccessType type, Addr addr,
   if (type == AccessType::kAtomicRmw) {
     auto it = atomic_line_ready_.find(LineOf(addr));
     if (it != atomic_line_ready_.end() && it->second > t) {
-      if (stats_ != nullptr) stats_->Inc("cache.atomic_line_waits");
+      stats_.Inc(sid_atomic_line_waits_);
       t = it->second;
     }
   }
@@ -172,23 +172,16 @@ AccessResult CacheHierarchy::AccessInternal(int core, AccessType type, Addr addr
   AccessResult res;
   Tick t = when;
 
-  const std::string comp_name = ToString(comp);
-  if (stats_ != nullptr) {
-    stats_->Inc("cache.access." + comp_name);
-    if (type == AccessType::kAtomicRmw) stats_->Inc("cache.atomic_reqs");
-  }
+  stats_.Inc(sid_access_[static_cast<int>(comp)]);
+  if (type == AccessType::kAtomicRmw) stats_.Inc(sid_atomic_reqs_);
 
   auto record_hit = [&](int level) {
     res.hit_level = level;
-    if (stats_ != nullptr) {
-      stats_->Inc(std::string("cache.") + LevelName(level) + "_hits");
-    }
+    stats_.Inc(sid_hits_[level - 1]);
   };
   auto record_miss = [&](int level) {
-    if (stats_ != nullptr) {
-      stats_->Inc(std::string("cache.") + LevelName(level) + "_misses");
-      if (level == 3) stats_->Inc("cache.l3_miss." + comp_name);
-    }
+    stats_.Inc(sid_misses_[level - 1]);
+    if (level == 3) stats_.Inc(sid_l3_miss_[static_cast<int>(comp)]);
   };
 
   // L1 tag check.
@@ -201,7 +194,7 @@ AccessResult CacheHierarchy::AccessInternal(int core, AccessType type, Addr addr
         res.coherence_inval = true;
         t += params_.snoop_latency;
         res.check_ticks += params_.snoop_latency;
-        if (stats_ != nullptr) stats_->Inc("cache.coherence_invals");
+        stats_.Inc(sid_coherence_invals_);
       }
       l1_[core]->SetDirty(line);
     }
@@ -219,7 +212,7 @@ AccessResult CacheHierarchy::AccessInternal(int core, AccessType type, Addr addr
       res.coherence_inval = true;
       t += params_.snoop_latency;
       res.check_ticks += params_.snoop_latency;
-      if (stats_ != nullptr) stats_->Inc("cache.coherence_invals");
+      stats_.Inc(sid_coherence_invals_);
     }
     FillLine(core, line, t, wants_exclusive);
     res.complete = t;
@@ -237,22 +230,22 @@ AccessResult CacheHierarchy::AccessInternal(int core, AccessType type, Addr addr
       res.coherence_inval = true;
       t += params_.snoop_latency;
       res.check_ticks += params_.snoop_latency;
-      if (stats_ != nullptr) stats_->Inc("cache.coherence_invals");
+      stats_.Inc(sid_coherence_invals_);
     }
     FillLine(core, line, t, wants_exclusive);
     res.complete = t;
     return res;
   }
   record_miss(3);
-  if (stats_ != nullptr && type == AccessType::kAtomicRmw) {
-    stats_->Inc("cache.atomic_mem_misses");
+  if (type == AccessType::kAtomicRmw) {
+    stats_.Inc(sid_atomic_mem_misses_);
   }
 
   // Stream prefetcher: a sequential miss is already in flight and lands in
   // the fill buffer (the memory traffic still happens).
   if (PrefetchCovers(core, line)) {
     cube_->Read(line, params_.line_bytes, t);
-    if (stats_ != nullptr) stats_->Inc("cache.prefetch_covered");
+    stats_.Inc(sid_prefetch_covered_);
     res.hit_level = 0;
     res.complete = t + params_.prefetch_hit_latency;
     FillLine(core, line, res.complete, wants_exclusive);

@@ -60,9 +60,11 @@ struct CacheParams {
 
 class CacheHierarchy {
  public:
-  // `cube` is the backing memory; not owned. `stats` may be null.
+  // `cube` is the backing memory; not owned. `stats` may be null. All
+  // "cache." counter names are interned here, including the per-component
+  // and per-level families — hot-path updates are plain indexed adds.
   CacheHierarchy(int num_cores, const CacheParams& params, hmc::HmcCube* cube,
-                 StatSet* stats = nullptr);
+                 StatRegistry* stats = nullptr);
 
   CacheHierarchy(const CacheHierarchy&) = delete;
   CacheHierarchy& operator=(const CacheHierarchy&) = delete;
@@ -104,7 +106,17 @@ class CacheHierarchy {
   int num_cores_;
   CacheParams params_;
   hmc::HmcCube* cube_;
-  StatSet* stats_;
+  StatScope stats_;  // "cache." counters
+  StatId sid_access_[3];   // by DataComponent
+  StatId sid_l3_miss_[3];  // by DataComponent
+  StatId sid_hits_[3];     // by level - 1
+  StatId sid_misses_[3];   // by level - 1
+  StatId sid_atomic_reqs_;
+  StatId sid_writebacks_;
+  StatId sid_coherence_invals_;
+  StatId sid_atomic_mem_misses_;
+  StatId sid_atomic_line_waits_;
+  StatId sid_prefetch_covered_;
 
   std::vector<std::unique_ptr<CacheArray>> l1_;
   std::vector<std::unique_ptr<CacheArray>> l2_;

@@ -144,7 +144,7 @@ TEST(Random, BernoulliRate) {
 }
 
 TEST(Stats, AddIncSetGet) {
-  StatSet s;
+  StatRegistry s;
   EXPECT_DOUBLE_EQ(s.Get("x"), 0.0);
   s.Inc("x");
   s.Add("x", 2.5);
@@ -154,9 +154,38 @@ TEST(Stats, AddIncSetGet) {
   EXPECT_TRUE(s.Has("x"));
 }
 
+TEST(Stats, InternIsIdempotent) {
+  StatRegistry s;
+  const StatId a = s.Intern("hmc.reads");
+  const StatId b = s.Intern("hmc.reads");
+  EXPECT_EQ(a.index(), b.index());
+  EXPECT_EQ(s.NumRegistered(), 1u);
+  // Handle and string paths hit the same slot.
+  s.Add(a, 2.0);
+  s.Add("hmc.reads", 3.0);
+  EXPECT_DOUBLE_EQ(s.Get(b), 5.0);
+  // A distinct name gets a distinct slot.
+  EXPECT_NE(s.Intern("hmc.writes").index(), a.index());
+  EXPECT_EQ(s.NumRegistered(), 2u);
+}
+
+TEST(Stats, RegisteredButUntouchedIsInvisible) {
+  // Interning alone must not create output keys: the compat views list
+  // only counters that were actually touched, matching the old
+  // create-on-first-use StatSet semantics byte for byte.
+  StatRegistry s;
+  const StatId quiet = s.Intern("never.touched");
+  s.Inc("a");
+  EXPECT_EQ(s.Items().size(), 1u);
+  EXPECT_FALSE(s.Has("never.touched"));
+  s.Add(quiet, 0.0);  // touching with zero makes it visible
+  EXPECT_TRUE(s.Has("never.touched"));
+  EXPECT_EQ(s.Items().size(), 2u);
+}
+
 TEST(Stats, Merge) {
-  StatSet a;
-  StatSet b;
+  StatRegistry a;
+  StatRegistry b;
   a.Add("x", 1);
   b.Add("x", 2);
   b.Add("y", 3);
@@ -165,13 +194,89 @@ TEST(Stats, Merge) {
   EXPECT_DOUBLE_EQ(a.Get("y"), 3);
 }
 
+TEST(Stats, MergeSkipsUntouched) {
+  StatRegistry a;
+  StatRegistry b;
+  b.Intern("ghost");  // registered in b, never touched
+  b.Inc("real");
+  a.Merge(b);
+  EXPECT_FALSE(a.Has("ghost"));
+  EXPECT_TRUE(a.Has("real"));
+}
+
 TEST(Stats, ItemsSorted) {
-  StatSet s;
+  StatRegistry s;
   s.Inc("b");
   s.Inc("a");
   auto items = s.Items();
   ASSERT_EQ(items.size(), 2u);
   EXPECT_EQ(items[0].first, "a");
+}
+
+TEST(Stats, ItemsHidesCoreScopeAllItemsKeepsIt) {
+  StatRegistry s;
+  s.Inc("core.insts");
+  s.Inc("hmc.reads");
+  auto compat = s.Items();
+  ASSERT_EQ(compat.size(), 1u);
+  EXPECT_EQ(compat[0].first, "hmc.reads");
+  auto all = s.AllItems();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, "core.insts");
+}
+
+TEST(Stats, ScopePrefixesAndForwards) {
+  StatRegistry reg;
+  StatScope scope(&reg, "hmc");
+  const StatId reads = scope.Counter("reads");
+  scope.Inc(reads);
+  scope.Add(reads, 2.0);
+  EXPECT_DOUBLE_EQ(reg.Get("hmc.reads"), 3.0);
+  StatScope sub = scope.Sub("vault0");
+  sub.Inc(sub.Counter("row_hits"));
+  EXPECT_DOUBLE_EQ(reg.Get("hmc.vault0.row_hits"), 1.0);
+}
+
+TEST(Stats, DetachedScopeIsInertNoOp) {
+  // A null-registry scope stands in for the old `if (stats_ != nullptr)`
+  // guards: every operation must be a safe no-op.
+  StatScope scope(nullptr, "hmc");
+  EXPECT_FALSE(scope.attached());
+  const StatId id = scope.Counter("reads");
+  EXPECT_FALSE(id.valid());
+  scope.Inc(id);
+  scope.Add(id, 5.0);
+  scope.Set(id, 7.0);  // must not crash
+}
+
+TEST(Stats, SnapshotDeltaTracksChangesOnly) {
+  StatRegistry s;
+  s.Add("a", 1.0);
+  s.Add("b", 2.0);
+  StatSnapshot before = s.Snapshot();
+  s.Add("b", 3.0);
+  s.Inc("c");
+  StatSnapshot after = s.Snapshot();
+  auto deltas = DeltaItems(after, before);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[0].first, "b");
+  EXPECT_DOUBLE_EQ(deltas[0].second, 3.0);
+  EXPECT_EQ(deltas[1].first, "c");
+  EXPECT_DOUBLE_EQ(deltas[1].second, 1.0);
+  // Delta against the default-constructed snapshot is the full state.
+  EXPECT_EQ(DeltaItems(after, StatSnapshot()).size(), 3u);
+}
+
+TEST(Stats, ResetClearsValuesKeepsNames) {
+  StatRegistry s;
+  const StatId x = s.Intern("x");
+  s.Add(x, 5.0);
+  s.Reset();
+  EXPECT_DOUBLE_EQ(s.Get(x), 0.0);
+  EXPECT_FALSE(s.Has("x"));          // untouched again
+  EXPECT_EQ(s.NumRegistered(), 1u);  // handle stays valid
+  s.Inc(x);
+  EXPECT_DOUBLE_EQ(s.Get("x"), 1.0);
 }
 
 TEST(Histogram, BucketsAndOverflow) {
@@ -187,6 +292,20 @@ TEST(Histogram, BucketsAndOverflow) {
   EXPECT_EQ(h.counts()[4], 1u);
   EXPECT_DOUBLE_EQ(h.max(), 1000.0);
   EXPECT_NEAR(h.mean(), (5 + 15 + 35 + 1000) / 4.0, 1e-9);
+}
+
+TEST(Histogram, NegativeValuesClampToFirstBucket) {
+  // Regression: Record(-1) used to cast the negative quotient straight to
+  // std::size_t, wrapping to a huge index and landing in the overflow
+  // bucket (or worse). Negatives must clamp into bucket [0, w).
+  Histogram h(10.0, 4);
+  h.Record(-1.0);
+  h.Record(-1e9);
+  h.Record(5.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.counts()[0], 3u);
+  EXPECT_EQ(h.counts()[4], 0u);  // nothing leaked into overflow
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
 }
 
 TEST(Histogram, MeanMatchesLowercaseAccessor) {

@@ -95,7 +95,7 @@ TEST(OooCore, IssueWidthBoundsThroughput) {
   Tick end = RunAll(core);
   // 1000 independent 1-cycle ops at 4/cycle = 250 cycles = 125ns.
   EXPECT_NEAR(TicksToNs(end), 125.0, 5.0);
-  EXPECT_EQ(core.stats().insts, 1000u);
+  EXPECT_DOUBLE_EQ(core.stats().Get("core.insts"), 1000);
 }
 
 TEST(OooCore, DependentChainSerializes) {
@@ -156,11 +156,11 @@ TEST(OooCore, SerializingAtomicFreezesPipeline) {
   }
   core.Reset(&with);
   Tick t_with = RunAll(core);
-  std::uint64_t incore = core.stats().atomic_incore_ticks;
+  const double incore = core.stats().Get("core.atomic_incore_ticks");
   core.Reset(&without);
   Tick t_without = RunAll(core);
   EXPECT_GT(t_with, 5 * t_without);
-  EXPECT_GT(incore, 0u);
+  EXPECT_GT(incore, 0.0);
 }
 
 TEST(OooCore, OffloadedAtomicDoesNotFreeze) {
@@ -176,7 +176,7 @@ TEST(OooCore, OffloadedAtomicDoesNotFreeze) {
   Tick end = RunAll(core);
   // Posted offloaded atomics behave like cheap ops: ~200 ops / 4 wide.
   EXPECT_LT(TicksToNs(end), 60.0);
-  EXPECT_EQ(core.stats().atomics, 100u);
+  EXPECT_DOUBLE_EQ(core.stats().Get("core.atomics"), 100);
 }
 
 TEST(OooCore, AtomicWithReturnDelaysDependent) {
@@ -202,13 +202,13 @@ TEST(OooCore, MispredictAddsPenalty) {
   }
   core.Reset(&clean);
   Tick t_clean = RunAll(core);
-  std::uint64_t bs_clean = core.stats().badspec_ticks;
+  const double bs_clean = core.stats().Get("core.badspec_ticks");
   core.Reset(&dirty);
   Tick t_dirty = RunAll(core);
   EXPECT_GT(t_dirty, t_clean);
-  EXPECT_EQ(bs_clean, 0u);
-  EXPECT_GT(core.stats().badspec_ticks, 0u);
-  EXPECT_EQ(core.stats().mispredicts, 100u);
+  EXPECT_DOUBLE_EQ(bs_clean, 0.0);
+  EXPECT_GT(core.stats().Get("core.badspec_ticks"), 0.0);
+  EXPECT_DOUBLE_EQ(core.stats().Get("core.mispredicts"), 100);
 }
 
 TEST(OooCore, IssueStallBackpressure) {
@@ -241,11 +241,11 @@ TEST(OooCore, QuantumPausesAndResumes) {
   std::vector<MicroOp> trace(10000, Comp(1, true));
   core.Reset(&trace);
   EXPECT_EQ(core.Advance(NsToTicks(10.0)), OooCore::Status::kRunning);
-  std::uint64_t insts_after_first = core.stats().insts;
-  EXPECT_LT(insts_after_first, 10000u);
-  EXPECT_GT(insts_after_first, 0u);
+  const double insts_after_first = core.stats().Get("core.insts");
+  EXPECT_LT(insts_after_first, 10000.0);
+  EXPECT_GT(insts_after_first, 0.0);
   RunAll(core);
-  EXPECT_EQ(core.stats().insts, 10000u);
+  EXPECT_DOUBLE_EQ(core.stats().Get("core.insts"), 10000);
 }
 
 TEST(OooCore, StatsCountOpKinds) {
@@ -256,13 +256,13 @@ TEST(OooCore, StatsCountOpKinds) {
   std::vector<MicroOp> trace{Comp(), Br(false, false), Ld(0), st, At(0, true)};
   core.Reset(&trace);
   RunAll(core);
-  const CoreStats& s = core.stats();
-  EXPECT_EQ(s.computes, 1u);
-  EXPECT_EQ(s.branches, 1u);
-  EXPECT_EQ(s.loads, 1u);
-  EXPECT_EQ(s.stores, 1u);
-  EXPECT_EQ(s.atomics, 1u);
-  EXPECT_EQ(s.insts, 5u);
+  const StatRegistry& s = core.stats();
+  EXPECT_DOUBLE_EQ(s.Get("core.computes"), 1);
+  EXPECT_DOUBLE_EQ(s.Get("core.branches"), 1);
+  EXPECT_DOUBLE_EQ(s.Get("core.loads"), 1);
+  EXPECT_DOUBLE_EQ(s.Get("core.stores"), 1);
+  EXPECT_DOUBLE_EQ(s.Get("core.atomics"), 1);
+  EXPECT_DOUBLE_EQ(s.Get("core.insts"), 5);
 }
 
 TEST(Pou, PmrRangeCheck) {

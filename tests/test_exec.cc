@@ -281,6 +281,11 @@ TEST(SweepRunner, JobCountDoesNotChangeResults) {
     EXPECT_EQ(core::ToJson(serial.rows[i].results),
               core::ToJson(parallel.rows[i].results))
         << "row " << i << " (" << serial.rows[i].config_name << ")";
+    // StatRegistry::Merge is order-insensitive: the full unified registry
+    // (core.* totals included) must be bit-identical at any pool width.
+    EXPECT_EQ(serial.rows[i].results.raw.AllItems(),
+              parallel.rows[i].results.raw.AllItems())
+        << "row " << i;
   }
   // The deterministic serialization must match byte for byte.
   EXPECT_EQ(ToDeterministicCsv(serial), ToDeterministicCsv(parallel));

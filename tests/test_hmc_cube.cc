@@ -165,7 +165,7 @@ TEST(Cube, FunctionalAtomicChain) {
 }
 
 TEST(Cube, StatsAccumulateFlits) {
-  StatSet stats;
+  StatRegistry stats;
   HmcCube cube(TestParams(), &stats);
   cube.Read(0, 64, 0);
   cube.Write(64, 64, 0);
@@ -205,7 +205,7 @@ TEST(Cube, RefreshWindowStallsAccess) {
   HmcParams p = TestParams();
   p.t_refi = NsToTicks(1000.0);
   p.t_rfc = NsToTicks(200.0);
-  StatSet stats;
+  StatRegistry stats;
   HmcCube cube(p, &stats);
   // Land inside the refresh window [800ns, 1000ns).
   cube.Read(0x3000, 8, NsToTicks(850.0));
@@ -215,7 +215,7 @@ TEST(Cube, RefreshWindowStallsAccess) {
 TEST(Cube, RefreshDisabled) {
   HmcParams p = TestParams();
   p.t_refi = 0;
-  StatSet stats;
+  StatRegistry stats;
   HmcCube cube(p, &stats);
   cube.Read(0x3000, 8, NsToTicks(850.0));
   EXPECT_DOUBLE_EQ(stats.Get("hmc.refresh_stalls"), 0.0);

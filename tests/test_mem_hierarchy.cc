@@ -9,7 +9,7 @@ namespace graphpim::mem {
 namespace {
 
 struct Fixture {
-  StatSet stats;
+  StatRegistry stats;
   hmc::HmcParams hp;
   hmc::HmcCube cube;
   CacheParams cp;
@@ -99,7 +99,7 @@ TEST(Hierarchy, PrefetcherCoversSequentialStream) {
 
 TEST(Hierarchy, PrefetcherIgnoresRandomMisses) {
   Fixture f;
-  StatSet& s = f.stats;
+  StatRegistry& s = f.stats;
   f.hier.Access(0, AccessType::kRead, 0x200000, 0);
   f.hier.Access(0, AccessType::kRead, 0x543210 & ~63ull, 0);
   f.hier.Access(0, AccessType::kRead, 0x9abcd0 & ~63ull, 0);

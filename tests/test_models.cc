@@ -10,7 +10,7 @@ namespace {
 using analytic::ModelInputs;
 
 TEST(Energy, StaticPowerScalesWithRuntime) {
-  StatSet empty;
+  StatRegistry empty;
   energy::EnergyParams p;
   auto e1 = energy::ComputeUncoreEnergy(empty, 1.0, p);
   auto e2 = energy::ComputeUncoreEnergy(empty, 2.0, p);
@@ -19,7 +19,7 @@ TEST(Energy, StaticPowerScalesWithRuntime) {
 }
 
 TEST(Energy, DynamicComponentsFollowCounters) {
-  StatSet s;
+  StatRegistry s;
   s.Set("cache.l1_hits", 1e6);
   s.Set("hmc.req_flits", 1e6);
   s.Set("hmc.reads", 1e5);
@@ -40,7 +40,7 @@ TEST(Energy, DynamicComponentsFollowCounters) {
 TEST(Energy, SerDesShareIsLargest) {
   // [34][36]: SerDes links consume ~43% of HMC power; with idle links the
   // link share must dominate the HMC-side components.
-  StatSet empty;
+  StatRegistry empty;
   energy::EnergyParams p;
   auto e = energy::ComputeUncoreEnergy(empty, 1.0, p);
   EXPECT_GT(e.link_j, e.logic_j);

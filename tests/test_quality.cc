@@ -56,7 +56,7 @@ TEST(ThrottleQuality, LongHorizonJumpResetsWindow) {
 }
 
 TEST(HierarchyQuality, PrefetcherCanBeDisabled) {
-  StatSet stats;
+  StatRegistry stats;
   hmc::HmcParams hp;
   hmc::HmcCube cube(hp, &stats);
   mem::CacheParams cp;
@@ -70,8 +70,8 @@ TEST(HierarchyQuality, PrefetcherCanBeDisabled) {
 }
 
 TEST(EnergyQuality, MoreFlitsMoreLinkEnergy) {
-  StatSet a;
-  StatSet b;
+  StatRegistry a;
+  StatRegistry b;
   a.Set("hmc.req_flits", 1e6);
   b.Set("hmc.req_flits", 2e6);
   energy::EnergyParams p;
@@ -81,7 +81,7 @@ TEST(EnergyQuality, MoreFlitsMoreLinkEnergy) {
 }
 
 TEST(EnergyQuality, FpFuStaticOnlyWhenEnabled) {
-  StatSet s;
+  StatRegistry s;
   energy::EnergyParams p;
   p.fp_fus_enabled = false;
   double off = energy::ComputeUncoreEnergy(s, 1.0, p).fu_j;

@@ -1,0 +1,167 @@
+// Tests for phase-delta capture (trace::PhaseLog), trace export, and the
+// sweep-journal phase sidecar.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/trace.h"
+#include "core/report.h"
+#include "core/runner.h"
+#include "exec/journal.h"
+#include "exec/sweep.h"
+
+namespace graphpim {
+namespace {
+
+trace::PhaseLog TwoPhaseLog() {
+  trace::PhaseLog log;
+  StatRegistry reg;
+  reg.Add("hmc.reads", 10.0);
+  reg.Add("core.insts", 100.0);
+  log.Cut("superstep.0", 0, NsToTicks(50.0), reg);
+  reg.Add("hmc.reads", 5.0);
+  log.Cut("drain.1", NsToTicks(50.0), NsToTicks(80.0), reg);
+  return log;
+}
+
+TEST(PhaseLog, CutsCarryDeltasNotTotals) {
+  trace::PhaseLog log = TwoPhaseLog();
+  ASSERT_EQ(log.phases().size(), 2u);
+  const trace::PhaseRecord& p0 = log.phases()[0];
+  EXPECT_EQ(p0.name, "superstep.0");
+  ASSERT_EQ(p0.deltas.size(), 2u);  // name-sorted: core.insts, hmc.reads
+  EXPECT_EQ(p0.deltas[0].first, "core.insts");
+  EXPECT_DOUBLE_EQ(p0.deltas[0].second, 100.0);
+  EXPECT_DOUBLE_EQ(p0.deltas[1].second, 10.0);
+  // Second phase: only hmc.reads moved, and by its delta, not its total.
+  const trace::PhaseRecord& p1 = log.phases()[1];
+  ASSERT_EQ(p1.deltas.size(), 1u);
+  EXPECT_EQ(p1.deltas[0].first, "hmc.reads");
+  EXPECT_DOUBLE_EQ(p1.deltas[0].second, 5.0);
+}
+
+TEST(PhaseLog, ChromeTraceAndJsonlFormats) {
+  trace::PhaseLog log = TwoPhaseLog();
+  const std::string chrome = trace::ToChromeTrace(log);
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"superstep.0\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"C\""), std::string::npos);
+
+  const std::string jsonl = trace::ToJsonl(log);
+  std::istringstream in(jsonl);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(jsonl.find("\"phase\":\"drain.1\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"hmc.reads\":5"), std::string::npos);
+}
+
+TEST(PhaseLog, WriteTraceSelectsFormatByExtension) {
+  trace::PhaseLog log = TwoPhaseLog();
+  const std::string base = ::testing::TempDir() + "/gp_trace_test";
+  trace::WriteTrace(log, base + ".jsonl");
+  trace::WriteTrace(log, base + ".json");
+  std::ifstream a(base + ".jsonl");
+  std::string first;
+  std::getline(a, first);
+  EXPECT_EQ(first.rfind("{\"phase\":", 0), 0u);
+  std::ifstream b(base + ".json");
+  std::string head;
+  std::getline(b, head);
+  EXPECT_NE(head.find("traceEvents"), std::string::npos);
+  std::remove((base + ".jsonl").c_str());
+  std::remove((base + ".json").c_str());
+}
+
+// End to end through the run loop: phases cut at BSP barriers, cover the
+// whole run, and their deltas sum back to the final counter totals.
+TEST(PhaseLog, RunSimulationPhasesSumToTotals) {
+  core::Experiment::Options eo;
+  eo.num_threads = 4;
+  eo.seed = 3;
+  eo.op_cap = 30'000;
+  core::Experiment exp("ldbc", 512, "bfs", eo);
+  core::SimConfig sc = core::SimConfig::Scaled(core::Mode::kGraphPim);
+  sc.num_cores = 4;
+
+  trace::PhaseLog log;
+  core::RunOptions ro;
+  ro.phases = &log;
+  core::SimResults r = exp.Run(sc, ro);
+
+  ASSERT_FALSE(log.empty());
+  // The final cut is the drain phase; earlier ones are supersteps.
+  EXPECT_EQ(log.phases().back().name.rfind("drain.", 0), 0u);
+  Tick prev_end = 0;
+  double insts = 0.0, reads = 0.0;
+  for (const trace::PhaseRecord& ph : log.phases()) {
+    EXPECT_EQ(ph.start, prev_end);  // contiguous coverage
+    EXPECT_GE(ph.end, ph.start);
+    prev_end = ph.end;
+    for (const auto& [k, v] : ph.deltas) {
+      if (k == "core.insts") insts += v;
+      if (k == "hmc.reads") reads += v;
+    }
+  }
+  EXPECT_DOUBLE_EQ(insts, r.raw.Get("core.insts"));
+  EXPECT_DOUBLE_EQ(reads, r.raw.Get("hmc.reads"));
+  // Identity check: a phase-instrumented run must not perturb the results.
+  EXPECT_EQ(core::ToJson(r), core::ToJson(exp.Run(sc)));
+}
+
+TEST(Journal, PhaseSidecarLinesAreWrittenAndSkippedOnLoad) {
+  const std::string path = ::testing::TempDir() + "/gp_phases_journal.jsonl";
+  std::remove(path.c_str());
+
+  exec::SweepGrid grid;
+  grid.workloads = {"bfs"};
+  grid.profiles = {"ldbc"};
+  grid.vertices = 512;
+  grid.sim_threads = 2;
+  grid.op_cap = 10'000;
+  core::SimConfig c = core::SimConfig::Scaled(core::Mode::kGraphPim);
+  c.num_cores = 2;
+  grid.configs = {c};
+  grid.config_names = {"graphpim"};
+
+  exec::SweepRunner::Options opts;
+  opts.jobs = 1;
+  opts.journal_path = path;
+  opts.journal_phases = true;
+  exec::SweepResultTable t = exec::SweepRunner(opts).Run(grid);
+  ASSERT_EQ(t.failed_rows, 0u);
+
+  // The journal holds header + row + at least one phases_for sidecar.
+  std::ifstream in(path);
+  std::string line;
+  std::size_t sidecars = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"phases_for\":", 0) == 0) {
+      ++sidecars;
+      EXPECT_NE(line.find("\"phases\":["), std::string::npos);
+      EXPECT_NE(line.find("superstep."), std::string::npos);
+    }
+  }
+  EXPECT_GE(sidecars, 1u);
+
+  // Sidecars are annotations: loading must restore the row and count
+  // nothing as dropped.
+  exec::JournalData jd;
+  ASSERT_TRUE(exec::LoadJournal(path, &jd));
+  EXPECT_EQ(jd.rows.size(), 1u);
+  EXPECT_EQ(jd.dropped_lines, 0u);
+  EXPECT_EQ(core::ToJson(jd.rows[0].results), core::ToJson(t.rows[0].results));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace graphpim

@@ -10,6 +10,9 @@
 //                [--fuse=0]           # Section III-B comparison-block fusion
 //                [--jobs=N]           # replay modes in parallel (0 = nproc)
 //                [--json=out.json]    # machine-readable results (last mode)
+//                [--metrics-out=p.json]  # per-superstep phase deltas for the
+//                                        # last mode; .jsonl = JSONL, else
+//                                        # Chrome trace (chrome://tracing)
 //                [--trace-out=t.bin] [--trace-in=t.bin]
 //
 // Sweep mode (runs a whole job matrix instead of a single experiment; see
@@ -18,6 +21,7 @@
 //   graphpim_sim --sweep='workloads=bfs,prank;modes=all;vertices=16384'
 //                [--jobs=N] [--json=out.json] [--csv=out.csv]
 //                [--journal=rows.jsonl] [--resume=0] [--timeout-ms=0]
+//                [--journal-phases=0]  # phase-delta sidecar lines in journal
 //
 // Fault injection (src/fault; DESIGN.md §9): single-run mode accepts
 //   [--link-ber=1e-12] [--vault-stall-ppm=50] [--poison-ppm=5]
@@ -29,6 +33,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/trace.h"
 #include "core/report.h"
 #include "core/runner.h"
 #include "exec/result_sink.h"
@@ -51,6 +56,7 @@ int RunSweep(const Config& cfg) {
   opts.job_timeout_ms = cfg.GetDouble("timeout-ms", 0.0);
   opts.journal_path = cfg.GetString("journal", "");
   opts.resume = cfg.GetBool("resume", false);
+  opts.journal_phases = cfg.GetBool("journal-phases", false);
   opts.on_progress = [](const exec::SweepProgress& p) {
     std::printf("[%3zu/%3zu] %s/%s/%s  %.0f ms%s\n", p.completed, p.total,
                 p.workload.c_str(), p.profile.c_str(), p.config_name.c_str(),
@@ -97,9 +103,10 @@ int RunSweep(const Config& cfg) {
 int RunMain(const Config& cfg) {
   cfg.RequireKeys({"sweep", "workload", "profile", "vertices", "mode", "full",
                    "threads", "seed", "opcap", "fp", "fus", "linkbw", "hybrid",
-                   "fuse", "jobs", "json", "csv", "trace-out", "trace-in",
-                   "journal", "resume", "timeout-ms", "link-ber",
-                   "vault-stall-ppm", "poison-ppm", "max-retries", "retry-ns"});
+                   "fuse", "jobs", "json", "csv", "metrics-out", "trace-out",
+                   "trace-in", "journal", "resume", "timeout-ms",
+                   "journal-phases", "link-ber", "vault-stall-ppm",
+                   "poison-ppm", "max-retries", "retry-ns"});
   if (cfg.Has("sweep")) return RunSweep(cfg);
   const std::string workload = cfg.GetString("workload", "bfs");
   const std::string profile = cfg.GetString("profile", "ldbc");
@@ -172,14 +179,21 @@ int RunMain(const Config& cfg) {
         fault::DeriveFaultSeed(opts.seed, static_cast<std::uint64_t>(mode_cfgs.size()));
     mode_cfgs.push_back(sc);
   }
+  // Phase capture follows the --json convention: the LAST mode in the list
+  // is the one whose per-superstep deltas land in --metrics-out.
+  trace::PhaseLog phase_log;
+  const bool want_phases = cfg.Has("metrics-out");
   std::vector<core::SimResults> mode_results(modes.size());
   {
     exec::ThreadPool pool(static_cast<int>(cfg.GetInt("jobs", 0)));
     std::vector<exec::TaskFuture<core::SimResults>> futs;
     futs.reserve(modes.size());
-    for (const core::SimConfig& sc : mode_cfgs) {
-      futs.push_back(pool.Submit([&trace, &sc, &exp] {
-        return core::RunSimulation(trace, sc, exp.pmr_base(), exp.pmr_end());
+    for (std::size_t i = 0; i < mode_cfgs.size(); ++i) {
+      const core::SimConfig& sc = mode_cfgs[i];
+      core::RunOptions ro;
+      if (want_phases && i + 1 == mode_cfgs.size()) ro.phases = &phase_log;
+      futs.push_back(pool.Submit([&trace, &sc, &exp, ro] {
+        return core::RunSimulation(trace, sc, exp.pmr_base(), exp.pmr_end(), ro);
       }));
     }
     for (std::size_t i = 0; i < futs.size(); ++i) {
@@ -203,6 +217,12 @@ int RunMain(const Config& cfg) {
   if (cfg.Has("json")) {
     GP_CHECK(core::WriteJson(last, cfg.GetString("json", "")), "cannot write JSON");
     std::printf("JSON written to %s\n", cfg.GetString("json", "").c_str());
+  }
+  if (want_phases) {
+    const std::string path = cfg.GetString("metrics-out", "");
+    trace::WriteTrace(phase_log, path);
+    std::printf("phase metrics (%zu phases, mode %s) written to %s\n",
+                phase_log.phases().size(), last.mode.c_str(), path.c_str());
   }
   return 0;
 }

@@ -26,6 +26,8 @@
 // watchdog with one speculative retry.
 //                  [--journal=sweep.partial.jsonl] [--resume=0]
 //                  [--timeout-ms=0]
+//                  [--journal-phases=0]  # per-superstep {"phases_for":...}
+//                                        # sidecar lines in the journal
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -53,8 +55,8 @@ int Run(const Config& cfg) {
   cfg.RequireKeys({"workloads", "profiles", "modes", "vertices", "full",
                    "threads", "opcap", "seed", "jobs", "progress", "json",
                    "csv", "det-csv", "journal", "resume", "timeout-ms",
-                   "link-ber", "vault-stall-ppm", "poison-ppm", "max-retries",
-                   "retry-ns"});
+                   "journal-phases", "link-ber", "vault-stall-ppm",
+                   "poison-ppm", "max-retries", "retry-ns"});
 
   // Assemble a grid spec from the individual flags and reuse the shared
   // parser so graphpim_sim --sweep=... and this driver cannot diverge.
@@ -90,6 +92,7 @@ int Run(const Config& cfg) {
   opts.job_timeout_ms = cfg.GetDouble("timeout-ms", 0.0);
   opts.journal_path = cfg.GetString("journal", "");
   opts.resume = cfg.GetBool("resume", false);
+  opts.journal_phases = cfg.GetBool("journal-phases", false);
   if (cfg.GetBool("progress", true)) {
     opts.on_progress = [](const exec::SweepProgress& p) {
       std::printf("[%3zu/%3zu] %-8s %-8s %-10s %7.0f ms%s\n", p.completed,
