@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
     workloads::Trace fused =
         workloads::FuseComparisonBlocks(exp->trace(), space, &r.fstats);
     r.fused = core::RunSimulation(fused, ctx.MakeConfig(core::Mode::kGraphPim),
-                                  exp->pmr_base(), exp->pmr_end());
+                                  exp->pmr_base(), exp->pmr_end(),
+                                  core::RunOptions{});
     return r;
   });
   for (std::size_t i = 0; i < names.size(); ++i) {

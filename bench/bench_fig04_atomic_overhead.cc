@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
     Row r;
     r.with = exp->Run(cfg);
     workloads::Trace plain = workloads::ReplaceAtomicsWithPlain(exp->trace());
-    r.without = core::RunSimulation(plain, cfg, exp->pmr_base(), exp->pmr_end());
+    r.without = core::RunSimulation(plain, cfg, exp->pmr_base(), exp->pmr_end(),
+                                    core::RunOptions{});
     return r;
   });
   for (std::size_t i = 0; i < names.size(); ++i) {

@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
       core::SimConfig cfg = ctx.MakeConfig(mode);
       r.with[i] = exp->Run(cfg);
       r.without[i] =
-          core::RunSimulation(plain, cfg, exp->pmr_base(), exp->pmr_end());
+          core::RunSimulation(plain, cfg, exp->pmr_base(), exp->pmr_end(),
+                              core::RunOptions{});
       ++i;
     }
     return r;

@@ -45,7 +45,8 @@ Counters Measure(const BenchContext& ctx, const std::string& name) {
   core::SimResults& pim = paired[1];
   workloads::Trace plain = workloads::ReplaceAtomicsWithPlain(exp->trace());
   core::SimResults without =
-      core::RunSimulation(plain, base_cfg, exp->pmr_base(), exp->pmr_end());
+      core::RunSimulation(plain, base_cfg, exp->pmr_base(), exp->pmr_end(),
+                          core::RunOptions{});
 
   Counters c;
   double insts = static_cast<double>(base.insts);

@@ -25,9 +25,9 @@ BENCHMARK(BM_CacheLookup)->Arg(32)->Arg(256)->Arg(16384);
 
 void BM_HierarchyAccess(benchmark::State& state) {
   hmc::HmcParams hp;
-  hmc::HmcCube cube(hp);
+  hmc::HmcNetwork net(hp, nullptr, 0, 0);
   mem::CacheParams cp;
-  mem::CacheHierarchy hier(16, cp, &cube);
+  mem::CacheHierarchy hier(16, cp, &net);
   Rng rng(2);
   Tick t = 0;
   for (auto _ : state) {

@@ -32,11 +32,11 @@ struct BenchContext {
   std::string profile = "ldbc";
   int jobs = 0;  // pool width; 0 = hardware concurrency
 
+  // Builds the machine through the shared SimConfig::FromConfig path, so a
+  // bench invocation accepts every field-table knob (--full, --threads,
+  // --num-cubes, --topology, fault knobs, ...) without bespoke plumbing.
   core::SimConfig MakeConfig(core::Mode mode) const {
-    core::SimConfig c =
-        full ? core::SimConfig::Paper(mode) : core::SimConfig::Scaled(mode);
-    c.num_cores = threads;
-    return c;
+    return core::SimConfig::FromConfig(cfg, mode);
   }
 
   std::unique_ptr<core::Experiment> MakeExperiment(const std::string& workload) const {

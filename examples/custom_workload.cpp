@@ -90,10 +90,10 @@ int main(int argc, char** argv) {
 
   core::SimResults base = core::RunSimulation(
       trace, core::SimConfig::Scaled(core::Mode::kBaseline), space.pmr_base(),
-      space.pmr_end());
+      space.pmr_end(), core::RunOptions{});
   core::SimResults pim = core::RunSimulation(
       trace, core::SimConfig::Scaled(core::Mode::kGraphPim), space.pmr_base(),
-      space.pmr_end());
+      space.pmr_end(), core::RunOptions{});
 
   std::printf("baseline: %llu cycles | GraphPIM: %llu cycles | speedup %.2fx\n",
               static_cast<unsigned long long>(base.cycles),

@@ -80,6 +80,25 @@ for sc in "${SCENARIOS[@]}"; do
   done
 done
 
+# HEAD-only gate: the multi-cube network does not exist at the merge base
+# (the base binary rejects --num-cubes), so its identity check is jobs-count
+# invariance instead of a base diff — a pinned-seed num_cubes=2 sweep must
+# emit a bit-identical deterministic CSV at --jobs=1 and --jobs=4.
+echo "== multi-cube determinism (num_cubes=2, jobs 1 vs 4)"
+cmake --build build -j "$(nproc)" --target graphpim_sweep >/dev/null
+for j in 1 4; do
+  build/tools/graphpim_sweep --workloads=bfs,dc --modes=baseline,graphpim \
+      --num-cubes=2 --vertices=2048 --opcap=150000 --seed=1 --jobs="$j" \
+      --det-csv="$WORK/cubes2.j$j.csv" >/dev/null
+done
+if cmp -s "$WORK/cubes2.j1.csv" "$WORK/cubes2.j4.csv"; then
+  echo "   cubes2.det-csv: jobs-invariant"
+else
+  echo "golden_identity: FAIL — num_cubes=2 sweep differs across --jobs:" >&2
+  diff "$WORK/cubes2.j1.csv" "$WORK/cubes2.j4.csv" | head -20 >&2
+  fail=1
+fi
+
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi

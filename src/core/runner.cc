@@ -78,7 +78,12 @@ SimResults Collect(const SimConfig& cfg, const std::vector<std::unique_ptr<OooCo
   }
 
   energy::EnergyParams ep = cfg.energy;
-  ep.num_vaults = static_cast<int>(cfg.hmc.num_vaults);
+  // Static uncore power scales with the whole cube network: every cube
+  // burns its vaults' and SerDes links' idle power whether or not traffic
+  // reaches it.
+  ep.num_vaults =
+      static_cast<int>(cfg.hmc.num_vaults * cfg.hmc.num_cubes);
+  ep.num_cubes = static_cast<int>(cfg.hmc.num_cubes);
   ep.fp_fus_enabled = cfg.hmc.enable_fp_atomics;
   r.energy = energy::ComputeUncoreEnergy(s, r.seconds, ep);
 
@@ -89,12 +94,8 @@ SimResults Collect(const SimConfig& cfg, const std::vector<std::unique_ptr<OooCo
 }  // namespace
 
 SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
-                         Addr pmr_base, Addr pmr_end) {
-  return RunSimulation(trace, cfg, pmr_base, pmr_end, RunOptions());
-}
-
-SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
                          Addr pmr_base, Addr pmr_end, const RunOptions& opts) {
+  cfg.Validate();
   GP_CHECK(static_cast<int>(trace.streams.size()) <= cfg.num_cores,
            "trace has more streams than cores");
 
@@ -208,10 +209,6 @@ void Experiment::Build(const graph::EdgeList& el, const std::string& workload_na
   if (opts.op_cap != 0) tb.SetOpCap(opts.op_cap);
   workload_->Generate(*graph_, *space_, tb);
   trace_ = tb.Take();
-}
-
-SimResults Experiment::Run(const SimConfig& cfg) const {
-  return RunSimulation(trace_, cfg, space_->pmr_base(), space_->pmr_end());
 }
 
 SimResults Experiment::Run(const SimConfig& cfg, const RunOptions& opts) const {

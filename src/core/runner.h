@@ -7,6 +7,9 @@
 //   SimResults pim  = exp.Run(SimConfig::Scaled(Mode::kGraphPim));
 //   double speedup  = Speedup(base, pim);
 //
+// Raw-trace callers use the single RunSimulation entry point and pass
+// RunOptions{} (or instrumentation) explicitly.
+//
 // The trace is generated once and replayed under every machine so the
 // comparison is paired.
 #ifndef GRAPHPIM_CORE_RUNNER_H_
@@ -34,10 +37,12 @@ struct RunOptions {
   trace::PhaseLog* phases = nullptr;
 };
 
-// Replays `trace` under `cfg`. `pmr_base`/`pmr_end` delimit the PMR the
-// POU recognizes.
-SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
-                         Addr pmr_base, Addr pmr_end);
+// THE simulation entry point. Replays `trace` under `cfg` (which is
+// Validate()d first, so hand-built configs get the same gate as parsed
+// ones). `pmr_base`/`pmr_end` delimit the PMR the POU recognizes. `opts`
+// carries per-run instrumentation; callers with none pass `RunOptions{}` —
+// deliberately no default, so every call site states its instrumentation
+// intent and there is exactly one overload to audit.
 SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
                          Addr pmr_base, Addr pmr_end, const RunOptions& opts);
 
@@ -70,8 +75,8 @@ class Experiment {
   Experiment(const graph::EdgeList& el, const std::string& workload_name)
       : Experiment(el, workload_name, Options()) {}
 
-  SimResults Run(const SimConfig& cfg) const;
-  SimResults Run(const SimConfig& cfg, const RunOptions& opts) const;
+  SimResults Run(const SimConfig& cfg,
+                 const RunOptions& opts = RunOptions()) const;
 
   const graph::CsrGraph& graph() const { return *graph_; }
   const workloads::Workload& workload() const { return *workload_; }

@@ -3,12 +3,17 @@
 #define GRAPHPIM_CORE_SIM_CONFIG_H_
 
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "cpu/core.h"
 #include "energy/energy.h"
 #include "hmc/config.h"
 #include "mem/hierarchy.h"
+
+namespace graphpim {
+class Config;
+}
 
 namespace graphpim::core {
 
@@ -55,6 +60,31 @@ struct SimConfig {
   // against Table IV (see DESIGN.md "Datasets").
   static SimConfig Scaled(Mode mode);
 
+  // THE single config-parsing path (DESIGN.md §11): builds the machine for
+  // `mode` from a key-value Config. Starts from Paper/Scaled per the
+  // "full" key, applies every machine knob in the shared field table
+  // (threads, fp, fus, linkbw, hybrid, uc_depth, num_cubes, cube_page_bytes,
+  // topology, and the fault knobs — each accepted in both underscore and
+  // dashed spellings), then Validate()s. Drivers must not read SimConfig
+  // fields out of a Config anywhere else; unknown keys are the caller's
+  // RequireKeys problem, out-of-range values throw SimError naming the key.
+  static SimConfig FromConfig(const graphpim::Config& cfg, Mode mode);
+
+  // Every key FromConfig accepts, both spellings where they differ (for
+  // drivers' RequireKeys lists — keeps CLI surfaces in sync with the table
+  // by construction).
+  static std::vector<std::string> ConfigKeys();
+
+  // Rejects invalid machines with a SimError naming the offending config
+  // key: non-positive num_cores, pmr_hmc_fraction outside [0, 1],
+  // num_cubes < 1, capacity/interleave mismatches, out-of-range fault
+  // knobs. Called by FromConfig and by RunSimulation, so programmatically
+  // built configs get the same gate as parsed ones.
+  void Validate() const;
+
+  // Human-readable machine line. The tunable-knob section is generated
+  // from the same field table FromConfig parses, so a knob added there
+  // shows up here automatically (the two can never drift again).
   std::string Describe() const;
 };
 

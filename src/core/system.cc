@@ -21,9 +21,10 @@ MemorySystem::MemorySystem(const SimConfig& cfg, Addr pmr_base, Addr pmr_end)
       sid_bus_lock_atomics_(stats_.Intern("pou.bus_lock_atomics")),
       sid_upei_host_hits_(stats_.Intern("upei.host_hits")),
       sid_upei_offloaded_(stats_.Intern("upei.offloaded")) {
-  cube_ = std::make_unique<hmc::HmcCube>(cfg_.hmc, &stats_);
+  network_ = std::make_unique<hmc::HmcNetwork>(cfg_.hmc, &stats_, pmr_base,
+                                               pmr_end);
   hierarchy_ = std::make_unique<mem::CacheHierarchy>(cfg_.num_cores, cfg_.cache,
-                                                     cube_.get(), &stats_);
+                                                     network_.get(), &stats_);
   pou_.SetPmr(pmr_base, pmr_end);
   uc_slots_.assign(static_cast<std::size_t>(cfg_.num_cores),
                    std::vector<Tick>(static_cast<std::size_t>(cfg_.uc_queue_depth), 0));
@@ -121,8 +122,8 @@ MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
   switch (op.type) {
     case OpType::kLoad: {
       hmc::Completion c = reissue_once(
-          cube_->Read(op.addr, op.size, issue),
-          [&](Tick at) { return cube_->Read(op.addr, op.size, at); });
+          network_->Read(op.addr, op.size, issue),
+          [&](Tick at) { return network_->Read(op.addr, op.size, at); });
       stats_.Add(sid_uc_service_ns_, TicksToNs(c.response_at_host - issue));
       out.complete = c.response_at_host;
       out.retire_ready = c.response_at_host;
@@ -131,7 +132,7 @@ MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
       break;
     }
     case OpType::kStore: {
-      hmc::Completion c = cube_->Write(op.addr, op.size, issue);
+      hmc::Completion c = network_->Write(op.addr, op.size, issue);
       out.complete = c.response_at_host;
       out.retire_ready = issue;  // posted
       ReleaseUcSlot(core, slot, c.internal_done);
@@ -140,9 +141,9 @@ MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
     }
     case OpType::kAtomic: {
       hmc::Completion c = reissue_once(
-          cube_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(), issue),
+          network_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(), issue),
           [&](Tick at) {
-            return cube_->Atomic(op.addr, op.aop, hmc::Value16{},
+            return network_->Atomic(op.addr, op.aop, hmc::Value16{},
                                  op.WantReturn(), at);
           });
       out.complete = c.response_at_host;
@@ -198,11 +199,11 @@ MemOutcome MemorySystem::UPeiAtomic(int core, const MicroOp& op, Tick when) {
       out.issue_stall_until = std::max(out.issue_stall_until, issue);
     }
     hmc::Completion c =
-        cube_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(), issue);
+        network_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(), issue);
     if (c.poisoned) {
       // Same bounded recovery as the GraphPIM bypass path.
       stats_.Inc(sid_poison_reissues_);
-      c = cube_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(),
+      c = network_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(),
                         c.response_at_host);
       if (c.poisoned) stats_.Inc(sid_poison_unrecovered_);
     }
@@ -224,8 +225,8 @@ MemOutcome MemorySystem::BusLockAtomic(int core, const MicroOp& op, Tick when) {
   // a full read + write round trip to memory with the entire interconnect
   // held, serializing against every other bus lock in the system.
   if (bus_lock_ready_ > when) when = bus_lock_ready_;
-  hmc::Completion rd = cube_->Read(op.addr, op.size, when);
-  hmc::Completion wr = cube_->Write(op.addr, op.size, rd.response_at_host);
+  hmc::Completion rd = network_->Read(op.addr, op.size, when);
+  hmc::Completion wr = network_->Write(op.addr, op.size, rd.response_at_host);
   Tick penalty = static_cast<Tick>(cfg_.bus_lock_penalty) *
                  NsToTicks(1.0 / cfg_.core.freq_ghz);
   MemOutcome out;

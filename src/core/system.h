@@ -23,7 +23,7 @@
 #include "core/sim_config.h"
 #include "cpu/memory_interface.h"
 #include "cpu/pou.h"
-#include "hmc/cube.h"
+#include "hmc/topology.h"
 #include "mem/hierarchy.h"
 
 namespace graphpim::core {
@@ -36,7 +36,7 @@ class MemorySystem : public cpu::MemoryInterface {
 
   StatRegistry& stats() { return stats_; }
   const StatRegistry& stats() const { return stats_; }
-  const hmc::HmcCube& cube() const { return *cube_; }
+  const hmc::HmcNetwork& network() const { return *network_; }
   const mem::CacheHierarchy& hierarchy() const { return *hierarchy_; }
   const cpu::PimOffloadUnit& pou() const { return pou_; }
 
@@ -75,7 +75,7 @@ class MemorySystem : public cpu::MemoryInterface {
   StatId sid_bus_lock_atomics_;
   StatId sid_upei_host_hits_;
   StatId sid_upei_offloaded_;
-  std::unique_ptr<hmc::HmcCube> cube_;
+  std::unique_ptr<hmc::HmcNetwork> network_;
   std::unique_ptr<mem::CacheHierarchy> hierarchy_;
   cpu::PimOffloadUnit pou_;  // identical in every core; modeled once
   std::vector<std::vector<Tick>> uc_slots_;

@@ -9,6 +9,7 @@ constexpr double kNj = 1e-9;
 EnergyBreakdown ComputeUncoreEnergy(const StatRegistry& s, double runtime_sec,
                                     const EnergyParams& p) {
   EnergyBreakdown e;
+  const double cubes = p.num_cubes > 0 ? static_cast<double>(p.num_cubes) : 1.0;
 
   // Host caches: every access probes L1; L1 misses probe L2; etc.
   double l1_acc = s.Get("cache.l1_hits") + s.Get("cache.l1_misses");
@@ -26,12 +27,12 @@ EnergyBreakdown ComputeUncoreEnergy(const StatRegistry& s, double runtime_sec,
   // energy as first transmissions.
   double flits = s.Get("hmc.req_flits") + s.Get("hmc.resp_flits") +
                  s.Get("fault.retry_flits");
-  e.link_j = flits * p.link_flit_nj * kNj + p.link_static_w * runtime_sec;
+  e.link_j = flits * p.link_flit_nj * kNj + cubes * p.link_static_w * runtime_sec;
 
   // Logic layer: packet processing (requests + responses) + static.
   double packets =
       2.0 * (s.Get("hmc.reads") + s.Get("hmc.writes") + s.Get("hmc.atomics"));
-  e.logic_j = packets * p.ll_packet_nj * kNj + p.ll_static_w * runtime_sec;
+  e.logic_j = packets * p.ll_packet_nj * kNj + cubes * p.ll_static_w * runtime_sec;
 
   // PIM functional units.
   double fp_static =
@@ -46,7 +47,7 @@ EnergyBreakdown ComputeUncoreEnergy(const StatRegistry& s, double runtime_sec,
   e.dram_j = (s.Get("hmc.row_misses") * p.dram_activate_nj +
               accesses * p.dram_access_nj) *
                  kNj +
-             p.dram_static_w * runtime_sec;
+             cubes * p.dram_static_w * runtime_sec;
 
   return e;
 }

@@ -33,7 +33,11 @@ struct EnergyParams {
   double ll_static_w = 1.6;
   double dram_static_w = 1.8;    // refresh + background
   double fu_fp_static_w = 0.04;  // per enabled FP FU (one per vault)
-  int num_vaults = 32;
+  int num_vaults = 32;           // total across the cube network
+  // Cubes in the HMC network: each cube's SerDes links, logic layer, and
+  // DRAM dies draw their static power whether or not traffic reaches it,
+  // so the per-cube static terms above scale by this count.
+  int num_cubes = 1;
   bool fp_fus_enabled = true;
 };
 

@@ -8,6 +8,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/config.h"
 #include "common/log.h"
 #include "common/random.h"
 #include "common/string_util.h"
@@ -24,9 +25,31 @@ namespace {
 // pathological) original.
 constexpr std::uint64_t kRetrySalt = 0x72657472792d3031ULL;  // "retry-01"
 
-constexpr const char* kGridKeys =
-    "workloads|profiles|modes|vertices|threads|opcap|seed|full|"
-    "link_ber|vault_stall_ppm|poison_ppm|max_retries|retry_ns";
+// Keys that shape the job matrix itself; every machine knob
+// (link_ber, num_cubes, topology, ...) is owned by SimConfig's field table
+// and routed through SimConfig::FromConfig, so the grid spec accepts new
+// knobs the moment the table grows a row.
+constexpr const char* kStructuralKeys[] = {"workloads", "profiles", "modes",
+                                           "vertices",  "threads",  "opcap",
+                                           "seed"};
+
+// num_cubes is special: it is the one machine knob that may carry a comma
+// list, expanding the config axis (modes x cube counts) for cube-scaling
+// sweeps. Both the flat and the hmc.-qualified spelling are accepted.
+constexpr const char* kCubeAxisKeys[] = {"num_cubes", "num-cubes",
+                                         "hmc.num_cubes"};
+
+std::string AcceptedGridKeys() {
+  std::string list;
+  for (const char* k : kStructuralKeys) {
+    if (!list.empty()) list += "|";
+    list += k;
+  }
+  for (const std::string& k : core::SimConfig::ConfigKeys()) {
+    list += "|" + k;
+  }
+  return list;
+}
 
 double MsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
@@ -424,8 +447,20 @@ SweepGrid ParseGridSpec(const std::string& spec) {
   SweepGrid grid;
   grid.profiles.clear();
   std::vector<core::Mode> modes;
-  bool full = false;
-  fault::FaultParams faults;
+  std::vector<std::uint64_t> cube_counts;  // config axis; empty = table default
+  graphpim::Config machine;  // scalar machine knobs, handed to FromConfig
+
+  const std::vector<std::string> machine_keys = core::SimConfig::ConfigKeys();
+  auto is_machine_key = [&](const std::string& k) {
+    for (const std::string& mk : machine_keys)
+      if (k == mk) return true;
+    return false;
+  };
+  auto is_cube_axis_key = [](const std::string& k) {
+    for (const char* ck : kCubeAxisKeys)
+      if (k == ck) return true;
+    return false;
+  };
 
   for (const std::string& field : Split(spec, ';')) {
     const std::string f = Trim(field);
@@ -433,7 +468,7 @@ SweepGrid ParseGridSpec(const std::string& spec) {
     const auto eq = f.find('=');
     if (eq == std::string::npos) {
       GP_THROW("grid spec field '", f, "' is not key=value (accepted keys: ",
-               kGridKeys, ")");
+               AcceptedGridKeys(), ")");
     }
     const std::string key = Trim(f.substr(0, eq));
     const std::string val = Trim(f.substr(eq + 1));
@@ -455,53 +490,62 @@ SweepGrid ParseGridSpec(const std::string& spec) {
       grid.op_cap = ParseGridUint(key, val);
     } else if (key == "seed") {
       grid.base_seed = ParseGridUint(key, val);
-    } else if (key == "full") {
-      full = (val == "1" || val == "true");
-    } else if (key == "link_ber") {
-      faults.link_ber = ParseGridDouble(key, val);
-      if (faults.link_ber < 0.0 || faults.link_ber > 1.0) {
-        GP_THROW("grid spec key 'link_ber' must be in [0, 1], got ", val);
+    } else if (is_cube_axis_key(key)) {
+      // Comma list expands the config axis: modes x cube counts.
+      for (const std::string& tok : Split(val, ',')) {
+        const std::string c = Trim(tok);
+        if (c.empty()) continue;
+        const std::uint64_t nc = ParseGridUint("num_cubes", c);
+        // 0 doubles as the leave-default sentinel below, so reject it here
+        // rather than silently running the table default.
+        if (nc < 1) GP_THROW("grid spec key 'num_cubes' needs counts >= 1");
+        cube_counts.push_back(nc);
       }
-    } else if (key == "vault_stall_ppm") {
-      const std::uint64_t ppm = ParseGridUint(key, val);
-      if (ppm > 1'000'000) {
-        GP_THROW("grid spec key 'vault_stall_ppm' must be <= 1000000, got ", val);
+      if (cube_counts.empty()) {
+        GP_THROW("grid spec key 'num_cubes' needs at least one count");
       }
-      faults.vault_stall_ppm = static_cast<std::uint32_t>(ppm);
-    } else if (key == "poison_ppm") {
-      const std::uint64_t ppm = ParseGridUint(key, val);
-      if (ppm > 1'000'000) {
-        GP_THROW("grid spec key 'poison_ppm' must be <= 1000000, got ", val);
-      }
-      faults.poison_ppm = static_cast<std::uint32_t>(ppm);
-    } else if (key == "max_retries") {
-      faults.max_retries = static_cast<std::uint32_t>(ParseGridUint(key, val));
-    } else if (key == "retry_ns") {
-      const double ns = ParseGridDouble(key, val);
-      if (ns < 0.0) GP_THROW("grid spec key 'retry_ns' must be >= 0, got ", val);
-      faults.retry_latency = NsToTicks(ns);
+    } else if (key == "full" || key == "topology") {
+      machine.Set(key, val);  // non-numeric knobs; FromConfig validates
+    } else if (is_machine_key(key)) {
+      // Numeric machine knob: check it parses here (a grid-spec typo is a
+      // SimError, not a GP_FATAL deep in Config), then let FromConfig /
+      // Validate own the range check so the grid spec and the tool CLIs
+      // reject identically.
+      ParseGridDouble(key, val);
+      machine.Set(key, val);
     } else {
-      GP_THROW("unknown grid spec key '", key, "' (accepted keys: ", kGridKeys,
-               ")");
+      GP_THROW("unknown grid spec key '", key, "' (accepted keys: ",
+               AcceptedGridKeys(), ")");
     }
   }
 
   if (grid.workloads.empty()) {
-    GP_THROW("grid spec needs workloads=... (accepted keys: ", kGridKeys, ")");
+    GP_THROW("grid spec needs workloads=... (accepted keys: ",
+             AcceptedGridKeys(), ")");
   }
   RejectDuplicates(grid.workloads, "workload");
   RejectDuplicates(grid.profiles, "profile");
   if (grid.profiles.empty()) grid.profiles.push_back("ldbc");
   if (modes.empty()) modes = ParseModeList("all");
+  machine.Set("threads", std::to_string(grid.sim_threads));
+
+  // The config axis is modes x cube counts; names stay the bare mode
+  // string unless the sweep actually scales cubes (then "GraphPIM-c4").
+  const bool cube_axis = cube_counts.size() > 1;
+  if (cube_counts.empty()) cube_counts.push_back(0);  // 0 = leave default
   for (core::Mode m : modes) {
-    core::SimConfig c =
-        full ? core::SimConfig::Paper(m) : core::SimConfig::Scaled(m);
-    c.num_cores = grid.sim_threads;
-    // Fault knobs apply grid-wide; the per-job fault seed is derived from
-    // the cell seed at run time (SweepRunner), so it stays zero here.
-    c.hmc.fault = faults;
-    grid.configs.push_back(c);
-    grid.config_names.push_back(ToString(m));
+    for (std::uint64_t nc : cube_counts) {
+      graphpim::Config mc = machine;
+      if (nc != 0) mc.Set("num_cubes", std::to_string(nc));
+      // Per-job fault seeds are derived from the cell seed at run time
+      // (SweepRunner), so the parsed config's seed stays zero.
+      grid.configs.push_back(core::SimConfig::FromConfig(mc, m));
+      std::string name = ToString(m);
+      if (cube_axis) {
+        name += StrFormat("-c%llu", static_cast<unsigned long long>(nc));
+      }
+      grid.config_names.push_back(name);
+    }
   }
   RejectDuplicates(grid.config_names, "mode");
   return grid;

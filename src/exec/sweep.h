@@ -168,11 +168,16 @@ class SweepRunner {
 //   "workloads=bfs,prank;modes=baseline,graphpim;profiles=ldbc;
 //    vertices=16384;threads=16;opcap=2000000;seed=1;full=0;
 //    link_ber=1e-12;vault_stall_ppm=50;poison_ppm=5;max_retries=3;
-//    retry_ns=8"
+//    retry_ns=8;num_cubes=1,2,4,8;topology=chain"
 // Keys may appear in any order; all are optional except workloads.
 // modes accepts baseline|upei|graphpim|ucnopim or "all" (the three
-// paper-evaluated machines); full=1 selects Table IV-size machines. The
-// fault keys apply to every config in the grid (src/fault knobs).
+// paper-evaluated machines). Structural keys shape the job matrix; every
+// other accepted key is a machine knob owned by SimConfig's field table
+// and applied to each config via SimConfig::FromConfig, so fault knobs
+// (and full=1 Table IV sizing, topology, ...) apply grid-wide.
+// num_cubes is the one knob that accepts a comma list (hmc.num_cubes is
+// an accepted alias): multiple counts expand the config axis to
+// modes x cube counts, with names suffixed "-c<N>" ("GraphPIM-c4").
 // User errors (unknown keys, duplicates, malformed or out-of-range
 // values) throw SimError listing the accepted keys.
 SweepGrid ParseGridSpec(const std::string& spec);

@@ -35,6 +35,16 @@ std::uint64_t DeriveFaultSeed(std::uint64_t cell_seed, std::uint64_t salt) {
   return b.Next();
 }
 
+std::uint64_t DeriveCubeFaultSeed(std::uint64_t run_seed,
+                                  std::uint32_t cube_index) {
+  // Cube 0 keeps the run's own stream so a one-cube network injects
+  // byte-identically to the single-cube model; remote cubes fold their
+  // index into a decorrelated derivation.
+  if (cube_index == 0) return run_seed;
+  return DeriveFaultSeed(run_seed ^ 0x63756265'00000000ULL,  // "cube"
+                         static_cast<std::uint64_t>(cube_index));
+}
+
 double FaultPlan::Uniform(std::uint64_t stream, std::uint64_t n) const {
   // Counter-based: hash (seed, stream, n) through two SplitMix64 rounds.
   // Purely value-dependent, so the decision for index n never depends on

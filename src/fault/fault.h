@@ -65,6 +65,12 @@ struct FaultParams {
 // platforms — same derivation discipline as exec::DeriveCellSeed.
 std::uint64_t DeriveFaultSeed(std::uint64_t cell_seed, std::uint64_t salt);
 
+// Per-cube stream for a multi-cube network (src/hmc/topology.h): cube 0
+// keeps `run_seed` unchanged (single-cube byte identity), every other cube
+// gets a decorrelated derivation of (run_seed, cube_index).
+std::uint64_t DeriveCubeFaultSeed(std::uint64_t run_seed,
+                                  std::uint32_t cube_index);
+
 // The per-run injection decision source. Each fault class consumes its own
 // counter stream, so e.g. adding vault-stall queries does not perturb the
 // link-error sequence.

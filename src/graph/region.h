@@ -49,12 +49,36 @@ class Region {
 };
 
 // The full simulated address space with its three segments.
+//
+// The PMR is carved at page granularity: hmc::CubeMap interleaves
+// kPmrPageBytes-sized PMR pages round-robin across the cubes of an
+// HmcNetwork (DESIGN.md §11), so the PMR base/size must stay page-aligned.
+// kPmrPageBytes is the default for HmcParams::cube_page_bytes; a config
+// may choose a different (power-of-two) interleave granularity, which the
+// cube map applies to the same page arithmetic below.
 class AddressSpace {
  public:
   static constexpr Addr kMetaBase = 0x0'1000'0000ULL;
   static constexpr Addr kStructureBase = 0x1'0000'0000ULL;
   static constexpr Addr kPmrBase = 0x4'0000'0000ULL;
   static constexpr std::uint64_t kSegmentSize = 2ULL * kGiB;
+  static constexpr std::uint64_t kPmrPageBytes = 4096;
+
+  static_assert(kPmrBase % kPmrPageBytes == 0,
+                "PMR base must be page-aligned for cube interleaving");
+  static_assert(kSegmentSize % kPmrPageBytes == 0,
+                "PMR size must be a whole number of interleave pages");
+
+  // PMR-relative page index of `a` (valid for PMR addresses only): the
+  // unit the cube map stripes across the network.
+  static constexpr std::uint64_t PmrPageOf(Addr a) {
+    return (a - kPmrBase) / kPmrPageBytes;
+  }
+
+  // Byte offset of `a` within its PMR page.
+  static constexpr std::uint64_t PmrPageOffset(Addr a) {
+    return (a - kPmrBase) % kPmrPageBytes;
+  }
 
   AddressSpace()
       : meta_(kMetaBase, kSegmentSize),

@@ -3,11 +3,23 @@
 #define GRAPHPIM_HMC_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.h"
 #include "fault/fault.h"
 
 namespace graphpim::hmc {
+
+// Link topology of a multi-cube network (HMC 2.0 chaining, Section III-B
+// hybrid discussion): `kChain` daisy-chains the cubes off the host's links
+// (cube i is i pass-through hops away), `kStar` hangs every remote cube one
+// hop behind cube 0 acting as the hub.
+enum class CubeTopology { kChain = 0, kStar = 1 };
+
+const char* ToString(CubeTopology t);
+
+// Parses "chain" / "star"; throws SimError on anything else.
+CubeTopology ParseCubeTopology(const std::string& name);
 
 struct HmcParams {
   // Geometry: 8GB cube, 32 vaults, 512 DRAM banks total (16 per vault).
@@ -53,6 +65,17 @@ struct HmcParams {
 
   // Section III-C extension: allow FP add/sub atomics.
   bool enable_fp_atomics = true;
+
+  // Multi-cube network (src/hmc/topology.h). One HmcParams describes every
+  // cube of the package network; `num_cubes == 1` degenerates to the
+  // single-cube model of the paper, bit-identical to the pre-network code.
+  // PMR pages interleave across cubes at `cube_page_bytes` granularity
+  // (must match graph::AddressSpace::kPmrPageBytes for the sharding the
+  // framework's pmr_malloc carving assumes); remote cubes pay pass-through
+  // SerDes + crossbar hops with per-hop link bandwidth accounting.
+  std::uint32_t num_cubes = 1;
+  CubeTopology cube_topology = CubeTopology::kChain;
+  std::uint64_t cube_page_bytes = 4096;
 
   // Fault injection (DESIGN.md §9): link CRC errors recovered by the
   // retry path, vault busy-stalls, poisoned atomic responses. All knobs

@@ -8,10 +8,10 @@
 namespace graphpim::mem {
 
 CacheHierarchy::CacheHierarchy(int num_cores, const CacheParams& params,
-                               hmc::HmcCube* cube, StatRegistry* stats)
+                               hmc::HmcNetwork* mem, StatRegistry* stats)
     : num_cores_(num_cores),
       params_(params),
-      cube_(cube),
+      mem_(mem),
       stats_(stats, "cache"),
       sid_atomic_reqs_(stats_.Counter("atomic_reqs")),
       sid_writebacks_(stats_.Counter("writebacks")),
@@ -20,7 +20,7 @@ CacheHierarchy::CacheHierarchy(int num_cores, const CacheParams& params,
       sid_atomic_line_waits_(stats_.Counter("atomic_line_waits")),
       sid_prefetch_covered_(stats_.Counter("prefetch_covered")) {
   GP_CHECK(num_cores > 0);
-  GP_CHECK(cube != nullptr);
+  GP_CHECK(mem != nullptr);
   for (int i = 0; i < 3; ++i) {
     const std::string comp = ToString(static_cast<DataComponent>(i));
     sid_access_[i] = stats_.Counter("access." + comp);
@@ -113,7 +113,7 @@ void CacheHierarchy::FillLine(int core, Addr line, Tick when, bool dirty) {
         victim_dirty = victim_dirty || d1 || d2;
       }
       if (victim_dirty) {
-        cube_->Write(v3.line_addr, params_.line_bytes, when);
+        mem_->Write(v3.line_addr, params_.line_bytes, when);
         stats_.Inc(sid_writebacks_);
       }
     }
@@ -126,7 +126,7 @@ void CacheHierarchy::FillLine(int core, Addr line, Tick when, bool dirty) {
       l1_[core]->Invalidate(v2.line_addr, &d1);
       if (v2.dirty || d1) {
         if (!l3_->SetDirty(v2.line_addr)) {
-          cube_->Write(v2.line_addr, params_.line_bytes, when);
+          mem_->Write(v2.line_addr, params_.line_bytes, when);
           stats_.Inc(sid_writebacks_);
         }
       }
@@ -137,7 +137,7 @@ void CacheHierarchy::FillLine(int core, Addr line, Tick when, bool dirty) {
     CacheArray::Victim v1 = l1_[core]->Insert(line, dirty);
     if (v1.valid && v1.dirty) {
       if (!l2_[core]->SetDirty(v1.line_addr) && !l3_->SetDirty(v1.line_addr)) {
-        cube_->Write(v1.line_addr, params_.line_bytes, when);
+        mem_->Write(v1.line_addr, params_.line_bytes, when);
         stats_.Inc(sid_writebacks_);
       }
     }
@@ -244,7 +244,7 @@ AccessResult CacheHierarchy::AccessInternal(int core, AccessType type, Addr addr
   // Stream prefetcher: a sequential miss is already in flight and lands in
   // the fill buffer (the memory traffic still happens).
   if (PrefetchCovers(core, line)) {
-    cube_->Read(line, params_.line_bytes, t);
+    mem_->Read(line, params_.line_bytes, t);
     stats_.Inc(sid_prefetch_covered_);
     res.hit_level = 0;
     res.complete = t + params_.prefetch_hit_latency;
@@ -256,7 +256,7 @@ AccessResult CacheHierarchy::AccessInternal(int core, AccessType type, Addr addr
   Tick issue = 0;
   std::size_t mshr = AcquireMshr(core, t, &issue);
   if (issue > t) res.issue_stall = issue;
-  hmc::Completion c = cube_->Read(line, params_.line_bytes, issue);
+  hmc::Completion c = mem_->Read(line, params_.line_bytes, issue);
   mshr_ready_[core][mshr] = c.response_at_host;
   res.hit_level = 0;
   res.complete = c.response_at_host;

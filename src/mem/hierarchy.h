@@ -3,8 +3,8 @@
 // Private 32KB L1 + 256KB L2 per core, 16MB shared inclusive L3 (Table IV),
 // 64-byte lines, write-allocate/writeback, MSHR-limited memory-level
 // parallelism per core, and read-for-ownership invalidations on writes and
-// host atomics. Misses are filled from the HMC cube, which also receives
-// dirty writebacks (their FLITs count toward Fig 12's bandwidth).
+// host atomics. Misses are filled from the HMC cube network, which also
+// receives dirty writebacks (their FLITs count toward Fig 12's bandwidth).
 //
 // Coherence is modeled at the cost level the paper measures: a write/RMW to
 // a line present in another core's private cache pays a snoop-invalidation
@@ -20,7 +20,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
-#include "hmc/cube.h"
+#include "hmc/topology.h"
 #include "mem/cache.h"
 #include "mem/request.h"
 
@@ -60,10 +60,10 @@ struct CacheParams {
 
 class CacheHierarchy {
  public:
-  // `cube` is the backing memory; not owned. `stats` may be null. All
+  // `mem` is the backing cube network; not owned. `stats` may be null. All
   // "cache." counter names are interned here, including the per-component
   // and per-level families — hot-path updates are plain indexed adds.
-  CacheHierarchy(int num_cores, const CacheParams& params, hmc::HmcCube* cube,
+  CacheHierarchy(int num_cores, const CacheParams& params, hmc::HmcNetwork* mem,
                  StatRegistry* stats = nullptr);
 
   CacheHierarchy(const CacheHierarchy&) = delete;
@@ -105,7 +105,7 @@ class CacheHierarchy {
 
   int num_cores_;
   CacheParams params_;
-  hmc::HmcCube* cube_;
+  hmc::HmcNetwork* mem_;
   StatScope stats_;  // "cache." counters
   StatId sid_access_[3];   // by DataComponent
   StatId sid_l3_miss_[3];  // by DataComponent

@@ -98,7 +98,8 @@ TEST(Fusion, SpeedsUpCcompUnderGraphPim) {
   graph::AddressSpace space;
   Trace fused = workloads::FuseComparisonBlocks(exp.trace(), space);
   core::SimResults f =
-      core::RunSimulation(fused, cfg, exp.pmr_base(), exp.pmr_end());
+      core::RunSimulation(fused, cfg, exp.pmr_base(), exp.pmr_end(),
+                          core::RunOptions{});
   EXPECT_LT(f.cycles, plain.cycles);
 }
 
@@ -169,7 +170,8 @@ TEST(TraceIo, ReplaySameResult) {
   cfg.num_cores = 4;
   core::SimResults a = exp.Run(cfg);
   core::SimResults b2 =
-      core::RunSimulation(loaded, cfg, exp.pmr_base(), exp.pmr_end());
+      core::RunSimulation(loaded, cfg, exp.pmr_base(), exp.pmr_end(),
+                          core::RunOptions{});
   EXPECT_EQ(a.cycles, b2.cycles);
   std::remove(path.c_str());
 }

@@ -2,7 +2,7 @@
 // MSHR backpressure, prefetch coverage, and atomic line serialization.
 #include <gtest/gtest.h>
 
-#include "hmc/cube.h"
+#include "hmc/topology.h"
 #include "mem/hierarchy.h"
 
 namespace graphpim::mem {
@@ -11,12 +11,12 @@ namespace {
 struct Fixture {
   StatRegistry stats;
   hmc::HmcParams hp;
-  hmc::HmcCube cube;
+  hmc::HmcNetwork net;
   CacheParams cp;
   CacheHierarchy hier;
 
   explicit Fixture(int cores = 2, CacheParams params = CacheParams())
-      : cube(hp, &stats), cp(params), hier(cores, cp, &cube, &stats) {}
+      : net(hp, &stats, 0, 0), cp(params), hier(cores, cp, &net, &stats) {}
 };
 
 TEST(Hierarchy, MissThenHitLevels) {

@@ -193,7 +193,8 @@ TEST(RunnerMore, BarrierRendezvousWaitsForSlowest) {
   workloads::Trace t = tb.Take();
   core::SimConfig cfg = core::SimConfig::Scaled(core::Mode::kGraphPim);
   cfg.num_cores = 2;
-  core::SimResults r = core::RunSimulation(t, cfg, space.pmr_base(), space.pmr_end());
+  core::SimResults r = core::RunSimulation(t, cfg, space.pmr_base(),
+                                           space.pmr_end(), core::RunOptions{});
   // Total time must cover thread 0's 20000 dependent cycles.
   EXPECT_GE(r.cycles, 20000u);
 }
@@ -224,7 +225,7 @@ TEST(RunnerMore, SingleThreadTraceOnManyCores) {
   workloads::Trace t = tb.Take();
   core::SimConfig cfg = core::SimConfig::Scaled(core::Mode::kBaseline);
   cfg.num_cores = 16;  // 15 cores idle
-  core::SimResults r = core::RunSimulation(t, cfg, 0, 0);
+  core::SimResults r = core::RunSimulation(t, cfg, 0, 0, core::RunOptions{});
   EXPECT_EQ(r.insts, 100u);
 }
 

@@ -58,10 +58,10 @@ TEST(ThrottleQuality, LongHorizonJumpResetsWindow) {
 TEST(HierarchyQuality, PrefetcherCanBeDisabled) {
   StatRegistry stats;
   hmc::HmcParams hp;
-  hmc::HmcCube cube(hp, &stats);
+  hmc::HmcNetwork net(hp, &stats, 0, 0);
   mem::CacheParams cp;
   cp.prefetch_streams = 0;
-  mem::CacheHierarchy hier(1, cp, &cube, &stats);
+  mem::CacheHierarchy hier(1, cp, &net, &stats);
   Tick t = 0;
   for (int i = 0; i < 16; ++i) {
     t = hier.Access(0, mem::AccessType::kRead, 0x100000 + i * 64, t).complete;

@@ -7,6 +7,9 @@
 //                [--mode=all|baseline|upei|graphpim|ucnopim] [--full=0]
 //                [--threads=16] [--seed=1] [--opcap=12000000]
 //                [--fp=1] [--fus=16] [--linkbw=1.0] [--hybrid=1.0]
+//                [--uc-depth=16]
+//                [--num-cubes=1] [--topology=chain|star]  # HMC cube network
+//                [--cube-page-bytes=4096]  # PMR interleave granularity
 //                [--fuse=0]           # Section III-B comparison-block fusion
 //                [--jobs=N]           # replay modes in parallel (0 = nproc)
 //                [--json=out.json]    # machine-readable results (last mode)
@@ -16,7 +19,9 @@
 //                [--trace-out=t.bin] [--trace-in=t.bin]
 //
 // Sweep mode (runs a whole job matrix instead of a single experiment; see
-// src/exec/sweep.h for the grid-spec syntax and determinism contract):
+// src/exec/sweep.h for the grid-spec syntax and determinism contract).
+// num_cubes accepts a comma list for cube-scaling sweeps
+// (--sweep='workloads=bfs;modes=graphpim;hmc.num_cubes=1,2,4,8'):
 //
 //   graphpim_sim --sweep='workloads=bfs,prank;modes=all;vertices=16384'
 //                [--jobs=N] [--json=out.json] [--csv=out.csv]
@@ -101,18 +106,21 @@ int RunSweep(const Config& cfg) {
 }
 
 int RunMain(const Config& cfg) {
-  cfg.RequireKeys({"sweep", "workload", "profile", "vertices", "mode", "full",
-                   "threads", "seed", "opcap", "fp", "fus", "linkbw", "hybrid",
-                   "fuse", "jobs", "json", "csv", "metrics-out", "trace-out",
-                   "trace-in", "journal", "resume", "timeout-ms",
-                   "journal-phases", "link-ber", "vault-stall-ppm",
-                   "poison-ppm", "max-retries", "retry-ns"});
+  // Driver-specific flags plus every machine knob SimConfig::FromConfig
+  // accepts (both spellings) — the flag surface tracks the field table.
+  std::vector<std::string> keys = {
+      "sweep",      "workload",  "profile",        "vertices",
+      "mode",       "seed",      "opcap",          "fuse",
+      "jobs",       "json",      "csv",            "metrics-out",
+      "trace-out",  "trace-in",  "journal",        "resume",
+      "timeout-ms", "journal-phases"};
+  for (const std::string& k : core::SimConfig::ConfigKeys()) keys.push_back(k);
+  cfg.RequireKeys(keys);
   if (cfg.Has("sweep")) return RunSweep(cfg);
   const std::string workload = cfg.GetString("workload", "bfs");
   const std::string profile = cfg.GetString("profile", "ldbc");
   const auto vertices = static_cast<VertexId>(cfg.GetUint("vertices", 32 * 1024));
   const std::string mode_arg = cfg.GetString("mode", "all");
-  const bool full = cfg.GetBool("full", false);
 
   core::Experiment::Options opts;
   opts.num_threads = static_cast<int>(cfg.GetInt("threads", 16));
@@ -157,21 +165,10 @@ int RunMain(const Config& cfg) {
   // bit-identical results; reports still print in mode-list order.
   std::vector<core::SimConfig> mode_cfgs;
   for (core::Mode m : modes) {
-    core::SimConfig sc = full ? core::SimConfig::Paper(m) : core::SimConfig::Scaled(m);
-    sc.num_cores = opts.num_threads;
-    sc.hmc.enable_fp_atomics = cfg.GetBool("fp", true);
-    sc.hmc.fus_per_vault =
-        static_cast<std::uint32_t>(cfg.GetUint("fus", sc.hmc.fus_per_vault));
-    sc.hmc.link_bw_scale = cfg.GetDouble("linkbw", 1.0);
-    sc.pmr_hmc_fraction = cfg.GetDouble("hybrid", 1.0);
-    sc.hmc.fault.link_ber = cfg.GetDouble("link-ber", 0.0);
-    sc.hmc.fault.vault_stall_ppm =
-        static_cast<std::uint32_t>(cfg.GetUint("vault-stall-ppm", 0));
-    sc.hmc.fault.poison_ppm =
-        static_cast<std::uint32_t>(cfg.GetUint("poison-ppm", 0));
-    sc.hmc.fault.max_retries =
-        static_cast<std::uint32_t>(cfg.GetUint("max-retries", 3));
-    sc.hmc.fault.retry_latency = NsToTicks(cfg.GetDouble("retry-ns", 8.0));
+    // THE config path: every machine knob (fp/fus/linkbw/hybrid/num-cubes/
+    // topology/fault knobs/...) is read out of `cfg` by the shared field
+    // table — this driver never plucks SimConfig fields itself.
+    core::SimConfig sc = core::SimConfig::FromConfig(cfg, m);
     // Same per-(seed, config-index) derivation discipline as the sweep
     // runner: distinct modes draw decorrelated fault streams, and reruns
     // with the same --seed inject identically.

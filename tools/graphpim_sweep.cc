@@ -10,6 +10,8 @@
 //                  [--modes=all|baseline,upei,graphpim,ucnopim]
 //                  [--vertices=32768] [--full=0] # full=1: Table IV machines
 //                  [--threads=16] [--opcap=12000000] [--seed=1]
+//                  [--num-cubes=1,2,4,8]  # cube-scaling axis ("GraphPIM-c4")
+//                  [--topology=chain|star] [--cube-page-bytes=4096]
 //                  [--jobs=N]                    # pool width (0 = nproc)
 //                  [--progress=1]
 //                  [--json=out.json] [--csv=out.csv] [--det-csv=out.csv]
@@ -52,11 +54,15 @@ std::string Join(const std::vector<std::string>& parts) {
 }
 
 int Run(const Config& cfg) {
-  cfg.RequireKeys({"workloads", "profiles", "modes", "vertices", "full",
-                   "threads", "opcap", "seed", "jobs", "progress", "json",
-                   "csv", "det-csv", "journal", "resume", "timeout-ms",
-                   "journal-phases", "link-ber", "vault-stall-ppm",
-                   "poison-ppm", "max-retries", "retry-ns"});
+  // Driver flags plus every machine knob the SimConfig field table accepts
+  // (both spellings), so this CLI surface tracks the table automatically.
+  std::vector<std::string> keys = {
+      "workloads", "profiles",   "modes",   "vertices", "opcap",
+      "seed",      "jobs",       "progress", "json",    "csv",
+      "det-csv",   "journal",    "resume",  "timeout-ms",
+      "journal-phases"};
+  for (const std::string& k : core::SimConfig::ConfigKeys()) keys.push_back(k);
+  cfg.RequireKeys(keys);
 
   // Assemble a grid spec from the individual flags and reuse the shared
   // parser so graphpim_sim --sweep=... and this driver cannot diverge.
@@ -69,21 +75,13 @@ int Run(const Config& cfg) {
   spec += ";threads=" + std::to_string(cfg.GetInt("threads", 16));
   spec += ";opcap=" + std::to_string(cfg.GetUint("opcap", 12'000'000));
   spec += ";seed=" + std::to_string(cfg.GetUint("seed", 1));
-  spec += ";full=" + std::string(cfg.GetBool("full", false) ? "1" : "0");
-  if (cfg.Has("link-ber")) {
-    spec += ";link_ber=" + cfg.GetString("link-ber", "0");
-  }
-  if (cfg.Has("vault-stall-ppm")) {
-    spec += ";vault_stall_ppm=" + cfg.GetString("vault-stall-ppm", "0");
-  }
-  if (cfg.Has("poison-ppm")) {
-    spec += ";poison_ppm=" + cfg.GetString("poison-ppm", "0");
-  }
-  if (cfg.Has("max-retries")) {
-    spec += ";max_retries=" + cfg.GetString("max-retries", "3");
-  }
-  if (cfg.Has("retry-ns")) {
-    spec += ";retry_ns=" + cfg.GetString("retry-ns", "8");
+  // Forward every present machine knob verbatim (field-table keys, both
+  // spellings): fault knobs, full, topology, num-cubes (which may carry a
+  // comma list and expands the config axis), ... — the grid parser and
+  // SimConfig::FromConfig own parsing and validation.
+  for (const std::string& k : core::SimConfig::ConfigKeys()) {
+    if (k == "threads") continue;  // already in the spec (structural)
+    if (cfg.Has(k)) spec += ";" + k + "=" + cfg.GetString(k, "");
   }
   exec::SweepGrid grid = exec::ParseGridSpec(spec);
 
