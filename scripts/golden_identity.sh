@@ -99,6 +99,59 @@ else
   fail=1
 fi
 
+# HEAD-only gate: transaction tracing (DESIGN.md §12). The base binary
+# rejects --trace-sample-rate, so this is not a base diff either. Two
+# halves: (a) tracing off must be a true no-op — passing the flag
+# explicitly at 0 must reproduce the flag-less HEAD outputs byte for byte;
+# (b) a sampled run must produce artifacts scripts/validate_trace.py
+# accepts, and journal span sidecars must be --jobs invariant.
+echo "== tracing-off identity (--trace-sample-rate=0 vs no flag)"
+for sc in "${SCENARIOS[@]}"; do
+  name="${sc%%|*}"
+  read -r -a flags <<< "${sc#*|}"
+  build/tools/graphpim_sim "${COMMON[@]}" "${flags[@]}" \
+      --trace-sample-rate=0 --json="$WORK/$name.off.json" \
+      > "$WORK/$name.off.out"
+  sed -n '/^config:/,/^uncore energy:/p' "$WORK/$name.off.out" \
+      > "$WORK/$name.off.report"
+  for kind in json report; do
+    if cmp -s "$WORK/$name.head.$kind" "$WORK/$name.off.$kind"; then
+      echo "   $name.$kind: identical with tracing off"
+    else
+      echo "golden_identity: FAIL — --trace-sample-rate=0 perturbs $name.$kind:" >&2
+      diff "$WORK/$name.head.$kind" "$WORK/$name.off.$kind" | head -20 >&2
+      fail=1
+    fi
+  done
+done
+
+echo "== tracing smoke (--trace-sample-rate=0.05)"
+build/tools/graphpim_sim "${COMMON[@]}" --workload=bfs --mode=all \
+    --trace-sample-rate=0.05 --metrics-out="$WORK/trace.json" \
+    > "$WORK/trace.out"
+# Rows carry wall_ms and land in completion order under --jobs=4, so the
+# invariant is the *sorted sidecar lines*, not the whole journal.
+for j in 1 4; do
+  build/tools/graphpim_sweep --workloads=bfs --modes=baseline,graphpim \
+      --vertices=2048 --opcap=150000 --seed=1 --jobs="$j" \
+      --trace-sample-rate=0.05 --journal="$WORK/spans.j$j.jsonl" >/dev/null
+  grep '^{"spans_for":' "$WORK/spans.j$j.jsonl" | sort \
+      > "$WORK/spans.j$j.sidecars"
+done
+if cmp -s "$WORK/spans.j1.sidecars" "$WORK/spans.j4.sidecars"; then
+  echo "   span sidecars: jobs-invariant"
+else
+  echo "golden_identity: FAIL — span sidecars differ across --jobs:" >&2
+  diff "$WORK/spans.j1.sidecars" "$WORK/spans.j4.sidecars" | head -20 >&2
+  fail=1
+fi
+if python3 scripts/validate_trace.py "$WORK/trace.json" "$WORK/spans.j1.jsonl"; then
+  echo "   trace artifacts: valid"
+else
+  echo "golden_identity: FAIL — trace artifacts rejected by validate_trace.py" >&2
+  fail=1
+fi
+
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi

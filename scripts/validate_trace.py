@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Strict validator for the simulator's trace artifacts.
+
+Accepts any mix of:
+  * Chrome-trace files (graphpim_sim --metrics-out=x.json): must parse as
+    strict JSON with a traceEvents list; every event needs name/ph/pid, X
+    events need ts and a non-negative dur.
+  * JSONL files (--metrics-out=x.jsonl or a sweep --journal): every line
+    must parse as strict JSON; phase lines need start_ns <= end_ns; span
+    lines/objects need known stage names and enter_ns <= exit_ns.
+
+Exits 0 when every file validates, 1 with a diagnostic otherwise. Stdlib
+only — runs anywhere CI has python3.
+
+Usage: scripts/validate_trace.py FILE [FILE...]
+"""
+
+import json
+import sys
+
+STAGES = {
+    "issue", "cache", "pou", "hop", "cube_link",
+    "vault_queue", "bank", "fu", "response",
+}
+
+
+def fail(path, msg):
+    print(f"validate_trace: {path}: {msg}", file=sys.stderr)
+    return False
+
+
+def check_span(path, span):
+    for key in ("id", "core", "kind", "begin_ns", "end_ns", "stages"):
+        if key not in span:
+            return fail(path, f"span missing key '{key}': {span}")
+    if span["kind"] not in ("R", "W", "A"):
+        return fail(path, f"span has unknown kind '{span['kind']}'")
+    if span["begin_ns"] > span["end_ns"]:
+        return fail(path, f"span {span['id']} ends before it begins")
+    for st in span["stages"]:
+        if st.get("s") not in STAGES:
+            return fail(path, f"span {span['id']} has unknown stage '{st.get('s')}'")
+        if st["enter_ns"] > st["exit_ns"]:
+            return fail(path, f"span {span['id']} stage {st['s']} exits before entry")
+        if st["enter_ns"] < span["begin_ns"] - 1e-6:
+            return fail(path, f"span {span['id']} stage {st['s']} precedes the span")
+    return True
+
+
+def check_chrome(path, doc):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, "no traceEvents list")
+    for ev in events:
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                return fail(path, f"event missing key '{key}': {ev}")
+        if ev["ph"] == "X":
+            if "ts" not in ev or "dur" not in ev:
+                return fail(path, f"X event missing ts/dur: {ev}")
+            if ev["dur"] < 0:
+                return fail(path, f"X event has negative dur: {ev}")
+    print(f"validate_trace: {path}: OK ({len(events)} events)")
+    return True
+
+
+def check_jsonl(path, lines):
+    phases = spans = rows = 0
+    for i, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            return fail(path, f"line {i} is not strict JSON: {e}")
+        if "phase" in obj:
+            phases += 1
+            if obj["start_ns"] > obj["end_ns"]:
+                return fail(path, f"line {i}: phase ends before it starts")
+        elif "spans_for" in obj or "stages" in obj:
+            group = obj.get("spans", [obj] if "stages" in obj else [])
+            for span in group:
+                spans += 1
+                if not check_span(path, span):
+                    return False
+        else:
+            rows += 1  # journal header / result rows / phase sidecars
+    print(f"validate_trace: {path}: OK "
+          f"({phases} phases, {spans} spans, {rows} other lines)")
+    return True
+
+
+def check_file(path):
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    stripped = text.lstrip()
+    if not stripped:
+        return fail(path, "empty file")
+    # A Chrome trace is one JSON document; everything else we emit is JSONL.
+    try:
+        doc = json.loads(text)
+        if isinstance(doc, dict) and "traceEvents" in doc:
+            return check_chrome(path, doc)
+    except json.JSONDecodeError:
+        pass
+    return check_jsonl(path, text.splitlines())
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    ok = True
+    for path in argv[1:]:
+        ok = check_file(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

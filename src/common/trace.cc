@@ -43,7 +43,7 @@ void PhaseLog::Clear() {
   prev_ = StatSnapshot();
 }
 
-std::string ToChromeTrace(const PhaseLog& log) {
+std::string ToChromeTrace(const PhaseLog& log, const SpanLog* spans) {
   std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
   auto emit = [&](const std::string& event) {
@@ -76,7 +76,17 @@ std::string ToChromeTrace(const PhaseLog& log) {
           FormatStatValue(v).c_str()));
     }
   }
-  out += "\n]}\n";
+  if (spans != nullptr && !spans->empty()) {
+    const std::string events = SpansToChromeEvents(*spans);
+    if (!events.empty()) {
+      if (!first) out += ',';
+      first = false;
+      out += events;
+    }
+  }
+  // The empty document must still be strict JSON: "traceEvents":[] with no
+  // stray newline inside the array.
+  out += first ? "]}\n" : "\n]}\n";
   return out;
 }
 
@@ -97,12 +107,18 @@ std::string ToJsonl(const PhaseLog& log) {
   return out;
 }
 
-void WriteTrace(const PhaseLog& log, const std::string& path) {
+void WriteTrace(const PhaseLog& log, const std::string& path,
+                const SpanLog* spans) {
   const bool jsonl =
       path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
   std::ofstream f(path, std::ios::binary);
   if (!f) GP_THROW("cannot open metrics output file '", path, "'");
-  f << (jsonl ? ToJsonl(log) : ToChromeTrace(log));
+  if (jsonl) {
+    f << ToJsonl(log);
+    if (spans != nullptr) f << SpansToJsonl(*spans);
+  } else {
+    f << ToChromeTrace(log, spans);
+  }
   if (!f) GP_THROW("failed writing metrics output file '", path, "'");
 }
 

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/span.h"
 #include "common/stats.h"
 #include "common/types.h"
 
@@ -48,16 +49,23 @@ class PhaseLog {
 };
 
 // Chrome trace JSON (single object, "traceEvents" array). Timestamps are
-// microseconds of simulated time.
-std::string ToChromeTrace(const PhaseLog& log);
+// microseconds of simulated time. When `spans` is non-null its sampled
+// transactions are merged in on their own core/cube/vault tracks next to
+// the phase timeline. An empty log (and no spans) yields the canonical
+// empty document {"displayTimeUnit":"ns","traceEvents":[]}.
+std::string ToChromeTrace(const PhaseLog& log,
+                          const SpanLog* spans = nullptr);
 
 // One JSON object per line:
 //   {"phase":"superstep.3","start_ns":...,"end_ns":...,"deltas":{...}}
 std::string ToJsonl(const PhaseLog& log);
 
 // Writes the log to `path`; ".jsonl" extension selects JSONL, anything
-// else Chrome trace. Throws SimError on I/O failure.
-void WriteTrace(const PhaseLog& log, const std::string& path);
+// else Chrome trace. Non-null `spans` are merged into the Chrome trace or
+// appended as span lines after the phase lines in JSONL. Throws SimError
+// on I/O failure.
+void WriteTrace(const PhaseLog& log, const std::string& path,
+                const SpanLog* spans = nullptr);
 
 // Formats a counter value the way trace/journal output expects: integral
 // values without a fraction, others with shortest round-trip-ish "%.6g".

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/span.h"
 #include "common/string_util.h"
 
 namespace graphpim::core {
@@ -44,6 +45,94 @@ std::string FormatReport(const SimResults& r) {
                    r.energy.Total() * 1e3, r.energy.caches_j * 1e3,
                    r.energy.link_j * 1e3, r.energy.fu_j * 1e3,
                    r.energy.logic_j * 1e3, r.energy.dram_j * 1e3);
+  // Flight-recorder section only when sampling was on, and strictly after
+  // the energy line: the golden-identity gate diffs the report up to
+  // "uncore energy:", so a traced run stays comparable to an untraced one.
+  if (r.raw.Has("span.sampled")) {
+    out += StrFormat("spans: %llu sampled\n",
+                     static_cast<unsigned long long>(r.raw.Get("span.sampled")));
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(trace::SpanStage::kCount); ++i) {
+      const std::string base =
+          std::string("span.") + trace::ToString(static_cast<trace::SpanStage>(i));
+      if (!r.raw.Has(base + ".count")) continue;
+      out += StrFormat("  %-11s n=%-8llu mean %8.1f ns  p50 %8.1f ns  "
+                       "p95 %8.1f ns\n",
+                       trace::ToString(static_cast<trace::SpanStage>(i)),
+                       static_cast<unsigned long long>(r.raw.Get(base + ".count")),
+                       r.raw.Get(base + ".mean"), r.raw.Get(base + ".p50"),
+                       r.raw.Get(base + ".p95"));
+    }
+    if (r.raw.Has("span.atomic.count")) {
+      out += StrFormat("  atomic end-to-end: n=%llu mean %.1f ns  p50 %.1f ns  "
+                       "p95 %.1f ns\n",
+                       static_cast<unsigned long long>(
+                           r.raw.Get("span.atomic.count")),
+                       r.raw.Get("span.atomic.mean"),
+                       r.raw.Get("span.atomic.p50"),
+                       r.raw.Get("span.atomic.p95"));
+    }
+  }
+  return out;
+}
+
+std::string FormatBottleneckTable(const std::vector<SimResults>& results) {
+  bool any = false;
+  for (const SimResults& r : results) {
+    if (r.raw.Has("span.atomic.count")) any = true;
+  }
+  if (!any) return std::string();
+
+  const std::size_t kNumStages = static_cast<std::size_t>(trace::SpanStage::kCount);
+  std::string out = "atomic bottleneck attribution (sampled spans, mean ns per "
+                    "atomic / share of end-to-end):\n";
+  out += StrFormat("  %-11s", "stage");
+  for (const SimResults& r : results) {
+    out += StrFormat(" %20s", r.mode.c_str());
+  }
+  out += "\n";
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const std::string key = std::string("span.atomic.") +
+                            trace::ToString(static_cast<trace::SpanStage>(i)) +
+                            ".sum_ns";
+    bool stage_any = false;
+    for (const SimResults& r : results) {
+      if (r.raw.Has(key)) stage_any = true;
+    }
+    if (!stage_any) continue;
+    out += StrFormat("  %-11s", trace::ToString(static_cast<trace::SpanStage>(i)));
+    for (const SimResults& r : results) {
+      const double n = r.raw.Has("span.atomic.count")
+                           ? r.raw.Get("span.atomic.count")
+                           : 0.0;
+      const double total = r.raw.Get("span.atomic.total_ns");
+      if (n <= 0.0 || !r.raw.Has(key)) {
+        out += StrFormat(" %20s", "-");
+        continue;
+      }
+      const double sum = r.raw.Get(key);
+      const double share = total > 0.0 ? 100.0 * sum / total : 0.0;
+      out += StrFormat(" %12.1f (%4.1f%%)", sum / n, share);
+    }
+    out += "\n";
+  }
+  // The residual between the end-to-end span and the attributed stages:
+  // overlap-free compute/dependency time the stages don't cover.
+  out += StrFormat("  %-11s", "other");
+  for (const SimResults& r : results) {
+    if (!r.raw.Has("span.atomic.count")) {
+      out += StrFormat(" %20s", "-");
+      continue;
+    }
+    const double n = r.raw.Get("span.atomic.count");
+    const double total = r.raw.Get("span.atomic.total_ns");
+    const double un = r.raw.Has("span.atomic.unattributed_ns")
+                          ? r.raw.Get("span.atomic.unattributed_ns")
+                          : 0.0;
+    const double share = total > 0.0 ? 100.0 * un / total : 0.0;
+    out += StrFormat(" %12.1f (%4.1f%%)", n > 0.0 ? un / n : 0.0, share);
+  }
+  out += "\n";
   return out;
 }
 

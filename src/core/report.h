@@ -3,6 +3,7 @@
 #define GRAPHPIM_CORE_REPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "core/results.h"
 
@@ -10,6 +11,14 @@ namespace graphpim::core {
 
 // Multi-line human-readable summary of one run.
 std::string FormatReport(const SimResults& r);
+
+// Per-stage bottleneck attribution for the atomic path (paper Fig. 9 from
+// measurement): one column per mode in `results`, one row per span stage
+// that contributed, each cell "mean-ns (share%)" over that mode's sampled
+// atomics. Derived purely from the span.atomic.* counters FoldSpanStats
+// interned, so it needs no access to the raw span logs. Returns "" when no
+// mode carries span data (tracing off).
+std::string FormatBottleneckTable(const std::vector<SimResults>& results);
 
 // JSON object with the run's headline metrics plus every raw counter
 // (stable key names; suitable for downstream tooling).

@@ -15,9 +15,11 @@ namespace {
 
 using cpu::OooCore;
 
-// Builds SimResults from the finished cores and memory system.
+// Builds SimResults from the finished cores and memory system. `spans`
+// (may be null) is the run's flight recorder; its per-stage latency
+// histograms are folded into the merged registry.
 SimResults Collect(const SimConfig& cfg, const std::vector<std::unique_ptr<OooCore>>& cores,
-                   MemorySystem& mem) {
+                   MemorySystem& mem, const trace::SpanRecorder* spans) {
   SimResults r;
   r.mode = ToString(cfg.mode);
 
@@ -87,6 +89,8 @@ SimResults Collect(const SimConfig& cfg, const std::vector<std::unique_ptr<OooCo
   ep.fp_fus_enabled = cfg.hmc.enable_fp_atomics;
   r.energy = energy::ComputeUncoreEnergy(s, r.seconds, ep);
 
+  if (spans != nullptr) trace::FoldSpanStats(spans->log(), &s);
+
   r.raw = s;
   return r;
 }
@@ -99,7 +103,16 @@ SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
   GP_CHECK(static_cast<int>(trace.streams.size()) <= cfg.num_cores,
            "trace has more streams than cores");
 
-  MemorySystem mem(cfg, pmr_base, pmr_end);
+  // The flight recorder exists only when sampling is on: with the default
+  // trace_sample_rate == 0 every hook site downstream sees a null recorder
+  // and compiles to a never-taken branch.
+  std::unique_ptr<trace::SpanRecorder> spans;
+  if (cfg.trace_sample_rate > 0.0) {
+    spans = std::make_unique<trace::SpanRecorder>(cfg.trace_sample_rate,
+                                                  cfg.trace_max_spans);
+  }
+
+  MemorySystem mem(cfg, pmr_base, pmr_end, spans.get());
   std::vector<std::unique_ptr<OooCore>> cores;
   std::vector<OooCore::Status> status;
   static const std::vector<cpu::MicroOp> kEmpty;
@@ -180,7 +193,11 @@ SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
     cut_phase("drain", end_tick);
   }
 
-  return Collect(cfg, cores, mem);
+  SimResults r = Collect(cfg, cores, mem, spans.get());
+  if (opts.spans != nullptr && spans != nullptr) {
+    *opts.spans = spans->TakeLog();
+  }
+  return r;
 }
 
 double Speedup(const SimResults& base, const SimResults& other) {

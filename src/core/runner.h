@@ -35,6 +35,14 @@ struct RunOptions {
   // counter deltas of the whole merged registry. Not reset by the run;
   // attach a fresh PhaseLog per run.
   trace::PhaseLog* phases = nullptr;
+
+  // When non-null AND cfg.trace_sample_rate > 0, receives the run's
+  // sampled transaction spans (overwritten, not appended). The recorder
+  // itself lives inside RunSimulation; with sample_rate == 0 no recorder
+  // is built and this stays untouched. Span statistics (span.*) are folded
+  // into SimResults::raw whenever sampling is on, regardless of this
+  // pointer.
+  trace::SpanLog* spans = nullptr;
 };
 
 // THE simulation entry point. Replays `trace` under `cfg` (which is

@@ -85,6 +85,16 @@ constexpr KnobRow kKnobs[] = {
     {"retry_ns", "retry-ns", 0, 1'000'000, false,
      [](const SimConfig& c) { return TicksToNs(c.hmc.fault.retry_latency); },
      [](SimConfig& c, double v) { c.hmc.fault.retry_latency = NsToTicks(v); }},
+    {"trace.sample_rate", "trace-sample-rate", 0, 1, false,
+     [](const SimConfig& c) { return c.trace_sample_rate; },
+     [](SimConfig& c, double v) { c.trace_sample_rate = v; }},
+    {"trace.max_spans", "trace-max-spans", 0, 1e15, true,
+     [](const SimConfig& c) {
+       return static_cast<double>(c.trace_max_spans);
+     },
+     [](SimConfig& c, double v) {
+       c.trace_max_spans = static_cast<std::uint64_t>(v);
+     }},
 };
 
 // True and yields the value when `cfg` carries the row's key under either

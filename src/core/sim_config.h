@@ -51,6 +51,15 @@ struct SimConfig {
   // host atomics); pages inside keep the full PIM benefit.
   double pmr_hmc_fraction = 1.0;
 
+  // Transaction flight recorder (DESIGN.md §12): fraction of memory
+  // requests sampled into per-stage span chains. 0 disables tracing
+  // entirely (no recorder is built; goldens stay byte-identical).
+  double trace_sample_rate = 0.0;
+
+  // Upper bound on recorded spans per run (memory safety valve); 0 means
+  // unbounded.
+  std::uint64_t trace_max_spans = 1u << 20;
+
   // Returns Table IV's full-size machine.
   static SimConfig Paper(Mode mode);
 

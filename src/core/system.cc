@@ -8,8 +8,10 @@ using cpu::MemOutcome;
 using cpu::MicroOp;
 using cpu::OpType;
 
-MemorySystem::MemorySystem(const SimConfig& cfg, Addr pmr_base, Addr pmr_end)
+MemorySystem::MemorySystem(const SimConfig& cfg, Addr pmr_base, Addr pmr_end,
+                           trace::SpanRecorder* spans)
     : cfg_(cfg),
+      spans_(spans),
       sid_poison_reissues_(stats_.Intern("pou.poison_reissues")),
       sid_poison_unrecovered_(stats_.Intern("pou.poison_unrecovered")),
       sid_uc_slot_wait_ns_(stats_.Intern("pou.uc_slot_wait_ns")),
@@ -22,13 +24,16 @@ MemorySystem::MemorySystem(const SimConfig& cfg, Addr pmr_base, Addr pmr_end)
       sid_upei_host_hits_(stats_.Intern("upei.host_hits")),
       sid_upei_offloaded_(stats_.Intern("upei.offloaded")) {
   network_ = std::make_unique<hmc::HmcNetwork>(cfg_.hmc, &stats_, pmr_base,
-                                               pmr_end);
-  hierarchy_ = std::make_unique<mem::CacheHierarchy>(cfg_.num_cores, cfg_.cache,
-                                                     network_.get(), &stats_);
+                                               pmr_end, spans_);
+  hierarchy_ = std::make_unique<mem::CacheHierarchy>(
+      cfg_.num_cores, cfg_.cache, network_.get(), &stats_, spans_);
   pou_.SetPmr(pmr_base, pmr_end);
   uc_slots_.assign(static_cast<std::size_t>(cfg_.num_cores),
                    std::vector<Tick>(static_cast<std::size_t>(cfg_.uc_queue_depth), 0));
   upei_check_ready_.assign(static_cast<std::size_t>(cfg_.num_cores), 0);
+  if (spans_ != nullptr) {
+    span_seq_.assign(static_cast<std::size_t>(cfg_.num_cores), 0);
+  }
 }
 
 Tick MemorySystem::AcquireUcSlot(int core, Tick when, std::size_t* slot) {
@@ -54,39 +59,66 @@ bool MemorySystem::PageInHmc(Addr addr) const {
 }
 
 MemOutcome MemorySystem::Access(int core, const MicroOp& op, Tick when) {
+  // The sampling point. With tracing off this whole block is one
+  // never-taken branch; with tracing on, every memory micro-op draws a
+  // value-derived id and the sampled ones record a span.
+  if (spans_ == nullptr) return Route(core, op, when, trace::SpanRef());
+  const std::uint64_t id = trace::SpanRequestId(
+      core, span_seq_[static_cast<std::size_t>(core)]++);
+  const char kind = op.type == OpType::kAtomic ? 'A'
+                    : op.type == OpType::kStore ? 'W'
+                                                : 'R';
+  trace::SpanRef span = spans_->Begin(id, core, kind, op.addr, when);
+  MemOutcome out = Route(core, op, when, span);
+  if (span.valid()) spans_->End(span, out.complete, out.offloaded);
+  return out;
+}
+
+MemOutcome MemorySystem::Route(int core, const MicroOp& op, Tick when,
+                               trace::SpanRef span) {
   switch (cfg_.mode) {
     case Mode::kBaseline:
-      return HostPath(core, op, when);
+      return HostPath(core, op, when, span);
     case Mode::kUPei:
       if (op.type == OpType::kAtomic && pou_.InPmr(op.addr) && HmcSupports(op)) {
-        return UPeiAtomic(core, op, when);
+        return UPeiAtomic(core, op, when, span);
       }
-      return HostPath(core, op, when);
+      return HostPath(core, op, when, span);
     case Mode::kGraphPim:
+      // The POU decision itself is combinational (zero modeled latency);
+      // record it as a zero-width marker carrying the chosen route.
+      Stamp(span, trace::SpanStage::kPouDecision, when, when,
+            static_cast<std::uint32_t>(pou_.Classify(op)));
       if (pou_.BypassesCache(op) && PageInHmc(op.addr)) {
         if (op.type == OpType::kAtomic && !HmcSupports(op)) {
           // Applicability limit (Table III): the host must execute it, and
           // since the PMR is uncacheable this degrades to a bus lock.
-          return BusLockAtomic(core, op, when);
+          return BusLockAtomic(core, op, when, span);
         }
-        return BypassPath(core, op, when);
+        return BypassPath(core, op, when, span);
       }
-      return HostPath(core, op, when);
+      return HostPath(core, op, when, span);
     case Mode::kUncacheNoPim:
+      Stamp(span, trace::SpanStage::kPouDecision, when, when,
+            static_cast<std::uint32_t>(pou_.Classify(op)));
       if (pou_.BypassesCache(op)) {
-        if (op.type == OpType::kAtomic) return BusLockAtomic(core, op, when);
-        return BypassPath(core, op, when);
+        if (op.type == OpType::kAtomic) {
+          return BusLockAtomic(core, op, when, span);
+        }
+        return BypassPath(core, op, when, span);
       }
-      return HostPath(core, op, when);
+      return HostPath(core, op, when, span);
   }
   GP_PANIC("unreachable mode");
 }
 
-MemOutcome MemorySystem::HostPath(int core, const MicroOp& op, Tick when) {
+MemOutcome MemorySystem::HostPath(int core, const MicroOp& op, Tick when,
+                                  trace::SpanRef span) {
   mem::AccessType type = mem::AccessType::kRead;
   if (op.type == OpType::kStore) type = mem::AccessType::kWrite;
   if (op.type == OpType::kAtomic) type = mem::AccessType::kAtomicRmw;
-  mem::AccessResult r = hierarchy_->Access(core, type, op.addr, when, op.comp);
+  mem::AccessResult r =
+      hierarchy_->Access(core, type, op.addr, when, op.comp, span);
   MemOutcome out;
   out.complete = r.complete;
   out.retire_ready = r.complete;
@@ -97,7 +129,8 @@ MemOutcome MemorySystem::HostPath(int core, const MicroOp& op, Tick when) {
   return out;
 }
 
-MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
+MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when,
+                                    trace::SpanRef span) {
   // Bounded recovery from a poisoned response (fault injection): the host
   // re-issues the transaction once at the poisoned packet's arrival tick.
   // A second poisoning is accepted as-is — real drivers surface it as an
@@ -117,13 +150,16 @@ MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
   MemOutcome out;
   std::size_t slot = 0;
   Tick issue = AcquireUcSlot(core, when, &slot);
-  if (issue > when) out.issue_stall_until = issue;
+  if (issue > when) {
+    out.issue_stall_until = issue;
+    Stamp(span, trace::SpanStage::kIssue, when, issue);
+  }
   stats_.Add(sid_uc_slot_wait_ns_, TicksToNs(issue - when));
   switch (op.type) {
     case OpType::kLoad: {
       hmc::Completion c = reissue_once(
-          network_->Read(op.addr, op.size, issue),
-          [&](Tick at) { return network_->Read(op.addr, op.size, at); });
+          network_->Read(op.addr, op.size, issue, span),
+          [&](Tick at) { return network_->Read(op.addr, op.size, at, span); });
       stats_.Add(sid_uc_service_ns_, TicksToNs(c.response_at_host - issue));
       out.complete = c.response_at_host;
       out.retire_ready = c.response_at_host;
@@ -132,7 +168,7 @@ MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
       break;
     }
     case OpType::kStore: {
-      hmc::Completion c = network_->Write(op.addr, op.size, issue);
+      hmc::Completion c = network_->Write(op.addr, op.size, issue, span);
       out.complete = c.response_at_host;
       out.retire_ready = issue;  // posted
       ReleaseUcSlot(core, slot, c.internal_done);
@@ -141,10 +177,11 @@ MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
     }
     case OpType::kAtomic: {
       hmc::Completion c = reissue_once(
-          network_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(), issue),
+          network_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(),
+                           issue, span),
           [&](Tick at) {
             return network_->Atomic(op.addr, op.aop, hmc::Value16{},
-                                 op.WantReturn(), at);
+                                    op.WantReturn(), at, span);
           });
       out.complete = c.response_at_host;
       out.retire_ready = op.WantReturn() ? c.response_at_host : issue;
@@ -164,14 +201,18 @@ MemOutcome MemorySystem::BypassPath(int core, const MicroOp& op, Tick when) {
   return out;
 }
 
-MemOutcome MemorySystem::UPeiAtomic(int core, const MicroOp& op, Tick when) {
+MemOutcome MemorySystem::UPeiAtomic(int core, const MicroOp& op, Tick when,
+                                    trace::SpanRef span) {
   MemOutcome out;
   out.serializing = false;
   // Locality check: occupies the core's cache-checking unit.
   Tick& check_ready = upei_check_ready_[static_cast<std::size_t>(core)];
   Tick check_start = when > check_ready ? when : check_ready;
   check_ready = check_start + NsToTicks(3.0);
-  if (check_start > when) out.issue_stall_until = check_start;
+  if (check_start > when) {
+    out.issue_stall_until = check_start;
+    Stamp(span, trace::SpanStage::kIssue, when, check_start);
+  }
   when = check_start;
   int level = hierarchy_->ProbeLevel(core, op.addr);
   const mem::CacheParams& cp = cfg_.cache;
@@ -180,7 +221,7 @@ MemOutcome MemorySystem::UPeiAtomic(int core, const MicroOp& op, Tick when) {
     // freeze, free coherence) — but atomic ops to one address still
     // serialize, so this goes through the RMW path for line ordering.
     mem::AccessResult r = hierarchy_->Access(core, mem::AccessType::kAtomicRmw,
-                                             op.addr, when, op.comp);
+                                             op.addr, when, op.comp, span);
     // A cache-resident locked RMW still costs ~20 cycles on real hardware
     // (Schweizer et al. [21]) even with ideal coherence.
     Tick op_lat = NsToTicks(10.0);
@@ -193,18 +234,20 @@ MemOutcome MemorySystem::UPeiAtomic(int core, const MicroOp& op, Tick when) {
     // Miss: PEI pays the cache walk before dispatching to memory
     // (locality monitoring), then offloads; no fill on the way back.
     Tick walk = cp.l1_latency + cp.l2_latency + cp.l3_latency;
+    Stamp(span, trace::SpanStage::kCacheLookup, when, when + walk, 0);
     std::size_t slot = 0;
     Tick issue = AcquireUcSlot(core, when + walk, &slot);
     if (issue > when + walk) {
       out.issue_stall_until = std::max(out.issue_stall_until, issue);
+      Stamp(span, trace::SpanStage::kIssue, when + walk, issue);
     }
-    hmc::Completion c =
-        network_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(), issue);
+    hmc::Completion c = network_->Atomic(op.addr, op.aop, hmc::Value16{},
+                                         op.WantReturn(), issue, span);
     if (c.poisoned) {
       // Same bounded recovery as the GraphPIM bypass path.
       stats_.Inc(sid_poison_reissues_);
       c = network_->Atomic(op.addr, op.aop, hmc::Value16{}, op.WantReturn(),
-                        c.response_at_host);
+                           c.response_at_host, span);
       if (c.poisoned) stats_.Inc(sid_poison_unrecovered_);
     }
     out.complete = c.response_at_host;
@@ -219,14 +262,19 @@ MemOutcome MemorySystem::UPeiAtomic(int core, const MicroOp& op, Tick when) {
   return out;
 }
 
-MemOutcome MemorySystem::BusLockAtomic(int core, const MicroOp& op, Tick when) {
+MemOutcome MemorySystem::BusLockAtomic(int core, const MicroOp& op, Tick when,
+                                       trace::SpanRef span) {
   (void)core;
   // Uncacheable host atomic: the cache-line lock degrades to bus locking —
   // a full read + write round trip to memory with the entire interconnect
   // held, serializing against every other bus lock in the system.
-  if (bus_lock_ready_ > when) when = bus_lock_ready_;
-  hmc::Completion rd = network_->Read(op.addr, op.size, when);
-  hmc::Completion wr = network_->Write(op.addr, op.size, rd.response_at_host);
+  if (bus_lock_ready_ > when) {
+    Stamp(span, trace::SpanStage::kIssue, when, bus_lock_ready_);
+    when = bus_lock_ready_;
+  }
+  hmc::Completion rd = network_->Read(op.addr, op.size, when, span);
+  hmc::Completion wr =
+      network_->Write(op.addr, op.size, rd.response_at_host, span);
   Tick penalty = static_cast<Tick>(cfg_.bus_lock_penalty) *
                  NsToTicks(1.0 / cfg_.core.freq_ghz);
   MemOutcome out;

@@ -16,9 +16,11 @@
 #ifndef GRAPHPIM_CORE_SYSTEM_H_
 #define GRAPHPIM_CORE_SYSTEM_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/span.h"
 #include "common/stats.h"
 #include "core/sim_config.h"
 #include "cpu/memory_interface.h"
@@ -30,7 +32,13 @@ namespace graphpim::core {
 
 class MemorySystem : public cpu::MemoryInterface {
  public:
-  MemorySystem(const SimConfig& cfg, Addr pmr_base, Addr pmr_end);
+  // `spans` (may be null) is the transaction flight recorder. The memory
+  // system is the sampling point: every memory micro-op gets a value-
+  // derived request id here ((core << 48) | per-core ordinal — identical
+  // in every mode, since each micro-op enters exactly once per run), and
+  // sampled requests carry a SpanRef down every path they take.
+  MemorySystem(const SimConfig& cfg, Addr pmr_base, Addr pmr_end,
+               trace::SpanRecorder* spans = nullptr);
 
   cpu::MemOutcome Access(int core, const cpu::MicroOp& op, Tick when) override;
 
@@ -41,10 +49,25 @@ class MemorySystem : public cpu::MemoryInterface {
   const cpu::PimOffloadUnit& pou() const { return pou_; }
 
  private:
-  cpu::MemOutcome HostPath(int core, const cpu::MicroOp& op, Tick when);
-  cpu::MemOutcome BypassPath(int core, const cpu::MicroOp& op, Tick when);
-  cpu::MemOutcome UPeiAtomic(int core, const cpu::MicroOp& op, Tick when);
-  cpu::MemOutcome BusLockAtomic(int core, const cpu::MicroOp& op, Tick when);
+  // Mode dispatch (the old Access body); `span` is invalid for unsampled
+  // requests.
+  cpu::MemOutcome Route(int core, const cpu::MicroOp& op, Tick when,
+                        trace::SpanRef span);
+
+  cpu::MemOutcome HostPath(int core, const cpu::MicroOp& op, Tick when,
+                           trace::SpanRef span);
+  cpu::MemOutcome BypassPath(int core, const cpu::MicroOp& op, Tick when,
+                             trace::SpanRef span);
+  cpu::MemOutcome UPeiAtomic(int core, const cpu::MicroOp& op, Tick when,
+                             trace::SpanRef span);
+  cpu::MemOutcome BusLockAtomic(int core, const cpu::MicroOp& op, Tick when,
+                                trace::SpanRef span);
+
+  // Span stage stamp; single never-taken branch when tracing is off.
+  void Stamp(trace::SpanRef span, trace::SpanStage stage, Tick enter,
+             Tick exit, std::uint32_t detail = 0) {
+    if (spans_ != nullptr) spans_->Stage(span, stage, enter, exit, detail);
+  }
 
   // True if the HMC can execute this atomic op under the current config.
   bool HmcSupports(const cpu::MicroOp& op) const;
@@ -63,6 +86,10 @@ class MemorySystem : public cpu::MemoryInterface {
   }
 
   SimConfig cfg_;
+  trace::SpanRecorder* spans_;  // may be null (tracing off)
+  // Per-core memory-request ordinals for span request ids. Maintained only
+  // when tracing is on.
+  std::vector<std::uint64_t> span_seq_;
   StatRegistry stats_;
   StatId sid_poison_reissues_;
   StatId sid_poison_unrecovered_;

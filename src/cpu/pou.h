@@ -40,6 +40,20 @@ class PimOffloadUnit {
            InPmr(op.addr);
   }
 
+  // The data-path decision the POU makes for `op`, as a stable small
+  // integer (recorded as the kPouDecision span detail and usable for
+  // decision-level analysis without re-deriving the routing rules).
+  enum class Route : std::uint8_t {
+    kHost = 0,        // cacheable path, no PMR involvement
+    kOffloadAtomic,   // PIM-atomic command to the HMC
+    kUncacheable,     // PMR load/store, cache bypass
+  };
+  Route Classify(const MicroOp& op) const {
+    if (ShouldOffload(op)) return Route::kOffloadAtomic;
+    if (BypassesCache(op)) return Route::kUncacheable;
+    return Route::kHost;
+  }
+
   Addr pmr_base() const { return pmr_base_; }
   Addr pmr_end() const { return pmr_end_; }
 

@@ -427,6 +427,27 @@ void JournalWriter::AppendPhases(const SweepRow& row,
   std::fflush(f_);
 }
 
+void JournalWriter::AppendSpans(const SweepRow& row,
+                                const trace::SpanLog& log) {
+  if (f_ == nullptr || log.empty()) return;
+  // Same sidecar convention as AppendPhases: keyed by grid coordinates,
+  // skipped by prefix on load.
+  std::string s = "{\"spans_for\":{";
+  s += "\"w\":" + U(row.workload_idx);
+  s += ",\"p\":" + U(row.profile_idx);
+  s += ",\"c\":" + U(row.config_idx);
+  s += "},\"spans\":[";
+  bool first = true;
+  for (const trace::SpanRecord& sp : log.spans) {
+    if (!first) s += ',';
+    first = false;
+    s += trace::SpanToJson(sp);
+  }
+  s += "]}\n";
+  std::fwrite(s.data(), 1, s.size(), f_);
+  std::fflush(f_);
+}
+
 void JournalWriter::Close() {
   if (f_ != nullptr) {
     std::fclose(f_);
@@ -455,9 +476,11 @@ bool LoadJournal(const std::string& path, JournalData* out) {
       }
       continue;
     }
-    // Phase-metrics sidecar lines ({"phases_for":...}) are informational:
-    // not rows, not errors — skip without counting them as dropped.
+    // Sidecar lines ({"phases_for":...}, {"spans_for":...}) are
+    // informational: not rows, not errors — skip without counting them as
+    // dropped.
     if (line.compare(0, 14, "{\"phases_for\":") == 0) continue;
+    if (line.compare(0, 13, "{\"spans_for\":") == 0) continue;
     SweepRow row;
     if (RowFromJson(line, &row)) {
       out->rows.push_back(std::move(row));

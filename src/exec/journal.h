@@ -54,6 +54,12 @@ class JournalWriter {
   // loses them. No-op when the log is empty.
   void AppendPhases(const SweepRow& row, const trace::PhaseLog& log);
 
+  // Appends a `{"spans_for":{coords},"spans":[...]}` sidecar line with the
+  // row's sampled transaction spans (the flight-recorder output under
+  // trace.sample_rate > 0). Skipped by LoadJournal like phase sidecars.
+  // No-op when the log is empty.
+  void AppendSpans(const SweepRow& row, const trace::SpanLog& log);
+
   void Close();
 
  private:

@@ -150,11 +150,16 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
     double wall_ms = 0.0;
     int attempts = 1;
     trace::PhaseLog phases;  // populated only when journaling phases
+    trace::SpanLog spans;    // populated when the config samples spans
   };
 
   // Phase capture costs one registry merge per superstep, so only pay for
   // it when there is a journal to carry the sidecar lines.
   const bool want_phases = opts_.journal_phases && !opts_.journal_path.empty();
+  // Span capture is keyed off the config itself (trace.sample_rate > 0):
+  // the recorder runs either way to fold span.* stats, so the only question
+  // is whether to keep the log for a journal sidecar.
+  const bool journal_open = !opts_.journal_path.empty();
 
   // Resume: restore journaled rows keyed by flat grid index. The
   // fingerprint gate makes a stale journal (different grid) an error
@@ -276,6 +281,9 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
             cfg.hmc.fault.seed = fault::DeriveFaultSeed(cell_seed, k);
             core::RunOptions ro;
             if (want_phases) ro.phases = &out.phases;
+            if (journal_open && cfg.trace_sample_rate > 0.0) {
+              ro.spans = &out.spans;
+            }
             out.results = exp->Run(cfg, ro);
           } catch (const std::exception& e) {
             out.error = e.what();
@@ -365,6 +373,9 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
               cfg.hmc.fault.seed = fault::DeriveFaultSeed(retry_seed, k);
               core::RunOptions ro;
               if (want_phases) ro.phases = &r.phases;
+              if (journal_open && cfg.trace_sample_rate > 0.0) {
+                ro.spans = &r.spans;
+              }
               r.results = exp.Run(cfg, ro);
             } catch (const std::exception& e) {
               r.error = e.what();
@@ -402,6 +413,7 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
         // retried by a resume, and restored rows are already on disk.
         writer.Append(row);
         if (want_phases) writer.AppendPhases(row, out.phases);
+        if (!out.spans.empty()) writer.AppendSpans(row, out.spans);
       } else {
         row.status = JobStatus::kFailed;
         row.error = out.error;

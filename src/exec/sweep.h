@@ -146,6 +146,10 @@ class SweepRunner {
     // each freshly-simulated job and append them as `{"phases_for":...}`
     // sidecar lines after the row. Sidecars are skipped on load, so
     // resume semantics are unchanged. Ignored without a journal.
+    //
+    // Span sidecars ({"spans_for":...}) need no separate option: when the
+    // journal is open and a config's trace.sample_rate > 0, each freshly
+    // simulated row's sampled spans are appended after it.
     bool journal_phases = false;
 
     // Invoked serially (under a lock) as each job retires; may print.

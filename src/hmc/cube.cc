@@ -20,8 +20,11 @@ constexpr std::uint64_t kBitsPerFlit = 128;
 
 }  // namespace
 
-HmcCube::HmcCube(const HmcParams& params, StatRegistry* stats)
+HmcCube::HmcCube(const HmcParams& params, StatRegistry* stats,
+                 trace::SpanRecorder* spans, std::uint32_t cube_id)
     : params_(params),
+      spans_(spans),
+      cube_id_(cube_id),
       stats_(stats, "hmc"),
       fault_stats_(stats, "fault"),
       sid_reads_(stats_.Counter("reads")),
@@ -52,7 +55,10 @@ HmcCube::HmcCube(const HmcParams& params, StatRegistry* stats)
   }
   vaults_.reserve(params_.num_vaults);
   for (std::uint32_t i = 0; i < params_.num_vaults; ++i) {
-    vaults_.push_back(std::make_unique<Vault>(params_, stats_.registry()));
+    // Vault track id: cube in the high bits, vault index below — unique
+    // across the whole network for trace-export rows.
+    vaults_.push_back(std::make_unique<Vault>(params_, stats_.registry(),
+                                              spans_, (cube_id_ << 8) | i));
   }
 }
 
@@ -137,16 +143,20 @@ Tick HmcCube::ResponseToHost(std::uint32_t flits, Tick ready, std::uint32_t link
   return serialized + params_.link_latency;
 }
 
-Completion HmcCube::Read(Addr addr, std::uint32_t size, Tick when) {
+Completion HmcCube::Read(Addr addr, std::uint32_t size, Tick when,
+                         trace::SpanRef span) {
   Completion c;
   c.req_flits = ReadRequestFlits(size);
   c.resp_flits = ReadResponseFlits(size);
   std::uint32_t link = 0;
   Tick at_vault = RequestToVault(c.req_flits, when, &link, &c.poisoned);
-  Vault::AccessResult r = vaults_[VaultOf(addr)]->Read(VaultLocalAddr(addr), at_vault);
+  Stamp(span, trace::SpanStage::kCubeLink, when, at_vault);
+  Vault::AccessResult r =
+      vaults_[VaultOf(addr)]->Read(VaultLocalAddr(addr), at_vault, span);
   c.row_hit = r.row_hit;
   c.internal_done = r.done;
   c.response_at_host = ResponseToHost(c.resp_flits, r.data_ready, link, &c.poisoned);
+  Stamp(span, trace::SpanStage::kResponse, r.data_ready, c.response_at_host);
   if (c.poisoned) fault_stats_.Inc(sid_poisoned_ops_);
   stats_.Inc(sid_reads_);
   stats_.Add(sid_dbg_req_path_ns_, TicksToNs(at_vault - when));
@@ -157,16 +167,20 @@ Completion HmcCube::Read(Addr addr, std::uint32_t size, Tick when) {
   return c;
 }
 
-Completion HmcCube::Write(Addr addr, std::uint32_t size, Tick when) {
+Completion HmcCube::Write(Addr addr, std::uint32_t size, Tick when,
+                          trace::SpanRef span) {
   Completion c;
   c.req_flits = WriteRequestFlits(size);
   c.resp_flits = WriteResponseFlits(size);
   std::uint32_t link = 0;
   Tick at_vault = RequestToVault(c.req_flits, when, &link, &c.poisoned);
-  Vault::AccessResult r = vaults_[VaultOf(addr)]->Write(VaultLocalAddr(addr), at_vault);
+  Stamp(span, trace::SpanStage::kCubeLink, when, at_vault);
+  Vault::AccessResult r =
+      vaults_[VaultOf(addr)]->Write(VaultLocalAddr(addr), at_vault, span);
   c.row_hit = r.row_hit;
   c.internal_done = r.done;
   c.response_at_host = ResponseToHost(c.resp_flits, r.data_ready, link, &c.poisoned);
+  Stamp(span, trace::SpanStage::kResponse, r.data_ready, c.response_at_host);
   if (c.poisoned) fault_stats_.Inc(sid_poisoned_ops_);
   stats_.Inc(sid_writes_);
   stats_.Add(sid_req_flits_, c.req_flits);
@@ -175,7 +189,7 @@ Completion HmcCube::Write(Addr addr, std::uint32_t size, Tick when) {
 }
 
 Completion HmcCube::Atomic(Addr addr, AtomicOp op, const Value16& operand,
-                           bool want_return, Tick when) {
+                           bool want_return, Tick when, trace::SpanRef span) {
   GP_CHECK(!IsFpOp(op) || params_.enable_fp_atomics,
            "FP atomic issued but the FP extension is disabled");
   Completion c;
@@ -183,10 +197,13 @@ Completion HmcCube::Atomic(Addr addr, AtomicOp op, const Value16& operand,
   c.resp_flits = AtomicResponseFlits(op, want_return);
   std::uint32_t link = 0;
   Tick at_vault = RequestToVault(c.req_flits, when, &link, &c.poisoned);
-  Vault::AccessResult r = vaults_[VaultOf(addr)]->Atomic(VaultLocalAddr(addr), op, at_vault);
+  Stamp(span, trace::SpanStage::kCubeLink, when, at_vault);
+  Vault::AccessResult r =
+      vaults_[VaultOf(addr)]->Atomic(VaultLocalAddr(addr), op, at_vault, span);
   c.row_hit = r.row_hit;
   c.internal_done = r.done;
   c.response_at_host = ResponseToHost(c.resp_flits, r.data_ready, link, &c.poisoned);
+  Stamp(span, trace::SpanStage::kResponse, r.data_ready, c.response_at_host);
   if (params_.fault.poison_ppm > 0 && fault_plan_.PoisonAtomic()) {
     // Internal ECC escalation: the atomic executed but its response value
     // is untrustworthy.

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/span.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "hmc/atomic.h"
@@ -38,22 +39,30 @@ struct Completion {
 
 class HmcCube {
  public:
-  explicit HmcCube(const HmcParams& params, StatRegistry* stats = nullptr);
+  // `spans` (may be null) is the transaction flight recorder; `cube_id`
+  // names this cube's track in span stamps and trace export.
+  explicit HmcCube(const HmcParams& params, StatRegistry* stats = nullptr,
+                   trace::SpanRecorder* spans = nullptr,
+                   std::uint32_t cube_id = 0);
 
   HmcCube(const HmcCube&) = delete;
   HmcCube& operator=(const HmcCube&) = delete;
 
   // A read of `size` bytes arriving at the host-side link interface at
   // `when`. Size may be a full cache line (64) or an exact uncacheable size.
-  Completion Read(Addr addr, std::uint32_t size, Tick when);
+  // `span` is the flight-recorder handle of the enclosing sampled request.
+  Completion Read(Addr addr, std::uint32_t size, Tick when,
+                  trace::SpanRef span = trace::SpanRef());
 
   // A write of `size` bytes.
-  Completion Write(Addr addr, std::uint32_t size, Tick when);
+  Completion Write(Addr addr, std::uint32_t size, Tick when,
+                   trace::SpanRef span = trace::SpanRef());
 
   // An HMC atomic command. `operand` is the 16-byte packet immediate;
   // `want_return` selects the response form (posted ops pass false).
   Completion Atomic(Addr addr, AtomicOp op, const Value16& operand,
-                    bool want_return, Tick when);
+                    bool want_return, Tick when,
+                    trace::SpanRef span = trace::SpanRef());
 
   // Functional mode: when enabled, Atomic() reads/modifies/writes the
   // sparse backing store so callers can observe data values. Replay-only
@@ -103,7 +112,15 @@ class HmcCube {
   // Applies an injected vault busy-stall to an arrival tick.
   Tick MaybeStallVault(Tick at_vault);
 
+  // Span stage stamp; single never-taken branch when tracing is off.
+  void Stamp(trace::SpanRef span, trace::SpanStage stage, Tick enter,
+             Tick exit) {
+    if (spans_ != nullptr) spans_->Stage(span, stage, enter, exit, cube_id_);
+  }
+
   HmcParams params_;
+  trace::SpanRecorder* spans_;  // may be null (tracing off)
+  std::uint32_t cube_id_;
   StatScope stats_;        // "hmc." counters
   StatScope fault_stats_;  // "fault." counters
   StatId sid_reads_;

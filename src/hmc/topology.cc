@@ -22,8 +22,9 @@ CubeTopology ParseCubeTopology(const std::string& name) {
 }
 
 HmcNetwork::HmcNetwork(const HmcParams& params, StatRegistry* stats,
-                       Addr pmr_base, Addr pmr_end)
-    : params_(params) {
+                       Addr pmr_base, Addr pmr_end,
+                       trace::SpanRecorder* spans)
+    : params_(params), spans_(spans) {
   GP_CHECK(params_.num_cubes >= 1, "network needs at least one cube");
   map_.num_cubes = params_.num_cubes;
   map_.page_bytes = params_.cube_page_bytes;
@@ -37,7 +38,7 @@ HmcNetwork::HmcNetwork(const HmcParams& params, StatRegistry* stats,
     // remote cubes draw decorrelated streams so one injection schedule is
     // not replayed across the whole network.
     cp.fault.seed = fault::DeriveCubeFaultSeed(params_.fault.seed, i);
-    cubes_.push_back(std::make_unique<HmcCube>(cp, stats));
+    cubes_.push_back(std::make_unique<HmcCube>(cp, stats, spans, i));
   }
 
   if (params_.num_cubes > 1) {
@@ -77,7 +78,8 @@ std::uint32_t HmcNetwork::HopEdge(std::uint32_t cube, std::uint32_t h) const {
   return params_.cube_topology == CubeTopology::kChain ? h : 0;
 }
 
-Tick HmcNetwork::HopsOut(std::uint32_t cube, std::uint32_t flits, Tick when) {
+Tick HmcNetwork::HopsOut(std::uint32_t cube, std::uint32_t flits, Tick when,
+                         trace::SpanRef span) {
   const std::uint32_t hops = HopsTo(cube);
   Tick at = when;
   for (std::uint32_t h = 0; h < hops; ++h) {
@@ -88,11 +90,15 @@ Tick HmcNetwork::HopsOut(std::uint32_t cube, std::uint32_t flits, Tick when) {
     stats_.Add(sid_hop_traversals_, hops);
     stats_.Add(sid_hop_flits_, static_cast<double>(flits) * hops);
     stats_.Add(sid_hop_ns_, TicksToNs(at - when));
+    if (spans_ != nullptr) {
+      spans_->Stage(span, trace::SpanStage::kHopLink, when, at, cube);
+    }
   }
   return at;
 }
 
-Tick HmcNetwork::HopsBack(std::uint32_t cube, std::uint32_t flits, Tick when) {
+Tick HmcNetwork::HopsBack(std::uint32_t cube, std::uint32_t flits, Tick when,
+                          trace::SpanRef span) {
   const std::uint32_t hops = HopsTo(cube);
   Tick at = when;
   for (std::uint32_t h = hops; h > 0; --h) {
@@ -103,44 +109,53 @@ Tick HmcNetwork::HopsBack(std::uint32_t cube, std::uint32_t flits, Tick when) {
     stats_.Add(sid_hop_traversals_, hops);
     stats_.Add(sid_hop_flits_, static_cast<double>(flits) * hops);
     stats_.Add(sid_hop_ns_, TicksToNs(at - when));
+    if (spans_ != nullptr) {
+      spans_->Stage(span, trace::SpanStage::kHopLink, when, at, cube);
+    }
   }
   return at;
 }
 
-Completion HmcNetwork::Read(Addr addr, std::uint32_t size, Tick when) {
-  if (params_.num_cubes <= 1) return cubes_[0]->Read(addr, size, when);
+Completion HmcNetwork::Read(Addr addr, std::uint32_t size, Tick when,
+                            trace::SpanRef span) {
+  if (params_.num_cubes <= 1) return cubes_[0]->Read(addr, size, when, span);
   const std::uint32_t c = map_.CubeOf(addr);
   if (c == 0) stats_.Inc(sid_local_ops_);
   else stats_.Inc(sid_remote_ops_);
-  const Tick at_cube = HopsOut(c, ReadRequestFlits(size), when);
-  Completion comp = cubes_[c]->Read(map_.LocalAddr(addr), size, at_cube);
-  comp.response_at_host = HopsBack(c, comp.resp_flits, comp.response_at_host);
+  const Tick at_cube = HopsOut(c, ReadRequestFlits(size), when, span);
+  Completion comp = cubes_[c]->Read(map_.LocalAddr(addr), size, at_cube, span);
+  comp.response_at_host =
+      HopsBack(c, comp.resp_flits, comp.response_at_host, span);
   return comp;
 }
 
-Completion HmcNetwork::Write(Addr addr, std::uint32_t size, Tick when) {
-  if (params_.num_cubes <= 1) return cubes_[0]->Write(addr, size, when);
+Completion HmcNetwork::Write(Addr addr, std::uint32_t size, Tick when,
+                             trace::SpanRef span) {
+  if (params_.num_cubes <= 1) return cubes_[0]->Write(addr, size, when, span);
   const std::uint32_t c = map_.CubeOf(addr);
   if (c == 0) stats_.Inc(sid_local_ops_);
   else stats_.Inc(sid_remote_ops_);
-  const Tick at_cube = HopsOut(c, WriteRequestFlits(size), when);
-  Completion comp = cubes_[c]->Write(map_.LocalAddr(addr), size, at_cube);
-  comp.response_at_host = HopsBack(c, comp.resp_flits, comp.response_at_host);
+  const Tick at_cube = HopsOut(c, WriteRequestFlits(size), when, span);
+  Completion comp = cubes_[c]->Write(map_.LocalAddr(addr), size, at_cube, span);
+  comp.response_at_host =
+      HopsBack(c, comp.resp_flits, comp.response_at_host, span);
   return comp;
 }
 
 Completion HmcNetwork::Atomic(Addr addr, AtomicOp op, const Value16& operand,
-                              bool want_return, Tick when) {
+                              bool want_return, Tick when,
+                              trace::SpanRef span) {
   if (params_.num_cubes <= 1) {
-    return cubes_[0]->Atomic(addr, op, operand, want_return, when);
+    return cubes_[0]->Atomic(addr, op, operand, want_return, when, span);
   }
   const std::uint32_t c = map_.CubeOf(addr);
   if (c == 0) stats_.Inc(sid_local_ops_);
   else stats_.Inc(sid_remote_ops_);
-  const Tick at_cube = HopsOut(c, AtomicRequestFlits(op), when);
-  Completion comp =
-      cubes_[c]->Atomic(map_.LocalAddr(addr), op, operand, want_return, at_cube);
-  comp.response_at_host = HopsBack(c, comp.resp_flits, comp.response_at_host);
+  const Tick at_cube = HopsOut(c, AtomicRequestFlits(op), when, span);
+  Completion comp = cubes_[c]->Atomic(map_.LocalAddr(addr), op, operand,
+                                      want_return, at_cube, span);
+  comp.response_at_host =
+      HopsBack(c, comp.resp_flits, comp.response_at_host, span);
   return comp;
 }
 

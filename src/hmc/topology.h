@@ -91,19 +91,25 @@ class HmcNetwork {
   // `params` describes every cube (num_cubes/cube_topology/cube_page_bytes
   // are the network knobs). `pmr_base`/`pmr_end` delimit the sharded PMR.
   // Cube i > 0 re-seeds its fault plan with DeriveCubeFaultSeed so the
-  // cubes inject decorrelated fault streams.
+  // cubes inject decorrelated fault streams. `spans` (may be null) is the
+  // transaction flight recorder: hop traversals stamp kHopLink stages and
+  // the handle threads into the home cube's own stamps.
   HmcNetwork(const HmcParams& params, StatRegistry* stats, Addr pmr_base,
-             Addr pmr_end);
+             Addr pmr_end, trace::SpanRecorder* spans = nullptr);
 
   HmcNetwork(const HmcNetwork&) = delete;
   HmcNetwork& operator=(const HmcNetwork&) = delete;
 
   // Transactions, routed to the address's home cube with inter-cube hop
-  // costs applied on both directions of the path.
-  Completion Read(Addr addr, std::uint32_t size, Tick when);
-  Completion Write(Addr addr, std::uint32_t size, Tick when);
+  // costs applied on both directions of the path. `span` is the flight
+  // recorder handle of the enclosing sampled request (invalid = unsampled).
+  Completion Read(Addr addr, std::uint32_t size, Tick when,
+                  trace::SpanRef span = trace::SpanRef());
+  Completion Write(Addr addr, std::uint32_t size, Tick when,
+                   trace::SpanRef span = trace::SpanRef());
   Completion Atomic(Addr addr, AtomicOp op, const Value16& operand,
-                    bool want_return, Tick when);
+                    bool want_return, Tick when,
+                    trace::SpanRef span = trace::SpanRef());
 
   // Functional mode fans out to every cube; functional reads/writes route
   // to the home cube's backing store under the carved local address.
@@ -139,10 +145,12 @@ class HmcNetwork {
   // Applies the request-direction hop path toward `cube`: per-hop TX-lane
   // serialization plus SerDes + pass-through crossbar latency. Returns the
   // arrival tick at the home cube's own link interface.
-  Tick HopsOut(std::uint32_t cube, std::uint32_t flits, Tick when);
+  Tick HopsOut(std::uint32_t cube, std::uint32_t flits, Tick when,
+               trace::SpanRef span);
 
   // Response-direction path back to the host (RX lanes).
-  Tick HopsBack(std::uint32_t cube, std::uint32_t flits, Tick when);
+  Tick HopsBack(std::uint32_t cube, std::uint32_t flits, Tick when,
+                trace::SpanRef span);
 
   // Hop-link index of pass-through hop `h` (0-based from the host) on the
   // path to `cube`.
@@ -150,6 +158,7 @@ class HmcNetwork {
 
   HmcParams params_;
   CubeMap map_;
+  trace::SpanRecorder* spans_ = nullptr;  // may be null (tracing off)
   StatScope stats_;  // "hmc." network counters (multi-cube only)
   StatId sid_local_ops_;
   StatId sid_remote_ops_;

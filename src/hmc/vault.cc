@@ -6,8 +6,11 @@
 
 namespace graphpim::hmc {
 
-Vault::Vault(const HmcParams& params, StatRegistry* stats)
+Vault::Vault(const HmcParams& params, StatRegistry* stats,
+             trace::SpanRecorder* spans, std::uint32_t track)
     : params_(params),
+      spans_(spans),
+      track_(track),
       stats_(stats, "hmc"),
       sid_row_hits_(stats_.Counter("row_hits")),
       sid_row_misses_(stats_.Counter("row_misses")),
@@ -71,7 +74,7 @@ Tick Vault::BankAccess(Bank& bank, std::int64_t row, Tick start, bool* row_hit) 
   return act + params_.t_rcd + params_.t_cl + params_.t_burst;
 }
 
-Vault::AccessResult Vault::Read(Addr addr, Tick arrival) {
+Vault::AccessResult Vault::Read(Addr addr, Tick arrival, trace::SpanRef span) {
   Tick start = ctrl_.Reserve(1, arrival);
   Bank& bank = BankFor(addr);
   AccessResult r;
@@ -79,10 +82,12 @@ Vault::AccessResult Vault::Read(Addr addr, Tick arrival) {
   r.done = r.data_ready;
   bank.ready = r.done;
   stats_.Inc(r.row_hit ? sid_row_hits_ : sid_row_misses_);
+  Stamp(span, trace::SpanStage::kVaultQueue, arrival, start);
+  Stamp(span, trace::SpanStage::kBankAccess, start, r.data_ready);
   return r;
 }
 
-Vault::AccessResult Vault::Write(Addr addr, Tick arrival) {
+Vault::AccessResult Vault::Write(Addr addr, Tick arrival, trace::SpanRef span) {
   Tick start = ctrl_.Reserve(1, arrival);
   Bank& bank = BankFor(addr);
   AccessResult r;
@@ -90,10 +95,13 @@ Vault::AccessResult Vault::Write(Addr addr, Tick arrival) {
   r.done = r.data_ready + params_.t_wr;
   bank.ready = r.done;
   stats_.Inc(r.row_hit ? sid_row_hits_ : sid_row_misses_);
+  Stamp(span, trace::SpanStage::kVaultQueue, arrival, start);
+  Stamp(span, trace::SpanStage::kBankAccess, start, r.data_ready);
   return r;
 }
 
-Vault::AccessResult Vault::Atomic(Addr addr, AtomicOp op, Tick arrival) {
+Vault::AccessResult Vault::Atomic(Addr addr, AtomicOp op, Tick arrival,
+                                  trace::SpanRef span) {
   Tick start = ctrl_.Reserve(1, arrival);
   Bank& bank = BankFor(addr);
 
@@ -120,6 +128,12 @@ Vault::AccessResult Vault::Atomic(Addr addr, AtomicOp op, Tick arrival) {
   stats_.Inc(r.row_hit ? sid_row_hits_ : sid_row_misses_);
   stats_.Inc(fp ? sid_fu_fp_ops_ : sid_fu_int_ops_);
   stats_.Add(sid_bank_locked_ticks_, static_cast<double>(r.done - start));
+  // The three stages tile [arrival, data_ready] exactly, so per-stage sums
+  // reconcile with hmc.dbg_a_vault_ns by construction (the t_wr writeback
+  // after fu_done is off the response path and is not a latency stage).
+  Stamp(span, trace::SpanStage::kVaultQueue, arrival, start);
+  Stamp(span, trace::SpanStage::kBankAccess, start, read_ready);
+  Stamp(span, trace::SpanStage::kAtomicFu, read_ready, fu_done);
   return r;
 }
 

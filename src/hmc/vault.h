@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/span.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "hmc/atomic.h"
@@ -25,8 +26,11 @@ namespace graphpim::hmc {
 class Vault {
  public:
   // `stats` may be null (no stat collection); it is not owned. Counter
-  // names are interned once here; accesses update by StatId.
-  Vault(const HmcParams& params, StatRegistry* stats);
+  // names are interned once here; accesses update by StatId. `spans` (may
+  // be null) is the transaction flight recorder; `track` names this
+  // vault's row in span stamps ((cube_id << 8) | vault index).
+  Vault(const HmcParams& params, StatRegistry* stats,
+        trace::SpanRecorder* spans = nullptr, std::uint32_t track = 0);
 
   struct AccessResult {
     Tick data_ready = 0;  // when read data / atomic response is available
@@ -34,15 +38,19 @@ class Vault {
     bool row_hit = false;
   };
 
-  // A read of any size within one bank row.
-  AccessResult Read(Addr addr, Tick arrival);
+  // A read of any size within one bank row. `span` is the flight-recorder
+  // handle of the enclosing sampled request (invalid = unsampled).
+  AccessResult Read(Addr addr, Tick arrival,
+                    trace::SpanRef span = trace::SpanRef());
 
   // A write of any size within one bank row.
-  AccessResult Write(Addr addr, Tick arrival);
+  AccessResult Write(Addr addr, Tick arrival,
+                     trace::SpanRef span = trace::SpanRef());
 
   // An atomic RMW: bank read, FU execute, bank write with the bank locked
   // throughout. data_ready is when the response value exists.
-  AccessResult Atomic(Addr addr, AtomicOp op, Tick arrival);
+  AccessResult Atomic(Addr addr, AtomicOp op, Tick arrival,
+                      trace::SpanRef span = trace::SpanRef());
 
   // Total busy time accumulated by the FU pools (for the energy model).
   Tick int_fu_busy() const { return int_fu_busy_; }
@@ -62,7 +70,15 @@ class Vault {
   // at which data is at the bank I/O. Sets *row_hit.
   Tick BankAccess(Bank& bank, std::int64_t row, Tick start, bool* row_hit);
 
+  // Span stage stamp; single never-taken branch when tracing is off.
+  void Stamp(trace::SpanRef span, trace::SpanStage stage, Tick enter,
+             Tick exit) {
+    if (spans_ != nullptr) spans_->Stage(span, stage, enter, exit, track_);
+  }
+
   const HmcParams& params_;
+  trace::SpanRecorder* spans_;  // may be null (tracing off)
+  std::uint32_t track_;
   StatScope stats_;
   StatId sid_row_hits_;
   StatId sid_row_misses_;

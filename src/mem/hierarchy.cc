@@ -8,10 +8,12 @@
 namespace graphpim::mem {
 
 CacheHierarchy::CacheHierarchy(int num_cores, const CacheParams& params,
-                               hmc::HmcNetwork* mem, StatRegistry* stats)
+                               hmc::HmcNetwork* mem, StatRegistry* stats,
+                               trace::SpanRecorder* spans)
     : num_cores_(num_cores),
       params_(params),
       mem_(mem),
+      spans_(spans),
       stats_(stats, "cache"),
       sid_atomic_reqs_(stats_.Counter("atomic_reqs")),
       sid_writebacks_(stats_.Counter("writebacks")),
@@ -147,7 +149,8 @@ void CacheHierarchy::FillLine(int core, Addr line, Tick when, bool dirty) {
 }
 
 AccessResult CacheHierarchy::Access(int core, AccessType type, Addr addr,
-                                    Tick when, DataComponent comp) {
+                                    Tick when, DataComponent comp,
+                                    SpanRef span) {
   GP_CHECK(core >= 0 && core < num_cores_);
   Tick t = when;
   // Locked RMWs on one line serialize across cores.
@@ -157,8 +160,9 @@ AccessResult CacheHierarchy::Access(int core, AccessType type, Addr addr,
       stats_.Inc(sid_atomic_line_waits_);
       t = it->second;
     }
+    if (t > when) Stamp(span, trace::SpanStage::kIssue, when, t);
   }
-  AccessResult res = AccessInternal(core, type, addr, t, comp);
+  AccessResult res = AccessInternal(core, type, addr, t, comp, span);
   if (type == AccessType::kAtomicRmw) {
     atomic_line_ready_[LineOf(addr)] = res.complete;
   }
@@ -166,7 +170,8 @@ AccessResult CacheHierarchy::Access(int core, AccessType type, Addr addr,
 }
 
 AccessResult CacheHierarchy::AccessInternal(int core, AccessType type, Addr addr,
-                                            Tick when, DataComponent comp) {
+                                            Tick when, DataComponent comp,
+                                            SpanRef span) {
   const Addr line = LineOf(addr);
   const bool wants_exclusive = type != AccessType::kRead;
   AccessResult res;
@@ -199,6 +204,7 @@ AccessResult CacheHierarchy::AccessInternal(int core, AccessType type, Addr addr
       l1_[core]->SetDirty(line);
     }
     res.complete = t;
+    Stamp(span, trace::SpanStage::kCacheLookup, when, res.complete, 1);
     return res;
   }
   record_miss(1);
@@ -216,6 +222,7 @@ AccessResult CacheHierarchy::AccessInternal(int core, AccessType type, Addr addr
     }
     FillLine(core, line, t, wants_exclusive);
     res.complete = t;
+    Stamp(span, trace::SpanStage::kCacheLookup, when, res.complete, 2);
     return res;
   }
   record_miss(2);
@@ -234,12 +241,15 @@ AccessResult CacheHierarchy::AccessInternal(int core, AccessType type, Addr addr
     }
     FillLine(core, line, t, wants_exclusive);
     res.complete = t;
+    Stamp(span, trace::SpanStage::kCacheLookup, when, res.complete, 3);
     return res;
   }
   record_miss(3);
   if (type == AccessType::kAtomicRmw) {
     stats_.Inc(sid_atomic_mem_misses_);
   }
+  // Full-walk miss: the lookup stage ends at the L3 tag-check result.
+  Stamp(span, trace::SpanStage::kCacheLookup, when, t, 0);
 
   // Stream prefetcher: a sequential miss is already in flight and lands in
   // the fill buffer (the memory traffic still happens).
@@ -255,8 +265,11 @@ AccessResult CacheHierarchy::AccessInternal(int core, AccessType type, Addr addr
   // Main memory: MSHR-limited, filled from the HMC cube.
   Tick issue = 0;
   std::size_t mshr = AcquireMshr(core, t, &issue);
-  if (issue > t) res.issue_stall = issue;
-  hmc::Completion c = mem_->Read(line, params_.line_bytes, issue);
+  if (issue > t) {
+    res.issue_stall = issue;
+    Stamp(span, trace::SpanStage::kIssue, t, issue);
+  }
+  hmc::Completion c = mem_->Read(line, params_.line_bytes, issue, span);
   mshr_ready_[core][mshr] = c.response_at_host;
   res.hit_level = 0;
   res.complete = c.response_at_host;

@@ -63,17 +63,22 @@ class CacheHierarchy {
   // `mem` is the backing cube network; not owned. `stats` may be null. All
   // "cache." counter names are interned here, including the per-component
   // and per-level families — hot-path updates are plain indexed adds.
+  // `spans` (may be null) is the transaction flight recorder; the walk
+  // stamps kCacheLookup / kIssue stages onto sampled requests.
   CacheHierarchy(int num_cores, const CacheParams& params, hmc::HmcNetwork* mem,
-                 StatRegistry* stats = nullptr);
+                 StatRegistry* stats = nullptr,
+                 trace::SpanRecorder* spans = nullptr);
 
   CacheHierarchy(const CacheHierarchy&) = delete;
   CacheHierarchy& operator=(const CacheHierarchy&) = delete;
 
   // Performs a cacheable access from `core` starting at `when`.
   // AtomicRmw behaves like a write (RFO) and reports hit level for the
-  // offloading-candidate analysis (Fig 10).
+  // offloading-candidate analysis (Fig 10). `span` threads the flight
+  // recorder handle for sampled requests (invalid = unsampled).
   AccessResult Access(int core, AccessType type, Addr addr, Tick when,
-                      DataComponent comp = DataComponent::kMeta);
+                      DataComponent comp = DataComponent::kMeta,
+                      SpanRef span = SpanRef());
 
   // Non-destructive probe: highest level at which `core` would hit
   // (1/2/3, 0 = miss everywhere). Used by the idealized U-PEI policy.
@@ -84,7 +89,13 @@ class CacheHierarchy {
 
  private:
   AccessResult AccessInternal(int core, AccessType type, Addr addr, Tick when,
-                              DataComponent comp);
+                              DataComponent comp, SpanRef span);
+
+  // Span stage stamp; single never-taken branch when tracing is off.
+  void Stamp(SpanRef span, trace::SpanStage stage, Tick enter, Tick exit,
+             std::uint32_t detail = 0) {
+    if (spans_ != nullptr) spans_->Stage(span, stage, enter, exit, detail);
+  }
 
   Addr LineOf(Addr addr) const;
 
@@ -106,6 +117,7 @@ class CacheHierarchy {
   int num_cores_;
   CacheParams params_;
   hmc::HmcNetwork* mem_;
+  trace::SpanRecorder* spans_;  // may be null (tracing off)
   StatScope stats_;  // "cache." counters
   StatId sid_access_[3];   // by DataComponent
   StatId sid_l3_miss_[3];  // by DataComponent

@@ -5,9 +5,16 @@
 
 #include <cstdint>
 
+#include "common/span.h"
 #include "common/types.h"
 
 namespace graphpim::mem {
+
+// Flight-recorder handle threaded alongside a request through the cache
+// hierarchy and down into the cube network. Invalid (default) for
+// unsampled requests; every hook site stamps through it unconditionally
+// and the recorder ignores invalid refs.
+using SpanRef = trace::SpanRef;
 
 enum class AccessType : std::uint8_t {
   kRead = 0,

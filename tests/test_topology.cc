@@ -202,6 +202,8 @@ TEST(SimConfigApi, FromConfigAppliesEveryKnobSpelling) {
   cfg.Set("hybrid", "0.5");
   cfg.Set("uc-depth", "32");  // dashed alias
   cfg.Set("link-ber", "1e-9");
+  cfg.Set("trace-sample-rate", "0.25");  // dashed alias
+  cfg.Set("trace.max_spans", "4096");
   const core::SimConfig sc =
       core::SimConfig::FromConfig(cfg, core::Mode::kGraphPim);
   EXPECT_EQ(sc.hmc.num_cubes, 4u);
@@ -209,6 +211,8 @@ TEST(SimConfigApi, FromConfigAppliesEveryKnobSpelling) {
   EXPECT_DOUBLE_EQ(sc.pmr_hmc_fraction, 0.5);
   EXPECT_EQ(sc.uc_queue_depth, 32);
   EXPECT_DOUBLE_EQ(sc.hmc.fault.link_ber, 1e-9);
+  EXPECT_DOUBLE_EQ(sc.trace_sample_rate, 0.25);
+  EXPECT_EQ(sc.trace_max_spans, 4096u);
   // Absent keys keep the Scaled() defaults.
   EXPECT_EQ(sc.num_cores, 16);
   EXPECT_EQ(sc.cache.l1_size, 16 * kKiB);
@@ -245,6 +249,9 @@ TEST(SimConfigApi, ValidateNamesTheOffendingKey) {
   expect_throw_naming("vault_stall_ppm", "1000001", "vault_stall_ppm");
   expect_throw_naming("cube_page_bytes", "100", "cube_page_bytes");  // !pow2
   expect_throw_naming("cube_page_bytes", "32", "cube_page_bytes");
+  expect_throw_naming("trace.sample_rate", "1.5", "trace.sample_rate");
+  expect_throw_naming("trace-sample-rate", "-0.1", "trace.sample_rate");
+  expect_throw_naming("trace.max_spans", "0.5", "trace.max_spans");
   EXPECT_THROW(
       {
         Config cfg;
@@ -280,6 +287,20 @@ TEST(SimConfigApi, DescribeIsGeneratedFromTheFieldTable) {
   core::SimConfig multi = sc;
   multi.hmc.num_cubes = 4;
   EXPECT_NE(multi.Describe().find("4x"), std::string::npos);
+  // The trace.* knobs must ride the same table: present in ConfigKeys
+  // (both spellings, so --help and the grid spec accept them) and rendered
+  // by Describe() like every other knob.
+  const std::vector<std::string> keys = core::SimConfig::ConfigKeys();
+  auto has_key = [&](const char* k) {
+    for (const std::string& s : keys)
+      if (s == k) return true;
+    return false;
+  };
+  EXPECT_TRUE(has_key("trace.sample_rate"));
+  EXPECT_TRUE(has_key("trace-sample-rate"));
+  EXPECT_TRUE(has_key("trace.max_spans"));
+  EXPECT_TRUE(has_key("trace-max-spans"));
+  EXPECT_NE(desc.find("trace.sample_rate="), std::string::npos) << desc;
 }
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,12 @@
 //                [--metrics-out=p.json]  # per-superstep phase deltas for the
 //                                        # last mode; .jsonl = JSONL, else
 //                                        # Chrome trace (chrome://tracing)
+//                [--trace-sample-rate=0] # transaction flight recorder: sample
+//                                        # this fraction of memory requests,
+//                                        # print per-stage latency percentiles
+//                                        # + a bottleneck attribution table,
+//                                        # and merge span tracks (cores/cubes/
+//                                        # vaults) into --metrics-out
 //                [--trace-out=t.bin] [--trace-in=t.bin]
 //
 // Sweep mode (runs a whole job matrix instead of a single experiment; see
@@ -179,6 +185,7 @@ int RunMain(const Config& cfg) {
   // Phase capture follows the --json convention: the LAST mode in the list
   // is the one whose per-superstep deltas land in --metrics-out.
   trace::PhaseLog phase_log;
+  trace::SpanLog span_log;  // last mode's sampled spans, merged into the trace
   const bool want_phases = cfg.Has("metrics-out");
   std::vector<core::SimResults> mode_results(modes.size());
   {
@@ -188,7 +195,10 @@ int RunMain(const Config& cfg) {
     for (std::size_t i = 0; i < mode_cfgs.size(); ++i) {
       const core::SimConfig& sc = mode_cfgs[i];
       core::RunOptions ro;
-      if (want_phases && i + 1 == mode_cfgs.size()) ro.phases = &phase_log;
+      if (want_phases && i + 1 == mode_cfgs.size()) {
+        ro.phases = &phase_log;
+        if (sc.trace_sample_rate > 0.0) ro.spans = &span_log;
+      }
       futs.push_back(pool.Submit([&trace, &sc, &exp, ro] {
         return core::RunSimulation(trace, sc, exp.pmr_base(), exp.pmr_end(), ro);
       }));
@@ -211,15 +221,22 @@ int RunMain(const Config& cfg) {
     std::printf("\n");
   }
 
+  // Per-stage attribution across the replayed modes (paper Fig. 9 from
+  // measurement); empty string — and no output — when tracing was off.
+  const std::string bottleneck = core::FormatBottleneckTable(mode_results);
+  if (!bottleneck.empty()) std::printf("%s\n", bottleneck.c_str());
+
   if (cfg.Has("json")) {
     GP_CHECK(core::WriteJson(last, cfg.GetString("json", "")), "cannot write JSON");
     std::printf("JSON written to %s\n", cfg.GetString("json", "").c_str());
   }
   if (want_phases) {
     const std::string path = cfg.GetString("metrics-out", "");
-    trace::WriteTrace(phase_log, path);
-    std::printf("phase metrics (%zu phases, mode %s) written to %s\n",
-                phase_log.phases().size(), last.mode.c_str(), path.c_str());
+    trace::WriteTrace(phase_log, path,
+                      span_log.empty() ? nullptr : &span_log);
+    std::printf("phase metrics (%zu phases, %zu spans, mode %s) written to %s\n",
+                phase_log.phases().size(), span_log.spans.size(),
+                last.mode.c_str(), path.c_str());
   }
   return 0;
 }

@@ -13,7 +13,9 @@
 //                  [--num-cubes=1,2,4,8]  # cube-scaling axis ("GraphPIM-c4")
 //                  [--topology=chain|star] [--cube-page-bytes=4096]
 //                  [--jobs=N]                    # pool width (0 = nproc)
-//                  [--progress=1]
+//                  [--progress=1]  # stderr heartbeat per retired job:
+//                                  # jobs done/total + ETA from wall-time
+//                                  # stats so far. Off by default.
 //                  [--json=out.json] [--csv=out.csv] [--det-csv=out.csv]
 //
 // Fault injection (src/fault; DESIGN.md §9) — applied to every config:
@@ -30,6 +32,11 @@
 //                  [--timeout-ms=0]
 //                  [--journal-phases=0]  # per-superstep {"phases_for":...}
 //                                        # sidecar lines in the journal
+//
+// Transaction tracing (DESIGN.md §12): --trace-sample-rate=0.05 samples 5%
+// of memory requests per job; with --journal the sampled spans ride along
+// as {"spans_for":...} sidecar lines after each row.
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -91,12 +98,27 @@ int Run(const Config& cfg) {
   opts.journal_path = cfg.GetString("journal", "");
   opts.resume = cfg.GetBool("resume", false);
   opts.journal_phases = cfg.GetBool("journal-phases", false);
-  if (cfg.GetBool("progress", true)) {
-    opts.on_progress = [](const exec::SweepProgress& p) {
-      std::printf("[%3zu/%3zu] %-8s %-8s %-10s %7.0f ms%s\n", p.completed,
-                  p.total, p.workload.c_str(), p.profile.c_str(),
-                  p.config_name.c_str(), p.wall_ms,
-                  p.status == exec::JobStatus::kOk ? "" : "  FAILED");
+  // Progress heartbeat (off by default so scripted runs stay quiet): one
+  // stderr line per retired job with an ETA extrapolated from the mean
+  // wall time of the jobs finished so far. stderr keeps it separable from
+  // the result table on stdout, and the callback runs serially under the
+  // runner's progress lock, so the plain counters need no atomics.
+  if (cfg.GetBool("progress", false)) {
+    const auto t0 = std::chrono::steady_clock::now();
+    opts.on_progress = [t0](const exec::SweepProgress& p) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      const double eta_s =
+          p.completed == 0
+              ? 0.0
+              : elapsed_ms / static_cast<double>(p.completed) *
+                    static_cast<double>(p.total - p.completed) / 1e3;
+      std::fprintf(stderr, "[%3zu/%3zu] %-8s %-8s %-10s %7.0f ms | ETA %.0fs%s\n",
+                   p.completed, p.total, p.workload.c_str(), p.profile.c_str(),
+                   p.config_name.c_str(), p.wall_ms, eta_s,
+                   p.status == exec::JobStatus::kOk ? "" : "  FAILED");
     };
   }
 
