@@ -152,6 +152,43 @@ else
   fail=1
 fi
 
+# HEAD-only gate: the query-serving engine (DESIGN.md §13) does not exist
+# at the merge base, so its identity checks are (a) jobs-count invariance
+# and (b) rerun byte-identity of the deterministic region between the
+# "== saturation table ==" markers. The base-diff scenarios above already
+# prove the batch tools' output is untouched with the serve subsystem
+# compiled in; this adds the serve tool's own determinism contract.
+echo "== serve determinism (saturation table: jobs 1 vs 4, rerun)"
+cmake --build build -j "$(nproc)" --target graphpim_serve >/dev/null
+SERVE_FLAGS=(--profile=ldbc --vertices=2048 --requests=48 --tenants=2
+             --modes=baseline,graphpim --num-cubes=1,2 --qps-grid=2e5,1e6,5e6
+             --queue-depth=16 --seed=1)
+for run in j1 j4 rerun; do
+  j=1; [[ "$run" == j4 ]] && j=4
+  extra=()
+  [[ "$run" == j1 ]] && extra=(--metrics-out="$WORK/serve.trace.json")
+  build/tools/graphpim_serve "${SERVE_FLAGS[@]}" --jobs="$j" "${extra[@]}" \
+      > "$WORK/serve.$run.out"
+  sed -n '/^== saturation table ==$/,/^== end saturation table ==$/p' \
+      "$WORK/serve.$run.out" > "$WORK/serve.$run.table"
+done
+for pair in "j1 j4" "j1 rerun"; do
+  read -r a b <<< "$pair"
+  if cmp -s "$WORK/serve.$a.table" "$WORK/serve.$b.table"; then
+    echo "   serve.table $a vs $b: identical"
+  else
+    echo "golden_identity: FAIL — serve saturation table $a vs $b differs:" >&2
+    diff "$WORK/serve.$a.table" "$WORK/serve.$b.table" | head -20 >&2
+    fail=1
+  fi
+done
+if python3 scripts/validate_trace.py "$WORK/serve.trace.json"; then
+  echo "   serve trace artifact: valid"
+else
+  echo "golden_identity: FAIL — serve --metrics-out rejected by validate_trace.py" >&2
+  fail=1
+fi
+
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi

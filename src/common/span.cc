@@ -154,6 +154,7 @@ void FoldSpanStats(const SpanLog& log, StatRegistry* reg) {
     reg->Set(base + ".mean", h.mean());
     reg->Set(base + ".p50", h.Percentile(50.0));
     reg->Set(base + ".p95", h.Percentile(95.0));
+    reg->Set(base + ".p99", h.Percentile(99.0));
   }
   if (atomics > 0) {
     reg->Set("span.atomic.count", static_cast<double>(atomics));
@@ -162,6 +163,7 @@ void FoldSpanStats(const SpanLog& log, StatRegistry* reg) {
     reg->Set("span.atomic.mean", atomic_total.mean());
     reg->Set("span.atomic.p50", atomic_total.Percentile(50.0));
     reg->Set("span.atomic.p95", atomic_total.Percentile(95.0));
+    reg->Set("span.atomic.p99", atomic_total.Percentile(99.0));
     reg->Set("span.atomic.unattributed_ns", atomic_unattributed);
     for (std::size_t i = 0; i < kNumStages; ++i) {
       if (atomic_stage_count[i] == 0) continue;

@@ -229,13 +229,13 @@ class Histogram {
   double Mean() const { return mean(); }
   double max() const { return max_; }
 
-  // Value at percentile `p` in [0, 100], linearly interpolated inside the
+  // Value at quantile `q` in [0, 1], linearly interpolated inside the
   // containing bucket. Ranks falling in the overflow bucket report max(),
   // since per-value resolution is lost there. Returns 0 when empty.
-  double Percentile(double p) const {
+  double Quantile(double q) const {
     if (total_ == 0) return 0.0;
-    p = std::clamp(p, 0.0, 100.0);
-    const double target = p / 100.0 * static_cast<double>(total_);
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(total_);
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i + 1 < counts_.size(); ++i) {
       if (counts_[i] == 0) continue;
@@ -249,6 +249,12 @@ class Histogram {
     }
     return max_;
   }
+
+  // Percentile convenience: `p` in [0, 100]. Quantile(p / 100).
+  double Percentile(double p) const {
+    return Quantile(std::clamp(p, 0.0, 100.0) / 100.0);
+  }
+
   const std::vector<std::uint64_t>& counts() const { return counts_; }
   double bucket_width() const { return width_; }
 

@@ -1,0 +1,32 @@
+#include "exec/progress.h"
+
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace graphpim::exec {
+
+std::string FormatProgressLine(const SweepProgress& p, double elapsed_ms) {
+  const double eta_s =
+      p.completed == 0
+          ? 0.0
+          : elapsed_ms / static_cast<double>(p.completed) *
+                static_cast<double>(p.total - p.completed) / 1e3;
+  return StrFormat("[%3zu/%3zu] %-8s %-8s %-10s %7.0f ms | ETA %.0fs%s\n",
+                   p.completed, p.total, p.workload.c_str(),
+                   p.profile.c_str(), p.config_name.c_str(), p.wall_ms,
+                   eta_s, p.status == JobStatus::kOk ? "" : "  FAILED");
+}
+
+std::function<void(const SweepProgress&)> StderrHeartbeat(std::FILE* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  return [t0, out](const SweepProgress& p) {
+    const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+    const std::string line = FormatProgressLine(p, elapsed_ms);
+    std::fputs(line.c_str(), out != nullptr ? out : stderr);
+  };
+}
+
+}  // namespace graphpim::exec

@@ -54,7 +54,13 @@ void ThreadPool::Enqueue(std::shared_ptr<void> owner, detail::TaskCore* core) {
     std::lock_guard<std::mutex> lk(workers_[target]->mu);
     workers_[target]->dq.emplace_back(std::move(owner), core);
   }
-  queued_.fetch_add(1);
+  const std::uint64_t depth = queued_.fetch_add(1) + 1;
+  // Lock-free high-water mark (racy-loop CAS; monotone, so no ABA issue).
+  std::uint64_t peak = peak_queued_.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !peak_queued_.compare_exchange_weak(peak, depth,
+                                             std::memory_order_relaxed)) {
+  }
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     ++stats_.submitted;
@@ -124,6 +130,12 @@ void ThreadPool::WorkerLoop(std::size_t self) {
       TaskRetired();
       continue;
     }
+    const std::uint64_t now_running = running_.fetch_add(1) + 1;
+    std::uint64_t peak = peak_running_.load(std::memory_order_relaxed);
+    while (now_running > peak &&
+           !peak_running_.compare_exchange_weak(peak, now_running,
+                                                std::memory_order_relaxed)) {
+    }
     const auto t0 = std::chrono::steady_clock::now();
     core->run();
     const double ms =
@@ -131,6 +143,7 @@ void ThreadPool::WorkerLoop(std::size_t self) {
                                                   t0)
             .count();
     core->run = nullptr;  // release the closure's captures promptly
+    running_.fetch_sub(1);
     core->Finish(ms);
     {
       std::lock_guard<std::mutex> lk(stats_mu_);
@@ -193,8 +206,28 @@ void ThreadPool::Shutdown() {
 }
 
 PoolStats ThreadPool::stats() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
-  return stats_;
+  PoolStats s;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    s = stats_;
+  }
+  s.peak_queued = peak_queued_.load(std::memory_order_relaxed);
+  s.peak_running = peak_running_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::ExportStats(StatRegistry* reg,
+                             const std::string& prefix) const {
+  if (reg == nullptr) return;
+  const PoolStats s = stats();
+  reg->Set(prefix + ".threads", static_cast<double>(workers_.size()));
+  reg->Set(prefix + ".submitted", static_cast<double>(s.submitted));
+  reg->Set(prefix + ".executed", static_cast<double>(s.executed));
+  reg->Set(prefix + ".cancelled", static_cast<double>(s.cancelled));
+  reg->Set(prefix + ".steals", static_cast<double>(s.steals));
+  reg->Set(prefix + ".busy_ms", s.busy_ms);
+  reg->Set(prefix + ".peak_queued", static_cast<double>(s.peak_queued));
+  reg->Set(prefix + ".peak_running", static_cast<double>(s.peak_running));
 }
 
 }  // namespace graphpim::exec

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/stats.h"
 
 namespace graphpim::exec {
 
@@ -161,6 +162,10 @@ struct PoolStats {
   std::uint64_t cancelled = 0;
   std::uint64_t steals = 0;   // tasks taken from another worker's deque
   double busy_ms = 0.0;       // summed task execution wall time
+  // Occupancy high-water marks (saturation diagnostics, DESIGN.md §13):
+  // deepest the deques ever got, and most tasks ever running at once.
+  std::uint64_t peak_queued = 0;
+  std::uint64_t peak_running = 0;
 };
 
 class ThreadPool {
@@ -217,6 +222,13 @@ class ThreadPool {
 
   PoolStats stats() const;
 
+  // Folds the current stats() snapshot into `reg` under "<prefix>.*"
+  // (pool.submitted, pool.executed, pool.cancelled, pool.steals,
+  // pool.busy_ms, pool.peak_queued, pool.peak_running, pool.threads).
+  // Wall-clock occupancy numbers: metadata, NOT covered by any determinism
+  // contract — callers must keep them out of byte-identity-gated output.
+  void ExportStats(StatRegistry* reg, const std::string& prefix = "pool") const;
+
  private:
   struct Worker {
     std::mutex mu;
@@ -240,6 +252,9 @@ class ThreadPool {
   std::condition_variable drained_cv_; // WaitIdle()/Shutdown() sleep here
   std::atomic<std::uint64_t> queued_{0};    // tasks sitting in deques
   std::atomic<std::uint64_t> in_flight_{0}; // queued + running
+  std::atomic<std::uint64_t> running_{0};   // tasks currently executing
+  std::atomic<std::uint64_t> peak_queued_{0};
+  std::atomic<std::uint64_t> peak_running_{0};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> next_queue_{0};
 

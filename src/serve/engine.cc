@@ -1,0 +1,272 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <mutex>
+
+#include "common/log.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/runner.h"
+#include "serve/slo.h"
+
+namespace graphpim::serve {
+
+namespace {
+
+// Salt for the per-batch TraceBuilder seed (branch-mispredict sampling):
+// value-derived from the traffic seed and the batch's first request id, so
+// batch composition — not scheduling — decides the stream.
+constexpr std::uint64_t kBatchSalt = 0x5365727665426174ULL;  // "ServeBat"
+
+double TicksToNsD(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+}  // namespace
+
+const char* ToString(DropPolicy p) {
+  return p == DropPolicy::kTail ? "tail" : "head";
+}
+
+DropPolicy ParseDropPolicy(const std::string& s) {
+  if (s == "tail") return DropPolicy::kTail;
+  if (s == "head") return DropPolicy::kHead;
+  GP_THROW("unknown drop policy '", s, "' (want tail|head)");
+}
+
+ServePoint RunServePoint(const ServedGraph& sg, const ServeParams& params) {
+  // Flag-reachable parameters throw SimError (caught at the tool's main),
+  // never GP_CHECK-panic.
+  if (params.slots < 1) GP_THROW("serve needs at least one dispatch slot");
+  if (params.batch_max < 1) GP_THROW("serve needs batch_max >= 1");
+  if (params.batch_max > static_cast<std::size_t>(params.cfg.num_cores)) {
+    GP_THROW("batch_max ", params.batch_max, " exceeds the config's ",
+             params.cfg.num_cores, " cores: a batch maps one query per core");
+  }
+  if (params.queue_depth < 1) GP_THROW("serve needs queue_depth >= 1");
+
+  TrafficSpec ts = params.traffic;
+  ts.num_vertices = sg.graph().num_vertices();
+  const std::vector<ServeRequest> sched = GenerateSchedule(ts);
+
+  ServePoint pt;
+  pt.qps = ts.qps;
+  pt.offered = sched.size();
+  pt.tenants.resize(sg.num_tenants());
+
+  // --- virtual-time queueing simulation -------------------------------
+  struct Flight {
+    Tick done = 0;
+    std::vector<std::size_t> reqs;  // indices into sched
+  };
+  std::vector<Flight> flights;  // <= slots entries, unsorted (slots small)
+  std::deque<std::size_t> queue;
+  std::vector<double> lat_ns;           // all served latencies
+  std::vector<std::vector<double>> tenant_lat(sg.num_tenants());
+  std::uint64_t depth_sum = 0;          // queue depth sampled per arrival
+  double busy_ns = 0.0;                 // summed batch service time
+  Tick last_completion = 0;
+
+  auto start_batches = [&](Tick now) {
+    while (flights.size() < static_cast<std::size_t>(params.slots) &&
+           !queue.empty()) {
+      Flight fl;
+      while (fl.reqs.size() < params.batch_max && !queue.empty()) {
+        fl.reqs.push_back(queue.front());
+        queue.pop_front();
+      }
+      // One stream per query: batched queries contend inside one replay.
+      const std::uint64_t batch_seed =
+          SplitMix64(ts.seed ^ kBatchSalt ^ sched[fl.reqs[0]].id).Next();
+      workloads::TraceBuilder tb(static_cast<int>(fl.reqs.size()), &sg.space(),
+                                 /*mispredict_rate=*/0.06, batch_seed);
+      for (std::size_t j = 0; j < fl.reqs.size(); ++j) {
+        EmitQuery(sg, sched[fl.reqs[j]], params.query, tb,
+                  static_cast<int>(j));
+      }
+      const workloads::Trace tr = tb.Take();
+      pt.replayed_ops += tr.TotalOps();
+      core::SimResults res = core::RunSimulation(
+          tr, params.cfg, sg.pmr_base(), sg.pmr_end(), core::RunOptions{});
+      pt.raw.Merge(res.raw);
+      const double service_ns = res.seconds * 1e9 + params.dispatch_ns;
+      busy_ns += service_ns;
+      fl.done = now + NsToTicks(service_ns);
+      if (fl.done > last_completion) last_completion = fl.done;
+      flights.push_back(std::move(fl));
+      ++pt.batches;
+    }
+  };
+
+  std::size_t next_arrival = 0;
+  while (next_arrival < sched.size() || !flights.empty()) {
+    // Earliest in-flight completion (if any).
+    std::size_t done_idx = flights.size();
+    for (std::size_t f = 0; f < flights.size(); ++f) {
+      if (done_idx == flights.size() || flights[f].done < flights[done_idx].done) {
+        done_idx = f;
+      }
+    }
+    const bool have_arrival = next_arrival < sched.size();
+    const bool have_done = done_idx < flights.size();
+    // Ties retire the completion first: the freed slot is available to
+    // the simultaneously-arriving request.
+    if (have_done &&
+        (!have_arrival || flights[done_idx].done <= sched[next_arrival].arrival)) {
+      const Flight fl = flights[done_idx];
+      flights.erase(flights.begin() + static_cast<std::ptrdiff_t>(done_idx));
+      for (std::size_t idx : fl.reqs) {
+        const ServeRequest& r = sched[idx];
+        const double ns = TicksToNsD(fl.done - r.arrival);
+        lat_ns.push_back(ns);
+        tenant_lat[r.tenant].push_back(ns);
+        ++pt.served;
+        ++pt.tenants[r.tenant].served;
+      }
+      start_batches(fl.done);
+      continue;
+    }
+    // Arrival event.
+    const ServeRequest& r = sched[next_arrival];
+    ++pt.tenants[r.tenant].offered;
+    depth_sum += queue.size();
+    if (queue.size() > pt.queue_peak) pt.queue_peak = queue.size();
+    if (queue.size() >= params.queue_depth) {
+      if (params.drop == DropPolicy::kTail) {
+        ++pt.dropped;
+        ++pt.tenants[r.tenant].dropped;
+      } else {  // head drop: evict the stalest queued request, admit new
+        const ServeRequest& victim = sched[queue.front()];
+        queue.pop_front();
+        ++pt.dropped;
+        ++pt.tenants[victim.tenant].dropped;
+        queue.push_back(next_arrival);
+      }
+    } else {
+      queue.push_back(next_arrival);
+    }
+    ++next_arrival;
+    start_batches(r.arrival);
+  }
+  GP_CHECK(queue.empty(), "serve loop ended with queued requests");
+
+  // --- SLO accounting -------------------------------------------------
+  pt.drop_rate = pt.offered == 0
+                     ? 0.0
+                     : static_cast<double>(pt.dropped) /
+                           static_cast<double>(pt.offered);
+  std::sort(lat_ns.begin(), lat_ns.end());
+  pt.p50_ns = QuantileSorted(lat_ns, 0.50);
+  pt.p95_ns = QuantileSorted(lat_ns, 0.95);
+  pt.p99_ns = QuantileSorted(lat_ns, 0.99);
+  pt.max_ns = lat_ns.empty() ? 0.0 : lat_ns.back();
+  double sum = 0.0;
+  for (double v : lat_ns) sum += v;
+  pt.mean_ns = lat_ns.empty() ? 0.0 : sum / static_cast<double>(lat_ns.size());
+  pt.queue_mean = pt.offered == 0 ? 0.0
+                                  : static_cast<double>(depth_sum) /
+                                        static_cast<double>(pt.offered);
+  pt.queue_limit = params.queue_depth;
+  pt.horizon_ns = TicksToNsD(last_completion);
+  if (pt.horizon_ns > 0.0) {
+    pt.achieved_qps = static_cast<double>(pt.served) / (pt.horizon_ns / 1e9);
+    pt.util = busy_ns /
+              (pt.horizon_ns * static_cast<double>(params.slots));
+  }
+  for (std::uint32_t t = 0; t < sg.num_tenants(); ++t) {
+    TenantSlo& slo = pt.tenants[t];
+    std::vector<double>& v = tenant_lat[t];
+    std::sort(v.begin(), v.end());
+    slo.p50_ns = QuantileSorted(v, 0.50);
+    slo.p95_ns = QuantileSorted(v, 0.95);
+    slo.p99_ns = QuantileSorted(v, 0.99);
+    slo.max_ns = v.empty() ? 0.0 : v.back();
+    double tsum = 0.0;
+    for (double x : v) tsum += x;
+    slo.mean_ns = v.empty() ? 0.0 : tsum / static_cast<double>(v.size());
+  }
+  FoldServeStats(pt, &pt.raw);
+  return pt;
+}
+
+ServeGridResult RunServeGrid(
+    const ServedGraph& sg, const ServeParams& base,
+    const std::vector<std::pair<std::string, core::SimConfig>>& configs,
+    const std::vector<double>& qps_grid, int jobs,
+    const std::function<void(const exec::SweepProgress&)>& on_progress) {
+  if (configs.empty()) GP_THROW("serve grid needs at least one config");
+  if (qps_grid.empty()) GP_THROW("serve grid needs at least one qps");
+  // Fail fast on the orchestrating thread: a throw inside a pool worker
+  // would terminate the process, so surface param errors before submit.
+  if (base.slots < 1) GP_THROW("serve needs at least one dispatch slot");
+  if (base.batch_max < 1) GP_THROW("serve needs batch_max >= 1");
+  if (base.queue_depth < 1) GP_THROW("serve needs queue_depth >= 1");
+  for (const auto& [name, cfg] : configs) {
+    if (base.batch_max > static_cast<std::size_t>(cfg.num_cores)) {
+      GP_THROW("batch_max ", base.batch_max, " exceeds the ", cfg.num_cores,
+               " cores of config ", name);
+    }
+  }
+  {
+    TrafficSpec probe = base.traffic;
+    probe.num_vertices = sg.graph().num_vertices();
+    probe.qps = qps_grid.front();
+    (void)GenerateSchedule(probe);  // validates the traffic spec
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+
+  ServeGridResult out;
+  const std::size_t total = configs.size() * qps_grid.size();
+  exec::ThreadPool pool(jobs);
+  std::mutex progress_mu;
+  std::size_t completed = 0;
+
+  std::vector<exec::TaskFuture<ServePoint>> futures;
+  futures.reserve(total);
+  for (const auto& [name, cfg] : configs) {
+    for (double qps : qps_grid) {
+      ServeParams p = base;
+      p.cfg = cfg;
+      p.traffic.qps = qps;
+      futures.push_back(pool.Submit(
+          [&sg, p = std::move(p), name = name, qps, total, &progress_mu,
+           &completed, &on_progress, t0]() {
+            const auto s0 = std::chrono::steady_clock::now();
+            ServePoint pt = RunServePoint(sg, p);
+            pt.config_name = name;
+            if (on_progress) {
+              const double wall_ms =
+                  std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - s0)
+                      .count();
+              std::lock_guard<std::mutex> lk(progress_mu);
+              exec::SweepProgress prog;
+              prog.completed = ++completed;
+              prog.total = total;
+              prog.workload = "serve";
+              prog.profile = name;
+              prog.config_name = StrFormat("qps=%g", qps);
+              prog.wall_ms = wall_ms;
+              on_progress(prog);
+            }
+            return pt;
+          }));
+    }
+  }
+  // Harvest in submission (grid) order — the determinism contract.
+  for (auto& f : futures) {
+    auto v = f.Get();
+    GP_CHECK(v.has_value(), "serve point task was cancelled");
+    out.points.push_back(std::move(*v));
+  }
+  out.pool = pool.stats();
+  pool.ExportStats(&out.pool_stats);
+  out.total_wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  return out;
+}
+
+}  // namespace graphpim::serve

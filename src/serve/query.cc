@@ -1,0 +1,253 @@
+#include "serve/query.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+#include "graph/generator.h"
+#include "hmc/atomic.h"
+
+namespace graphpim::serve {
+
+namespace {
+
+constexpr std::uint64_t RoundUpTo(std::uint64_t v, std::uint64_t unit) {
+  return (v + unit - 1) / unit * unit;
+}
+
+}  // namespace
+
+ServedGraph::ServedGraph(const Options& opts) : opts_(opts) {
+  if (opts.num_vertices == 0) GP_THROW("served graph needs vertices");
+  if (opts.num_tenants == 0) {
+    GP_THROW("served graph needs at least one tenant");
+  }
+  graph::EdgeList el =
+      graph::GenerateProfile(opts.profile, opts.num_vertices, opts.seed);
+  graph_ = std::make_unique<graph::CsrGraph>(el, space_);
+
+  const std::uint64_t page = graph::AddressSpace::kPmrPageBytes;
+  const std::uint64_t seg_bytes = RoundUpTo(
+      static_cast<std::uint64_t>(graph_->num_vertices()) *
+          graph::kVertexPropertyStride,
+      page);
+  carves_.reserve(opts.num_tenants);
+  queue_addr_.reserve(opts.num_tenants * 2);
+  for (std::uint32_t t = 0; t < opts.num_tenants; ++t) {
+    TenantCarve c;
+    c.tenant = t;
+    // Whole-page allocations from the PMR bump allocator are contiguous,
+    // so [prop_base, end) is exactly this tenant's page set — disjoint
+    // from every other tenant's by construction.
+    c.prop_base = space_.PmrMalloc(seg_bytes, page);
+    c.aux_base = space_.PmrMalloc(seg_bytes, page);
+    GP_CHECK(c.aux_base == c.prop_base + seg_bytes,
+             "tenant carve segments must be contiguous");
+    c.end = c.aux_base + seg_bytes;
+    carves_.push_back(c);
+    queue_addr_.push_back(space_.meta().Allocate(kQueueSlots * 4));
+    queue_addr_.push_back(space_.meta().Allocate(kQueueSlots * 4));
+  }
+}
+
+int ServedGraph::OwnerOf(Addr a) const {
+  for (const TenantCarve& c : carves_) {
+    if (c.Contains(a)) return static_cast<int>(c.tenant);
+  }
+  return -1;
+}
+
+namespace {
+
+// Shared bounded-traversal plumbing for the three query kinds. Each op
+// pattern below mirrors the per-neighbor body of the matching batch
+// workload (src/workloads/{bfs,sssp,prank}.cc) so a serve replay exercises
+// the same property/structure/meta mix the paper characterizes.
+struct QueryCtx {
+  const ServedGraph& sg;
+  const TenantCarve& carve;
+  workloads::TraceBuilder& tb;
+  const QueryParams& qp;
+  int t;  // stream
+  Addr q0, q1;  // ping-pong frontier queues (meta scratch)
+  QueryFootprint fp;
+
+  bool Budget(std::uint64_t cost) {
+    if (fp.ops + cost > qp.op_budget) return false;
+    fp.ops += cost;
+    return true;
+  }
+  Addr Slot(Addr q, std::size_t i) const {
+    return q + (i % ServedGraph::kQueueSlots) * 4;
+  }
+};
+
+void EmitBfsQuery(QueryCtx& cx, VertexId root) {
+  const graph::CsrGraph& g = cx.sg.graph();
+  std::vector<std::uint8_t> visited(g.num_vertices(), 0);
+  std::vector<VertexId> frontier{root};
+  visited[root] = 1;
+  ++cx.fp.vertices;
+  Addr qa = cx.q0, qb = cx.q1;
+  for (int hop = 0; hop < cx.qp.max_hops && !frontier.empty(); ++hop) {
+    std::vector<VertexId> next;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      VertexId u = frontier[i];
+      if (!cx.Budget(2)) return;
+      cx.tb.Load(cx.t, cx.Slot(qa, i), 4);                   // meta: pop
+      cx.tb.Load(cx.t, g.OffsetAddr(u), 8, /*dep=*/true);    // structure
+      EdgeId e = g.OffsetOf(u);
+      for (VertexId v : g.Neighbors(u)) {
+        if (!cx.Budget(5)) return;
+        cx.tb.Load(cx.t, g.NeighborAddr(e), 4);
+        cx.tb.Compute(cx.t, 1, /*dep=*/true);
+        cx.tb.Compute(cx.t, 1);
+        cx.tb.Atomic(cx.t, cx.carve.PropAddr(v), hmc::AtomicOp::kCasEqual8,
+                     8, /*want_return=*/true, /*dep=*/true);
+        cx.tb.Branch(cx.t, /*dep=*/true);
+        ++cx.fp.edges;
+        if (!visited[v] && next.size() < cx.qp.max_frontier) {
+          visited[v] = 1;
+          ++cx.fp.vertices;
+          if (!cx.Budget(1)) return;
+          cx.tb.Store(cx.t, cx.Slot(qb, next.size()), 4);    // meta: push
+          next.push_back(v);
+        }
+        ++e;
+      }
+    }
+    frontier.swap(next);
+    std::swap(qa, qb);
+  }
+}
+
+void EmitSsspQuery(QueryCtx& cx, VertexId root) {
+  const graph::CsrGraph& g = cx.sg.graph();
+  constexpr std::int64_t kInf = (1LL << 60);
+  std::vector<std::int64_t> dist(g.num_vertices(), kInf);
+  std::vector<VertexId> frontier{root};
+  dist[root] = 0;
+  ++cx.fp.vertices;
+  Addr qa = cx.q0, qb = cx.q1;
+  for (int hop = 0; hop < cx.qp.max_hops && !frontier.empty(); ++hop) {
+    std::vector<VertexId> next;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      VertexId u = frontier[i];
+      if (!cx.Budget(3)) return;
+      cx.tb.Load(cx.t, cx.Slot(qa, i), 4);                      // meta: pop
+      cx.tb.Load(cx.t, cx.carve.PropAddr(u), 8, /*dep=*/true);  // my distance
+      cx.tb.Load(cx.t, g.OffsetAddr(u), 8);                     // structure
+      const std::int64_t du = dist[u];
+      EdgeId e = g.OffsetOf(u);
+      auto neighbors = g.Neighbors(u);
+      auto weights = g.Weights(u);
+      for (std::size_t j = 0; j < neighbors.size(); ++j) {
+        VertexId v = neighbors[j];
+        if (!cx.Budget(6)) return;
+        cx.tb.Load(cx.t, g.NeighborAddr(e), 4);
+        cx.tb.Load(cx.t, g.WeightAddr(e), 4);
+        cx.tb.Compute(cx.t, 1, /*dep=*/true);  // nd = du + w
+        cx.tb.Compute(cx.t, 1);
+        cx.tb.Load(cx.t, cx.carve.PropAddr(v), 8, /*dep=*/true,
+                   /*fusable_cmp=*/true);      // relax compare block
+        cx.tb.Branch(cx.t, /*dep=*/true);
+        ++cx.fp.edges;
+        const std::int64_t nd = du + weights[j];
+        if (nd < dist[v]) {
+          if (!cx.Budget(3)) return;
+          cx.tb.Atomic(cx.t, cx.carve.PropAddr(v), hmc::AtomicOp::kCasEqual8,
+                       8, /*want_return=*/true, /*dep=*/true);
+          cx.tb.Branch(cx.t, /*dep=*/true);
+          const bool fresh = dist[v] == kInf;
+          dist[v] = nd;
+          if (fresh && next.size() < cx.qp.max_frontier) {
+            ++cx.fp.vertices;
+            cx.tb.Store(cx.t, cx.Slot(qb, next.size()), 4);  // meta: push
+            next.push_back(v);
+          }
+        }
+        ++e;
+      }
+    }
+    frontier.swap(next);
+    std::swap(qa, qb);
+  }
+}
+
+// Personalized PageRank, push style: scatter damped mass from the root's
+// bounded neighborhood into the tenant's accumulator array. The per-vertex
+// body is the batch scatter phase (load rank, load row ptr, fp compute,
+// per-edge neighbor load + FP-add atomic); the rooted frontier replaces
+// the whole-graph sweep.
+void EmitPrankQuery(QueryCtx& cx, VertexId root) {
+  const graph::CsrGraph& g = cx.sg.graph();
+  std::vector<std::uint8_t> visited(g.num_vertices(), 0);
+  std::vector<VertexId> frontier{root};
+  visited[root] = 1;
+  ++cx.fp.vertices;
+  Addr qa = cx.q0, qb = cx.q1;
+  for (int hop = 0; hop < cx.qp.max_hops && !frontier.empty(); ++hop) {
+    std::vector<VertexId> next;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      VertexId u = frontier[i];
+      if (g.OutDegree(u) == 0) continue;
+      if (!cx.Budget(4)) return;
+      cx.tb.Load(cx.t, cx.Slot(qa, i), 4);                 // meta: pop
+      cx.tb.Load(cx.t, cx.carve.PropAddr(u), 8);           // my rank
+      cx.tb.Load(cx.t, g.OffsetAddr(u), 8);                // structure
+      cx.tb.Compute(cx.t, 1, /*dep=*/true, /*fp=*/true);   // contrib
+      EdgeId e = g.OffsetOf(u);
+      for (VertexId v : g.Neighbors(u)) {
+        if (!cx.Budget(2)) return;
+        cx.tb.Load(cx.t, g.NeighborAddr(e), 4);
+        cx.tb.Atomic(cx.t, cx.carve.AuxAddr(v), hmc::AtomicOp::kFpAdd64, 8,
+                     /*want_return=*/false, /*dep=*/true);
+        ++cx.fp.edges;
+        if (!visited[v] && next.size() < cx.qp.max_frontier) {
+          visited[v] = 1;
+          ++cx.fp.vertices;
+          if (!cx.Budget(1)) return;
+          cx.tb.Store(cx.t, cx.Slot(qb, next.size()), 4);  // meta: push
+          next.push_back(v);
+        }
+        ++e;
+      }
+    }
+    frontier.swap(next);
+    std::swap(qa, qb);
+  }
+}
+
+}  // namespace
+
+QueryFootprint EmitQuery(const ServedGraph& sg, const ServeRequest& req,
+                         const QueryParams& qp, workloads::TraceBuilder& tb,
+                         int stream) {
+  GP_CHECK(req.tenant < sg.num_tenants(), "request tenant out of range");
+  const VertexId n = sg.graph().num_vertices();
+  const VertexId root = req.root < n ? req.root : 0;
+  QueryCtx cx{sg,
+              sg.carve(req.tenant),
+              tb,
+              qp,
+              stream,
+              sg.QueueAddr(req.tenant, 0),
+              sg.QueueAddr(req.tenant, 1),
+              QueryFootprint{}};
+  switch (req.kind) {
+    case QueryKind::kBfs:
+      EmitBfsQuery(cx, root);
+      break;
+    case QueryKind::kSssp:
+      EmitSsspQuery(cx, root);
+      break;
+    case QueryKind::kPageRank:
+      EmitPrankQuery(cx, root);
+      break;
+    case QueryKind::kCount:
+      GP_THROW("invalid query kind");
+  }
+  return cx.fp;
+}
+
+}  // namespace graphpim::serve

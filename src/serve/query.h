@@ -1,0 +1,119 @@
+// Resident graph + per-tenant PMR carves + bounded point-query traces.
+//
+// A ServedGraph is the long-lived state of the serving engine: one CSR
+// graph (structure segment, shared by every tenant — structure is
+// read-only at serve time) plus, per tenant, a page-aligned carve of the
+// PMR holding that tenant's private property arrays. Carves are allocated
+// in whole kPmrPageBytes pages, so the PR 4 CubeMap stripes each tenant's
+// pages round-robin across every cube of the machine (capacity isolation
+// across tenants, bandwidth spreading within a tenant) and no PMR page is
+// ever shared by two tenants.
+//
+// EmitQuery() appends ONE point query's micro-op stream to a TraceBuilder:
+// a bounded-neighborhood variant of the matching batch workload
+// (bfs/sssp/prank emission patterns), rooted at the request vertex and
+// clipped by hop count / frontier width / op budget so a query is a
+// latency-scale unit of work rather than a whole-graph pass. All
+// functional traversal state (visited maps, distances) is local to the
+// call; ServedGraph is only read. That makes EmitQuery safe to call
+// concurrently from independent serve points sharing one ServedGraph.
+#ifndef GRAPHPIM_SERVE_QUERY_H_
+#define GRAPHPIM_SERVE_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/property.h"
+#include "graph/region.h"
+#include "serve/traffic.h"
+#include "workloads/trace.h"
+
+namespace graphpim::serve {
+
+// One tenant's private PMR slice: two per-vertex property segments (the
+// main property BFS/SSSP atomics target, and the accumulator PageRank
+// scatters into), contiguous and whole-page-aligned. Pure address math —
+// the simulated addresses a query's property ops land on.
+struct TenantCarve {
+  std::uint32_t tenant = 0;
+  Addr prop_base = 0;  // depth/dist/rank property array
+  Addr aux_base = 0;   // PageRank `next` accumulator array
+  Addr end = 0;        // exclusive end; [prop_base, end) is this carve
+  std::uint32_t stride = graph::kVertexPropertyStride;
+
+  Addr PropAddr(VertexId v) const { return prop_base + static_cast<Addr>(v) * stride; }
+  Addr AuxAddr(VertexId v) const { return aux_base + static_cast<Addr>(v) * stride; }
+  bool Contains(Addr a) const { return a >= prop_base && a < end; }
+  std::uint64_t bytes() const { return end - prop_base; }
+};
+
+// The resident graph an engine serves: built once, then read-only.
+class ServedGraph {
+ public:
+  struct Options {
+    std::string profile = "ldbc";  // synthetic dataset profile
+    VertexId num_vertices = 4096;
+    std::uint32_t num_tenants = 2;
+    std::uint64_t seed = 1;
+  };
+
+  explicit ServedGraph(const Options& opts);
+
+  const Options& options() const { return opts_; }
+  const graph::CsrGraph& graph() const { return *graph_; }
+  const graph::AddressSpace& space() const { return space_; }
+
+  std::uint32_t num_tenants() const { return static_cast<std::uint32_t>(carves_.size()); }
+  const TenantCarve& carve(std::uint32_t tenant) const { return carves_.at(tenant); }
+
+  // POU bounds for RunSimulation: the whole PMR segment (all carves).
+  Addr pmr_base() const { return space_.pmr_base(); }
+  Addr pmr_end() const { return space_.pmr_end(); }
+
+  // Which tenant's carve holds PMR address `a`; -1 if none (e.g. an
+  // address outside every carve, or not a PMR address at all).
+  int OwnerOf(Addr a) const;
+
+  // Per-tenant meta-segment scratch for query frontier queues (the
+  // cache-friendly pop/push addresses of the traversal loops). Two
+  // ping-pong queues of kQueueSlots entries each.
+  static constexpr std::size_t kQueueSlots = 4096;
+  Addr QueueAddr(std::uint32_t tenant, int which) const {
+    return queue_addr_.at(tenant * 2 + which);
+  }
+
+ private:
+  Options opts_;
+  graph::AddressSpace space_;
+  std::unique_ptr<graph::CsrGraph> graph_;
+  std::vector<TenantCarve> carves_;
+  std::vector<Addr> queue_addr_;
+};
+
+// Bounds that turn a whole-graph workload into a point query.
+struct QueryParams {
+  int max_hops = 2;               // traversal depth from the root
+  std::size_t max_frontier = 64;  // widest frontier carried to the next hop
+  std::uint64_t op_budget = 4000; // hard cap on emitted micro-ops per query
+};
+
+// What one emitted query touched (for tests and saturation accounting).
+struct QueryFootprint {
+  std::uint64_t ops = 0;       // micro-ops appended to the stream
+  std::uint64_t edges = 0;     // edges traversed
+  std::uint64_t vertices = 0;  // distinct vertices claimed/visited
+};
+
+// Appends request `req`'s bounded query to stream `stream` of `tb`,
+// touching only req.tenant's carve for property traffic. Returns the
+// footprint. Deterministic: a pure function of (graph, request, params).
+QueryFootprint EmitQuery(const ServedGraph& sg, const ServeRequest& req,
+                         const QueryParams& qp, workloads::TraceBuilder& tb,
+                         int stream);
+
+}  // namespace graphpim::serve
+
+#endif  // GRAPHPIM_SERVE_QUERY_H_

@@ -1,0 +1,90 @@
+// Synthetic query traffic for the serving engine (DESIGN.md §13).
+//
+// A traffic schedule is a time-ordered list of graph point-queries
+// (BFS/SSSP/personalized-PageRank requests) against the resident graph.
+// Generation is open loop: arrival times do not depend on how fast the
+// machine under test serves, which is what makes a saturation sweep
+// meaningful (offered load is an independent variable).
+//
+// DETERMINISM CONTRACT: every draw is value-derived — a counter-based
+// SplitMix64 hash of (seed, stream tag, request index), the same
+// discipline the span recorder uses for sampling. The schedule for a
+// given spec is therefore bit-identical across --jobs counts, platforms,
+// and reruns. Request identity (tenant, kind, root) depends only on the
+// request index, NOT on the arrival rate, so every point of a --qps-grid
+// sweep serves the same request population and differs only in arrival
+// spacing — offered load stays a paired comparison.
+#ifndef GRAPHPIM_SERVE_TRAFFIC_H_
+#define GRAPHPIM_SERVE_TRAFFIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace graphpim::serve {
+
+// The point-query classes the engine serves. Each maps onto the memory
+// behavior of its batch workload (bfs/sssp/prank) restricted to a bounded
+// neighborhood of the root vertex.
+enum class QueryKind : std::uint8_t { kBfs = 0, kSssp, kPageRank, kCount };
+
+const char* ToString(QueryKind k);
+
+// Arrival process shapes.
+//   kPoisson — open-loop Poisson: i.i.d. exponential interarrivals.
+//   kBursty  — two-state Markov-modulated Poisson (MMPP-style): a slow
+//              and a burst state with hashed state transitions between
+//              consecutive arrivals; rates are normalized so the long-run
+//              offered load still equals the nominal qps.
+enum class ArrivalModel : std::uint8_t { kPoisson = 0, kBursty };
+
+const char* ToString(ArrivalModel m);
+
+// "poisson" | "bursty" -> model; throws SimError on anything else.
+ArrivalModel ParseArrivalModel(const std::string& s);
+
+// One admitted unit of work.
+struct ServeRequest {
+  std::uint64_t id = 0;        // == request index in the schedule
+  std::uint32_t tenant = 0;
+  QueryKind kind = QueryKind::kBfs;
+  VertexId root = 0;
+  Tick arrival = 0;            // open-loop arrival time (simulated)
+};
+
+struct TrafficSpec {
+  ArrivalModel model = ArrivalModel::kPoisson;
+  double qps = 1e6;                 // nominal offered load (queries/s,
+                                    // simulated time)
+  std::size_t num_requests = 48;    // schedule length
+  std::uint32_t num_tenants = 2;
+  VertexId num_vertices = 0;        // root domain; must be > 0
+  // Query-kind mix (weights; normalized internally, all-zero = BFS only).
+  double mix_bfs = 0.5;
+  double mix_sssp = 0.3;
+  double mix_prank = 0.2;
+  // Bursty-model shape: burst-state rate multiplier and per-arrival
+  // transition probabilities (slow->burst, burst->slow).
+  double burst_mult = 8.0;
+  double p_enter_burst = 0.10;
+  double p_exit_burst = 0.30;
+  std::uint64_t seed = 1;
+};
+
+// A uniform double in [0, 1) that is a pure function of
+// (seed, stream tag, index) — the value-derived SplitMix64 stream the
+// schedule generator draws from. Exposed for tests.
+double UniformDraw(std::uint64_t seed, std::uint64_t stream_tag,
+                   std::uint64_t index);
+
+// Expands `spec` into its full arrival schedule, sorted by arrival time
+// (arrivals are generated as a cumulative sum, so the order is inherent).
+// Throws SimError on a degenerate spec (no vertices, no requests,
+// non-positive qps, out-of-range burst parameters).
+std::vector<ServeRequest> GenerateSchedule(const TrafficSpec& spec);
+
+}  // namespace graphpim::serve
+
+#endif  // GRAPHPIM_SERVE_TRAFFIC_H_

@@ -334,6 +334,22 @@ TEST(Histogram, PercentileUniform) {
   EXPECT_NEAR(h.Percentile(100), 100.0, 1e-9);
 }
 
+TEST(Histogram, QuantileIsTheGeneralForm) {
+  // Percentile(p) is defined as Quantile(p/100); serving SLOs call
+  // Quantile directly with q in [0, 1].
+  Histogram h(10.0, 10);
+  for (int i = 0; i < 100; ++i) h.Record(i);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), h.Percentile(50));
+  EXPECT_DOUBLE_EQ(h.Quantile(0.95), h.Percentile(95));
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), h.Percentile(99));
+  EXPECT_NEAR(h.Quantile(0.99), 99.0, 1e-9);
+  // Out-of-range q clamps like out-of-range p always has.
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Quantile(1.0));
+  Histogram empty(1.0, 4);
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.99), 0.0);
+}
+
 TEST(Histogram, PercentileSkipsEmptyBucketsAndClampsOverflow) {
   Histogram h(10.0, 4);  // buckets [0,10) [10,20) [20,30) [30,40) + overflow
   h.Record(5);

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <mutex>
 #include <set>
 #include <string>
@@ -16,6 +17,7 @@
 
 #include "common/log.h"
 #include "core/report.h"
+#include "exec/progress.h"
 #include "exec/result_sink.h"
 #include "exec/sweep.h"
 #include "exec/thread_pool.h"
@@ -135,6 +137,37 @@ TEST(ThreadPool, OnWorkerThreadDistinguishesInsideFromOutside) {
   auto f = pool.Submit([&pool] { return pool.OnWorkerThread(); });
   ASSERT_TRUE(f.Get().has_value());
   EXPECT_TRUE(*f.Get());
+}
+
+TEST(ThreadPool, ExportsOccupancyCountersToRegistry) {
+  ThreadPool pool(2);
+  Gate gate;
+  std::atomic<int> started{0};
+  // Two blockers pin both workers so further submissions must queue.
+  auto b1 = pool.Submit([&] { ++started; gate.Wait(); });
+  auto b2 = pool.Submit([&] { ++started; gate.Wait(); });
+  while (started.load() < 2) std::this_thread::yield();
+  std::vector<TaskFuture<void>> queued;
+  for (int i = 0; i < 4; ++i) queued.push_back(pool.Submit([] {}));
+  // All four are sitting in deques right now: the high-water mark must
+  // have seen them (peaks are monotone, so this cannot flake downward).
+  EXPECT_GE(pool.stats().peak_queued, 4u);
+  gate.Open();
+  pool.WaitIdle();
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.submitted, 6u);
+  EXPECT_EQ(s.executed, 6u);
+  EXPECT_GE(s.peak_running, 2u);  // both blockers ran simultaneously
+  StatRegistry reg;
+  pool.ExportStats(&reg);
+  EXPECT_DOUBLE_EQ(reg.Get("pool.threads"), 2.0);
+  EXPECT_DOUBLE_EQ(reg.Get("pool.submitted"), 6.0);
+  EXPECT_DOUBLE_EQ(reg.Get("pool.executed"), 6.0);
+  EXPECT_EQ(reg.Get("pool.peak_queued"), static_cast<double>(s.peak_queued));
+  EXPECT_EQ(reg.Get("pool.peak_running"),
+            static_cast<double>(s.peak_running));
+  // Null registry is the usual no-op contract.
+  pool.ExportStats(nullptr);
 }
 
 TEST(SweepSeed, DeterministicAndDecorrelated) {
@@ -264,6 +297,71 @@ TEST(SweepRunner, RowsComeBackInGridOrderWithProgress) {
   ASSERT_NE(found, nullptr);
   EXPECT_EQ(found->config_idx, 2u);
   EXPECT_EQ(t.Find("bfs", "ldbc", "nope"), nullptr);
+}
+
+TEST(SweepProgressLine, FormatsCountersEtaAndFailureMarker) {
+  SweepProgress p;
+  p.completed = 2;
+  p.total = 6;
+  p.workload = "bfs";
+  p.profile = "ldbc";
+  p.config_name = "GraphPIM";
+  p.wall_ms = 123.0;
+  // ETA = elapsed/completed * remaining = 2000/2 * 4 = 4000 ms -> 4s.
+  const std::string line = FormatProgressLine(p, 2000.0);
+  EXPECT_NE(line.find("[  2/  6]"), std::string::npos) << line;
+  EXPECT_NE(line.find("bfs"), std::string::npos);
+  EXPECT_NE(line.find("GraphPIM"), std::string::npos);
+  EXPECT_NE(line.find("| ETA 4s"), std::string::npos) << line;
+  EXPECT_EQ(line.find("FAILED"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+  // Zero completed never divides by zero.
+  p.completed = 0;
+  EXPECT_NE(FormatProgressLine(p, 2000.0).find("ETA 0s"), std::string::npos);
+  // Failed jobs are marked.
+  p.completed = 2;
+  p.status = JobStatus::kFailed;
+  const std::string failed = FormatProgressLine(p, 2000.0);
+  EXPECT_NE(failed.find("  FAILED\n"), std::string::npos) << failed;
+}
+
+TEST(SweepRunner, ProgressHeartbeatUnderConcurrentJobs) {
+  // The heartbeat satellite: under a parallel pool the runner must invoke
+  // on_progress serially (under its lock) with a strictly advancing
+  // completed counter, and the shared StderrHeartbeat sink must emit one
+  // well-formed line per retired job.
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  auto heartbeat = StderrHeartbeat(sink);
+  std::mutex mu;
+  std::vector<std::size_t> completed_seen;
+  SweepRunner::Options opts;
+  opts.jobs = 4;
+  opts.on_progress = [&](const SweepProgress& p) {
+    std::lock_guard<std::mutex> lk(mu);
+    completed_seen.push_back(p.completed);
+    EXPECT_EQ(p.total, 3u);
+    EXPECT_EQ(p.status, JobStatus::kOk);
+    heartbeat(p);
+  };
+  const SweepResultTable t = SweepRunner(opts).Run(TinyGrid());
+  EXPECT_EQ(t.failed_rows, 0u);
+  // Serialized retirement: completed counts are exactly 1..total in order.
+  ASSERT_EQ(completed_seen.size(), 3u);
+  for (std::size_t i = 0; i < completed_seen.size(); ++i) {
+    EXPECT_EQ(completed_seen[i], i + 1);
+  }
+  // One heartbeat line per job landed in the sink.
+  std::rewind(sink);
+  char buf[256];
+  std::size_t lines = 0;
+  while (std::fgets(buf, sizeof(buf), sink) != nullptr) {
+    ++lines;
+    EXPECT_EQ(buf[0], '[') << buf;
+    EXPECT_NE(std::string(buf).find("| ETA "), std::string::npos) << buf;
+  }
+  EXPECT_EQ(lines, 3u);
+  std::fclose(sink);
 }
 
 TEST(SweepRunner, JobCountDoesNotChangeResults) {

@@ -1,0 +1,348 @@
+// src/serve tests: value-derived traffic schedules (deterministic, qps
+// acting only on arrival spacing), per-tenant carve isolation, admission
+// queue drop accounting, and the headline determinism regressions — a
+// serve grid must be bit-identical at --jobs=1 vs --jobs=4 and across
+// reruns at a fixed seed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "core/sim_config.h"
+#include "serve/engine.h"
+#include "serve/query.h"
+#include "serve/slo.h"
+#include "serve/traffic.h"
+#include "workloads/trace.h"
+
+namespace graphpim::serve {
+namespace {
+
+TrafficSpec TinyTraffic(double qps = 2e6) {
+  TrafficSpec ts;
+  ts.qps = qps;
+  ts.num_requests = 40;
+  ts.num_tenants = 2;
+  ts.num_vertices = 2048;
+  ts.seed = 7;
+  return ts;
+}
+
+ServedGraph::Options TinyGraph() {
+  ServedGraph::Options go;
+  go.profile = "ldbc";
+  go.num_vertices = 2048;
+  go.num_tenants = 2;
+  go.seed = 7;
+  return go;
+}
+
+ServeParams TinyParams(core::Mode mode = core::Mode::kGraphPim) {
+  ServeParams p;
+  p.cfg = core::SimConfig::Scaled(mode);
+  p.traffic = TinyTraffic();
+  p.query.max_hops = 2;
+  p.query.max_frontier = 16;
+  p.query.op_budget = 600;
+  p.queue_depth = 8;
+  p.slots = 2;
+  p.batch_max = 4;
+  return p;
+}
+
+// Stable textual fingerprint of a point: every deterministic field plus
+// the full registry. Two runs are "identical" iff these strings match.
+std::string Fingerprint(const ServePoint& p) {
+  std::string s = p.config_name + "|" + std::to_string(p.qps) + "|" +
+                  std::to_string(p.offered) + "|" + std::to_string(p.served) +
+                  "|" + std::to_string(p.dropped) + "|" +
+                  std::to_string(p.p50_ns) + "|" + std::to_string(p.p95_ns) +
+                  "|" + std::to_string(p.p99_ns) + "|" +
+                  std::to_string(p.queue_peak) + "|" +
+                  std::to_string(p.horizon_ns);
+  for (const auto& [k, v] : p.raw.AllItems()) {
+    s += "\n" + k + "=" + std::to_string(v);
+  }
+  return s;
+}
+
+TEST(ServeTraffic, ScheduleIsDeterministicAtFixedSeed) {
+  const TrafficSpec ts = TinyTraffic();
+  const auto a = GenerateSchedule(ts);
+  const auto b = GenerateSchedule(ts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].tenant, b[i].tenant);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].root, b[i].root);
+  }
+  // Arrivals are a cumulative sum of positive interarrivals.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+  }
+}
+
+TEST(ServeTraffic, QpsChangesSpacingButNotRequestIdentity) {
+  TrafficSpec slow = TinyTraffic(1e5);
+  TrafficSpec fast = TinyTraffic(4e6);
+  const auto a = GenerateSchedule(slow);
+  const auto b = GenerateSchedule(fast);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tenant, b[i].tenant) << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << i;
+    EXPECT_EQ(a[i].root, b[i].root) << i;
+  }
+  // 40x the rate compresses the horizon accordingly.
+  EXPECT_GT(a.back().arrival, b.back().arrival);
+}
+
+TEST(ServeTraffic, BurstyLongRunRateStaysNearNominal) {
+  TrafficSpec ts = TinyTraffic(1e6);
+  ts.model = ArrivalModel::kBursty;
+  ts.num_requests = 4000;
+  const auto sched = GenerateSchedule(ts);
+  const double horizon_s =
+      static_cast<double>(sched.back().arrival) / 1e12;  // ticks = ps
+  const double rate = static_cast<double>(sched.size()) / horizon_s;
+  // Normalized MMPP: mean interarrival is solved to exactly 1/qps, so the
+  // long-run rate sits near nominal (deterministic draw stream; the band
+  // only covers finite-sample wobble over 4000 arrivals).
+  EXPECT_GT(rate, ts.qps * 0.75);
+  EXPECT_LT(rate, ts.qps * 1.25);
+}
+
+TEST(ServeTraffic, RejectsDegenerateSpecs) {
+  TrafficSpec ts = TinyTraffic();
+  ts.num_vertices = 0;
+  EXPECT_THROW(GenerateSchedule(ts), SimError);
+  ts = TinyTraffic();
+  ts.qps = 0.0;
+  EXPECT_THROW(GenerateSchedule(ts), SimError);
+  ts = TinyTraffic();
+  ts.burst_mult = 0.5;
+  EXPECT_THROW(GenerateSchedule(ts), SimError);
+  EXPECT_THROW(ParseArrivalModel("uniform"), SimError);
+}
+
+TEST(ServeQuery, CarvesArePageAlignedAndDisjoint) {
+  ServedGraph sg(TinyGraph());
+  ASSERT_EQ(sg.num_tenants(), 2u);
+  const std::uint64_t page = graph::AddressSpace::kPmrPageBytes;
+  for (std::uint32_t t = 0; t < sg.num_tenants(); ++t) {
+    const TenantCarve& c = sg.carve(t);
+    EXPECT_EQ(c.prop_base % page, 0u);
+    EXPECT_EQ(c.aux_base % page, 0u);
+    EXPECT_EQ(c.bytes() % page, 0u);
+    EXPECT_GE(c.prop_base, sg.pmr_base());
+    EXPECT_LE(c.end, sg.pmr_end());
+  }
+  // Disjoint: no address owned by two tenants.
+  const TenantCarve& a = sg.carve(0);
+  const TenantCarve& b = sg.carve(1);
+  EXPECT_TRUE(a.end <= b.prop_base || b.end <= a.prop_base);
+  EXPECT_EQ(sg.OwnerOf(a.prop_base), 0);
+  EXPECT_EQ(sg.OwnerOf(b.prop_base), 1);
+  EXPECT_EQ(sg.OwnerOf(sg.pmr_end() - 1), -1);
+}
+
+TEST(ServeQuery, TenantPropertyTrafficNeverLeavesItsCarve) {
+  ServedGraph sg(TinyGraph());
+  QueryParams qp;
+  qp.max_hops = 3;
+  qp.max_frontier = 32;
+  qp.op_budget = 2000;
+  for (std::uint32_t tenant = 0; tenant < sg.num_tenants(); ++tenant) {
+    for (QueryKind kind :
+         {QueryKind::kBfs, QueryKind::kSssp, QueryKind::kPageRank}) {
+      workloads::TraceBuilder tb(1, &sg.space());
+      ServeRequest req;
+      req.tenant = tenant;
+      req.kind = kind;
+      req.root = 17;
+      const QueryFootprint fp = EmitQuery(sg, req, qp, tb, 0);
+      EXPECT_GT(fp.ops, 0u) << ToString(kind);
+      const workloads::Trace tr = tb.Take();
+      std::uint64_t pmr_ops = 0;
+      for (const cpu::MicroOp& op : tr.streams[0]) {
+        if (op.addr < sg.pmr_base() || op.addr >= sg.pmr_end()) continue;
+        ++pmr_ops;
+        // THE isolation property: every property access of tenant K's
+        // query resolves to tenant K's carve.
+        EXPECT_EQ(sg.OwnerOf(op.addr), static_cast<int>(tenant))
+            << ToString(kind) << " op at 0x" << std::hex << op.addr;
+      }
+      EXPECT_GT(pmr_ops, 0u) << ToString(kind);
+    }
+  }
+}
+
+TEST(ServeEngine, EveryRequestIsServedOrDropped) {
+  ServedGraph sg(TinyGraph());
+  for (DropPolicy drop : {DropPolicy::kTail, DropPolicy::kHead}) {
+    ServeParams p = TinyParams();
+    p.drop = drop;
+    p.queue_depth = 2;          // tiny queue
+    p.traffic.qps = 5e7;        // far beyond capacity: forces drops
+    const ServePoint pt = RunServePoint(sg, p);
+    EXPECT_EQ(pt.offered, p.traffic.num_requests);
+    EXPECT_EQ(pt.offered, pt.served + pt.dropped);
+    EXPECT_GT(pt.dropped, 0u) << ToString(drop);
+    EXPECT_LE(pt.queue_peak, p.queue_depth);
+    // Tenant slices partition the totals.
+    std::uint64_t off = 0, srv = 0, drp = 0;
+    for (const TenantSlo& t : pt.tenants) {
+      off += t.offered;
+      srv += t.served;
+      drp += t.dropped;
+    }
+    EXPECT_EQ(off, pt.offered);
+    EXPECT_EQ(srv, pt.served);
+    EXPECT_EQ(drp, pt.dropped);
+    // Folded registry mirrors the struct.
+    EXPECT_EQ(pt.raw.Get("serve.offered"), static_cast<double>(pt.offered));
+    EXPECT_EQ(pt.raw.Get("serve.dropped"), static_cast<double>(pt.dropped));
+    EXPECT_EQ(pt.raw.Get("serve.latency.p99_ns"), pt.p99_ns);
+  }
+}
+
+TEST(ServeEngine, UncontendedLoadServesEverything) {
+  ServedGraph sg(TinyGraph());
+  ServeParams p = TinyParams();
+  p.traffic.qps = 1e4;  // glacial arrivals: queue never builds
+  const ServePoint pt = RunServePoint(sg, p);
+  EXPECT_EQ(pt.served, pt.offered);
+  EXPECT_EQ(pt.dropped, 0u);
+  EXPECT_EQ(pt.queue_peak, 0u);
+  EXPECT_GT(pt.p50_ns, 0.0);
+  EXPECT_LE(pt.p50_ns, pt.p95_ns);
+  EXPECT_LE(pt.p95_ns, pt.p99_ns);
+  EXPECT_LE(pt.p99_ns, pt.max_ns);
+}
+
+TEST(ServeEngine, JobCountDoesNotChangeResults) {
+  ServedGraph sg(TinyGraph());
+  const ServeParams base = TinyParams();
+  const std::vector<std::pair<std::string, core::SimConfig>> configs = {
+      {"Baseline", core::SimConfig::Scaled(core::Mode::kBaseline)},
+      {"GraphPIM", core::SimConfig::Scaled(core::Mode::kGraphPim)}};
+  const std::vector<double> qps = {2e5, 2e6};
+  const ServeGridResult one = RunServeGrid(sg, base, configs, qps, 1);
+  const ServeGridResult four = RunServeGrid(sg, base, configs, qps, 4);
+  ASSERT_EQ(one.points.size(), four.points.size());
+  for (std::size_t i = 0; i < one.points.size(); ++i) {
+    EXPECT_EQ(Fingerprint(one.points[i]), Fingerprint(four.points[i])) << i;
+  }
+  EXPECT_EQ(FormatSaturationTable(one.points),
+            FormatSaturationTable(four.points));
+}
+
+TEST(ServeEngine, RerunAtFixedSeedIsByteIdentical) {
+  ServedGraph sg(TinyGraph());
+  const ServeParams base = TinyParams();
+  const std::vector<std::pair<std::string, core::SimConfig>> configs = {
+      {"GraphPIM", core::SimConfig::Scaled(core::Mode::kGraphPim)}};
+  const std::vector<double> qps = {1e6};
+  const ServeGridResult a = RunServeGrid(sg, base, configs, qps, 2);
+  const ServeGridResult b = RunServeGrid(sg, base, configs, qps, 2);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(Fingerprint(a.points[i]), Fingerprint(b.points[i]));
+  }
+  EXPECT_EQ(FormatSaturationTable(a.points) + FormatKneeSummary(a.points),
+            FormatSaturationTable(b.points) + FormatKneeSummary(b.points));
+}
+
+TEST(ServeEngine, FlagReachableParamErrorsThrowSimError) {
+  ServedGraph sg(TinyGraph());
+  // All of these arrive straight from CLI flags, so they must surface as
+  // catchable SimErrors (one-line tool error), never a GP_CHECK abort.
+  ServeParams p = TinyParams();
+  p.slots = 0;
+  EXPECT_THROW(RunServePoint(sg, p), SimError);
+  EXPECT_THROW(RunServeGrid(sg, p, {{"X", p.cfg}}, {1e6}, 1, nullptr),
+               SimError);
+  p = TinyParams();
+  p.batch_max = static_cast<std::size_t>(p.cfg.num_cores) + 1;
+  EXPECT_THROW(RunServePoint(sg, p), SimError);
+  EXPECT_THROW(RunServeGrid(sg, p, {{"X", p.cfg}}, {1e6}, 1, nullptr),
+               SimError);
+  p = TinyParams();
+  p.queue_depth = 0;
+  EXPECT_THROW(RunServePoint(sg, p), SimError);
+  EXPECT_THROW(RunServeGrid(sg, p, {{"X", p.cfg}}, {1e6}, 1, nullptr),
+               SimError);
+  ServedGraph::Options bad = TinyGraph();
+  bad.num_tenants = 0;
+  EXPECT_THROW(ServedGraph{bad}, SimError);
+}
+
+TEST(ServeSlo, QuantileSortedInterpolates) {
+  EXPECT_EQ(QuantileSorted({}, 0.5), 0.0);
+  EXPECT_EQ(QuantileSorted({42.0}, 0.0), 42.0);
+  EXPECT_EQ(QuantileSorted({42.0}, 1.0), 42.0);
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 0.5), 25.0);   // midpoint of 20, 30
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 1.0 / 3.0), 20.0);
+}
+
+TEST(ServeSlo, KneeFindsLastKeepUpPoint) {
+  auto mk = [](double qps, double p99_ns, double drop, std::uint64_t peak) {
+    ServePoint p;
+    p.config_name = "X";
+    p.qps = qps;
+    p.p99_ns = p99_ns;
+    p.drop_rate = drop;
+    p.queue_peak = peak;
+    p.queue_limit = 8;
+    return p;
+  };
+  // Light-load p99 is 10us; the default latency budget is 4x that. The
+  // 2e5 point stays inside it; 4e5 blows the budget and drops.
+  const std::vector<ServePoint> series = {mk(1e5, 10e3, 0.0, 1),
+                                          mk(2e5, 25e3, 0.0, 3),
+                                          mk(4e5, 90e3, 0.3, 8)};
+  const KneeSummary k = FindKnee(series);
+  EXPECT_EQ(k.config_name, "X");
+  EXPECT_DOUBLE_EQ(k.knee_qps, 2e5);
+  EXPECT_TRUE(k.saturated);
+  // A full admission queue alone marks a point saturated, even without
+  // drops or a latency blowout.
+  const KneeSummary full =
+      FindKnee({mk(1e5, 10e3, 0.0, 1), mk(2e5, 12e3, 0.0, 8)});
+  EXPECT_DOUBLE_EQ(full.knee_qps, 1e5);
+  EXPECT_TRUE(full.saturated);
+  // A series that never saturates reports the top of the grid, unflagged.
+  const KneeSummary open =
+      FindKnee({mk(1e5, 10e3, 0.0, 1), mk(2e5, 12e3, 0.0, 2)});
+  EXPECT_DOUBLE_EQ(open.knee_qps, 2e5);
+  EXPECT_FALSE(open.saturated);
+}
+
+TEST(ServeSlo, ServePhasesCarryPerPointDeltas) {
+  ServedGraph sg(TinyGraph());
+  ServeParams p = TinyParams();
+  p.traffic.qps = 1e6;
+  ServePoint a = RunServePoint(sg, p);
+  a.config_name = "GraphPIM";
+  p.traffic.qps = 2e6;
+  ServePoint b = RunServePoint(sg, p);
+  b.config_name = "GraphPIM";
+  const trace::PhaseLog log = BuildServePhases({a, b});
+  ASSERT_EQ(log.phases().size(), 2u);
+  EXPECT_EQ(log.phases()[0].name, "GraphPIM@qps=1000000");
+  EXPECT_EQ(log.phases()[1].name, "GraphPIM@qps=2000000");
+  // Each phase's serve.offered delta is that point's own offered count.
+  for (const auto& [k, v] : log.phases()[0].deltas) {
+    if (k == "serve.offered") {
+      EXPECT_EQ(v, static_cast<double>(a.offered));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphpim::serve

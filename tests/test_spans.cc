@@ -300,6 +300,19 @@ TEST(SpanStats, FoldProducesPerStageAndAtomicFamilies) {
   EXPECT_FALSE(clean.Has("span.sampled"));
 }
 
+TEST(SpanStats, FoldReportsP99NextToP95) {
+  // Serving SLOs read span.*.p99; regression-pin the keys for both the
+  // per-stage and the atomic-total families. On SmallLog's single-sample
+  // stages every quantile collapses to the same bucket, so p99 must be
+  // present and >= p95.
+  StatRegistry reg;
+  trace::FoldSpanStats(SmallLog(), &reg);
+  ASSERT_TRUE(reg.Has("span.bank.p99"));
+  ASSERT_TRUE(reg.Has("span.atomic.p99"));
+  EXPECT_GE(reg.Get("span.bank.p99"), reg.Get("span.bank.p95"));
+  EXPECT_GE(reg.Get("span.atomic.p99"), reg.Get("span.atomic.p95"));
+}
+
 // ---------------------------------------------------------------------------
 // End to end through the simulator.
 

@@ -1,0 +1,197 @@
+// graphpim_serve — multi-tenant query-serving engine with SLO reporting
+// (DESIGN.md §13).
+//
+// Admits synthetic open-loop graph-query traffic (Poisson or bursty/MMPP
+// arrivals of BFS/SSSP/PageRank point queries) against one resident graph
+// through an admission queue and batch-dispatch slots, replaying each
+// batch on the full timing model. Prints a saturation table — one row per
+// (machine config, offered qps) — with p50/p95/p99 latency, queue depth,
+// drop rate, and achieved throughput, plus a per-config knee summary.
+//
+//   graphpim_serve [--profile=ldbc] [--vertices=4096] [--tenants=2]
+//                  [--modes=baseline,graphpim] [--num-cubes=1,4]
+//                  [--arrivals=poisson|bursty] [--requests=48]
+//                  [--qps=1e6] | [--qps-grid=5e5,1e6,2e6,4e6]
+//                  [--queue-depth=64] [--drop=tail|head]
+//                  [--slots=2] [--batch=4] [--dispatch-ns=500]
+//                  [--max-hops=2] [--max-frontier=64] [--op-budget=4000]
+//                  [--burst-mult=8] [--seed=1] [--jobs=N] [--progress=1]
+//                  [--metrics-out=serve.json|.jsonl]
+//                  + every SimConfig machine knob (threads, linkbw, ...)
+//
+// DETERMINISM: everything between the "== saturation table ==" markers is
+// a pure function of the flags — bit-identical across --jobs counts and
+// reruns (the serve-identity gate in scripts/golden_identity.sh diffs
+// exactly that region). Wall-clock and pool.* occupancy lines print after
+// the end marker.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+#include "common/log.h"
+#include "common/string_util.h"
+#include "exec/progress.h"
+#include "exec/sweep.h"
+#include "serve/engine.h"
+#include "serve/slo.h"
+
+using namespace graphpim;
+
+namespace {
+
+std::vector<double> ParseDoubleList(const std::string& arg,
+                                    const std::string& flag) {
+  std::vector<double> out;
+  for (const std::string& part : Split(arg, ',')) {
+    const std::string s = Trim(part);
+    if (s.empty()) continue;
+    try {
+      out.push_back(std::stod(s));
+    } catch (const std::exception&) {
+      GP_THROW("bad value '", s, "' in --", flag);
+    }
+  }
+  GP_CHECK(!out.empty(), "--", flag, " needs at least one value");
+  return out;
+}
+
+int Run(const Config& cfg) {
+  std::vector<std::string> keys = {
+      "profile",   "vertices",  "tenants",     "modes",       "arrivals",
+      "requests",  "qps",       "qps-grid",    "queue-depth", "drop",
+      "slots",     "batch",     "dispatch-ns", "max-hops",    "max-frontier",
+      "op-budget", "burst-mult", "seed",       "jobs",        "progress",
+      "metrics-out"};
+  for (const std::string& k : core::SimConfig::ConfigKeys()) keys.push_back(k);
+  cfg.RequireKeys(keys);
+
+  // --- resident graph -------------------------------------------------
+  serve::ServedGraph::Options go;
+  go.profile = cfg.GetString("profile", "ldbc");
+  go.num_vertices = static_cast<VertexId>(cfg.GetUint("vertices", 4096));
+  go.num_tenants = static_cast<std::uint32_t>(cfg.GetUint("tenants", 2));
+  go.seed = cfg.GetUint("seed", 1);
+  serve::ServedGraph sg(go);
+
+  // --- serve parameters ----------------------------------------------
+  serve::ServeParams base;
+  base.traffic.model = serve::ParseArrivalModel(
+      cfg.GetString("arrivals", "poisson"));
+  base.traffic.num_requests = cfg.GetUint("requests", 48);
+  base.traffic.num_tenants = go.num_tenants;
+  base.traffic.burst_mult = cfg.GetDouble("burst-mult", 8.0);
+  base.traffic.seed = go.seed;
+  base.query.max_hops = static_cast<int>(cfg.GetInt("max-hops", 2));
+  base.query.max_frontier = cfg.GetUint("max-frontier", 64);
+  base.query.op_budget = cfg.GetUint("op-budget", 4000);
+  base.queue_depth = cfg.GetUint("queue-depth", 64);
+  base.drop = serve::ParseDropPolicy(cfg.GetString("drop", "tail"));
+  base.slots = static_cast<int>(cfg.GetInt("slots", 2));
+  base.batch_max = cfg.GetUint("batch", 4);
+  base.dispatch_ns = cfg.GetDouble("dispatch-ns", 500.0);
+
+  // --- machine configs: modes x cube counts ---------------------------
+  // num-cubes may carry a comma list (the sweep convention): it expands
+  // the config axis with "-c<N>" suffixes. SimConfig::FromConfig parses
+  // single numbers only, so the list is re-set per config before parsing.
+  const std::vector<core::Mode> modes =
+      exec::ParseModeList(cfg.GetString("modes", "baseline,graphpim"));
+  std::string cubes_arg = cfg.GetString("num-cubes", "");
+  if (cubes_arg.empty()) cubes_arg = cfg.GetString("num_cubes", "1");
+  const std::vector<double> cube_list = ParseDoubleList(cubes_arg, "num-cubes");
+  std::vector<std::pair<std::string, core::SimConfig>> configs;
+  for (core::Mode m : modes) {
+    for (double c : cube_list) {
+      const auto n = static_cast<std::uint32_t>(c);
+      GP_CHECK(n >= 1 && static_cast<double>(n) == c,
+               "--num-cubes entries must be positive integers");
+      Config one = cfg;
+      one.Set("num-cubes", std::to_string(n));
+      one.Set("num_cubes", std::to_string(n));
+      std::string name = core::ToString(m);
+      if (cube_list.size() > 1) name += StrFormat("-c%u", n);
+      configs.emplace_back(name, core::SimConfig::FromConfig(one, m));
+    }
+  }
+
+  // --- offered-load grid ----------------------------------------------
+  std::vector<double> qps_grid;
+  if (cfg.Has("qps-grid")) {
+    qps_grid = ParseDoubleList(cfg.GetString("qps-grid", ""), "qps-grid");
+  } else {
+    qps_grid.push_back(cfg.GetDouble("qps", 1e6));
+  }
+
+  const int jobs = static_cast<int>(cfg.GetInt("jobs", 0));
+  std::printf(
+      "graphpim_serve: %s-%u tenants=%u | %s arrivals, %zu requests | "
+      "queue=%zu/%s slots=%d batch=%zu | %zu configs x %zu qps = %zu points "
+      "(--jobs=%d)\n\n",
+      go.profile.c_str(), go.num_vertices, go.num_tenants,
+      serve::ToString(base.traffic.model), base.traffic.num_requests,
+      base.queue_depth, serve::ToString(base.drop), base.slots,
+      base.batch_max, configs.size(), qps_grid.size(),
+      configs.size() * qps_grid.size(), jobs);
+
+  std::function<void(const exec::SweepProgress&)> on_progress;
+  if (cfg.GetBool("progress", false)) on_progress = exec::StderrHeartbeat();
+
+  const serve::ServeGridResult res =
+      serve::RunServeGrid(sg, base, configs, qps_grid, jobs, on_progress);
+
+  // Everything inside the markers is deterministic (seed-fixed,
+  // jobs-invariant); scripts diff this region byte-for-byte.
+  std::printf("== saturation table ==\n");
+  std::fputs(serve::FormatSaturationTable(res.points).c_str(), stdout);
+  std::printf("\n");
+  std::fputs(serve::FormatKneeSummary(res.points).c_str(), stdout);
+  // Per-tenant SLO breakdown at the grid's highest offered load.
+  std::printf("\ntenant breakdown @ qps=%g\n", qps_grid.back());
+  for (const serve::ServePoint& p : res.points) {
+    if (p.qps != qps_grid.back()) continue;
+    for (std::size_t t = 0; t < p.tenants.size(); ++t) {
+      const serve::TenantSlo& slo = p.tenants[t];
+      std::printf(
+          "%-14s tenant%zu offered=%llu served=%llu dropped=%llu "
+          "p50=%.2fus p95=%.2fus p99=%.2fus\n",
+          p.config_name.c_str(), t,
+          static_cast<unsigned long long>(slo.offered),
+          static_cast<unsigned long long>(slo.served),
+          static_cast<unsigned long long>(slo.dropped), slo.p50_ns / 1e3,
+          slo.p95_ns / 1e3, slo.p99_ns / 1e3);
+    }
+  }
+  std::printf("== end saturation table ==\n");
+
+  // Wall-clock metadata (NOT deterministic; stays outside the markers).
+  std::printf(
+      "\nwall: %.0f ms | pool: %llu submitted, %llu executed, "
+      "%llu steals, peak queued %llu, peak running %llu, busy %.0f ms\n",
+      res.total_wall_ms, static_cast<unsigned long long>(res.pool.submitted),
+      static_cast<unsigned long long>(res.pool.executed),
+      static_cast<unsigned long long>(res.pool.steals),
+      static_cast<unsigned long long>(res.pool.peak_queued),
+      static_cast<unsigned long long>(res.pool.peak_running),
+      res.pool.busy_ms);
+
+  if (cfg.Has("metrics-out")) {
+    const std::string path = cfg.GetString("metrics-out", "");
+    trace::WriteTrace(serve::BuildServePhases(res.points), path);
+    std::printf("metrics written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(Config::FromArgs(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "graphpim_serve: error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -36,13 +36,13 @@
 // Transaction tracing (DESIGN.md §12): --trace-sample-rate=0.05 samples 5%
 // of memory requests per job; with --journal the sampled spans ride along
 // as {"spans_for":...} sidecar lines after each row.
-#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <string>
 
 #include "common/config.h"
 #include "common/string_util.h"
+#include "exec/progress.h"
 #include "exec/result_sink.h"
 #include "exec/sweep.h"
 #include "workloads/workload.h"
@@ -98,28 +98,12 @@ int Run(const Config& cfg) {
   opts.journal_path = cfg.GetString("journal", "");
   opts.resume = cfg.GetBool("resume", false);
   opts.journal_phases = cfg.GetBool("journal-phases", false);
-  // Progress heartbeat (off by default so scripted runs stay quiet): one
-  // stderr line per retired job with an ETA extrapolated from the mean
-  // wall time of the jobs finished so far. stderr keeps it separable from
-  // the result table on stdout, and the callback runs serially under the
-  // runner's progress lock, so the plain counters need no atomics.
+  // Progress heartbeat (off by default so scripted runs stay quiet): the
+  // shared src/exec/progress stderr line per retired job, with an ETA
+  // extrapolated from the mean wall time of the jobs finished so far.
+  // stderr keeps it separable from the result table on stdout.
   if (cfg.GetBool("progress", false)) {
-    const auto t0 = std::chrono::steady_clock::now();
-    opts.on_progress = [t0](const exec::SweepProgress& p) {
-      const double elapsed_ms =
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - t0)
-              .count();
-      const double eta_s =
-          p.completed == 0
-              ? 0.0
-              : elapsed_ms / static_cast<double>(p.completed) *
-                    static_cast<double>(p.total - p.completed) / 1e3;
-      std::fprintf(stderr, "[%3zu/%3zu] %-8s %-8s %-10s %7.0f ms | ETA %.0fs%s\n",
-                   p.completed, p.total, p.workload.c_str(), p.profile.c_str(),
-                   p.config_name.c_str(), p.wall_ms, eta_s,
-                   p.status == exec::JobStatus::kOk ? "" : "  FAILED");
-    };
+    opts.on_progress = exec::StderrHeartbeat();
   }
 
   std::printf("graphpim_sweep: %zu workloads x %zu profiles x %zu configs "
