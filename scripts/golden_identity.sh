@@ -125,6 +125,55 @@ for sc in "${SCENARIOS[@]}"; do
   done
 done
 
+# HEAD-only gate: the persistent PMR (DESIGN.md §14). Same structure as
+# the tracing gate: (a) pmem.enable=0 must be a strict byte-identical
+# passthrough — passing the flag explicitly at 0 reproduces the flag-less
+# HEAD outputs exactly; (b) the crash recovery table of a seeded
+# --crash-sweep must be bit-identical across --jobs and across reruns.
+echo "== pmem-off identity (--pmem-enable=0 vs no flag)"
+for sc in "${SCENARIOS[@]}"; do
+  name="${sc%%|*}"
+  read -r -a flags <<< "${sc#*|}"
+  build/tools/graphpim_sim "${COMMON[@]}" "${flags[@]}" \
+      --pmem-enable=0 --json="$WORK/$name.pmem0.json" \
+      > "$WORK/$name.pmem0.out"
+  sed -n '/^config:/,/^uncore energy:/p' "$WORK/$name.pmem0.out" \
+      > "$WORK/$name.pmem0.report"
+  for kind in json report; do
+    if cmp -s "$WORK/$name.head.$kind" "$WORK/$name.pmem0.$kind"; then
+      echo "   $name.$kind: identical with pmem off"
+    else
+      echo "golden_identity: FAIL — --pmem-enable=0 perturbs $name.$kind:" >&2
+      diff "$WORK/$name.head.$kind" "$WORK/$name.pmem0.$kind" | head -20 >&2
+      fail=1
+    fi
+  done
+done
+
+echo "== crash-sweep determinism (gup, jobs 1 vs 4, rerun)"
+for run in j1 j4 rerun; do
+  j=1; [[ "$run" == j4 ]] && j=4
+  build/tools/graphpim_sim --workload=gup --profile=ldbc --vertices=2048 \
+      --threads=8 --seed=1 --pmem-enable=1 --crash-sweep=25 --jobs="$j" \
+      > "$WORK/crash.$run.out"
+  sed -n '/^== crash recovery table ==$/,/^== end crash recovery table ==$/p' \
+      "$WORK/crash.$run.out" > "$WORK/crash.$run.table"
+done
+for pair in "j1 j4" "j1 rerun"; do
+  read -r a b <<< "$pair"
+  if cmp -s "$WORK/crash.$a.table" "$WORK/crash.$b.table"; then
+    echo "   crash.table $a vs $b: identical"
+  else
+    echo "golden_identity: FAIL — crash recovery table $a vs $b differs:" >&2
+    diff "$WORK/crash.$a.table" "$WORK/crash.$b.table" | head -20 >&2
+    fail=1
+  fi
+done
+if ! grep -q "persist check: OK" "$WORK/crash.j1.out"; then
+  echo "golden_identity: FAIL — full persist discipline failed the checker" >&2
+  fail=1
+fi
+
 echo "== tracing smoke (--trace-sample-rate=0.05)"
 build/tools/graphpim_sim "${COMMON[@]}" --workload=bfs --mode=all \
     --trace-sample-rate=0.05 --metrics-out="$WORK/trace.json" \

@@ -110,6 +110,29 @@ void SpanRecorder::End(SpanRef ref, Tick end, bool offloaded) {
   rec.offloaded = offloaded;
 }
 
+const SpanRecord* FindSpan(const SpanLog& log, std::uint64_t id) {
+  for (const SpanRecord& sp : log.spans) {
+    if (sp.id == id) return &sp;
+  }
+  return nullptr;
+}
+
+std::string FormatSpanChain(const SpanRecord& sp) {
+  std::string s = StrFormat(
+      "span %c t%d#%llu 0x%llx [%.1f, %.1f] ns:", sp.kind, sp.core,
+      static_cast<unsigned long long>(sp.id & ((1ULL << 48) - 1)),
+      static_cast<unsigned long long>(sp.addr), TickToNs(sp.begin),
+      TickToNs(sp.end));
+  bool first = true;
+  for (const SpanStageRecord& st : sp.stages) {
+    s += StrFormat("%s %s %.1f", first ? "" : " |", ToString(st.stage),
+                   TickToNs(st.exit - st.enter));
+    first = false;
+  }
+  if (sp.offloaded) s += " (offloaded)";
+  return s;
+}
+
 void FoldSpanStats(const SpanLog& log, StatRegistry* reg) {
   if (log.empty() || reg == nullptr) return;
   // 1 ns buckets x 65536 cover latencies up to ~64 us at single-ns

@@ -135,6 +135,15 @@ class SpanRecorder {
   SpanLog log_;
 };
 
+// Linear lookup of the span with request id `id`; nullptr when that
+// request was not sampled. Used by the persist-ordering checker to attach
+// timing witnesses to violations.
+const SpanRecord* FindSpan(const SpanLog& log, std::uint64_t id);
+
+// One-line rendering of a span's stage chain:
+//   "span W t0#42 0x400000010 [123.0, 161.5] ns: issue 0.0 | bank 36.2"
+std::string FormatSpanChain(const SpanRecord& sp);
+
 // Folds a span log into `span.*` registry counters: per-stage
 // count/sum_ns/mean/p50/p95 histograms over all sampled requests, plus the
 // atomic-only attribution family (span.atomic.<stage>.sum_ns etc.) that

@@ -73,6 +73,22 @@ std::string FormatReport(const SimResults& r) {
                        r.raw.Get("span.atomic.p95"));
     }
   }
+  // Persistent-PMR section, present only when the persist domain ran
+  // (pmem.enable=1 interns the family) and — like the span section —
+  // strictly after the "uncore energy:" golden-diff cutoff.
+  if (r.raw.Has("pmem.flushes")) {
+    out += StrFormat(
+        "pmem: %llu PMR stores, %llu flushes (%llu redundant), %llu fences | "
+        "flush %.0f ns fence %.0f ns | %llu persisted, %llu unpersisted at "
+        "end\n",
+        static_cast<unsigned long long>(r.raw.Get("pmem.pmr_stores")),
+        static_cast<unsigned long long>(r.raw.Get("pmem.flushes")),
+        static_cast<unsigned long long>(r.raw.Get("pmem.redundant_flushes")),
+        static_cast<unsigned long long>(r.raw.Get("pmem.fences")),
+        r.raw.Get("pmem.flush_ns"), r.raw.Get("pmem.fence_ns"),
+        static_cast<unsigned long long>(r.raw.Get("pmem.persisted_stores")),
+        static_cast<unsigned long long>(r.raw.Get("pmem.unpersisted_at_end")));
+  }
   return out;
 }
 

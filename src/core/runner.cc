@@ -193,9 +193,20 @@ SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
     cut_phase("drain", end_tick);
   }
 
+  // Seal the persist domain before Collect so pmem.unpersisted_at_end is
+  // in the merged registry the report sees.
+  if (mem.persist_domain() != nullptr) {
+    Tick end_tick = 0;
+    for (const auto& c : cores) end_tick = std::max(end_tick, c->Now());
+    mem.persist_domain()->Finish(end_tick);
+  }
+
   SimResults r = Collect(cfg, cores, mem, spans.get());
   if (opts.spans != nullptr && spans != nullptr) {
     *opts.spans = spans->TakeLog();
+  }
+  if (opts.persist != nullptr && mem.persist_domain() != nullptr) {
+    *opts.persist = mem.persist_domain()->TakeLog();
   }
   return r;
 }
@@ -221,6 +232,7 @@ void Experiment::Build(const graph::EdgeList& el, const std::string& workload_na
   space_ = std::make_unique<graph::AddressSpace>();
   graph_ = std::make_unique<graph::CsrGraph>(el, *space_, opts.dedup_edges);
   workload_ = workloads::CreateWorkload(workload_name);
+  workload_->SetPersistMode(opts.persist);
   workloads::TraceBuilder tb(opts.num_threads, space_.get(), opts.mispredict_rate,
                              opts.seed);
   if (opts.op_cap != 0) tb.SetOpCap(opts.op_cap);

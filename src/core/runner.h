@@ -24,6 +24,8 @@
 #include "graph/csr.h"
 #include "graph/generator.h"
 #include "graph/region.h"
+#include "pmem/crash.h"
+#include "pmem/pmem.h"
 #include "workloads/workload.h"
 
 namespace graphpim::core {
@@ -43,6 +45,12 @@ struct RunOptions {
   // into SimResults::raw whenever sampling is on, regardless of this
   // pointer.
   trace::SpanLog* spans = nullptr;
+
+  // When non-null AND cfg.pmem.enable, receives the run's persist log (one
+  // PersistStoreEvent per PMR store, with issue/persist ticks) — the input
+  // to the crash/recovery harness. Untouched when the persist domain is
+  // off.
+  pmem::PersistLog* persist = nullptr;
 };
 
 // THE simulation entry point. Replays `trace` under `cfg` (which is
@@ -66,6 +74,11 @@ class Experiment {
     std::uint64_t op_cap = 12'000'000;  // sampling guard for huge inputs
     double mispredict_rate = 0.06;
     bool dedup_edges = false;
+
+    // Persist discipline the workload generates with (DESIGN.md §14).
+    // kOff keeps the trace byte-identical to pre-pmem builds; the mutant
+    // modes seed checker-visible bugs on purpose.
+    pmem::PersistMode persist = pmem::PersistMode::kOff;
   };
 
   // Generates a `profile` graph ("ldbc"/"bitcoin"/"twitter") with
@@ -89,6 +102,14 @@ class Experiment {
   const graph::CsrGraph& graph() const { return *graph_; }
   const workloads::Workload& workload() const { return *workload_; }
   const workloads::Trace& trace() const { return trace_; }
+
+  // Crash-harness surface (non-null/meaningful only for persist-capable
+  // workloads generated with persist != kOff).
+  const pmem::UpdateLog* update_log() const { return workload_->update_log(); }
+  pmem::RecoveryInvariant recovery_invariant() const {
+    return workload_->recovery_invariant();
+  }
+  bool persist_capable() const { return workload_->persist_capable(); }
   Addr pmr_base() const { return space_->pmr_base(); }
   Addr pmr_end() const { return space_->pmr_end(); }
 

@@ -95,6 +95,20 @@ constexpr KnobRow kKnobs[] = {
      [](SimConfig& c, double v) {
        c.trace_max_spans = static_cast<std::uint64_t>(v);
      }},
+    {"pmem.enable", "pmem-enable", 0, 1, true,
+     [](const SimConfig& c) { return c.pmem.enable ? 1.0 : 0.0; },
+     [](SimConfig& c, double v) { c.pmem.enable = v != 0.0; }},
+    {"pmem.flush_ns", "pmem-flush-ns", 0, 1'000'000, false,
+     [](const SimConfig& c) { return c.pmem.flush_ns; },
+     [](SimConfig& c, double v) { c.pmem.flush_ns = v; }},
+    {"pmem.fence_ns", "pmem-fence-ns", 0, 1'000'000, false,
+     [](const SimConfig& c) { return c.pmem.fence_ns; },
+     [](SimConfig& c, double v) { c.pmem.fence_ns = v; }},
+    // -1 disables the single-shot crash; any non-negative tick requires
+    // pmem.enable=1 (cross-checked in Validate).
+    {"pmem.crash_tick", "pmem-crash-tick", -1, 1e15, false,
+     [](const SimConfig& c) { return c.pmem.crash_tick_ns; },
+     [](SimConfig& c, double v) { c.pmem.crash_tick_ns = v; }},
 };
 
 // True and yields the value when `cfg` carries the row's key under either
@@ -217,6 +231,11 @@ void SimConfig::Validate() const {
       static_cast<std::uint64_t>(hmc.num_cubes)) {
     GP_THROW("config key 'num_cubes' (", hmc.num_cubes,
              ") exceeds the per-cube page count; shrink cube_page_bytes");
+  }
+  if (!pmem.enable && pmem.crash_tick_ns >= 0) {
+    GP_THROW("config key 'pmem.crash_tick' (", pmem.crash_tick_ns,
+             ") requires 'pmem.enable'=1: a crash point is meaningless "
+             "without the persistent PMR");
   }
 }
 

@@ -10,6 +10,7 @@
 #include "energy/energy.h"
 #include "hmc/config.h"
 #include "mem/hierarchy.h"
+#include "pmem/pmem.h"
 
 namespace graphpim {
 class Config;
@@ -59,6 +60,11 @@ struct SimConfig {
   // Upper bound on recorded spans per run (memory safety valve); 0 means
   // unbounded.
   std::uint64_t trace_max_spans = 1u << 20;
+
+  // Persistent PMR (DESIGN.md §14): pmem.enable turns the PMR into
+  // PMEM-backed memory with flush/fence persist costs and the
+  // crash/recovery harness; off by default (strict passthrough).
+  pmem::PmemParams pmem;
 
   // Returns Table IV's full-size machine.
   static SimConfig Paper(Mode mode);

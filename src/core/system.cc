@@ -28,6 +28,10 @@ MemorySystem::MemorySystem(const SimConfig& cfg, Addr pmr_base, Addr pmr_end,
   hierarchy_ = std::make_unique<mem::CacheHierarchy>(
       cfg_.num_cores, cfg_.cache, network_.get(), &stats_, spans_);
   pou_.SetPmr(pmr_base, pmr_end);
+  if (cfg_.pmem.enable) {
+    pmem_ = std::make_unique<pmem::PersistDomain>(cfg_.pmem, pmr_base, pmr_end,
+                                                  &stats_);
+  }
   uc_slots_.assign(static_cast<std::size_t>(cfg_.num_cores),
                    std::vector<Tick>(static_cast<std::size_t>(cfg_.uc_queue_depth), 0));
   upei_check_ready_.assign(static_cast<std::size_t>(cfg_.num_cores), 0);
@@ -59,6 +63,15 @@ bool MemorySystem::PageInHmc(Addr addr) const {
 }
 
 MemOutcome MemorySystem::Access(int core, const MicroOp& op, Tick when) {
+  // Persist micro-ops take their own path before the span sampling point:
+  // they never consume a request ordinal, so load/store/atomic span ids
+  // stay identical whether or not a trace carries flushes and fences.
+  if (op.type == OpType::kFlush || op.type == OpType::kFence) {
+    return PersistOp(core, op, when);
+  }
+  if (pmem_ != nullptr && op.type == OpType::kStore && pou_.InPmr(op.addr)) {
+    pmem_->OnStore(core, op.addr, op.size, when);
+  }
   // The sampling point. With tracing off this whole block is one
   // never-taken branch; with tracing on, every memory micro-op draws a
   // value-derived id and the sampled ones record a span.
@@ -71,6 +84,23 @@ MemOutcome MemorySystem::Access(int core, const MicroOp& op, Tick when) {
   trace::SpanRef span = spans_->Begin(id, core, kind, op.addr, when);
   MemOutcome out = Route(core, op, when, span);
   if (span.valid()) spans_->End(span, out.complete, out.offloaded);
+  return out;
+}
+
+MemOutcome MemorySystem::PersistOp(int core, const MicroOp& op, Tick when) {
+  MemOutcome out;
+  out.complete = when;
+  out.retire_ready = when;
+  if (pmem_ == nullptr) return out;  // pmem.enable=0: zero-latency no-op
+  if (op.type == OpType::kFlush) {
+    // Posted like a store: the writeback proceeds asynchronously and only a
+    // later fence waits for it.
+    out.complete = pmem_->OnFlush(core, op.addr, when);
+    out.retire_ready = when;
+  } else {
+    out.complete = pmem_->OnFence(core, when);
+    out.retire_ready = out.complete;
+  }
   return out;
 }
 

@@ -27,6 +27,7 @@
 #include "cpu/pou.h"
 #include "hmc/topology.h"
 #include "mem/hierarchy.h"
+#include "pmem/pmem.h"
 
 namespace graphpim::core {
 
@@ -48,6 +49,9 @@ class MemorySystem : public cpu::MemoryInterface {
   const mem::CacheHierarchy& hierarchy() const { return *hierarchy_; }
   const cpu::PimOffloadUnit& pou() const { return pou_; }
 
+  // The persistent-PMR timing layer; nullptr unless cfg.pmem.enable.
+  pmem::PersistDomain* persist_domain() { return pmem_.get(); }
+
  private:
   // Mode dispatch (the old Access body); `span` is invalid for unsampled
   // requests.
@@ -62,6 +66,11 @@ class MemorySystem : public cpu::MemoryInterface {
                              trace::SpanRef span);
   cpu::MemOutcome BusLockAtomic(int core, const cpu::MicroOp& op, Tick when,
                                 trace::SpanRef span);
+
+  // kFlush/kFence handling. These never enter the span path (span ids stay
+  // mode- and pmem-invariant for loads/stores/atomics) and are free no-ops
+  // when the persist domain is off.
+  cpu::MemOutcome PersistOp(int core, const cpu::MicroOp& op, Tick when);
 
   // Span stage stamp; single never-taken branch when tracing is off.
   void Stamp(trace::SpanRef span, trace::SpanStage stage, Tick enter,
@@ -104,6 +113,7 @@ class MemorySystem : public cpu::MemoryInterface {
   StatId sid_upei_offloaded_;
   std::unique_ptr<hmc::HmcNetwork> network_;
   std::unique_ptr<mem::CacheHierarchy> hierarchy_;
+  std::unique_ptr<pmem::PersistDomain> pmem_;  // null when pmem.enable=0
   cpu::PimOffloadUnit pou_;  // identical in every core; modeled once
   std::vector<std::vector<Tick>> uc_slots_;
 

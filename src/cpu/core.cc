@@ -211,6 +211,24 @@ void OooCore::IssueOp(const MicroOp& op) {
       }
       break;
     }
+    case OpType::kFlush: {
+      // clwb-style line writeback: posted like a store — the writeback
+      // proceeds in the persist queue and only a later fence waits on it.
+      MemOutcome out = mem_->Access(id_, op, exec_start);
+      complete = exec_start + cycle_ticks_;
+      retire = complete;
+      max_store_complete_ = std::max(max_store_complete_, out.complete);
+      break;
+    }
+    case OpType::kFence: {
+      // sfence-style persist barrier: completes no earlier than every prior
+      // flush/store and serializes issue behind itself.
+      MemOutcome out = mem_->Access(id_, op, exec_start);
+      complete = std::max(out.complete, max_store_complete_);
+      retire = complete;
+      issue_block_ = std::max(issue_block_, complete);
+      break;
+    }
     case OpType::kBarrier:
       GP_PANIC("barrier reached IssueOp");
   }

@@ -24,6 +24,10 @@ enum class OpType : std::uint8_t {
   kStore = 3,
   kAtomic = 4,   // host atomic instruction ("lock"-prefixed in x86 terms)
   kBarrier = 5,  // synchronizes all threads (superstep boundary)
+  // Persistency ops (DESIGN.md §14). Only persist-mode traces emit these;
+  // with pmem.enable=0 they are zero-latency no-ops in the memory system.
+  kFlush = 6,    // clwb-style cache-line writeback of addr's 64B line
+  kFence = 7,    // sfence-style persist barrier: drains prior flushes
 };
 
 // MicroOp::flags bits.

@@ -138,6 +138,17 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
     GP_CHECK(c.num_cores >= grid.sim_threads,
              "config simulates fewer cores than the trace has streams");
   }
+  // Every config of a cell replays the ONE shared trace, and pmem.enable
+  // decides whether that trace carries flush/fence discipline — so it must
+  // be uniform across the grid (the fingerprint covers pmem.* via
+  // Describe(), so --resume already refuses cross-persistence splices).
+  for (const core::SimConfig& c : grid.configs) {
+    if (c.pmem.enable != grid.configs.front().pmem.enable) {
+      GP_THROW("config key 'pmem.enable' must be uniform across a sweep "
+               "grid: all configs replay one shared trace, which either "
+               "carries persist ops or does not");
+    }
+  }
 
   const auto sweep_t0 = std::chrono::steady_clock::now();
   const std::size_t num_cells = grid.NumCells();
@@ -250,6 +261,11 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
         eo.num_threads = grid.sim_threads;
         eo.seed = cell_seed;
         eo.op_cap = grid.op_cap;
+        // Uniform across the grid (prevalidated above): a persistent grid
+        // generates the full flush/fence discipline into the shared trace.
+        if (grid.configs.front().pmem.enable) {
+          eo.persist = pmem::PersistMode::kFull;
+        }
         exp = std::make_shared<core::Experiment>(
             grid.profiles[pi], grid.vertices, grid.workloads[wi], eo);
       } catch (const std::exception& e) {

@@ -14,6 +14,8 @@ namespace {
 constexpr std::uint64_t kCrcStream = 0x6c696e6b2d637263ULL;    // "link-crc"
 constexpr std::uint64_t kStallStream = 0x7661756c74737447ULL;  // "vaultstG"
 constexpr std::uint64_t kPoisonStream = 0x706f69736f6e2121ULL; // "poison!!"
+constexpr std::uint64_t kCrashTickStream = 0x6372617368746b21ULL;  // "crashtk!"
+constexpr std::uint64_t kTornStream = 0x746f726e6c696e65ULL;       // "tornline"
 
 }  // namespace
 
@@ -43,6 +45,36 @@ std::uint64_t DeriveCubeFaultSeed(std::uint64_t run_seed,
   if (cube_index == 0) return run_seed;
   return DeriveFaultSeed(run_seed ^ 0x63756265'00000000ULL,  // "cube"
                          static_cast<std::uint64_t>(cube_index));
+}
+
+std::uint64_t DeriveCrashSeed(std::uint64_t cell_seed, std::uint64_t salt) {
+  return DeriveFaultSeed(cell_seed ^ 0x6372617368000000ULL,  // "crash"
+                         salt);
+}
+
+double CrashPlan::Uniform(std::uint64_t stream, std::uint64_t key) const {
+  // Same counter-based two-round SplitMix64 hash as FaultPlan::Uniform.
+  SplitMix64 a(seed_ ^ stream);
+  SplitMix64 b(a.Next() ^ key);
+  return static_cast<double>(b.Next() >> 11) * 0x1.0p-53;
+}
+
+Tick CrashPlan::SampleCrashTick(std::uint64_t index, Tick end_tick) const {
+  if (end_tick == 0) return 0;
+  const double u = Uniform(kCrashTickStream, index);
+  return static_cast<Tick>(u * static_cast<double>(end_tick));
+}
+
+int CrashPlan::InFlightOutcome(std::uint64_t store_key, std::uint64_t index,
+                               bool can_tear) const {
+  // Mix the crash-cycle index into the key with the golden-ratio constant
+  // so the same store draws decorrelated outcomes across cycles.
+  const std::uint64_t key = store_key ^ (index * 0x9E3779B97F4A7C15ULL);
+  const double u = Uniform(kTornStream, key);
+  if (!can_tear) return u < 0.5 ? 0 : 1;  // powerfail-atomic: old or new
+  if (u < 1.0 / 3.0) return 0;
+  if (u < 2.0 / 3.0) return 1;
+  return 2;  // torn
 }
 
 double FaultPlan::Uniform(std::uint64_t stream, std::uint64_t n) const {

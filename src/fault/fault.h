@@ -102,6 +102,38 @@ class FaultPlan {
   std::uint64_t poison_n_ = 0;
 };
 
+// Decorrelated seed for one crash-sweep stream: folds a per-config salt
+// into the experiment seed so each mode's crash ticks are independent.
+std::uint64_t DeriveCrashSeed(std::uint64_t cell_seed, std::uint64_t salt);
+
+// Deterministic crash decision source for the persistent-PMR harness
+// (src/pmem/crash.h). Counter-based like FaultPlan::Uniform: every answer
+// is a pure function of (seed, stream, key), so crash cycle n of a sweep
+// samples identically at any --jobs count and on any platform.
+class CrashPlan {
+ public:
+  explicit CrashPlan(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  // Crash tick for cycle `index`, uniform over [0, end_tick].
+  Tick SampleCrashTick(std::uint64_t index, Tick end_tick) const;
+
+  // Post-crash media state of an in-flight store (issued but not yet
+  // persisted when the crash hit). Returns 0 = old value, 1 = new value,
+  // 2 = torn line. Stores that cannot tear (powerfail-atomic, <= 8B) draw
+  // 50/50 old/new; wider stores draw thirds. `store_key` identifies the
+  // store (e.g. (core << 48) | ordinal) and `index` the crash cycle, so
+  // distinct cycles see decorrelated outcomes for the same store.
+  int InFlightOutcome(std::uint64_t store_key, std::uint64_t index,
+                      bool can_tear) const;
+
+ private:
+  double Uniform(std::uint64_t stream, std::uint64_t key) const;
+
+  std::uint64_t seed_;
+};
+
 }  // namespace graphpim::fault
 
 #endif  // GRAPHPIM_FAULT_FAULT_H_

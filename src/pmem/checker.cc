@@ -1,0 +1,205 @@
+#include "pmem/checker.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace graphpim::pmem {
+
+namespace {
+
+constexpr Addr kLineMask = ~static_cast<Addr>(63);
+
+// Persist state of one PMR store while scanning its thread's stream.
+enum class StoreState : std::uint8_t { kDirty, kFlushed, kPersisted };
+
+// Everything needed to emit a violation about a store after the fact.
+struct StoreInfo {
+  std::size_t op_index = 0;
+  Addr addr = 0;
+  std::uint64_t mem_ordinal = 0;
+};
+
+}  // namespace
+
+const char* ToString(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kUnpersistedStore: return "unpersisted-store";
+    case ViolationKind::kMissingFence: return "missing-fence";
+    case ViolationKind::kRedundantFlush: return "redundant-flush";
+    case ViolationKind::kUnorderedPublish: return "unordered-publish";
+  }
+  return "?";
+}
+
+CheckReport CheckPersistOrdering(
+    const std::vector<std::vector<cpu::MicroOp>>& streams, Addr pmr_base,
+    Addr pmr_end, const UpdateLog* updates) {
+  CheckReport rep;
+
+  // Publish-ordinal index: per thread, which PMR-store ordinal commits
+  // which update. Built once; consulted at every publish store.
+  std::unordered_map<std::uint64_t, std::size_t> publish_of;
+  const auto pub_key = [](int t, std::uint64_t ord) {
+    return (static_cast<std::uint64_t>(t) << 48) | ord;
+  };
+  if (updates != nullptr) {
+    for (std::size_t i = 0; i < updates->updates.size(); ++i) {
+      const UpdateRecord& u = updates->updates[i];
+      publish_of[pub_key(u.thread, u.publish)] = i;
+    }
+  }
+
+  for (std::size_t ti = 0; ti < streams.size(); ++ti) {
+    const int t = static_cast<int>(ti);
+    const std::vector<cpu::MicroOp>& ops = streams[ti];
+
+    std::vector<StoreState> state;     // by PMR-store ordinal
+    std::vector<StoreInfo> info;       // by PMR-store ordinal
+    // Per line: ordinals stored since the last flush / flushed awaiting a
+    // fence. Mirrors PersistDomain::LineState exactly.
+    std::unordered_map<Addr, std::vector<std::uint64_t>> dirty, flushed;
+    std::uint64_t mem_ordinal = 0;  // load/store/atomic requests only —
+                                    // matches span ids, since flush/fence
+                                    // never enter the span path
+
+    for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+      const cpu::MicroOp& op = ops[oi];
+      switch (op.type) {
+        case cpu::OpType::kLoad:
+        case cpu::OpType::kAtomic:
+          ++mem_ordinal;
+          break;
+        case cpu::OpType::kStore: {
+          const std::uint64_t mo = mem_ordinal++;
+          if (op.addr < pmr_base || op.addr >= pmr_end) break;
+          const std::uint64_t ord = state.size();
+          ++rep.pmr_stores;
+          state.push_back(StoreState::kDirty);
+          info.push_back({oi, op.addr, mo});
+          dirty[op.addr & kLineMask].push_back(ord);
+          // Publish rule: a commit store must not issue until every payload
+          // store it covers has been fence-persisted.
+          if (updates != nullptr) {
+            auto it = publish_of.find(pub_key(t, ord));
+            if (it != publish_of.end()) {
+              const UpdateRecord& u = updates->updates[it->second];
+              for (std::uint64_t p : u.payload) {
+                if (p < state.size() && state[p] == StoreState::kPersisted) {
+                  continue;
+                }
+                ++rep.unordered_publishes;
+                rep.violations.push_back(
+                    {ViolationKind::kUnorderedPublish, t, oi, op.addr,
+                     op.addr & kLineMask, mo,
+                     StrFormat("publish store #%llu issued before payload "
+                               "store #%llu was persisted (%s)",
+                               static_cast<unsigned long long>(ord),
+                               static_cast<unsigned long long>(p),
+                               p < state.size()
+                                   ? (state[p] == StoreState::kFlushed
+                                          ? "flushed but unfenced"
+                                          : "not even flushed")
+                                   : "not yet issued")});
+              }
+            }
+          }
+          break;
+        }
+        case cpu::OpType::kFlush: {
+          ++rep.flushes;
+          const Addr line = op.addr & kLineMask;
+          auto it = dirty.find(line);
+          if (it == dirty.end() || it->second.empty()) {
+            ++rep.redundant_flushes;
+            auto fit = flushed.find(line);
+            const bool doubled = fit != flushed.end() && !fit->second.empty();
+            rep.violations.push_back(
+                {ViolationKind::kRedundantFlush, t, oi, op.addr, line,
+                 mem_ordinal,
+                 doubled ? std::string("line already flushed, nothing new "
+                                       "written since")
+                         : std::string("line is clean (no store to write "
+                                       "back)")});
+            break;
+          }
+          std::vector<std::uint64_t>& fl = flushed[line];
+          for (std::uint64_t ord : it->second) {
+            state[ord] = StoreState::kFlushed;
+            fl.push_back(ord);
+          }
+          it->second.clear();
+          break;
+        }
+        case cpu::OpType::kFence:
+          // sfence persists everything any prior flush of this thread
+          // covered, across all lines.
+          ++rep.fences;
+          for (auto& [line, ords] : flushed) {
+            for (std::uint64_t ord : ords) state[ord] = StoreState::kPersisted;
+            ords.clear();
+          }
+          break;
+        case cpu::OpType::kCompute:
+        case cpu::OpType::kBranch:
+        case cpu::OpType::kBarrier:
+          break;
+      }
+    }
+
+    // End of stream: anything short of persisted is crash-reachable.
+    // Emitted in store order for a deterministic report.
+    for (std::uint64_t ord = 0; ord < state.size(); ++ord) {
+      if (state[ord] == StoreState::kDirty) {
+        ++rep.unpersisted_stores;
+        rep.violations.push_back(
+            {ViolationKind::kUnpersistedStore, t, info[ord].op_index,
+             info[ord].addr, info[ord].addr & kLineMask, info[ord].mem_ordinal,
+             StrFormat("store #%llu never flushed",
+                       static_cast<unsigned long long>(ord))});
+      } else if (state[ord] == StoreState::kFlushed) {
+        ++rep.missing_fences;
+        rep.violations.push_back(
+            {ViolationKind::kMissingFence, t, info[ord].op_index,
+             info[ord].addr, info[ord].addr & kLineMask, info[ord].mem_ordinal,
+             StrFormat("store #%llu flushed but no later fence drains it",
+                       static_cast<unsigned long long>(ord))});
+      }
+    }
+  }
+  return rep;
+}
+
+std::string FormatCheckReport(const CheckReport& report,
+                              const trace::SpanLog* spans) {
+  std::string s = StrFormat(
+      "persist check: %s — %llu PMR stores, %llu flushes, %llu fences; "
+      "%llu unpersisted, %llu missing-fence, %llu redundant-flush, "
+      "%llu unordered-publish",
+      report.ok() ? "OK" : "VIOLATIONS",
+      static_cast<unsigned long long>(report.pmr_stores),
+      static_cast<unsigned long long>(report.flushes),
+      static_cast<unsigned long long>(report.fences),
+      static_cast<unsigned long long>(report.unpersisted_stores),
+      static_cast<unsigned long long>(report.missing_fences),
+      static_cast<unsigned long long>(report.redundant_flushes),
+      static_cast<unsigned long long>(report.unordered_publishes));
+  for (const PersistViolation& v : report.violations) {
+    s += StrFormat("\n  [%s] t%d op#%zu addr=0x%llx line=0x%llx: %s",
+                   ToString(v.kind), v.thread, v.op_index,
+                   static_cast<unsigned long long>(v.addr),
+                   static_cast<unsigned long long>(v.line), v.detail.c_str());
+    if (spans != nullptr) {
+      const trace::SpanRecord* sp = trace::FindSpan(
+          *spans, trace::SpanRequestId(v.thread, v.mem_ordinal));
+      if (sp != nullptr) {
+        s += "\n      witness ";
+        s += trace::FormatSpanChain(*sp);
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace graphpim::pmem

@@ -1,0 +1,87 @@
+// Persist-ordering checker (DESIGN.md §14): static validation of a
+// micro-op stream's flush/fence discipline, in the PMTest/Hippocrates
+// style of mechanically checkable persistency rules.
+//
+// The checker walks each thread's generated micro-ops — not the timing
+// model's replay — so it runs once per trace regardless of how many
+// configs replay it, and a violation is a property of the workload's
+// persist discipline, not of machine timing. It flags:
+//
+//   - kUnpersistedStore:  a PMR store whose line is never flushed;
+//   - kMissingFence:      a flushed line never covered by a fence, so the
+//                         writeback may still be in a volatile queue at
+//                         crash time;
+//   - kRedundantFlush:    a flush of a clean or already-flushed line
+//                         (wasted write bandwidth, PMEM wear);
+//   - kUnorderedPublish:  an UpdateRecord's commit store issued before all
+//                         of its payload stores were fence-persisted — the
+//                         exact bug class the missing-fence mutant seeds.
+//
+// Violations carry the store's memory-request ordinal, which matches the
+// span recorder's request ids, so FormatCheckReport can attach sampled
+// span chains as timing witnesses (trace.sample_rate > 0).
+#ifndef GRAPHPIM_PMEM_CHECKER_H_
+#define GRAPHPIM_PMEM_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/span.h"
+#include "common/types.h"
+#include "cpu/uop.h"
+#include "pmem/crash.h"
+
+namespace graphpim::pmem {
+
+enum class ViolationKind : std::uint8_t {
+  kUnpersistedStore = 0,
+  kMissingFence,
+  kRedundantFlush,
+  kUnorderedPublish,
+};
+
+const char* ToString(ViolationKind k);
+
+struct PersistViolation {
+  ViolationKind kind = ViolationKind::kUnpersistedStore;
+  int thread = 0;
+  std::size_t op_index = 0;       // index into the thread's micro-op stream
+  Addr addr = 0;                  // op address (store addr / flushed addr)
+  Addr line = 0;                  // 64B line
+  std::uint64_t mem_ordinal = 0;  // per-thread memory-request ordinal
+                                  // (= span request ordinal of this op)
+  std::string detail;
+};
+
+struct CheckReport {
+  std::vector<PersistViolation> violations;
+
+  std::uint64_t pmr_stores = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t fences = 0;
+  std::uint64_t unpersisted_stores = 0;
+  std::uint64_t missing_fences = 0;
+  std::uint64_t redundant_flushes = 0;
+  std::uint64_t unordered_publishes = 0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Checks the persist ordering of `streams` (one micro-op vector per
+// thread) over the PMR window [pmr_base, pmr_end). `updates` may be null;
+// when given, its publish/payload ordinals drive the kUnorderedPublish
+// rule. Pure function; no timing state consulted.
+CheckReport CheckPersistOrdering(
+    const std::vector<std::vector<cpu::MicroOp>>& streams, Addr pmr_base,
+    Addr pmr_end, const UpdateLog* updates);
+
+// Human-readable report: counts line plus one line per violation, with a
+// span-chain witness attached when `spans` sampled the violating request.
+// Violations are listed in (thread, op_index) order — deterministic.
+std::string FormatCheckReport(const CheckReport& report,
+                              const trace::SpanLog* spans);
+
+}  // namespace graphpim::pmem
+
+#endif  // GRAPHPIM_PMEM_CHECKER_H_

@@ -1,0 +1,160 @@
+#include "pmem/crash.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.h"
+#include "common/string_util.h"
+
+namespace graphpim::pmem {
+
+namespace {
+
+// Cap the per-outcome error list so a badly broken mutant run does not
+// balloon the recovery table.
+constexpr std::size_t kMaxErrors = 8;
+
+void AddError(CrashOutcome* out, std::string msg) {
+  out->consistent = false;
+  if (out->errors.size() < kMaxErrors) out->errors.push_back(std::move(msg));
+}
+
+// Same (core, ordinal) packing as trace::SpanRequestId, so a crash outcome
+// names the store a span witness would.
+std::uint64_t StoreKey(int core, std::uint64_t ordinal) {
+  return (static_cast<std::uint64_t>(core) << 48) | ordinal;
+}
+
+}  // namespace
+
+const char* ToString(PersistMode m) {
+  switch (m) {
+    case PersistMode::kOff: return "off";
+    case PersistMode::kFull: return "full";
+    case PersistMode::kMissingFence: return "missing-fence";
+    case PersistMode::kRedundantFlush: return "redundant-flush";
+  }
+  return "?";
+}
+
+const char* ToString(StoreVisibility v) {
+  switch (v) {
+    case StoreVisibility::kOld: return "old";
+    case StoreVisibility::kNew: return "new";
+    case StoreVisibility::kTorn: return "torn";
+  }
+  return "?";
+}
+
+RecoveryInvariant AllOrNothingInvariant(std::string what) {
+  return [what = std::move(what)](const UpdateRecord& u,
+                                  const std::vector<StoreVisibility>& payload,
+                                  StoreVisibility publish, CrashOutcome* out) {
+    if (publish == StoreVisibility::kTorn) {
+      // Publish records are single 8B stores and powerfail-atomic; a torn
+      // one means the workload broke the commit-record contract.
+      AddError(out, StrFormat("%s t%d publish #%llu is torn (commit records "
+                              "must be powerfail-atomic)",
+                              what.c_str(), u.thread,
+                              static_cast<unsigned long long>(u.publish)));
+      return;
+    }
+    if (publish == StoreVisibility::kOld) {
+      // Commit record never became durable: recovery discards the update;
+      // payload state is irrelevant (its space is reclaimed).
+      ++out->discarded_updates;
+      return;
+    }
+    ++out->durable_updates;
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      if (payload[i] != StoreVisibility::kNew) {
+        AddError(out,
+                 StrFormat("%s t%d published (#%llu durable) but payload "
+                           "store #%llu is %s",
+                           what.c_str(), u.thread,
+                           static_cast<unsigned long long>(u.publish),
+                           static_cast<unsigned long long>(u.payload[i]),
+                           ToString(payload[i])));
+      }
+    }
+  };
+}
+
+CrashOutcome EvaluateCrashRecovery(const PersistLog& log,
+                                   const UpdateLog& updates, Tick crash_tick,
+                                   const fault::CrashPlan& plan,
+                                   std::uint64_t crash_index,
+                                   const RecoveryInvariant& inv) {
+  GP_CHECK(static_cast<bool>(inv), "recovery invariant must be callable");
+  CrashOutcome out;
+  out.crash_tick = crash_tick;
+
+  // Classify every PMR store's post-crash visibility, indexed per core by
+  // ordinal so UpdateRecords can look their stores up.
+  std::vector<std::vector<StoreVisibility>> vis;
+  for (const PersistStoreEvent& ev : log.stores) {
+    const auto c = static_cast<std::size_t>(ev.core);
+    if (c >= vis.size()) vis.resize(c + 1);
+    if (vis[c].size() <= ev.ordinal) {
+      vis[c].resize(ev.ordinal + 1, StoreVisibility::kOld);
+    }
+    StoreVisibility v;
+    if (ev.issue > crash_tick) {
+      // Never issued before the crash: recovery sees the old contents.
+      v = StoreVisibility::kOld;
+    } else if (ev.persist != kNeverPersisted && ev.persist <= crash_tick) {
+      v = StoreVisibility::kNew;  // a fence made it durable in time
+    } else {
+      // Issued but not persisted: in flight. The media may hold either
+      // value; multi-word stores can additionally tear mid-line.
+      ++out.inflight_stores;
+      const int coin = plan.InFlightOutcome(StoreKey(ev.core, ev.ordinal),
+                                            crash_index, ev.size > 8);
+      v = coin == 0   ? StoreVisibility::kOld
+          : coin == 1 ? StoreVisibility::kNew
+                      : StoreVisibility::kTorn;
+      if (v == StoreVisibility::kTorn) ++out.torn_stores;
+    }
+    vis[c][ev.ordinal] = v;
+  }
+
+  const auto lookup = [&vis, &out](int thread,
+                                   std::uint64_t ordinal) -> StoreVisibility {
+    const auto c = static_cast<std::size_t>(thread);
+    if (c >= vis.size() || ordinal >= vis[c].size()) {
+      AddError(&out, StrFormat("update names store t%d#%llu absent from the "
+                               "persist log",
+                               thread,
+                               static_cast<unsigned long long>(ordinal)));
+      return StoreVisibility::kOld;
+    }
+    return vis[c][ordinal];
+  };
+
+  std::vector<StoreVisibility> payload;
+  for (const UpdateRecord& u : updates.updates) {
+    payload.clear();
+    payload.reserve(u.payload.size());
+    for (std::uint64_t ord : u.payload) payload.push_back(lookup(u.thread, ord));
+    inv(u, payload, lookup(u.thread, u.publish), &out);
+  }
+  return out;
+}
+
+std::string FormatCrashOutcome(const CrashOutcome& o) {
+  std::string s = StrFormat(
+      "crash @%.0f ns: %s (durable %llu, discarded %llu, torn %llu, "
+      "in-flight %llu)",
+      TicksToNs(o.crash_tick), o.consistent ? "consistent" : "INCONSISTENT",
+      static_cast<unsigned long long>(o.durable_updates),
+      static_cast<unsigned long long>(o.discarded_updates),
+      static_cast<unsigned long long>(o.torn_stores),
+      static_cast<unsigned long long>(o.inflight_stores));
+  for (const std::string& e : o.errors) {
+    s += "\n    ! ";
+    s += e;
+  }
+  return s;
+}
+
+}  // namespace graphpim::pmem

@@ -1,0 +1,110 @@
+// Crash/recovery harness for the persistent PMR (DESIGN.md §14).
+//
+// Extends the PR 2 fault-injection discipline with a deterministic crash
+// class: a SplitMix64-sampled crash tick (fault::CrashPlan) cuts the run's
+// PersistLog at an instant, every store is classified as durable (old or
+// new value) or in-flight, in-flight multi-word stores may tear at 64B
+// line granularity (8-byte stores are powerfail-atomic, per PMEM platform
+// guarantees), and a per-workload recovery invariant verifies that the
+// property arrays a recovery pass would observe are consistent — e.g.
+// every Graph Update edge rewrite is all-or-nothing.
+//
+// Replaying the timing model once yields the PersistLog; each crash tick
+// is then a pure post-processing pass over it, so a --crash-sweep of N
+// ticks costs one replay and its outcome table is bit-identical at any
+// --jobs count.
+#ifndef GRAPHPIM_PMEM_CRASH_H_
+#define GRAPHPIM_PMEM_CRASH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "fault/fault.h"
+#include "pmem/pmem.h"
+
+namespace graphpim::pmem {
+
+// How a workload generates its persist discipline. The mutants exist so
+// the checker's true-positive paths (and the crash harness's torn-update
+// detection) can be exercised on demand (--pmem-mutant).
+enum class PersistMode : std::uint8_t {
+  kOff = 0,            // plain volatile trace (pre-PR byte-identical)
+  kFull = 1,           // store -> flush -> fence -> publish -> flush -> fence
+  kMissingFence = 2,   // mutant: payload fence elided (unordered publish)
+  kRedundantFlush = 3, // mutant: payload line flushed twice
+};
+
+const char* ToString(PersistMode m);
+
+// One crash-consistent update unit: the payload stores a recovery pass
+// must see in full iff the publish store (the commit record) is durable.
+// Stores are named by their per-thread PMR-store ordinal
+// (TraceBuilder::PmrStoreCount / PersistStoreEvent::ordinal).
+struct UpdateRecord {
+  int thread = 0;
+  std::vector<std::uint64_t> payload;
+  std::uint64_t publish = 0;
+};
+
+// Every update a persist-mode workload emitted, plus the name of the
+// recovery invariant that judges them.
+struct UpdateLog {
+  std::vector<UpdateRecord> updates;
+  std::string invariant;
+  bool empty() const { return updates.empty(); }
+};
+
+// What a recovery pass observes of one store after the crash.
+enum class StoreVisibility : std::uint8_t {
+  kOld = 0,   // pre-store contents (store never reached the media)
+  kNew = 1,   // post-store contents (durable)
+  kTorn = 2,  // mixed line contents (multi-word store cut mid-line)
+};
+
+const char* ToString(StoreVisibility v);
+
+// Outcome of one crash/recovery cycle.
+struct CrashOutcome {
+  Tick crash_tick = 0;
+  std::uint64_t durable_updates = 0;    // publish visible: replayed by recovery
+  std::uint64_t discarded_updates = 0;  // publish old: dropped by recovery
+  std::uint64_t torn_stores = 0;        // in-flight multi-word stores that tore
+  std::uint64_t inflight_stores = 0;    // stores neither durable nor unissued
+  bool consistent = true;
+  std::vector<std::string> errors;  // capped; first few invariant failures
+};
+
+// Judges one update: `payload[i]` is the visibility of u.payload[i] and
+// `publish` that of the commit record. Appends errors / flips `consistent`
+// on out when recovery would observe an inconsistent state.
+using RecoveryInvariant =
+    std::function<void(const UpdateRecord& u,
+                       const std::vector<StoreVisibility>& payload,
+                       StoreVisibility publish, CrashOutcome* out)>;
+
+// The default invariant: an update is all-or-nothing. A durable publish
+// record requires every payload store durable; a non-durable publish means
+// recovery discards the update (payload state irrelevant — the space is
+// reclaimed). `what` names the update unit in error messages.
+RecoveryInvariant AllOrNothingInvariant(std::string what);
+
+// Evaluates one crash at `crash_tick` over the run's PersistLog:
+// classifies every store's visibility (in-flight outcomes drawn from
+// `plan`'s counter stream, decorrelated per `crash_index`), then applies
+// `inv` to every update in `updates`. Pure function of its inputs.
+CrashOutcome EvaluateCrashRecovery(const PersistLog& log,
+                                   const UpdateLog& updates, Tick crash_tick,
+                                   const fault::CrashPlan& plan,
+                                   std::uint64_t crash_index,
+                                   const RecoveryInvariant& inv);
+
+// One line per cycle: "crash @123456 ns: consistent (durable 12, discarded
+// 3, torn 0, in-flight 2)" — the deterministic unit of the recovery table.
+std::string FormatCrashOutcome(const CrashOutcome& o);
+
+}  // namespace graphpim::pmem
+
+#endif  // GRAPHPIM_PMEM_CRASH_H_

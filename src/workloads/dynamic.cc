@@ -9,6 +9,8 @@ namespace {
 
 constexpr std::uint32_t kNumLocks = 1024;
 
+constexpr Addr LineOf(Addr a) { return a & ~static_cast<Addr>(63); }
+
 }  // namespace
 
 const WorkloadInfo& GconsWorkload::info() const {
@@ -89,26 +91,71 @@ void GupWorkload::Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
   Rng rng(0xD06);
 
   updated_ = 0;
+  updates_ = pmem::UpdateLog{};
+  const bool persist = mode_ != pmem::PersistMode::kOff;
+  if (persist) updates_.invariant = "all-or-nothing";
   for (int t = 0; t < num_threads; ++t) {
     auto [begin, end] = ThreadChunk(n, t, num_threads);
     for (std::size_t uu = begin; uu < end; ++uu) {
       VertexId u = static_cast<VertexId>(uu);
       if (!rng.NextBool(update_fraction_)) continue;
-      // Lock, then walk the adjacency chain (dependent loads), rewrite one
-      // node, unlock.
+      const std::uint32_t chain = 1 + g.OutDegree(u) / 4;
+      if (!persist) {
+        // Lock, then walk the adjacency chain (dependent loads), rewrite one
+        // node, unlock.
+        tb.Atomic(t, locks + (u % kNumLocks) * 8, hmc::AtomicOp::kCasEqual8, 8,
+                  /*want_return=*/true, /*dep=*/true);
+        tb.Branch(t, /*dep=*/true);
+        tb.Load(t, head.AddrOf(u), 8, /*dep=*/true);
+        for (std::uint32_t c = 0; c < chain; ++c) {
+          tb.Load(t, node_pool + ((static_cast<std::uint64_t>(u) * 7 + c) %
+                                  (g.num_edges() + 1)) * 16, 16, /*dep=*/true);
+          tb.Branch(t, /*dep=*/true);
+        }
+        tb.Store(t, node_pool + (static_cast<std::uint64_t>(u) %
+                                 (g.num_edges() + 1)) * 16, 16, /*dep=*/true);
+        tb.Store(t, locks + (u % kNumLocks) * 8, 8);
+        ++updated_;
+        continue;
+      }
+
+      // Persist mode: the rewrite becomes one crash-consistent update —
+      // 16B payload store into the node pool, flush+fence, then an 8B
+      // publish store to the head pointer (the commit record), flush+fence.
+      // The mutants elide the payload fence / double the payload flush.
+      const Addr payload = node_pool + (static_cast<std::uint64_t>(u) %
+                                        (g.num_edges() + 1)) * 16;
+      const Addr publish = head.AddrOf(u);
+      const std::uint64_t block_ops =
+          3 + 2ull * chain + 1 +
+          (mode_ == pmem::PersistMode::kRedundantFlush ? 2 : 1) +
+          (mode_ == pmem::PersistMode::kMissingFence ? 0 : 1) + 1 + 1 + 1 + 1;
+      // Never let the op cap cut an update block halfway: a half-emitted
+      // flush/fence sequence would read as a persist bug that isn't there.
+      if (!tb.HasRoom(block_ops)) break;
       tb.Atomic(t, locks + (u % kNumLocks) * 8, hmc::AtomicOp::kCasEqual8, 8,
                 /*want_return=*/true, /*dep=*/true);
       tb.Branch(t, /*dep=*/true);
-      tb.Load(t, head.AddrOf(u), 8, /*dep=*/true);
-      std::uint32_t chain = 1 + g.OutDegree(u) / 4;
+      tb.Load(t, publish, 8, /*dep=*/true);
       for (std::uint32_t c = 0; c < chain; ++c) {
         tb.Load(t, node_pool + ((static_cast<std::uint64_t>(u) * 7 + c) %
                                 (g.num_edges() + 1)) * 16, 16, /*dep=*/true);
         tb.Branch(t, /*dep=*/true);
       }
-      tb.Store(t, node_pool + (static_cast<std::uint64_t>(u) %
-                               (g.num_edges() + 1)) * 16, 16, /*dep=*/true);
+      const std::uint64_t ord0 = tb.PmrStoreCount(t);
+      tb.Store(t, payload, 16, /*dep=*/true);
+      tb.Flush(t, payload, /*dep=*/true);
+      if (mode_ == pmem::PersistMode::kRedundantFlush) {
+        tb.Flush(t, payload, /*dep=*/true);
+      }
+      if (mode_ != pmem::PersistMode::kMissingFence) tb.Fence(t);
+      tb.Store(t, publish, 8, /*dep=*/true);
+      tb.Flush(t, publish, /*dep=*/true);
+      tb.Fence(t);
       tb.Store(t, locks + (u % kNumLocks) * 8, 8);
+      if (tb.PmrStoreCount(t) == ord0 + 2) {
+        updates_.updates.push_back({t, {ord0}, ord0 + 1});
+      }
       ++updated_;
     }
   }
@@ -133,26 +180,76 @@ void TmorphWorkload::Generate(const graph::CsrGraph& g, graph::AddressSpace& spa
   const VertexId n = g.num_vertices();
   const int num_threads = tb.num_threads();
 
-  // Morphed copy of the topology plus an allocation cursor (meta).
+  // Morphed copy of the topology plus an allocation cursor (meta). Persist
+  // mode adds a per-vertex commit-record array (PMR) the updates publish
+  // through.
   Addr new_struct = space.pmr().Allocate(g.num_edges() * 8 + 8);
+  const bool persist = mode_ != pmem::PersistMode::kOff;
+  Addr commit = persist ? space.pmr().Allocate(
+                              static_cast<std::uint64_t>(n) * 8 + 8)
+                        : 0;
   Addr alloc_cursor = space.meta().Allocate(64);
 
   moved_ = 0;
+  updates_ = pmem::UpdateLog{};
+  if (persist) updates_.invariant = "all-or-nothing";
   for (int t = 0; t < num_threads; ++t) {
     auto [begin, end] = ThreadChunk(n, t, num_threads);
     for (std::size_t uu = begin; uu < end; ++uu) {
       VertexId u = static_cast<VertexId>(uu);
+      const std::uint32_t deg = g.OutDegree(u);
+      if (persist) {
+        // Whole-block headroom check (see GupWorkload): worst case is one
+        // flush per edge store plus the mutant's extra flush.
+        const std::uint64_t block_ops = 2 + 3ull * deg + deg + 1 + 1 + 3;
+        if (!tb.HasRoom(block_ops)) break;
+      }
       tb.Load(t, g.OffsetAddr(u), 8);
       // Reserve space in the morphed structure (meta atomic: host side).
       tb.Atomic(t, alloc_cursor, hmc::AtomicOp::kDualAdd8, 8,
                 /*want_return=*/true, /*dep=*/true);
+      const std::uint64_t ord0 = persist ? tb.PmrStoreCount(t) : 0;
+      std::vector<Addr> lines;  // distinct 64B lines the edge stores touch
       EdgeId e = g.OffsetOf(u);
       for ([[maybe_unused]] VertexId v : g.Neighbors(u)) {
         tb.Load(t, g.NeighborAddr(e), 4);
         tb.Compute(t, 1, /*dep=*/true);  // remap vertex id
-        tb.Store(t, new_struct + (e % (g.num_edges() + 1)) * 8, 8, /*dep=*/true);
+        const Addr a = new_struct + (e % (g.num_edges() + 1)) * 8;
+        tb.Store(t, a, 8, /*dep=*/true);
+        if (persist) {
+          const Addr line = LineOf(a);
+          bool seen = false;
+          for (Addr l : lines) seen = seen || l == line;
+          if (!seen) lines.push_back(line);
+        }
         ++moved_;
         ++e;
+      }
+      if (persist && tb.PmrStoreCount(t) > ord0) {
+        // Flush every touched line once (the redundant-flush mutant doubles
+        // the first), fence (elided by the missing-fence mutant), then
+        // publish the vertex's 8B commit record.
+        bool first = true;
+        for (Addr line : lines) {
+          tb.Flush(t, line, /*dep=*/true);
+          if (first && mode_ == pmem::PersistMode::kRedundantFlush) {
+            tb.Flush(t, line, /*dep=*/true);
+          }
+          first = false;
+        }
+        if (mode_ != pmem::PersistMode::kMissingFence) tb.Fence(t);
+        const std::uint64_t pub = tb.PmrStoreCount(t);
+        const Addr rec = commit + static_cast<std::uint64_t>(u) * 8;
+        tb.Store(t, rec, 8, /*dep=*/true);
+        tb.Flush(t, rec, /*dep=*/true);
+        tb.Fence(t);
+        if (tb.PmrStoreCount(t) == pub + 1) {
+          pmem::UpdateRecord r;
+          r.thread = t;
+          r.publish = pub;
+          for (std::uint64_t o = ord0; o < pub; ++o) r.payload.push_back(o);
+          updates_.updates.push_back(std::move(r));
+        }
       }
     }
   }

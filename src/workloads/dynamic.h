@@ -29,6 +29,12 @@ class GconsWorkload : public Workload {
 };
 
 // Deletes/re-weights a sample of edges in the dynamic structure.
+//
+// Persist-capable (DESIGN.md §14): with a persist mode set, each node
+// rewrite becomes a crash-consistent update — payload store, flush, fence,
+// then an 8B publish store to the vertex's head pointer, flush, fence —
+// and is recorded in the UpdateLog. The mutant modes seed the exact bug
+// the persist checker exists to flag.
 class GupWorkload : public Workload {
  public:
   explicit GupWorkload(double update_fraction = 0.25)
@@ -40,13 +46,25 @@ class GupWorkload : public Workload {
 
   std::uint64_t updated_edges() const { return updated_; }
 
+  void SetPersistMode(pmem::PersistMode mode) override { mode_ = mode; }
+  const pmem::UpdateLog* update_log() const override {
+    return mode_ == pmem::PersistMode::kOff ? nullptr : &updates_;
+  }
+  bool persist_capable() const override { return true; }
+
  private:
   double update_fraction_;
   std::uint64_t updated_ = 0;
+  pmem::PersistMode mode_ = pmem::PersistMode::kOff;
+  pmem::UpdateLog updates_;
 };
 
 // Rewrites the topology into a transformed layout (triangulation-style
 // morphing pass).
+//
+// Persist-capable: with a persist mode set, each vertex's rewritten edge
+// block is one update — all edge stores flushed (distinct lines once) and
+// fenced, then an 8B commit record published in a separate PMR array.
 class TmorphWorkload : public Workload {
  public:
   const WorkloadInfo& info() const override;
@@ -55,8 +73,16 @@ class TmorphWorkload : public Workload {
 
   std::uint64_t moved_edges() const { return moved_; }
 
+  void SetPersistMode(pmem::PersistMode mode) override { mode_ = mode; }
+  const pmem::UpdateLog* update_log() const override {
+    return mode_ == pmem::PersistMode::kOff ? nullptr : &updates_;
+  }
+  bool persist_capable() const override { return true; }
+
  private:
   std::uint64_t moved_ = 0;
+  pmem::PersistMode mode_ = pmem::PersistMode::kOff;
+  pmem::UpdateLog updates_;
 };
 
 }  // namespace graphpim::workloads

@@ -13,6 +13,7 @@ TraceBuilder::TraceBuilder(int num_threads, const graph::AddressSpace* space,
   GP_CHECK(num_threads > 0);
   GP_CHECK(space != nullptr);
   trace_.streams.resize(static_cast<std::size_t>(num_threads));
+  pmr_stores_.assign(static_cast<std::size_t>(num_threads), 0);
   rngs_.reserve(static_cast<std::size_t>(num_threads));
   for (int t = 0; t < num_threads; ++t) {
     rngs_.emplace_back(seed * 0x9e3779b9ULL + static_cast<std::uint64_t>(t) + 1);
@@ -23,6 +24,12 @@ void TraceBuilder::Push(int t, const MicroOp& op) {
   if (op_cap_ != 0 && total_ops_ >= op_cap_) {
     capped_ = true;
     return;
+  }
+  // Count PMR stores that actually land in the stream, so PmrStoreCount
+  // mirrors the ordinals the persist domain will assign during replay
+  // (ops dropped at the cap never reach the memory system).
+  if (op.type == OpType::kStore && op.comp == DataComponent::kProperty) {
+    ++pmr_stores_[static_cast<std::size_t>(t)];
   }
   trace_.streams[static_cast<std::size_t>(t)].push_back(op);
   ++total_ops_;
@@ -78,6 +85,23 @@ void TraceBuilder::Atomic(int t, Addr addr, hmc::AtomicOp aop, std::uint8_t size
   op.size = size;
   op.comp = space_->ComponentOf(addr);
   if (want_return) op.flags |= cpu::kFlagWantReturn;
+  if (dep) op.flags |= cpu::kFlagDepPrev;
+  Push(t, op);
+}
+
+void TraceBuilder::Flush(int t, Addr addr, bool dep) {
+  MicroOp op;
+  op.type = OpType::kFlush;
+  op.addr = addr;
+  op.size = 64;  // whole line writes back regardless of the store width
+  op.comp = space_->ComponentOf(addr);
+  if (dep) op.flags |= cpu::kFlagDepPrev;
+  Push(t, op);
+}
+
+void TraceBuilder::Fence(int t, bool dep) {
+  MicroOp op;
+  op.type = OpType::kFence;
   if (dep) op.flags |= cpu::kFlagDepPrev;
   Push(t, op);
 }

@@ -41,6 +41,14 @@ class TraceBuilder {
   void SetOpCap(std::uint64_t cap) { op_cap_ = cap; }
   bool Capped() const { return capped_; }
 
+  // True if `n` more ops fit under the cap. Persist-mode workloads check
+  // this before an update block so the cap never truncates a block halfway
+  // (a half-emitted flush/fence sequence would read as a persist-ordering
+  // bug that the workload does not have).
+  bool HasRoom(std::uint64_t n) const {
+    return op_cap_ == 0 || total_ops_ + n <= op_cap_;
+  }
+
   // --- op emitters (thread `t`) -------------------------------------------
   void Compute(int t, int lat_cycles = 1, bool dep = false, bool fp = false);
   void Branch(int t, bool dep = true);
@@ -49,6 +57,21 @@ class TraceBuilder {
   void Store(int t, Addr addr, std::uint8_t size, bool dep = false);
   void Atomic(int t, Addr addr, hmc::AtomicOp aop, std::uint8_t size,
               bool want_return, bool dep = false);
+
+  // Persistency ops (DESIGN.md §14); only persist-mode workloads emit them.
+  // Flush writes back addr's 64B line (clwb); Fence is the persist barrier
+  // draining every prior flush of the thread (sfence).
+  void Flush(int t, Addr addr, bool dep = false);
+  void Fence(int t, bool dep = true);
+
+  // PMR (property-component) stores recorded so far for thread `t` — the
+  // ordinal the persist domain assigns the NEXT PMR store of `t`. Workloads
+  // use it to name payload/publish stores in UpdateRecords, and to detect
+  // op-cap truncation (an update whose stores were dropped must not be
+  // recorded).
+  std::uint64_t PmrStoreCount(int t) const {
+    return pmr_stores_[static_cast<std::size_t>(t)];
+  }
 
   // Appends a barrier to every thread (superstep boundary).
   void Barrier();
@@ -65,6 +88,7 @@ class TraceBuilder {
   const graph::AddressSpace* space_;
   double mispredict_rate_;
   std::vector<Rng> rngs_;  // one per thread: interleaving-independent
+  std::vector<std::uint64_t> pmr_stores_;  // per-thread PMR-store ordinals
   std::uint64_t op_cap_ = 0;
   std::uint64_t total_ops_ = 0;
   std::uint64_t barrier_id_ = 0;

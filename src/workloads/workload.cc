@@ -15,6 +15,10 @@
 
 namespace graphpim::workloads {
 
+pmem::RecoveryInvariant Workload::recovery_invariant() const {
+  return pmem::AllOrNothingInvariant(info().name);
+}
+
 std::unique_ptr<Workload> CreateWorkload(const std::string& name) {
   if (name == "bfs") return std::make_unique<BfsWorkload>();
   if (name == "dfs") return std::make_unique<DfsWorkload>();

@@ -14,6 +14,7 @@
 #include "common/types.h"
 #include "graph/csr.h"
 #include "graph/region.h"
+#include "pmem/crash.h"
 #include "workloads/trace.h"
 
 namespace graphpim::workloads {
@@ -39,6 +40,25 @@ class Workload {
   // for offloadable ones) and recording ops into `tb`.
   virtual void Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
                         TraceBuilder& tb) = 0;
+
+  // --- persistent-PMR surface (DESIGN.md §14) -----------------------------
+  // Default: workloads ignore persist mode and are not crash-testable.
+  // Persist-capable ones (gup, tmorph) emit flush/fence discipline when the
+  // mode is set before Generate, and record an UpdateLog naming each
+  // crash-consistent update's payload/publish stores.
+
+  // Must be called before Generate to take effect. No-op by default.
+  virtual void SetPersistMode(pmem::PersistMode mode) { (void)mode; }
+
+  // The updates Generate recorded; nullptr when not persist-capable or
+  // generated with PersistMode::kOff.
+  virtual const pmem::UpdateLog* update_log() const { return nullptr; }
+
+  // Judges one update's post-crash visibility. Defined in workload.cc
+  // (default: all-or-nothing over the workload's name).
+  virtual pmem::RecoveryInvariant recovery_invariant() const;
+
+  virtual bool persist_capable() const { return false; }
 };
 
 // Factory. Names: bfs, dfs, dc, bc, sssp, kcore, ccomp, prank, tc, gibbs,

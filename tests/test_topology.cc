@@ -252,6 +252,12 @@ TEST(SimConfigApi, ValidateNamesTheOffendingKey) {
   expect_throw_naming("trace.sample_rate", "1.5", "trace.sample_rate");
   expect_throw_naming("trace-sample-rate", "-0.1", "trace.sample_rate");
   expect_throw_naming("trace.max_spans", "0.5", "trace.max_spans");
+  expect_throw_naming("pmem.enable", "2", "pmem.enable");
+  expect_throw_naming("pmem.enable", "0.5", "pmem.enable");
+  expect_throw_naming("pmem.flush_ns", "-1", "pmem.flush_ns");
+  expect_throw_naming("pmem-fence-ns", "-1", "pmem.fence_ns");
+  // The cross-field gate: a crash tick without the persistent PMR.
+  expect_throw_naming("pmem.crash_tick", "100", "pmem.crash_tick");
   EXPECT_THROW(
       {
         Config cfg;
@@ -301,6 +307,17 @@ TEST(SimConfigApi, DescribeIsGeneratedFromTheFieldTable) {
   EXPECT_TRUE(has_key("trace.max_spans"));
   EXPECT_TRUE(has_key("trace-max-spans"));
   EXPECT_NE(desc.find("trace.sample_rate="), std::string::npos) << desc;
+  // Same contract for the pmem.* knobs (DESIGN.md §14) — riding the field
+  // table is what makes the sweep-journal fingerprint cover them for free.
+  EXPECT_TRUE(has_key("pmem.enable"));
+  EXPECT_TRUE(has_key("pmem-enable"));
+  EXPECT_TRUE(has_key("pmem.flush_ns"));
+  EXPECT_TRUE(has_key("pmem-flush-ns"));
+  EXPECT_TRUE(has_key("pmem.fence_ns"));
+  EXPECT_TRUE(has_key("pmem-fence-ns"));
+  EXPECT_TRUE(has_key("pmem.crash_tick"));
+  EXPECT_TRUE(has_key("pmem-crash-tick"));
+  EXPECT_NE(desc.find("pmem.enable="), std::string::npos) << desc;
 }
 
 // ---------------------------------------------------------------------------

@@ -38,6 +38,17 @@
 //   [--link-ber=1e-12] [--vault-stall-ppm=50] [--poison-ppm=5]
 //   [--max-retries=3] [--retry-ns=8]
 // and sweep mode takes the same knobs as grid-spec keys (link_ber=...).
+//
+// Persistent PMR (src/pmem; DESIGN.md §14): with --pmem-enable=1 the
+// persist-capable workloads (gup, tmorph) generate flush/fence discipline,
+// the persist-ordering checker runs over the trace, and single-run mode
+// additionally accepts
+//   [--pmem-flush-ns=40] [--pmem-fence-ns=20]
+//   [--pmem-crash-tick=NS]    # one crash/recovery evaluation at NS
+//   [--crash-sweep=N]         # N decorrelated crash/recovery cycles per
+//                             # mode; deterministic table at any --jobs
+//   [--pmem-mutant=none|missing-fence|redundant-flush]  # seed a persist
+//                             # bug the checker must flag
 #include <cstdio>
 #include <exception>
 #include <memory>
@@ -52,6 +63,8 @@
 #include "exec/thread_pool.h"
 #include "fault/fault.h"
 #include "graph/region.h"
+#include "pmem/checker.h"
+#include "pmem/crash.h"
 #include "workloads/fusion.h"
 #include "workloads/trace_io.h"
 #include "workloads/workload.h"
@@ -119,7 +132,7 @@ int RunMain(const Config& cfg) {
       "mode",       "seed",      "opcap",          "fuse",
       "jobs",       "json",      "csv",            "metrics-out",
       "trace-out",  "trace-in",  "journal",        "resume",
-      "timeout-ms", "journal-phases"};
+      "timeout-ms", "journal-phases", "crash-sweep", "pmem-mutant"};
   for (const std::string& k : core::SimConfig::ConfigKeys()) keys.push_back(k);
   cfg.RequireKeys(keys);
   if (cfg.Has("sweep")) return RunSweep(cfg);
@@ -132,6 +145,50 @@ int RunMain(const Config& cfg) {
   opts.num_threads = static_cast<int>(cfg.GetInt("threads", 16));
   opts.seed = cfg.GetUint("seed", 1);
   opts.op_cap = cfg.GetUint("opcap", 12'000'000);
+
+  // Machine configs are parsed before the Experiment because pmem.enable
+  // decides how the trace is GENERATED (persist discipline or not).
+  const std::vector<core::Mode> modes = exec::ParseModeList(mode_arg);
+  std::vector<core::SimConfig> mode_cfgs;
+  for (core::Mode m : modes) {
+    // THE config path: every machine knob (fp/fus/linkbw/hybrid/num-cubes/
+    // topology/fault knobs/...) is read out of `cfg` by the shared field
+    // table — this driver never plucks SimConfig fields itself.
+    core::SimConfig sc = core::SimConfig::FromConfig(cfg, m);
+    // Same per-(seed, config-index) derivation discipline as the sweep
+    // runner: distinct modes draw decorrelated fault streams, and reruns
+    // with the same --seed inject identically.
+    sc.hmc.fault.seed =
+        fault::DeriveFaultSeed(opts.seed, static_cast<std::uint64_t>(mode_cfgs.size()));
+    mode_cfgs.push_back(sc);
+  }
+
+  // Persistent-PMR driver flags. The mutants and the crash sweep only make
+  // sense with the persist domain on; flag the conflict rather than
+  // silently doing nothing.
+  const bool pmem_on = mode_cfgs.front().pmem.enable;
+  const std::string mutant = cfg.GetString("pmem-mutant", "none");
+  const std::uint64_t crash_sweep = cfg.GetUint("crash-sweep", 0);
+  pmem::PersistMode pmode = pmem::PersistMode::kOff;
+  if (mutant == "none") {
+    if (pmem_on) pmode = pmem::PersistMode::kFull;
+  } else if (mutant == "missing-fence") {
+    pmode = pmem::PersistMode::kMissingFence;
+  } else if (mutant == "redundant-flush") {
+    pmode = pmem::PersistMode::kRedundantFlush;
+  } else {
+    GP_THROW("config key 'pmem-mutant' must be none, missing-fence, or "
+             "redundant-flush; got '", mutant, "'");
+  }
+  if (!pmem_on && mutant != "none") {
+    GP_THROW("config key 'pmem-mutant' (", mutant,
+             ") requires 'pmem.enable'=1");
+  }
+  if (!pmem_on && crash_sweep > 0) {
+    GP_THROW("config key 'crash-sweep' (", crash_sweep,
+             ") requires 'pmem.enable'=1");
+  }
+  opts.persist = pmode;
 
   core::Experiment exp(profile, vertices, workload, opts);
   std::printf("graphpim_sim: %s on %s-%u (%llu edges, %llu micro-ops)\n\n",
@@ -164,30 +221,17 @@ int RunMain(const Config& cfg) {
                 static_cast<unsigned long long>(fs.ops_removed));
   }
 
-  const std::vector<core::Mode> modes = exec::ParseModeList(mode_arg);
-
   // Replay every mode — in parallel when --jobs allows it. Replays are pure
   // (RunSimulation has no shared mutable state), so the parallel path yields
   // bit-identical results; reports still print in mode-list order.
-  std::vector<core::SimConfig> mode_cfgs;
-  for (core::Mode m : modes) {
-    // THE config path: every machine knob (fp/fus/linkbw/hybrid/num-cubes/
-    // topology/fault knobs/...) is read out of `cfg` by the shared field
-    // table — this driver never plucks SimConfig fields itself.
-    core::SimConfig sc = core::SimConfig::FromConfig(cfg, m);
-    // Same per-(seed, config-index) derivation discipline as the sweep
-    // runner: distinct modes draw decorrelated fault streams, and reruns
-    // with the same --seed inject identically.
-    sc.hmc.fault.seed =
-        fault::DeriveFaultSeed(opts.seed, static_cast<std::uint64_t>(mode_cfgs.size()));
-    mode_cfgs.push_back(sc);
-  }
+  //
   // Phase capture follows the --json convention: the LAST mode in the list
   // is the one whose per-superstep deltas land in --metrics-out.
   trace::PhaseLog phase_log;
   trace::SpanLog span_log;  // last mode's sampled spans, merged into the trace
   const bool want_phases = cfg.Has("metrics-out");
   std::vector<core::SimResults> mode_results(modes.size());
+  std::vector<pmem::PersistLog> persist_logs(modes.size());
   {
     exec::ThreadPool pool(static_cast<int>(cfg.GetInt("jobs", 0)));
     std::vector<exec::TaskFuture<core::SimResults>> futs;
@@ -199,6 +243,7 @@ int RunMain(const Config& cfg) {
         ro.phases = &phase_log;
         if (sc.trace_sample_rate > 0.0) ro.spans = &span_log;
       }
+      if (pmem_on) ro.persist = &persist_logs[i];
       futs.push_back(pool.Submit([&trace, &sc, &exp, ro] {
         return core::RunSimulation(trace, sc, exp.pmr_base(), exp.pmr_end(), ro);
       }));
@@ -225,6 +270,72 @@ int RunMain(const Config& cfg) {
   // measurement); empty string — and no output — when tracing was off.
   const std::string bottleneck = core::FormatBottleneckTable(mode_results);
   if (!bottleneck.empty()) std::printf("%s\n", bottleneck.c_str());
+
+  if (pmem_on) {
+    // Static persist-ordering check over the trace that was actually
+    // replayed. Sampled spans (if any) witness the violations.
+    const pmem::UpdateLog* updates = exp.update_log();
+    const pmem::CheckReport chk = pmem::CheckPersistOrdering(
+        trace.streams, exp.pmr_base(), exp.pmr_end(), updates);
+    std::printf("%s\n\n",
+                pmem::FormatCheckReport(
+                    chk, span_log.empty() ? nullptr : &span_log).c_str());
+
+    static const pmem::UpdateLog kNoUpdates;
+    const pmem::UpdateLog& ul = updates != nullptr ? *updates : kNoUpdates;
+    const pmem::RecoveryInvariant inv = exp.recovery_invariant();
+
+    // Single-shot crash at --pmem-crash-tick.
+    if (mode_cfgs.front().pmem.crash_tick_ns >= 0) {
+      for (std::size_t i = 0; i < modes.size(); ++i) {
+        const fault::CrashPlan plan(
+            fault::DeriveCrashSeed(opts.seed, static_cast<std::uint64_t>(i)));
+        const pmem::CrashOutcome o = pmem::EvaluateCrashRecovery(
+            persist_logs[i], ul, NsToTicks(mode_cfgs[i].pmem.crash_tick_ns),
+            plan, 0, inv);
+        std::printf("%s: %s\n", core::ToString(modes[i]),
+                    pmem::FormatCrashOutcome(o).c_str());
+      }
+      std::printf("\n");
+    }
+
+    // --crash-sweep=N: N decorrelated crash/recovery cycles per mode. Pure
+    // serial post-processing over the per-mode PersistLog, so the table is
+    // byte-identical at any --jobs count. The markers delimit the region
+    // scripts byte-compare.
+    if (crash_sweep > 0) {
+      std::printf("== crash recovery table ==\n");
+      for (std::size_t i = 0; i < modes.size(); ++i) {
+        const fault::CrashPlan plan(
+            fault::DeriveCrashSeed(opts.seed, static_cast<std::uint64_t>(i)));
+        std::uint64_t consistent = 0, inconsistent = 0, torn = 0;
+        std::string lines;
+        for (std::uint64_t c = 0; c < crash_sweep; ++c) {
+          const Tick tick = plan.SampleCrashTick(c, persist_logs[i].end_tick);
+          const pmem::CrashOutcome o =
+              pmem::EvaluateCrashRecovery(persist_logs[i], ul, tick, plan, c, inv);
+          if (o.consistent) {
+            ++consistent;
+          } else {
+            ++inconsistent;
+          }
+          torn += o.torn_stores;
+          lines += "  ";
+          lines += pmem::FormatCrashOutcome(o);
+          lines += "\n";
+        }
+        std::printf("%s: %llu cycles, %llu consistent, %llu inconsistent, "
+                    "%llu torn stores, %zu checker violations\n%s",
+                    core::ToString(modes[i]),
+                    static_cast<unsigned long long>(crash_sweep),
+                    static_cast<unsigned long long>(consistent),
+                    static_cast<unsigned long long>(inconsistent),
+                    static_cast<unsigned long long>(torn),
+                    chk.violations.size(), lines.c_str());
+      }
+      std::printf("== end crash recovery table ==\n\n");
+    }
+  }
 
   if (cfg.Has("json")) {
     GP_CHECK(core::WriteJson(last, cfg.GetString("json", "")), "cannot write JSON");

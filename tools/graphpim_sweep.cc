@@ -36,6 +36,14 @@
 // Transaction tracing (DESIGN.md §12): --trace-sample-rate=0.05 samples 5%
 // of memory requests per job; with --journal the sampled spans ride along
 // as {"spans_for":...} sidecar lines after each row.
+//
+// Persistent PMR (DESIGN.md §14): the pmem.* knobs ride the SimConfig
+// field table, so --pmem-enable / --pmem-flush-ns / --pmem-fence-ns apply
+// to every config (pmem.enable must be uniform across the grid — all
+// configs replay one shared trace). The journal fingerprint covers them
+// like any other knob, so --resume refuses a journal written under
+// different persistence settings. Crash sweeps live in graphpim_sim
+// (--crash-sweep), not here: they post-process one cell's persist log.
 #include <cstdio>
 #include <exception>
 #include <string>
