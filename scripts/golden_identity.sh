@@ -150,6 +150,30 @@ for sc in "${SCENARIOS[@]}"; do
   done
 done
 
+# HEAD-only gate: the intra-run sharded replay engine (DESIGN.md §15). The
+# base binary rejects --shards, so the identity check is shard-count
+# invariance: every pinned scenario must emit byte-identical --json and
+# deterministic report output at --shards=4 and at the serial default.
+echo "== shard invariance (--shards=4 vs serial HEAD)"
+for sc in "${SCENARIOS[@]}"; do
+  name="${sc%%|*}"
+  read -r -a flags <<< "${sc#*|}"
+  build/tools/graphpim_sim "${COMMON[@]}" "${flags[@]}" \
+      --shards=4 --json="$WORK/$name.s4.json" \
+      > "$WORK/$name.s4.out"
+  sed -n '/^config:/,/^uncore energy:/p' "$WORK/$name.s4.out" \
+      > "$WORK/$name.s4.report"
+  for kind in json report; do
+    if cmp -s "$WORK/$name.head.$kind" "$WORK/$name.s4.$kind"; then
+      echo "   $name.$kind: shard-invariant"
+    else
+      echo "golden_identity: FAIL — --shards=4 perturbs $name.$kind:" >&2
+      diff "$WORK/$name.head.$kind" "$WORK/$name.s4.$kind" | head -20 >&2
+      fail=1
+    fi
+  done
+done
+
 echo "== crash-sweep determinism (gup, jobs 1 vs 4, rerun)"
 for run in j1 j4 rerun; do
   j=1; [[ "$run" == j4 ]] && j=4

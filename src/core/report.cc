@@ -45,6 +45,15 @@ std::string FormatReport(const SimResults& r) {
                    r.energy.Total() * 1e3, r.energy.caches_j * 1e3,
                    r.energy.link_j * 1e3, r.energy.fu_j * 1e3,
                    r.energy.logic_j * 1e3, r.energy.dram_j * 1e3);
+  // Host trace footprint, strictly after the "uncore energy:" golden-diff
+  // cutoff (the goldens pin the report only up to that line) and only when
+  // the run actually replayed a trace, so hand-built SimResults print
+  // unchanged.
+  if (r.trace_peak_bytes > 0) {
+    out += StrFormat("trace: peak %llu bytes (%.1f MiB) tiled micro-ops\n",
+                     static_cast<unsigned long long>(r.trace_peak_bytes),
+                     static_cast<double>(r.trace_peak_bytes) / (1024.0 * 1024.0));
+  }
   // Flight-recorder section only when sampling was on, and strictly after
   // the energy line: the golden-identity gate diffs the report up to
   // "uncore energy:", so a traced run stays comparable to an untraced one.

@@ -56,6 +56,14 @@ struct SimResults {
   // Uncore energy (Fig 15).
   energy::EnergyBreakdown energy;
 
+  // Host-side footprint of the replayed tiled micro-op trace (the sum of
+  // every stream's TraceTile arenas). A plain field rather than a registry
+  // counter on purpose: the counter surface is pinned by the golden JSON
+  // files, while this is a property of the simulator process, not of the
+  // simulated machine. Zero when the results were not produced by a trace
+  // replay.
+  std::uint64_t trace_peak_bytes = 0;
+
   // The run's unified counter registry for deeper analysis: every
   // component's counters plus the merged per-core "core." totals. The
   // compatibility raw.Items() view (JSON "counters") hides the "core."

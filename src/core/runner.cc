@@ -1,7 +1,9 @@
 #include "core/runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/log.h"
@@ -115,7 +117,7 @@ SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
   MemorySystem mem(cfg, pmr_base, pmr_end, spans.get());
   std::vector<std::unique_ptr<OooCore>> cores;
   std::vector<OooCore::Status> status;
-  static const std::vector<cpu::MicroOp> kEmpty;
+  static const cpu::UopStream kEmpty;
   for (int i = 0; i < cfg.num_cores; ++i) {
     cores.push_back(std::make_unique<OooCore>(i, cfg.core, &mem));
     const auto* stream = i < static_cast<int>(trace.streams.size())
@@ -144,18 +146,21 @@ SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
 
   // Loosely-synchronized quantum loop with barrier rendezvous.
   Tick quantum_end = cfg.quantum;
-  while (true) {
+
+  // One engine round's tail: aggregate core statuses and either finish,
+  // release the barrier rendezvous, or skip dead time. Shared by the serial
+  // loop and the sharded engine's controller shard; both invoke it only
+  // after every core advanced in index order, so the sequence of
+  // quantum_end / release decisions is identical at any shard count.
+  // Returns true when the run is complete.
+  auto round_tail = [&]() -> bool {
     bool all_done = true;
     bool any_running = false;
     for (int i = 0; i < cfg.num_cores; ++i) {
-      if (status[i] == OooCore::Status::kDone) continue;
-      if (status[i] == OooCore::Status::kRunning) {
-        status[i] = cores[static_cast<std::size_t>(i)]->Advance(quantum_end);
-      }
       if (status[i] == OooCore::Status::kRunning) any_running = true;
       if (status[i] != OooCore::Status::kDone) all_done = false;
     }
-    if (all_done) break;
+    if (all_done) return true;
     if (!any_running) {
       // Everyone alive is parked at the same barrier: release at the
       // latest arrival.
@@ -185,6 +190,68 @@ SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
       }
       quantum_end = std::max(quantum_end + cfg.quantum, next + cfg.quantum);
     }
+    return false;
+  };
+
+  const int num_shards = std::min(cfg.shards, cfg.num_cores);
+  if (num_shards <= 1) {
+    // Serial engine: the strict default path.
+    while (true) {
+      for (int i = 0; i < cfg.num_cores; ++i) {
+        if (status[i] == OooCore::Status::kRunning) {
+          status[i] = cores[static_cast<std::size_t>(i)]->Advance(quantum_end);
+        }
+      }
+      if (round_tail()) break;
+    }
+  } else {
+    // Sharded engine (DESIGN.md §15): each worker owns a contiguous chunk
+    // of cores and advances them only while holding the turn token, which
+    // circulates 0 → 1 → … → S-1 every round. Holding the token gives a
+    // shard exclusive access to the shared memory system and engine state
+    // (the release store / acquire load pair carries the happens-before
+    // chain), and the token order reproduces the serial core-advancement
+    // total order exactly — outputs are bit-identical by construction.
+    // Shard S-1 doubles as the controller, running round_tail() at the end
+    // of its turn, precisely where the serial loop runs it.
+    std::atomic<std::uint64_t> turn{0};
+    bool engine_done = false;
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      workers.emplace_back([&, s]() {
+        const auto [begin, end] = workloads::ThreadChunk(
+            static_cast<std::size_t>(cfg.num_cores), s, num_shards);
+        const std::uint64_t stride = static_cast<std::uint64_t>(num_shards);
+        std::uint64_t my_turn = static_cast<std::uint64_t>(s);
+        while (true) {
+          while (turn.load(std::memory_order_acquire) != my_turn) {
+            std::this_thread::yield();
+          }
+          if (engine_done) {
+            turn.store(my_turn + 1, std::memory_order_release);
+            return;
+          }
+          for (std::size_t i = begin; i < end; ++i) {
+            if (status[i] == OooCore::Status::kRunning) {
+              status[i] = cores[i]->Advance(quantum_end);
+            }
+          }
+          if (s == num_shards - 1 && round_tail()) {
+            // Controller exits immediately on completion; the other shards
+            // each take one more turn to observe engine_done (they may only
+            // read it while holding the token — the acquire at the top of
+            // the turn is what orders the read after this write).
+            engine_done = true;
+            turn.store(my_turn + 1, std::memory_order_release);
+            return;
+          }
+          turn.store(my_turn + 1, std::memory_order_release);
+          my_turn += stride;
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
   }
 
   if (opts.phases != nullptr) {
@@ -202,6 +269,7 @@ SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
   }
 
   SimResults r = Collect(cfg, cores, mem, spans.get());
+  r.trace_peak_bytes = trace.BytesUsed();
   if (opts.spans != nullptr && spans != nullptr) {
     *opts.spans = spans->TakeLog();
   }

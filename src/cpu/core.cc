@@ -29,7 +29,7 @@ OooCore::OooCore(int id, const CoreParams& params, MemoryInterface* mem)
   rob_.resize(static_cast<std::size_t>(params_.rob_size));
 }
 
-void OooCore::Reset(const std::vector<MicroOp>* trace) {
+void OooCore::Reset(const UopStream* trace) {
   trace_ = trace;
   pos_ = 0;
   issue_tick_ = 0;
@@ -85,16 +85,24 @@ void OooCore::ReleaseBarrier(Tick release) {
 
 OooCore::Status OooCore::Advance(Tick until) {
   GP_CHECK(trace_ != nullptr, "Advance() before Reset()");
-  while (pos_ < trace_->size()) {
-    if (NextIssueSlot() >= until) return Status::kRunning;
-    const MicroOp& op = (*trace_)[pos_];
-    if (op.type == OpType::kBarrier) {
-      barrier_arrival_ = std::max(NextIssueSlot(), max_outstanding_);
-      ++pos_;
-      return Status::kBarrier;
+  // Column-wise tile walk: the tile pointer and lane bounds are hoisted
+  // out of the per-op path, the barrier test reads only the 1KB type
+  // column, and non-barrier ops are materialized from the columns right
+  // at the issue site.
+  const std::size_t n = trace_->size();
+  while (pos_ < n) {
+    const TraceTile& t = trace_->tile(pos_ >> kTileShift);
+    std::size_t lane = pos_ & kTileMask;
+    const std::size_t lane_end = std::min(kTileOps, lane + (n - pos_));
+    for (; lane < lane_end; ++lane, ++pos_) {
+      if (NextIssueSlot() >= until) return Status::kRunning;
+      if (static_cast<OpType>(t.type[lane]) == OpType::kBarrier) {
+        barrier_arrival_ = std::max(NextIssueSlot(), max_outstanding_);
+        ++pos_;
+        return Status::kBarrier;
+      }
+      IssueOp(t.Get(lane));
     }
-    ++pos_;
-    IssueOp(op);
   }
   return Status::kDone;
 }
@@ -115,7 +123,8 @@ void OooCore::IssueOp(const MicroOp& op) {
       }
       dispatch = head.complete;
     }
-    rob_head_ = (rob_head_ + 1) % rob_.size();
+    // Ring advance without the modulo (ROB sizes are not powers of two).
+    if (++rob_head_ == rob_.size()) rob_head_ = 0;
     --rob_count_;
   }
   (void)head_is_atomic;
@@ -236,7 +245,9 @@ void OooCore::IssueOp(const MicroOp& op) {
   ConsumeIssueSlot(dispatch);
   stats_.Inc(sid_insts_);
 
-  rob_[(rob_head_ + rob_count_) % rob_.size()] = RobEntry{retire, is_atomic};
+  std::size_t tail = rob_head_ + rob_count_;  // rob_count_ < size: one wrap
+  if (tail >= rob_.size()) tail -= rob_.size();
+  rob_[tail] = RobEntry{retire, is_atomic};
   ++rob_count_;
 
   prev_complete_ = complete;

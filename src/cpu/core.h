@@ -20,6 +20,7 @@
 #include "common/types.h"
 #include "cpu/memory_interface.h"
 #include "cpu/uop.h"
+#include "cpu/uop_stream.h"
 
 namespace graphpim::cpu {
 
@@ -56,7 +57,7 @@ class OooCore {
   OooCore(int id, const CoreParams& params, MemoryInterface* mem);
 
   // Installs the trace to replay and resets all core state.
-  void Reset(const std::vector<MicroOp>* trace);
+  void Reset(const UopStream* trace);
 
   // Advances until `until` ticks, a barrier, or the end of the trace.
   Status Advance(Tick until);
@@ -104,7 +105,7 @@ class OooCore {
   MemoryInterface* mem_;
   Tick cycle_ticks_;
 
-  const std::vector<MicroOp>* trace_ = nullptr;
+  const UopStream* trace_ = nullptr;
   std::size_t pos_ = 0;
 
   // Issue bandwidth state.

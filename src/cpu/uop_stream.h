@@ -1,0 +1,177 @@
+// Tiled structure-of-arrays micro-op streams (DESIGN.md §15).
+//
+// A UopStream stores one hardware thread's micro-op trace as a chain of
+// fixed-size TraceTiles whose columns (addr / type / comp / aop / size /
+// flags / compute_lat) are split arrays. The layout buys two things over
+// the old std::vector<MicroOp> AoS:
+//
+//   * replay locality — OooCore::Advance walks one ~14KB tile at a time
+//     (comfortably L2-resident even on the scaled machines), and the
+//     barrier scan touches only the 1KB type column;
+//   * allocation behavior — tiles are allocated once and never move, so
+//     TraceBuilder::Push degenerates to a column write plus a rare 14KB
+//     tile allocation instead of geometric reallocation-and-copy of a
+//     multi-hundred-MB vector.
+//
+// The container keeps a vector-compatible surface (push_back / reserve /
+// size / operator[] / value-yielding iterators) so trace transforms
+// (ReplaceAtomicsWithPlain, fusion), the persist checker, and tests
+// migrate without semantic change. operator[] and the iterator return
+// MicroOp BY VALUE, materialized from the columns — callers that bind a
+// `const MicroOp&` get a lifetime-extended temporary, which is fine for
+// every existing read-only use.
+#ifndef GRAPHPIM_CPU_UOP_STREAM_H_
+#define GRAPHPIM_CPU_UOP_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+#include "cpu/uop.h"
+
+namespace graphpim::cpu {
+
+// 1024 ops per tile: 8KB addr column + 6 x 1KB byte columns = 14KB.
+inline constexpr std::size_t kTileShift = 10;
+inline constexpr std::size_t kTileOps = std::size_t{1} << kTileShift;
+inline constexpr std::size_t kTileMask = kTileOps - 1;
+
+// One SoA segment. Lanes [0, count) of the owning stream's tail tile are
+// live; interior tiles are always full.
+struct TraceTile {
+  Addr addr[kTileOps];
+  std::uint8_t type[kTileOps];
+  std::uint8_t comp[kTileOps];
+  std::uint8_t aop[kTileOps];
+  std::uint8_t size[kTileOps];
+  std::uint8_t flags[kTileOps];
+  std::uint8_t compute_lat[kTileOps];
+
+  // Materializes lane `l` as a MicroOp (seven column reads).
+  MicroOp Get(std::size_t l) const {
+    MicroOp op;
+    op.addr = addr[l];
+    op.type = static_cast<OpType>(type[l]);
+    op.comp = static_cast<DataComponent>(comp[l]);
+    op.aop = static_cast<hmc::AtomicOp>(aop[l]);
+    op.size = size[l];
+    op.flags = flags[l];
+    op.compute_lat = compute_lat[l];
+    return op;
+  }
+
+  void Set(std::size_t l, const MicroOp& op) {
+    addr[l] = op.addr;
+    type[l] = static_cast<std::uint8_t>(op.type);
+    comp[l] = static_cast<std::uint8_t>(op.comp);
+    aop[l] = static_cast<std::uint8_t>(op.aop);
+    size[l] = op.size;
+    flags[l] = op.flags;
+    compute_lat[l] = op.compute_lat;
+  }
+};
+
+class UopStream {
+ public:
+  UopStream() = default;
+  UopStream(std::initializer_list<MicroOp> ops) {
+    reserve(ops.size());
+    for (const MicroOp& op : ops) push_back(op);
+  }
+  UopStream(std::size_t count, const MicroOp& op) {
+    reserve(count);
+    for (std::size_t i = 0; i < count; ++i) push_back(op);
+  }
+
+  // Tiles never move once allocated, but copies must be deep (Trace is
+  // copied by drivers before fusion / trace-in substitution).
+  UopStream(const UopStream& other) { *this = other; }
+  UopStream& operator=(const UopStream& other) {
+    if (this == &other) return *this;
+    tiles_.clear();
+    tiles_.reserve(other.tiles_.size());
+    for (const auto& t : other.tiles_) {
+      tiles_.push_back(std::make_unique<TraceTile>(*t));
+    }
+    size_ = other.size_;
+    return *this;
+  }
+  UopStream(UopStream&&) = default;
+  UopStream& operator=(UopStream&&) = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Reserves tile-pointer capacity for `n` ops. Tiles themselves are
+  // allocated lazily (one 14KB block per kTileOps pushes).
+  void reserve(std::size_t n) { tiles_.reserve((n + kTileMask) >> kTileShift); }
+
+  void push_back(const MicroOp& op) {
+    const std::size_t lane = size_ & kTileMask;
+    if (lane == 0 && (size_ >> kTileShift) == tiles_.size()) {
+      tiles_.push_back(std::make_unique<TraceTile>());
+    }
+    tiles_[size_ >> kTileShift]->Set(lane, op);
+    ++size_;
+  }
+
+  void clear() {
+    tiles_.clear();
+    size_ = 0;
+  }
+
+  MicroOp operator[](std::size_t i) const {
+    return tiles_[i >> kTileShift]->Get(i & kTileMask);
+  }
+
+  // Direct tile access for the column-wise replay loop.
+  std::size_t num_tiles() const { return tiles_.size(); }
+  const TraceTile& tile(std::size_t t) const { return *tiles_[t]; }
+
+  // Bytes resident for this stream's ops (tiles plus the pointer spine) —
+  // the figure behind the report's trace.peak_bytes line.
+  std::uint64_t BytesUsed() const {
+    return static_cast<std::uint64_t>(tiles_.size()) * sizeof(TraceTile) +
+           static_cast<std::uint64_t>(tiles_.capacity()) *
+               sizeof(std::unique_ptr<TraceTile>);
+  }
+
+  // Forward value iterator (yields MicroOp by value).
+  class const_iterator {
+   public:
+    using value_type = MicroOp;
+    using difference_type = std::ptrdiff_t;
+
+    const_iterator() = default;
+    const_iterator(const UopStream* s, std::size_t i) : s_(s), i_(i) {}
+    MicroOp operator*() const { return (*s_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator t = *this;
+      ++i_;
+      return t;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const UopStream* s_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+
+ private:
+  std::vector<std::unique_ptr<TraceTile>> tiles_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace graphpim::cpu
+
+#endif  // GRAPHPIM_CPU_UOP_STREAM_H_

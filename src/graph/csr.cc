@@ -19,48 +19,55 @@ CsrGraph::CsrGraph(const EdgeList& el, AddressSpace& space, bool dedup)
   }
   std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
 
-  neighbors_.resize(el.edges.size());
-  weights_.resize(el.edges.size());
+  // Scatter each edge as one packed (dst << 32 | weight) word: with both
+  // halves 32-bit, unsigned 64-bit comparison is exactly the
+  // (dst, weight) lexicographic order the old pair sort used, so sorting
+  // the packed words yields the identical adjacency sequence while moving
+  // half the bytes and skipping the per-vertex scratch copies.
+  std::vector<std::uint64_t> packed(el.edges.size());
   std::vector<EdgeId> cursor(offsets_.begin(), offsets_.end() - 1);
   for (const Edge& e : el.edges) {
-    EdgeId slot = cursor[e.src]++;
-    neighbors_[slot] = e.dst;
-    weights_[slot] = e.weight;
+    packed[cursor[e.src]++] =
+        (static_cast<std::uint64_t>(e.dst) << 32) | e.weight;
   }
-
-  // Sort each adjacency list by destination (weights follow).
   for (VertexId v = 0; v < num_vertices_; ++v) {
-    EdgeId b = offsets_[v];
-    EdgeId e = offsets_[v + 1];
-    std::vector<std::pair<VertexId, std::uint32_t>> tmp;
-    tmp.reserve(e - b);
-    for (EdgeId i = b; i < e; ++i) tmp.emplace_back(neighbors_[i], weights_[i]);
-    std::sort(tmp.begin(), tmp.end());
-    for (EdgeId i = b; i < e; ++i) {
-      neighbors_[i] = tmp[i - b].first;
-      weights_[i] = tmp[i - b].second;
+    if (offsets_[v + 1] - offsets_[v] > 1) {
+      std::sort(packed.begin() + offsets_[v], packed.begin() + offsets_[v + 1]);
     }
   }
 
+  // Unpack (deduplicating by destination when asked) straight into the
+  // final arrays through raw pointers: the arrays are sized up front so the
+  // hot loop carries no capacity checks.
+  neighbors_.resize(packed.size());
+  weights_.resize(packed.size());
+  VertexId* np = neighbors_.data();
+  std::uint32_t* wp = weights_.data();
+  std::size_t n = 0;
   if (dedup) {
     std::vector<EdgeId> new_offsets(offsets_.size(), 0);
-    std::vector<VertexId> new_neighbors;
-    std::vector<std::uint32_t> new_weights;
-    new_neighbors.reserve(neighbors_.size());
-    new_weights.reserve(weights_.size());
     for (VertexId v = 0; v < num_vertices_; ++v) {
       EdgeId b = offsets_[v];
       EdgeId e = offsets_[v + 1];
       for (EdgeId i = b; i < e; ++i) {
-        if (i > b && neighbors_[i] == neighbors_[i - 1]) continue;
-        new_neighbors.push_back(neighbors_[i]);
-        new_weights.push_back(weights_[i]);
+        // Within a sorted range, duplicate destinations are adjacent in the
+        // packed words themselves.
+        if (i > b && (packed[i] >> 32) == (packed[i - 1] >> 32)) continue;
+        np[n] = static_cast<VertexId>(packed[i] >> 32);
+        wp[n] = static_cast<std::uint32_t>(packed[i]);
+        ++n;
       }
-      new_offsets[v + 1] = static_cast<EdgeId>(new_neighbors.size());
+      new_offsets[v + 1] = static_cast<EdgeId>(n);
     }
     offsets_ = std::move(new_offsets);
-    neighbors_ = std::move(new_neighbors);
-    weights_ = std::move(new_weights);
+    neighbors_.resize(n);
+    weights_.resize(n);
+  } else {
+    for (std::uint64_t p : packed) {
+      np[n] = static_cast<VertexId>(p >> 32);
+      wp[n] = static_cast<std::uint32_t>(p);
+      ++n;
+    }
   }
 
   offsets_addr_ = space.structure().Allocate(offsets_.size() * sizeof(EdgeId));

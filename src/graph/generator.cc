@@ -14,26 +14,82 @@ VertexId RoundUpPow2(VertexId v) {
   return static_cast<VertexId>(std::bit_ceil(static_cast<std::uint32_t>(v)));
 }
 
-// Draws one RMAT endpoint pair.
-Edge RmatEdge(Rng& rng, std::uint32_t scale, const RmatParams& p) {
+// Smallest m with m * 2^-53 >= t — i.e. the integer-domain image of the
+// draw threshold. NextDouble() is exactly (Next() >> 11) * 2^-53 (the
+// scaling is a power of two, so it never rounds), which makes
+// `NextDouble() >= t` equivalent to `(Next() >> 11) >= ThresholdMantissa(t)`
+// bit-for-bit; the fix-up loops pin the boundary regardless of how the
+// initial product rounded.
+std::uint64_t ThresholdMantissa(double t) {
+  if (t <= 0.0) return 0;
+  if (t >= 1.0) return std::uint64_t{1} << 53;
+  auto m = static_cast<std::uint64_t>(t * 0x1p53);
+  while (static_cast<double>(m) * 0x1p-53 < t) ++m;
+  while (m > 0 && static_cast<double>(m - 1) * 0x1p-53 >= t) --m;
+  return m;
+}
+
+// Draws one RMAT endpoint pair. The quadrant index is the count of
+// thresholds at or below the draw (0..3 for the a / a+b / a+b+c splits,
+// same half-open intervals as the naive if-chain), whose high bit is the
+// src bit and low bit the dst bit — one branch-free integer pick per scale
+// bit, consuming exactly one draw so the RNG sequence (and thus every
+// generated graph) is unchanged.
+Edge RmatEdge(Rng& rng, std::uint32_t scale, const std::uint64_t thresholds[3]) {
   VertexId src = 0;
   VertexId dst = 0;
   for (std::uint32_t bit = 0; bit < scale; ++bit) {
-    double r = rng.NextDouble();
-    src <<= 1;
-    dst <<= 1;
-    if (r < p.a) {
-      // top-left quadrant: no bits set
-    } else if (r < p.a + p.b) {
-      dst |= 1;
-    } else if (r < p.a + p.b + p.c) {
-      src |= 1;
-    } else {
-      src |= 1;
-      dst |= 1;
-    }
+    const std::uint64_t m = rng.Next() >> 11;
+    VertexId k = static_cast<VertexId>(m >= thresholds[0]) +
+                 static_cast<VertexId>(m >= thresholds[1]) +
+                 static_cast<VertexId>(m >= thresholds[2]);
+    src = (src << 1) | (k >> 1);
+    dst = (dst << 1) | (k & 1);
   }
   return Edge{src, dst, 1};
+}
+
+// Degree-bounded RMAT edge draw loop. Templated on the degree-counter type:
+// counters never exceed `cap`, so when the cap fits in uint16 the two
+// per-vertex arrays shrink by half — they are hit in random order for every
+// drawn edge, and for large graphs their footprint dominates the loop.
+template <typename DegT>
+void DrawRmatEdges(EdgeList& el, Rng& rng, std::uint64_t target,
+                   std::uint32_t scale, const std::uint64_t thresholds[3],
+                   std::uint32_t cap, std::uint64_t max_weight) {
+  std::vector<DegT> in_deg;
+  std::vector<DegT> out_deg;
+  if (cap != 0) {
+    in_deg.assign(el.num_vertices, 0);
+    out_deg.assign(el.num_vertices, 0);
+  }
+  // Draw from a local generator copy: its state never escapes the loop, so
+  // the compiler can keep all four xoshiro words in registers instead of
+  // storing them back through the reference on every one of the ~20 draws
+  // per edge. Same seed, same sequence — the caller's generator resumes
+  // from the copied-back state exactly where a by-reference loop would.
+  Rng local = rng;
+  while (el.edges.size() < target) {
+    Edge e = RmatEdge(local, scale, thresholds);
+    if (cap != 0) {
+      // Redirect endpoints whose degree budget is exhausted to uniform
+      // random vertices (degree bounding, see header comment).
+      while (out_deg[e.src] >= cap) {
+        e.src = static_cast<VertexId>(local.NextBounded(el.num_vertices));
+      }
+      while (in_deg[e.dst] >= cap) {
+        e.dst = static_cast<VertexId>(local.NextBounded(el.num_vertices));
+      }
+    }
+    if (e.src == e.dst) continue;  // drop self-loops
+    if (cap != 0) {
+      ++out_deg[e.src];
+      ++in_deg[e.dst];
+    }
+    e.weight = 1 + static_cast<std::uint32_t>(local.NextBounded(max_weight));
+    el.edges.push_back(e);
+  }
+  rng = local;
 }
 
 }  // namespace
@@ -49,33 +105,19 @@ EdgeList GenerateRmat(const RmatParams& params) {
   el.edges.reserve(target);
   Rng rng(params.seed);
   std::uint32_t cap = 0;
-  std::vector<std::uint32_t> in_deg;
-  std::vector<std::uint32_t> out_deg;
   if (params.max_degree_factor > 0) {
     cap = static_cast<std::uint32_t>(params.max_degree_factor * params.avg_degree);
     if (cap < 4) cap = 4;
-    in_deg.assign(el.num_vertices, 0);
-    out_deg.assign(el.num_vertices, 0);
   }
-  while (el.edges.size() < target) {
-    Edge e = RmatEdge(rng, scale, params);
-    if (cap != 0) {
-      // Redirect endpoints whose degree budget is exhausted to uniform
-      // random vertices (degree bounding, see header comment).
-      while (out_deg[e.src] >= cap) {
-        e.src = static_cast<VertexId>(rng.NextBounded(el.num_vertices));
-      }
-      while (in_deg[e.dst] >= cap) {
-        e.dst = static_cast<VertexId>(rng.NextBounded(el.num_vertices));
-      }
-    }
-    if (e.src == e.dst) continue;  // drop self-loops
-    if (cap != 0) {
-      ++out_deg[e.src];
-      ++in_deg[e.dst];
-    }
-    e.weight = 1 + static_cast<std::uint32_t>(rng.NextBounded(params.max_weight));
-    el.edges.push_back(e);
+  const std::uint64_t thresholds[3] = {
+      ThresholdMantissa(params.a), ThresholdMantissa(params.a + params.b),
+      ThresholdMantissa(params.a + params.b + params.c)};
+  if (cap <= 0xffff) {
+    DrawRmatEdges<std::uint16_t>(el, rng, target, scale, thresholds, cap,
+                                 params.max_weight);
+  } else {
+    DrawRmatEdges<std::uint32_t>(el, rng, target, scale, thresholds, cap,
+                                 params.max_weight);
   }
 
   // Shuffle vertex ids: RMAT correlates topology with id (hubs cluster at

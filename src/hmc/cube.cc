@@ -1,5 +1,7 @@
 #include "hmc/cube.h"
 
+#include <bit>
+
 #include <algorithm>
 
 #include "common/log.h"
@@ -63,14 +65,23 @@ HmcCube::HmcCube(const HmcParams& params, StatRegistry* stats,
 }
 
 std::uint32_t HmcCube::VaultOf(Addr addr) const {
-  return static_cast<std::uint32_t>((addr / kVaultInterleave) % params_.num_vaults);
+  const Addr block = addr / kVaultInterleave;
+  if (std::has_single_bit(params_.num_vaults)) {
+    return static_cast<std::uint32_t>(block & (params_.num_vaults - 1));
+  }
+  return static_cast<std::uint32_t>(block % params_.num_vaults);
 }
 
 Addr HmcCube::VaultLocalAddr(Addr addr) const {
   // Strip the vault-interleave bits so the vault's bank/row decoding uses
   // independent address bits (512 distinct banks across the cube).
   Addr block = addr / kVaultInterleave;
-  return (block / params_.num_vaults) * kVaultInterleave + (addr % kVaultInterleave);
+  if (std::has_single_bit(params_.num_vaults)) {
+    block >>= std::countr_zero(params_.num_vaults);
+  } else {
+    block /= params_.num_vaults;
+  }
+  return block * kVaultInterleave + (addr % kVaultInterleave);
 }
 
 std::uint32_t HmcCube::PickLink(Tick /*when*/) const {

@@ -28,19 +28,21 @@ class EpochThrottle {
     GP_CHECK(epoch_ticks > 0 && per_unit_ticks > 0 && window > 0);
     capacity_ = static_cast<std::uint32_t>(epoch_ticks / per_unit_ticks);
     if (capacity_ == 0) capacity_ = 1;
+    // Window slot index is hot-path; default windows are powers of two.
+    if ((window & (window - 1)) == 0) slot_mask_ = window - 1;
   }
 
   // Reserves `units` starting no earlier than `when`; returns the tick at
   // which the last unit has been serviced.
   Tick Reserve(std::uint32_t units, Tick when) {
     busy_ += static_cast<Tick>(units) * per_unit_ticks_;
-    std::uint64_t e = when / epoch_ticks_;
+    std::uint64_t e = EpochOf(when);
     if (e < base_epoch_) e = base_epoch_;  // the past is full history
     AdvanceTo(e);
     std::uint32_t remaining = units;
     std::uint32_t filled_before = 0;
     while (true) {
-      std::uint32_t& u = used_[static_cast<std::size_t>(e % used_.size())];
+      std::uint32_t& u = used_[Slot(e)];
       std::uint32_t avail = capacity_ > u ? capacity_ - u : 0;
       std::uint32_t take = remaining < avail ? remaining : avail;
       filled_before = u;
@@ -60,12 +62,36 @@ class EpochThrottle {
   Tick busy_ticks() const { return busy_; }
 
  private:
+  std::size_t Slot(std::uint64_t e) const {
+    return static_cast<std::size_t>(slot_mask_ != 0 ? (e & slot_mask_)
+                                                    : e % used_.size());
+  }
+
+  // floor(when / epoch_ticks_) with a cached last-epoch hint: reservation
+  // times advance a few ticks per call, so the hint almost always answers
+  // without the 64-bit division.
+  std::uint64_t EpochOf(Tick when) {
+    Tick d = when - hint_start_;  // wraps huge when `when` precedes the hint
+    if (d < epoch_ticks_) return hint_epoch_;
+    if (d < 32 * epoch_ticks_) {
+      do {
+        hint_start_ += epoch_ticks_;
+        ++hint_epoch_;
+        d -= epoch_ticks_;
+      } while (d >= epoch_ticks_);
+      return hint_epoch_;
+    }
+    hint_epoch_ = when / epoch_ticks_;
+    hint_start_ = hint_epoch_ * epoch_ticks_;
+    return hint_epoch_;
+  }
+
   void AdvanceTo(std::uint64_t e) {
     // Slide the window so epoch `e` is inside it, clearing recycled slots.
     if (e < base_epoch_ + used_.size()) return;
     std::uint64_t new_base = e + 1 - used_.size();
     for (std::uint64_t i = base_epoch_; i < new_base && i < base_epoch_ + used_.size(); ++i) {
-      used_[static_cast<std::size_t>(i % used_.size())] = 0;
+      used_[Slot(i)] = 0;
     }
     if (new_base > base_epoch_ + used_.size()) {
       for (auto& u : used_) u = 0;
@@ -77,7 +103,10 @@ class EpochThrottle {
   Tick per_unit_ticks_;
   std::uint32_t capacity_;
   std::vector<std::uint32_t> used_;
+  std::uint64_t slot_mask_ = 0;  // window-1 when the window is a power of two
   std::uint64_t base_epoch_ = 0;
+  std::uint64_t hint_epoch_ = 0;  // EpochOf cache: floor(hint_start_/epoch)
+  Tick hint_start_ = 0;           // == hint_epoch_ * epoch_ticks_
   Tick busy_ = 0;
 };
 

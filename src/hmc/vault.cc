@@ -1,6 +1,7 @@
 #include "hmc/vault.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/log.h"
 
@@ -21,27 +22,51 @@ Vault::Vault(const HmcParams& params, StatRegistry* stats,
       banks_(params.banks_per_vault),
       int_fu_ready_(std::max<std::uint32_t>(1, params.fus_per_vault), 0),
       fp_fu_ready_(std::max<std::uint32_t>(1, params.fp_fus_per_vault), 0),
-      ctrl_(25 * kTicksPerNs, std::max<Tick>(1, params.ctrl_overhead)) {}
+      ctrl_(25 * kTicksPerNs, std::max<Tick>(1, params.ctrl_overhead)) {
+  if (std::has_single_bit(params.row_bytes) &&
+      std::has_single_bit(params.banks_per_vault)) {
+    row_shift_ = static_cast<std::uint32_t>(std::countr_zero(params.row_bytes));
+    bank_shift_ =
+        static_cast<std::uint32_t>(std::countr_zero(params.banks_per_vault));
+    bank_mask_ = params.banks_per_vault - 1;
+    pow2_geometry_ = true;
+  }
+}
 
 Vault::Bank& Vault::BankFor(Addr addr) {
   // The bank index within the vault: bits above the row offset, below the
-  // row number. The cube has already stripped vault interleaving.
-  std::uint64_t idx = (addr / params_.row_bytes) % params_.banks_per_vault;
-  return banks_[idx];
+  // row number. The cube has already stripped vault interleaving. Row size
+  // and bank count are powers of two in every stock config, making both
+  // index extractions shifts; odd sweep geometries fall back to division.
+  if (pow2_geometry_) return banks_[(addr >> row_shift_) & bank_mask_];
+  return banks_[(addr / params_.row_bytes) % params_.banks_per_vault];
 }
 
 std::int64_t Vault::RowOf(Addr addr) const {
+  if (pow2_geometry_) {
+    return static_cast<std::int64_t>(addr >> (row_shift_ + bank_shift_));
+  }
   return static_cast<std::int64_t>(
-      addr / (static_cast<std::uint64_t>(params_.row_bytes) * params_.banks_per_vault));
+      addr /
+      (static_cast<std::uint64_t>(params_.row_bytes) * params_.banks_per_vault));
 }
 
 Tick Vault::BankAccess(Bank& bank, std::int64_t row, Tick start, bool* row_hit) {
   *row_hit = false;
   Tick t = std::max(start, bank.ready);
   // Periodic refresh: the window [k*tREFI - tRFC, k*tREFI) blocks the
-  // bank; accesses landing inside wait for the boundary.
+  // bank; accesses landing inside wait for the boundary. The interval base
+  // is cached per bank (times are monotone per bank); it usually advances
+  // zero or one interval per access, so the slow division path is rare.
   if (params_.t_refi != 0 && params_.t_rfc != 0) {
-    Tick phase = t % params_.t_refi;
+    Tick base = bank.refresh_base;
+    if (t - base >= 16 * params_.t_refi) {
+      base = (t / params_.t_refi) * params_.t_refi;
+    } else {
+      while (t - base >= params_.t_refi) base += params_.t_refi;
+    }
+    bank.refresh_base = base;
+    Tick phase = t - base;
     if (phase >= params_.t_refi - params_.t_rfc) {
       stats_.Inc(sid_refresh_stalls_);
       t += params_.t_refi - phase;

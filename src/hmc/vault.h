@@ -61,6 +61,10 @@ class Vault {
     std::int64_t open_row = -1;
     Tick ready = 0;          // earliest next access start
     Tick activate_tick = 0;  // when the open row was activated (tRAS)
+    // Largest multiple of tREFI at or below this bank's last access time.
+    // Per-bank access times are monotone (ready only moves forward), so the
+    // refresh phase is the distance from this cached base — no modulo.
+    Tick refresh_base = 0;
   };
 
   Bank& BankFor(Addr addr);
@@ -87,6 +91,12 @@ class Vault {
   StatId sid_fu_fp_ops_;
   StatId sid_bank_locked_ticks_;
   std::vector<Bank> banks_;
+  // Shift/mask forms of the bank geometry (set when both row_bytes and
+  // banks_per_vault are powers of two — every stock config).
+  bool pow2_geometry_ = false;
+  std::uint32_t row_shift_ = 0;
+  std::uint32_t bank_shift_ = 0;
+  std::uint64_t bank_mask_ = 0;
   std::vector<Tick> int_fu_ready_;
   std::vector<Tick> fp_fu_ready_;
   EpochThrottle ctrl_;

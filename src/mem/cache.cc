@@ -35,10 +35,10 @@ Addr CacheArray::LineAddr(std::uint32_t set, Addr tag) const {
 
 bool CacheArray::Lookup(Addr addr, bool update_lru) {
   std::uint32_t set = SetOf(addr);
-  Addr tag = TagOf(addr);
+  const std::uint64_t probe = ProbeOf(TagOf(addr));
   Way* base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
   for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
+    if ((base[w].meta & ~std::uint64_t{2}) == probe) {
       if (update_lru) base[w].lru = ++lru_clock_;
       return true;
     }
@@ -48,10 +48,10 @@ bool CacheArray::Lookup(Addr addr, bool update_lru) {
 
 bool CacheArray::Contains(Addr addr) const {
   std::uint32_t set = SetOf(addr);
-  Addr tag = TagOf(addr);
+  const std::uint64_t probe = ProbeOf(TagOf(addr));
   const Way* base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
   for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (base[w].valid && base[w].tag == tag) return true;
+    if ((base[w].meta & ~std::uint64_t{2}) == probe) return true;
   }
   return false;
 }
@@ -89,32 +89,30 @@ CacheArray::Victim CacheArray::Insert(Addr addr, bool dirty) {
   Way* target = nullptr;
   Victim victim;
   for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (!base[w].valid) {
+    if (!base[w].valid()) {
       target = &base[w];
       break;
     }
-    GP_CHECK(base[w].tag != tag, "Insert() of a line already present");
+    GP_CHECK(base[w].tag() != tag, "Insert() of a line already present");
   }
   if (target == nullptr) target = &base[PickVictim(set)];
-  if (target->valid) {
+  if (target->valid()) {
     victim.valid = true;
-    victim.dirty = target->dirty;
-    victim.line_addr = LineAddr(set, target->tag);
+    victim.dirty = target->dirty();
+    victim.line_addr = LineAddr(set, target->tag());
   }
-  target->valid = true;
-  target->dirty = dirty;
-  target->tag = tag;
+  target->meta = (tag << 2) | (dirty ? 3u : 1u);
   target->lru = ++lru_clock_;
   return victim;
 }
 
 bool CacheArray::SetDirty(Addr addr) {
   std::uint32_t set = SetOf(addr);
-  Addr tag = TagOf(addr);
+  const std::uint64_t probe = ProbeOf(TagOf(addr));
   Way* base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
   for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
-      base[w].dirty = true;
+    if ((base[w].meta & ~std::uint64_t{2}) == probe) {
+      base[w].meta |= 2;
       return true;
     }
   }
@@ -123,13 +121,12 @@ bool CacheArray::SetDirty(Addr addr) {
 
 bool CacheArray::Invalidate(Addr addr, bool* was_dirty) {
   std::uint32_t set = SetOf(addr);
-  Addr tag = TagOf(addr);
+  const std::uint64_t probe = ProbeOf(TagOf(addr));
   Way* base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
   for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
-      if (was_dirty != nullptr) *was_dirty = base[w].dirty;
-      base[w].valid = false;
-      base[w].dirty = false;
+    if ((base[w].meta & ~std::uint64_t{2}) == probe) {
+      if (was_dirty != nullptr) *was_dirty = base[w].dirty();
+      base[w].meta = 0;
       return true;
     }
   }
@@ -139,7 +136,7 @@ bool CacheArray::Invalidate(Addr addr, bool* was_dirty) {
 std::uint64_t CacheArray::ValidLines() const {
   std::uint64_t n = 0;
   for (const Way& w : ways_storage_) {
-    if (w.valid) ++n;
+    if (w.valid()) ++n;
   }
   return n;
 }

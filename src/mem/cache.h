@@ -62,12 +62,21 @@ class CacheArray {
   std::uint64_t ValidLines() const;
 
  private:
+  // 16-byte packed way: tag, valid and dirty share one word so an 8-way set
+  // scan touches two cache lines instead of three. Tags are (addr >>
+  // line+set bits), well under 62 bits for any simulated address space.
   struct Way {
-    Addr tag = 0;
-    std::uint64_t lru = 0;  // larger = more recently used
-    bool valid = false;
-    bool dirty = false;
+    std::uint64_t meta = 0;  // (tag << 2) | (dirty << 1) | valid
+    std::uint64_t lru = 0;   // larger = more recently used
+
+    bool valid() const { return (meta & 1) != 0; }
+    bool dirty() const { return (meta & 2) != 0; }
+    Addr tag() const { return meta >> 2; }
   };
+
+  // Valid-line probe word for `tag`: equals way.meta with the dirty bit
+  // masked off iff the way is valid and holds `tag`.
+  static std::uint64_t ProbeOf(Addr tag) { return (tag << 2) | 1; }
 
   std::uint32_t SetOf(Addr addr) const;
   Addr TagOf(Addr addr) const;

@@ -1,6 +1,7 @@
 #include "mem/hierarchy.h"
 
 #include <algorithm>
+#include <bit>
 #include <string>
 
 #include "common/log.h"
@@ -39,8 +40,10 @@ CacheHierarchy::CacheHierarchy(int num_cores, const CacheParams& params,
   }
   l3_ = std::make_unique<CacheArray>(params.l3_size, params.l3_ways, params.line_bytes,
                                      params.replacement);
+  use_sharers_ = num_cores <= 64;
   mshr_ready_.assign(num_cores, std::vector<Tick>(params.mshrs_per_core, 0));
   l3_bank_ready_.assign(params.l3_banks, 0);
+  if (std::has_single_bit(params.l3_banks)) l3_bank_mask_ = params.l3_banks - 1;
   pf_streams_.assign(num_cores, std::vector<Addr>(params.prefetch_streams, ~Addr{0}));
   pf_next_slot_.assign(num_cores, 0);
 }
@@ -66,7 +69,11 @@ Addr CacheHierarchy::LineOf(Addr addr) const {
 }
 
 Tick CacheHierarchy::ReserveL3(Addr line, Tick when) {
-  std::size_t bank = (line / params_.line_bytes) % l3_bank_ready_.size();
+  // line_bytes is power-of-two (checked by CacheArray); banks usually are.
+  const std::size_t line_idx =
+      static_cast<std::size_t>(line >> std::countr_zero(params_.line_bytes));
+  std::size_t bank = l3_bank_mask_ != 0 ? (line_idx & l3_bank_mask_)
+                                        : line_idx % l3_bank_ready_.size();
   Tick start = std::max(when, l3_bank_ready_[bank]);
   l3_bank_ready_[bank] = start + params_.l3_occupancy;
   return start;
@@ -84,8 +91,16 @@ std::size_t CacheHierarchy::AcquireMshr(int core, Tick when, Tick* start) {
 
 bool CacheHierarchy::InvalidateRemote(int core, Addr line) {
   bool any = false;
+  std::uint64_t mask = ~std::uint64_t{0};
+  std::uint64_t* entry = nullptr;
+  if (use_sharers_) {
+    entry = sharers_.Find(line);
+    if (entry == nullptr) return false;
+    mask = *entry;
+  }
   for (int c = 0; c < num_cores_; ++c) {
     if (c == core) continue;
+    if (use_sharers_ && ((mask >> c) & 1) == 0) continue;
     bool dirty = false;
     bool in_l1 = l1_[c]->Invalidate(line, &dirty);
     bool d2 = false;
@@ -97,6 +112,8 @@ bool CacheHierarchy::InvalidateRemote(int core, Addr line) {
       if (dirty || d2) l3_->SetDirty(line);
     }
   }
+  // Only the requester can still hold (or is about to fill) the line.
+  if (entry != nullptr) *entry = std::uint64_t{1} << core;
   return any;
 }
 
@@ -106,8 +123,17 @@ void CacheHierarchy::FillLine(int core, Addr line, Tick when, bool dirty) {
     CacheArray::Victim v3 = l3_->Insert(line, false);
     if (v3.valid) {
       bool victim_dirty = v3.dirty;
-      // Inclusive back-invalidation of the victim line everywhere.
+      // Inclusive back-invalidation of the victim line everywhere; with
+      // the sharers map, "everywhere" shrinks to the recorded holders and
+      // the victim's entry dies with its L3 residency.
+      std::uint64_t vmask = ~std::uint64_t{0};
+      if (use_sharers_) {
+        const std::uint64_t* ventry = sharers_.Find(v3.line_addr);
+        vmask = ventry != nullptr ? *ventry : 0;
+        if (ventry != nullptr) sharers_.Erase(v3.line_addr);
+      }
       for (int c = 0; c < num_cores_; ++c) {
+        if (use_sharers_ && ((vmask >> c) & 1) == 0) continue;
         bool d1 = false;
         bool d2 = false;
         l1_[c]->Invalidate(v3.line_addr, &d1);
@@ -146,6 +172,7 @@ void CacheHierarchy::FillLine(int core, Addr line, Tick when, bool dirty) {
   } else if (dirty) {
     l1_[core]->SetDirty(line);
   }
+  if (use_sharers_) sharers_[line] |= std::uint64_t{1} << core;
 }
 
 AccessResult CacheHierarchy::Access(int core, AccessType type, Addr addr,
@@ -155,10 +182,10 @@ AccessResult CacheHierarchy::Access(int core, AccessType type, Addr addr,
   Tick t = when;
   // Locked RMWs on one line serialize across cores.
   if (type == AccessType::kAtomicRmw) {
-    auto it = atomic_line_ready_.find(LineOf(addr));
-    if (it != atomic_line_ready_.end() && it->second > t) {
+    const Tick* ready = atomic_line_ready_.Find(LineOf(addr));
+    if (ready != nullptr && *ready > t) {
       stats_.Inc(sid_atomic_line_waits_);
-      t = it->second;
+      t = *ready;
     }
     if (t > when) Stamp(span, trace::SpanStage::kIssue, when, t);
   }

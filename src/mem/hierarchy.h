@@ -15,9 +15,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/line_map.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "hmc/topology.h"
@@ -136,10 +136,21 @@ class CacheHierarchy {
 
   std::vector<std::vector<Tick>> mshr_ready_;  // [core][mshr] busy-until tick
   std::vector<Tick> l3_bank_ready_;
+  std::size_t l3_bank_mask_ = 0;  // banks-1 when bank count is a power of two
 
   // Host locked RMWs to the same line serialize (the line lock bounces
   // between cores); tracks when each line's previous RMW completed.
-  std::unordered_map<Addr, Tick> atomic_line_ready_;
+  LineMap<Tick> atomic_line_ready_;
+
+  // Sharers superset: line → bitmask of cores that MAY hold a private
+  // copy. Every private fill sets the owner's bit; bits go stale when a
+  // private victim eviction silently drops a copy (a set bit may scan and
+  // find nothing), but a clear bit never misses one — so coherence scans
+  // touch only recorded sharers instead of every core. Entries die with
+  // the line's L3 residency (inclusive back-invalidation), which bounds
+  // the map to the L3 line count. Disabled (full scans) beyond 64 cores.
+  bool use_sharers_ = false;
+  LineMap<std::uint64_t> sharers_;
 
   // Per-core stream-prefetcher reference lines.
   std::vector<std::vector<Addr>> pf_streams_;

@@ -34,7 +34,7 @@ const char* ToString(ViolationKind k) {
 }
 
 CheckReport CheckPersistOrdering(
-    const std::vector<std::vector<cpu::MicroOp>>& streams, Addr pmr_base,
+    const std::vector<cpu::UopStream>& streams, Addr pmr_base,
     Addr pmr_end, const UpdateLog* updates) {
   CheckReport rep;
 
@@ -53,7 +53,7 @@ CheckReport CheckPersistOrdering(
 
   for (std::size_t ti = 0; ti < streams.size(); ++ti) {
     const int t = static_cast<int>(ti);
-    const std::vector<cpu::MicroOp>& ops = streams[ti];
+    const cpu::UopStream& ops = streams[ti];
 
     std::vector<StoreState> state;     // by PMR-store ordinal
     std::vector<StoreInfo> info;       // by PMR-store ordinal
@@ -65,7 +65,7 @@ CheckReport CheckPersistOrdering(
                                     // never enter the span path
 
     for (std::size_t oi = 0; oi < ops.size(); ++oi) {
-      const cpu::MicroOp& op = ops[oi];
+      const cpu::MicroOp op = ops[oi];
       switch (op.type) {
         case cpu::OpType::kLoad:
         case cpu::OpType::kAtomic:

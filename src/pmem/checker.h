@@ -30,6 +30,7 @@
 #include "common/span.h"
 #include "common/types.h"
 #include "cpu/uop.h"
+#include "cpu/uop_stream.h"
 #include "pmem/crash.h"
 
 namespace graphpim::pmem {
@@ -68,12 +69,12 @@ struct CheckReport {
   bool ok() const { return violations.empty(); }
 };
 
-// Checks the persist ordering of `streams` (one micro-op vector per
+// Checks the persist ordering of `streams` (one tiled micro-op stream per
 // thread) over the PMR window [pmr_base, pmr_end). `updates` may be null;
 // when given, its publish/payload ordinals drive the kUnorderedPublish
 // rule. Pure function; no timing state consulted.
 CheckReport CheckPersistOrdering(
-    const std::vector<std::vector<cpu::MicroOp>>& streams, Addr pmr_base,
+    const std::vector<cpu::UopStream>& streams, Addr pmr_base,
     Addr pmr_end, const UpdateLog* updates);
 
 // Human-readable report: counts line plus one line per violation, with a

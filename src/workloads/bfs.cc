@@ -38,18 +38,27 @@ void BfsWorkload::Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
       auto [begin, end] = ThreadChunk(frontier.size(), t, num_threads);
       for (std::size_t i = begin; i < end; ++i) {
         VertexId u = frontier[i];
-        tb.Load(t, frontier_addr + i * 4, 4);       // meta: queue pop
-        tb.Load(t, g.OffsetAddr(u), 8, /*dep=*/true);  // structure: row ptr
+        if (!tb.AtCap()) {
+          tb.Load(t, frontier_addr + i * 4, 4);       // meta: queue pop
+          tb.Load(t, g.OffsetAddr(u), 8, /*dep=*/true);  // structure: row ptr
+        }
         EdgeId e = g.OffsetOf(u);
         for (VertexId v : g.Neighbors(u)) {
-          tb.Load(t, g.NeighborAddr(e), 4);  // structure: neighbor id
-          tb.Compute(t, 1, /*dep=*/true);    // property address generation
-          tb.Compute(t, 1);                  // loop bookkeeping
-          // Fig 3: every neighbor's depth is claimed with one CAS — the
-          // visited check IS the compare half of the atomic.
-          tb.Atomic(t, depth.AddrOf(v), hmc::AtomicOp::kCasEqual8, 8,
-                    /*want_return=*/true, /*dep=*/true);
-          tb.Branch(t, /*dep=*/true);  // CAS success?
+          // One inline cap check per edge instead of five no-op emitter
+          // calls: a capped walk (the common case for sampled big graphs)
+          // drops to the pure algorithmic relax. The emitters re-check
+          // individually, so hitting the cap mid-group emits the same
+          // partial sequence as before.
+          if (!tb.AtCap()) {
+            tb.Load(t, g.NeighborAddr(e), 4);  // structure: neighbor id
+            tb.Compute(t, 1, /*dep=*/true);    // property address generation
+            tb.Compute(t, 1);                  // loop bookkeeping
+            // Fig 3: every neighbor's depth is claimed with one CAS — the
+            // visited check IS the compare half of the atomic.
+            tb.Atomic(t, depth.AddrOf(v), hmc::AtomicOp::kCasEqual8, 8,
+                      /*want_return=*/true, /*dep=*/true);
+            tb.Branch(t, /*dep=*/true);  // CAS success?
+          }
           if (depth[v] == kUnvisited) {
             depth[v] = level + 1;
             tb.Store(t, next_addr + next.size() * 4, 4);  // meta: push

@@ -29,14 +29,14 @@ Trace FuseComparisonBlocks(const Trace& trace, const graph::AddressSpace& space,
   Trace out;
   out.streams.reserve(trace.streams.size());
   for (const auto& stream : trace.streams) {
-    std::vector<MicroOp> s;
+    cpu::UopStream s;
     s.reserve(stream.size());
     std::size_t i = 0;
     while (i < stream.size()) {
       // Pattern: property load ; dependent branch ; [CAS same addr ; branch]
       if (i + 1 < stream.size() && IsFusableLoad(stream[i], space) &&
           IsDepBranch(stream[i + 1])) {
-        const MicroOp& load = stream[i];
+        const MicroOp load = stream[i];
         bool with_cas = i + 3 < stream.size() &&
                         IsCasEqualTo(stream[i + 2], load.addr) &&
                         IsDepBranch(stream[i + 3]);

@@ -20,11 +20,16 @@ TraceBuilder::TraceBuilder(int num_threads, const graph::AddressSpace* space,
   }
 }
 
+void TraceBuilder::SetOpCap(std::uint64_t cap) {
+  op_cap_ = cap;
+  if (cap == 0) return;
+  const std::uint64_t per =
+      cap / static_cast<std::uint64_t>(trace_.streams.size()) + 1;
+  for (auto& s : trace_.streams) s.reserve(per);
+}
+
 void TraceBuilder::Push(int t, const MicroOp& op) {
-  if (op_cap_ != 0 && total_ops_ >= op_cap_) {
-    capped_ = true;
-    return;
-  }
+  if (AtCap()) return;
   // Count PMR stores that actually land in the stream, so PmrStoreCount
   // mirrors the ordinals the persist domain will assign during replay
   // (ops dropped at the cap never reach the memory system).
@@ -36,6 +41,7 @@ void TraceBuilder::Push(int t, const MicroOp& op) {
 }
 
 void TraceBuilder::Compute(int t, int lat_cycles, bool dep, bool fp) {
+  if (AtCap()) return;
   MicroOp op;
   op.type = OpType::kCompute;
   op.compute_lat = static_cast<std::uint8_t>(lat_cycles);
@@ -45,6 +51,7 @@ void TraceBuilder::Compute(int t, int lat_cycles, bool dep, bool fp) {
 }
 
 void TraceBuilder::Branch(int t, bool dep) {
+  if (AtCap()) return;
   MicroOp op;
   op.type = OpType::kBranch;
   if (dep) op.flags |= cpu::kFlagDepPrev;
@@ -56,6 +63,7 @@ void TraceBuilder::Branch(int t, bool dep) {
 
 void TraceBuilder::Load(int t, Addr addr, std::uint8_t size, bool dep,
                         bool fusable_cmp) {
+  if (AtCap()) return;
   MicroOp op;
   op.type = OpType::kLoad;
   op.addr = addr;
@@ -67,6 +75,7 @@ void TraceBuilder::Load(int t, Addr addr, std::uint8_t size, bool dep,
 }
 
 void TraceBuilder::Store(int t, Addr addr, std::uint8_t size, bool dep) {
+  if (AtCap()) return;
   MicroOp op;
   op.type = OpType::kStore;
   op.addr = addr;
@@ -78,6 +87,7 @@ void TraceBuilder::Store(int t, Addr addr, std::uint8_t size, bool dep) {
 
 void TraceBuilder::Atomic(int t, Addr addr, hmc::AtomicOp aop, std::uint8_t size,
                           bool want_return, bool dep) {
+  if (AtCap()) return;
   MicroOp op;
   op.type = OpType::kAtomic;
   op.addr = addr;
@@ -90,6 +100,7 @@ void TraceBuilder::Atomic(int t, Addr addr, hmc::AtomicOp aop, std::uint8_t size
 }
 
 void TraceBuilder::Flush(int t, Addr addr, bool dep) {
+  if (AtCap()) return;
   MicroOp op;
   op.type = OpType::kFlush;
   op.addr = addr;
@@ -129,7 +140,7 @@ Trace ReplaceAtomicsWithPlain(const Trace& trace) {
   Trace out;
   out.streams.reserve(trace.streams.size());
   for (const auto& stream : trace.streams) {
-    std::vector<MicroOp> s;
+    cpu::UopStream s;
     s.reserve(stream.size() + stream.size() / 8);
     for (const MicroOp& op : stream) {
       if (op.type != OpType::kAtomic) {

@@ -15,17 +15,27 @@
 #include "common/random.h"
 #include "common/types.h"
 #include "cpu/uop.h"
+#include "cpu/uop_stream.h"
 #include "graph/region.h"
 
 namespace graphpim::workloads {
 
-// The product: one micro-op stream per hardware thread (== core).
+// The product: one micro-op stream per hardware thread (== core), stored
+// as tiled SoA segments (cpu::UopStream, DESIGN.md §15).
 struct Trace {
-  std::vector<std::vector<cpu::MicroOp>> streams;
+  std::vector<cpu::UopStream> streams;
 
   std::uint64_t TotalOps() const {
     std::uint64_t n = 0;
     for (const auto& s : streams) n += s.size();
+    return n;
+  }
+
+  // Bytes resident across all streams (tiles + spines); surfaces in the
+  // report as trace.peak_bytes.
+  std::uint64_t BytesUsed() const {
+    std::uint64_t n = 0;
+    for (const auto& s : streams) n += s.BytesUsed();
     return n;
   }
 };
@@ -38,7 +48,9 @@ class TraceBuilder {
   int num_threads() const { return static_cast<int>(trace_.streams.size()); }
 
   // Limits the total recorded ops (sampling large runs); 0 = unlimited.
-  void SetOpCap(std::uint64_t cap) { op_cap_ = cap; }
+  // Also pre-reserves each stream's tile spine for its share of the cap,
+  // so Push never reallocates anything but fresh 14KB tiles.
+  void SetOpCap(std::uint64_t cap);
   bool Capped() const { return capped_; }
 
   // True if `n` more ops fit under the cap. Persist-mode workloads check
@@ -47,6 +59,18 @@ class TraceBuilder {
   // bug that the workload does not have).
   bool HasRoom(std::uint64_t n) const {
     return op_cap_ == 0 || total_ops_ + n <= op_cap_;
+  }
+
+  // Cap test with the capped_ side effect; emitters bail out on this
+  // before building an op, so a capped generation walk (which still has to
+  // traverse the whole graph for its algorithmic state) stops paying for
+  // address classification and op construction it would only throw away.
+  bool AtCap() {
+    if (op_cap_ != 0 && total_ops_ >= op_cap_) {
+      capped_ = true;
+      return true;
+    }
+    return false;
   }
 
   // --- op emitters (thread `t`) -------------------------------------------

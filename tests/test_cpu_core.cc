@@ -90,7 +90,7 @@ TEST(OooCore, IssueWidthBoundsThroughput) {
   MockMem mem;
   CoreParams p;
   OooCore core(0, p, &mem);
-  std::vector<MicroOp> trace(1000, Comp());
+  cpu::UopStream trace(1000, Comp());
   core.Reset(&trace);
   Tick end = RunAll(core);
   // 1000 independent 1-cycle ops at 4/cycle = 250 cycles = 125ns.
@@ -101,7 +101,7 @@ TEST(OooCore, IssueWidthBoundsThroughput) {
 TEST(OooCore, DependentChainSerializes) {
   MockMem mem;
   OooCore core(0, CoreParams(), &mem);
-  std::vector<MicroOp> trace(1000, Comp(1, /*dep=*/true));
+  cpu::UopStream trace(1000, Comp(1, /*dep=*/true));
   core.Reset(&trace);
   Tick end = RunAll(core);
   // A 1000-deep dependency chain of 1-cycle ops takes ~1000 cycles.
@@ -111,7 +111,7 @@ TEST(OooCore, DependentChainSerializes) {
 TEST(OooCore, IndependentLoadsOverlap) {
   MockMem mem;
   OooCore core(0, CoreParams(), &mem);
-  std::vector<MicroOp> trace;
+  cpu::UopStream trace;
   for (int i = 0; i < 64; ++i) trace.push_back(Ld(static_cast<Addr>(i) * 64));
   core.Reset(&trace);
   Tick end = RunAll(core);
@@ -122,7 +122,7 @@ TEST(OooCore, IndependentLoadsOverlap) {
 TEST(OooCore, DependentLoadsChain) {
   MockMem mem;
   OooCore core(0, CoreParams(), &mem);
-  std::vector<MicroOp> trace;
+  cpu::UopStream trace;
   for (int i = 0; i < 10; ++i) trace.push_back(Ld(0, /*dep=*/true));
   core.Reset(&trace);
   Tick end = RunAll(core);
@@ -135,7 +135,7 @@ TEST(OooCore, RobLimitsInFlightWork) {
   CoreParams p;
   p.rob_size = 8;
   OooCore core(0, p, &mem);
-  std::vector<MicroOp> trace(80, Ld(0));
+  cpu::UopStream trace(80, Ld(0));
   core.Reset(&trace);
   Tick end = RunAll(core);
   // With 8 ROB entries, at most 8 loads overlap: >= 10 waves x 100ns.
@@ -146,8 +146,8 @@ TEST(OooCore, SerializingAtomicFreezesPipeline) {
   MockMem mem;
   mem.serialize_atomics = true;
   OooCore core(0, CoreParams(), &mem);
-  std::vector<MicroOp> with;
-  std::vector<MicroOp> without;
+  cpu::UopStream with;
+  cpu::UopStream without;
   for (int i = 0; i < 100; ++i) {
     with.push_back(At(0, false));
     with.push_back(Comp());
@@ -167,7 +167,7 @@ TEST(OooCore, OffloadedAtomicDoesNotFreeze) {
   MockMem mem;
   mem.serialize_atomics = false;
   OooCore core(0, CoreParams(), &mem);
-  std::vector<MicroOp> trace;
+  cpu::UopStream trace;
   for (int i = 0; i < 100; ++i) {
     trace.push_back(At(0, /*ret=*/false));  // posted
     trace.push_back(Comp());
@@ -182,7 +182,7 @@ TEST(OooCore, OffloadedAtomicDoesNotFreeze) {
 TEST(OooCore, AtomicWithReturnDelaysDependent) {
   MockMem mem;
   OooCore core(0, CoreParams(), &mem);
-  std::vector<MicroOp> trace{At(0, /*ret=*/true), Comp(1, /*dep=*/true)};
+  cpu::UopStream trace{At(0, /*ret=*/true), Comp(1, /*dep=*/true)};
   core.Reset(&trace);
   Tick end = RunAll(core);
   EXPECT_GE(TicksToNs(end), 50.0);  // dependent waits for the CAS result
@@ -192,8 +192,8 @@ TEST(OooCore, MispredictAddsPenalty) {
   MockMem mem;
   CoreParams p;
   OooCore core(0, p, &mem);
-  std::vector<MicroOp> clean;
-  std::vector<MicroOp> dirty;
+  cpu::UopStream clean;
+  cpu::UopStream dirty;
   for (int i = 0; i < 100; ++i) {
     clean.push_back(Comp());
     clean.push_back(Br(false, false));
@@ -215,7 +215,7 @@ TEST(OooCore, IssueStallBackpressure) {
   MockMem mem;
   mem.stall_until = NsToTicks(500.0);
   OooCore core(0, CoreParams(), &mem);
-  std::vector<MicroOp> trace{Ld(0), Comp()};
+  cpu::UopStream trace{Ld(0), Comp()};
   core.Reset(&trace);
   Tick end = RunAll(core);
   EXPECT_GE(TicksToNs(end), 500.0);
@@ -225,7 +225,7 @@ TEST(OooCore, BarrierReportsArrivalOfAllWork) {
   MockMem mem;
   mem.load_lat = NsToTicks(100.0);
   OooCore core(0, CoreParams(), &mem);
-  std::vector<MicroOp> trace{Ld(0), Barrier(), Comp()};
+  cpu::UopStream trace{Ld(0), Barrier(), Comp()};
   core.Reset(&trace);
   OooCore::Status s = core.Advance(NsToTicks(1e6));
   ASSERT_EQ(s, OooCore::Status::kBarrier);
@@ -238,7 +238,7 @@ TEST(OooCore, BarrierReportsArrivalOfAllWork) {
 TEST(OooCore, QuantumPausesAndResumes) {
   MockMem mem;
   OooCore core(0, CoreParams(), &mem);
-  std::vector<MicroOp> trace(10000, Comp(1, true));
+  cpu::UopStream trace(10000, Comp(1, true));
   core.Reset(&trace);
   EXPECT_EQ(core.Advance(NsToTicks(10.0)), OooCore::Status::kRunning);
   const double insts_after_first = core.stats().Get("core.insts");
@@ -253,7 +253,7 @@ TEST(OooCore, StatsCountOpKinds) {
   OooCore core(0, CoreParams(), &mem);
   MicroOp st;
   st.type = OpType::kStore;
-  std::vector<MicroOp> trace{Comp(), Br(false, false), Ld(0), st, At(0, true)};
+  cpu::UopStream trace{Comp(), Br(false, false), Ld(0), st, At(0, true)};
   core.Reset(&trace);
   RunAll(core);
   const StatRegistry& s = core.stats();

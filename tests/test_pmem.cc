@@ -152,7 +152,7 @@ cpu::MicroOp Op(cpu::OpType type, Addr addr, std::uint8_t size = 8) {
 }
 
 TEST(PersistChecker, CleanDisciplinePasses) {
-  std::vector<std::vector<cpu::MicroOp>> streams(1);
+  std::vector<cpu::UopStream> streams(1);
   streams[0] = {Op(cpu::OpType::kStore, kBase, 16),
                 Op(cpu::OpType::kFlush, kBase),
                 Op(cpu::OpType::kFence, 0)};
@@ -165,7 +165,7 @@ TEST(PersistChecker, CleanDisciplinePasses) {
 }
 
 TEST(PersistChecker, UnpersistedAndMissingFenceAreDistinct) {
-  std::vector<std::vector<cpu::MicroOp>> streams(1);
+  std::vector<cpu::UopStream> streams(1);
   streams[0] = {Op(cpu::OpType::kStore, kBase, 8),        // never flushed
                 Op(cpu::OpType::kStore, kBase + 64, 8),   // flushed, unfenced
                 Op(cpu::OpType::kFlush, kBase + 64)};
@@ -177,7 +177,7 @@ TEST(PersistChecker, UnpersistedAndMissingFenceAreDistinct) {
 }
 
 TEST(PersistChecker, RedundantFlushIsFlagged) {
-  std::vector<std::vector<cpu::MicroOp>> streams(1);
+  std::vector<cpu::UopStream> streams(1);
   streams[0] = {Op(cpu::OpType::kStore, kBase, 8),
                 Op(cpu::OpType::kFlush, kBase),
                 Op(cpu::OpType::kFlush, kBase),  // doubled
@@ -191,7 +191,7 @@ TEST(PersistChecker, RedundantFlushIsFlagged) {
 TEST(PersistChecker, UnorderedPublishNeedsTheUpdateLog) {
   // Payload flushed but not fenced before the publish store issues — the
   // exact shape the missing-fence mutant seeds.
-  std::vector<std::vector<cpu::MicroOp>> streams(1);
+  std::vector<cpu::UopStream> streams(1);
   streams[0] = {Op(cpu::OpType::kStore, kBase, 16),        // payload, ord 0
                 Op(cpu::OpType::kFlush, kBase),
                 Op(cpu::OpType::kStore, kBase + 512, 8),   // publish, ord 1
@@ -210,7 +210,7 @@ TEST(PersistChecker, UnorderedPublishNeedsTheUpdateLog) {
 }
 
 TEST(PersistChecker, NonPmrStoresAreIgnored) {
-  std::vector<std::vector<cpu::MicroOp>> streams(1);
+  std::vector<cpu::UopStream> streams(1);
   streams[0] = {Op(cpu::OpType::kStore, kBase - 64, 8),  // below the PMR
                 Op(cpu::OpType::kStore, kEnd, 8)};       // past the PMR
   const pmem::CheckReport r =

@@ -26,7 +26,7 @@ TEST(CoreQuality, FpComputeSlowerThanInt) {
   p.fp_compute_lat = 8;
   cpu::OooCore core(0, p, &mem);
   auto run = [&](bool fp) {
-    std::vector<cpu::MicroOp> trace;
+    cpu::UopStream trace;
     for (int i = 0; i < 1000; ++i) {
       cpu::MicroOp op;
       op.type = cpu::OpType::kCompute;

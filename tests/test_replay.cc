@@ -1,0 +1,323 @@
+// Tests for the intra-run sharded replay engine and the tiled SoA trace
+// (DESIGN.md §15).
+//
+// The engine contract is byte-identity: `sim.shards` partitions cores
+// across ThreadPool workers behind a deterministic turn-token rendezvous,
+// so every observable output (report, JSON, counters) must match the
+// serial loop exactly at any shard count. These tests pin that contract on
+// the golden scenarios — including the persist domain and the flight
+// recorder, whose logs ride the same merge path — plus the tile-layout
+// edge cases the column-wise replay walk depends on.
+//
+// Everything here is named Replay* so CI's TSan job can select the
+// sharded runs (the one new cross-thread surface) with one filter.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+#include "core/report.h"
+#include "core/runner.h"
+#include "cpu/core.h"
+#include "cpu/uop_stream.h"
+#include "workloads/trace.h"
+
+namespace graphpim {
+namespace {
+
+// Runs `exp` under `sc` at shards=1 and shards=4 and requires the full
+// JSON (every counter) and report to match byte for byte.
+void ExpectShardInvariant(const core::Experiment& exp, core::SimConfig sc,
+                          const std::string& label) {
+  sc.shards = 1;
+  const core::SimResults serial = exp.Run(sc);
+  sc.shards = 4;
+  const core::SimResults sharded = exp.Run(sc);
+  EXPECT_EQ(core::ToJson(serial), core::ToJson(sharded))
+      << label << ": --shards=4 JSON differs from serial";
+  EXPECT_EQ(core::FormatReport(serial), core::FormatReport(sharded))
+      << label << ": --shards=4 report differs from serial";
+}
+
+core::Experiment::Options SmallOptions(pmem::PersistMode persist) {
+  core::Experiment::Options eo;
+  eo.num_threads = 8;
+  eo.seed = 1;
+  eo.op_cap = 150'000;
+  eo.persist = persist;
+  return eo;
+}
+
+TEST(ReplayShardIdentity, BfsGoldenConfig) {
+  // The exact machine the tests/golden/ files pin (test_golden.cc), both
+  // modes: the sharded engine must reproduce the golden runs bit for bit.
+  core::Experiment exp("ldbc", 2048, "bfs", SmallOptions(pmem::PersistMode::kOff));
+  for (core::Mode m : {core::Mode::kBaseline, core::Mode::kGraphPim}) {
+    core::SimConfig sc = core::SimConfig::Scaled(m);
+    sc.num_cores = 8;
+    sc.hmc.enable_fp_atomics = true;
+    ExpectShardInvariant(exp, sc, std::string("bfs/") + core::ToString(m));
+  }
+}
+
+TEST(ReplayShardIdentity, GupWithPersistDomain) {
+  // pmem.enable=1: per-shard persist queues and the domain seal must merge
+  // in shard order, keeping the pmem.* counter family identical.
+  core::Experiment exp("ldbc", 1024, "gup", SmallOptions(pmem::PersistMode::kFull));
+  core::SimConfig sc = core::SimConfig::Scaled(core::Mode::kGraphPim);
+  sc.num_cores = 8;
+  sc.pmem.enable = true;
+  ExpectShardInvariant(exp, sc, "gup/pmem");
+}
+
+TEST(ReplayShardIdentity, TmorphWithFlightRecorder) {
+  // trace.sample_rate > 0: span sampling decisions are drawn per-request
+  // from deterministic state, so the folded span.* statistics must not
+  // depend on the shard count either.
+  core::Experiment exp("ldbc", 1024, "tmorph",
+                       SmallOptions(pmem::PersistMode::kOff));
+  core::SimConfig sc = core::SimConfig::Scaled(core::Mode::kGraphPim);
+  sc.num_cores = 8;
+  sc.trace_sample_rate = 0.05;
+  ExpectShardInvariant(exp, sc, "tmorph/spans");
+}
+
+TEST(ReplayThreadChunk, ZeroItems) {
+  for (int t = 0; t < 4; ++t) {
+    const auto [b, e] = workloads::ThreadChunk(0, t, 4);
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 0u);
+  }
+}
+
+TEST(ReplayThreadChunk, MoreThreadsThanItems) {
+  // 3 items over 8 threads: the first three threads get one item each,
+  // the rest own empty ranges; coverage is contiguous and disjoint.
+  std::size_t expected_begin = 0;
+  for (int t = 0; t < 8; ++t) {
+    const auto [b, e] = workloads::ThreadChunk(3, t, 8);
+    EXPECT_EQ(b, expected_begin) << "thread " << t;
+    EXPECT_EQ(e - b, t < 3 ? 1u : 0u) << "thread " << t;
+    expected_begin = e;
+  }
+  EXPECT_EQ(expected_begin, 3u);
+}
+
+TEST(ReplayThreadChunk, RemainderSpreadsOverLeadingThreads) {
+  std::size_t expected_begin = 0;
+  for (int t = 0; t < 3; ++t) {
+    const auto [b, e] = workloads::ThreadChunk(10, t, 3);
+    EXPECT_EQ(b, expected_begin);
+    EXPECT_EQ(e - b, t == 0 ? 4u : 3u);
+    expected_begin = e;
+  }
+  EXPECT_EQ(expected_begin, 10u);
+}
+
+// Minimal memory model so OooCore can replay hand-built streams.
+class FlatMem : public cpu::MemoryInterface {
+ public:
+  cpu::MemOutcome Access(int /*core*/, const cpu::MicroOp& /*op*/,
+                         Tick when) override {
+    cpu::MemOutcome out;
+    out.complete = when + NsToTicks(1.0);
+    out.retire_ready = out.complete;
+    return out;
+  }
+};
+
+cpu::MicroOp ComputeOp() {
+  cpu::MicroOp op;
+  op.type = cpu::OpType::kCompute;
+  op.compute_lat = 1;
+  return op;
+}
+
+cpu::MicroOp BarrierOp() {
+  cpu::MicroOp op;
+  op.type = cpu::OpType::kBarrier;
+  op.addr = 1;
+  return op;
+}
+
+// Replays `stream` to completion, returning the number of kBarrier stops.
+int CountBarrierStops(const cpu::UopStream& stream, double* insts_out) {
+  FlatMem mem;
+  cpu::OooCore core(0, cpu::CoreParams(), &mem);
+  core.Reset(&stream);
+  int barriers = 0;
+  while (true) {
+    const cpu::OooCore::Status s = core.Advance(core.Now() + NsToTicks(1e6));
+    if (s == cpu::OooCore::Status::kDone) break;
+    if (s != cpu::OooCore::Status::kBarrier) {
+      ADD_FAILURE() << "unexpected Advance status";
+      break;
+    }
+    ++barriers;
+    core.ReleaseBarrier(core.BarrierArrival());
+  }
+  if (insts_out != nullptr) *insts_out = core.stats().Get("core.insts");
+  return barriers;
+}
+
+// gtest's ASSERT_ inside a non-void helper needs this wrapper shape.
+void ExpectBarrierWalk(std::size_t barrier_pos) {
+  // barrier_pos ops, the barrier, then a tail that crosses at least one
+  // more lane — exercises the column-wise walk around the 1024-op tile
+  // boundary (last lane of tile N, first lane of tile N+1).
+  cpu::UopStream stream;
+  for (std::size_t i = 0; i < barrier_pos; ++i) stream.push_back(ComputeOp());
+  stream.push_back(BarrierOp());
+  for (std::size_t i = 0; i < 10; ++i) stream.push_back(ComputeOp());
+
+  double insts = 0.0;
+  const int barriers = CountBarrierStops(stream, &insts);
+  EXPECT_EQ(barriers, 1) << "barrier at index " << barrier_pos;
+  // The barrier itself retires no instruction.
+  EXPECT_DOUBLE_EQ(insts, static_cast<double>(barrier_pos + 10))
+      << "barrier at index " << barrier_pos;
+}
+
+TEST(ReplayTileWalk, BarrierAtTileBoundaries) {
+  ExpectBarrierWalk(cpu::kTileOps - 1);  // last lane of tile 0
+  ExpectBarrierWalk(cpu::kTileOps);      // first lane of tile 1
+  ExpectBarrierWalk(cpu::kTileOps + 1);  // one past the boundary
+  ExpectBarrierWalk(2 * cpu::kTileOps);  // first lane of tile 2
+}
+
+TEST(ReplayTileWalk, BackToBackBarriersAcrossTiles) {
+  cpu::UopStream stream;
+  for (std::size_t i = 0; i < cpu::kTileOps - 1; ++i) {
+    stream.push_back(ComputeOp());
+  }
+  stream.push_back(BarrierOp());  // last lane of tile 0
+  stream.push_back(BarrierOp());  // first lane of tile 1
+  stream.push_back(ComputeOp());
+
+  double insts = 0.0;
+  const int barriers = CountBarrierStops(stream, &insts);
+  EXPECT_EQ(barriers, 2);
+  EXPECT_DOUBLE_EQ(insts, static_cast<double>(cpu::kTileOps));
+}
+
+TEST(ReplayTiles, ReplaceAtomicsWithPlainPreservesMultiTileStreams) {
+  // A stream spanning three tiles with atomics sprinkled across tile
+  // boundaries: the transform re-tiles its output (each atomic becomes a
+  // load + dependent store), and every surviving op must keep its column
+  // values bit for bit.
+  workloads::Trace trace;
+  cpu::UopStream s;
+  const std::size_t total = 2 * cpu::kTileOps + 500;
+  std::size_t atomics = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (i % 97 == 0) {
+      cpu::MicroOp op;
+      op.type = cpu::OpType::kAtomic;
+      op.addr = 0x1000 + i * 8;
+      op.aop = hmc::AtomicOp::kDualAdd8;
+      op.size = 8;
+      s.push_back(op);
+      ++atomics;
+    } else {
+      s.push_back(ComputeOp());
+    }
+  }
+  trace.streams.push_back(std::move(s));
+
+  const workloads::Trace plain = workloads::ReplaceAtomicsWithPlain(trace);
+  ASSERT_EQ(plain.streams.size(), 1u);
+  const cpu::UopStream& out = plain.streams[0];
+  EXPECT_EQ(out.size(), total + atomics);  // each atomic -> load + store
+  EXPECT_EQ(out.num_tiles(), (out.size() + cpu::kTileMask) >> cpu::kTileShift);
+
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    const cpu::MicroOp orig = trace.streams[0][i];
+    if (orig.type == cpu::OpType::kAtomic) {
+      const cpu::MicroOp ld = out[j++];
+      const cpu::MicroOp st = out[j++];
+      EXPECT_EQ(ld.type, cpu::OpType::kLoad);
+      EXPECT_EQ(ld.addr, orig.addr);
+      EXPECT_EQ(st.type, cpu::OpType::kStore);
+      EXPECT_EQ(st.addr, orig.addr);
+      EXPECT_NE(st.flags & cpu::kFlagDepPrev, 0u);
+    } else {
+      const cpu::MicroOp kept = out[j++];
+      EXPECT_EQ(kept.type, orig.type);
+      EXPECT_EQ(kept.addr, orig.addr);
+      EXPECT_EQ(kept.flags, orig.flags);
+      EXPECT_EQ(kept.compute_lat, orig.compute_lat);
+    }
+  }
+  EXPECT_EQ(j, out.size());
+}
+
+TEST(ReplayTiles, BytesUsedTracksTileAllocation) {
+  cpu::UopStream s;
+  EXPECT_EQ(s.BytesUsed(), 0u);
+  s.push_back(ComputeOp());
+  EXPECT_GE(s.BytesUsed(), sizeof(cpu::TraceTile));
+  for (std::size_t i = 0; i < cpu::kTileOps; ++i) s.push_back(ComputeOp());
+  EXPECT_GE(s.BytesUsed(), 2 * sizeof(cpu::TraceTile));
+}
+
+TEST(ReplayTiles, TracePeakBytesSurfacesInResultsAndReport) {
+  // The regression test for trace.peak_bytes (allocation-churn fix): the
+  // replayed trace's footprint lands in SimResults and prints strictly
+  // after the "uncore energy:" golden-diff cutoff — and stays OUT of the
+  // JSON, whose field surface the golden files pin.
+  core::Experiment::Options eo;
+  eo.num_threads = 4;
+  eo.seed = 1;
+  eo.op_cap = 20'000;
+  core::Experiment exp("ldbc", 512, "bfs", eo);
+  core::SimConfig sc = core::SimConfig::Scaled(core::Mode::kGraphPim);
+  sc.num_cores = 4;
+  const core::SimResults r = exp.Run(sc);
+
+  EXPECT_EQ(r.trace_peak_bytes, exp.trace().BytesUsed());
+  EXPECT_GT(r.trace_peak_bytes, 0u);
+
+  const std::string report = core::FormatReport(r);
+  const std::size_t energy_at = report.find("uncore energy:");
+  const std::size_t trace_at = report.find("trace: peak ");
+  ASSERT_NE(energy_at, std::string::npos);
+  ASSERT_NE(trace_at, std::string::npos);
+  EXPECT_LT(energy_at, trace_at);
+  EXPECT_EQ(core::ToJson(r).find("trace_peak"), std::string::npos);
+
+  // Hand-built results (no replayed trace) print no footprint line.
+  core::SimResults empty;
+  EXPECT_EQ(core::FormatReport(empty).find("trace: peak"), std::string::npos);
+}
+
+TEST(ReplayConfig, ShardsKnobRidesTheFieldTable) {
+  // Anti-drift: sim.shards must be a real KnobRow — present in
+  // ConfigKeys() under both spellings, rendered by Describe(), and
+  // range-checked by Validate() like every other knob.
+  const std::vector<std::string> keys = core::SimConfig::ConfigKeys();
+  auto has_key = [&](const char* k) {
+    for (const std::string& key : keys) {
+      if (key == k) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_key("sim.shards"));
+  EXPECT_TRUE(has_key("shards"));
+
+  core::SimConfig sc = core::SimConfig::Scaled(core::Mode::kGraphPim);
+  EXPECT_NE(sc.Describe().find("sim.shards="), std::string::npos)
+      << sc.Describe();
+
+  sc.shards = 4;
+  EXPECT_NO_THROW(sc.Validate());
+  sc.shards = 0;
+  EXPECT_THROW(sc.Validate(), SimError);
+  sc.shards = 257;
+  EXPECT_THROW(sc.Validate(), SimError);
+}
+
+}  // namespace
+}  // namespace graphpim

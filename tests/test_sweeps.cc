@@ -83,7 +83,7 @@ TEST_P(IssueWidthSweep, ThroughputScalesWithWidth) {
   cpu::CoreParams p;
   p.issue_width = GetParam();
   cpu::OooCore core(0, p, &mem);
-  std::vector<cpu::MicroOp> trace(4000);  // independent 1-cycle computes
+  cpu::UopStream trace(4000, cpu::MicroOp{});  // independent 1-cycle computes
   core.Reset(&trace);
   while (core.Advance(core.Now() + NsToTicks(100000.0)) != cpu::OooCore::Status::kDone) {
   }
@@ -101,7 +101,7 @@ TEST_P(RobSweep, BiggerRobNeverSlowerOnIndependentLoads) {
     cpu::CoreParams p;
     p.rob_size = rob;
     cpu::OooCore core(0, p, &mem);
-    std::vector<cpu::MicroOp> trace;
+    cpu::UopStream trace;
     for (int i = 0; i < 2000; ++i) {
       cpu::MicroOp op;
       op.type = cpu::OpType::kLoad;

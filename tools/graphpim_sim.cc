@@ -12,6 +12,9 @@
 //                [--cube-page-bytes=4096]  # PMR interleave granularity
 //                [--fuse=0]           # Section III-B comparison-block fusion
 //                [--jobs=N]           # replay modes in parallel (0 = nproc)
+//                [--shards=N]         # intra-run parallel replay shards;
+//                                     # byte-identical output at any N
+//                [--progress=1]       # stderr heartbeat per retired mode
 //                [--json=out.json]    # machine-readable results (last mode)
 //                [--metrics-out=p.json]  # per-superstep phase deltas for the
 //                                        # last mode; .jsonl = JSONL, else
@@ -49,8 +52,10 @@
 //                             # mode; deterministic table at any --jobs
 //   [--pmem-mutant=none|missing-fence|redundant-flush]  # seed a persist
 //                             # bug the checker must flag
+#include <chrono>
 #include <cstdio>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -58,6 +63,7 @@
 #include "common/trace.h"
 #include "core/report.h"
 #include "core/runner.h"
+#include "exec/progress.h"
 #include "exec/result_sink.h"
 #include "exec/sweep.h"
 #include "exec/thread_pool.h"
@@ -132,7 +138,8 @@ int RunMain(const Config& cfg) {
       "mode",       "seed",      "opcap",          "fuse",
       "jobs",       "json",      "csv",            "metrics-out",
       "trace-out",  "trace-in",  "journal",        "resume",
-      "timeout-ms", "journal-phases", "crash-sweep", "pmem-mutant"};
+      "timeout-ms", "journal-phases", "crash-sweep", "pmem-mutant",
+      "progress"};
   for (const std::string& k : core::SimConfig::ConfigKeys()) keys.push_back(k);
   cfg.RequireKeys(keys);
   if (cfg.Has("sweep")) return RunSweep(cfg);
@@ -232,6 +239,12 @@ int RunMain(const Config& cfg) {
   const bool want_phases = cfg.Has("metrics-out");
   std::vector<core::SimResults> mode_results(modes.size());
   std::vector<pmem::PersistLog> persist_logs(modes.size());
+  // --progress reuses the sweep heartbeat (exec/progress.h): one stderr
+  // line per retired mode replay with an ETA, leaving stdout (the golden
+  // surface) untouched.
+  std::function<void(const exec::SweepProgress&)> on_progress;
+  if (cfg.GetBool("progress", false)) on_progress = exec::StderrHeartbeat();
+  std::vector<double> job_wall_ms(modes.size(), 0.0);
   {
     exec::ThreadPool pool(static_cast<int>(cfg.GetInt("jobs", 0)));
     std::vector<exec::TaskFuture<core::SimResults>> futs;
@@ -244,12 +257,28 @@ int RunMain(const Config& cfg) {
         if (sc.trace_sample_rate > 0.0) ro.spans = &span_log;
       }
       if (pmem_on) ro.persist = &persist_logs[i];
-      futs.push_back(pool.Submit([&trace, &sc, &exp, ro] {
-        return core::RunSimulation(trace, sc, exp.pmr_base(), exp.pmr_end(), ro);
+      futs.push_back(pool.Submit([&trace, &sc, &exp, ro, i, &job_wall_ms] {
+        auto t0 = std::chrono::steady_clock::now();
+        core::SimResults r =
+            core::RunSimulation(trace, sc, exp.pmr_base(), exp.pmr_end(), ro);
+        job_wall_ms[i] = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        return r;
       }));
     }
     for (std::size_t i = 0; i < futs.size(); ++i) {
       mode_results[i] = std::move(*futs[i].Get());
+      if (on_progress) {
+        exec::SweepProgress p;
+        p.completed = i + 1;
+        p.total = futs.size();
+        p.workload = workload;
+        p.profile = profile;
+        p.config_name = core::ToString(modes[i]);
+        p.wall_ms = job_wall_ms[i];
+        on_progress(p);
+      }
     }
   }
 
