@@ -262,6 +262,71 @@ else
   fail=1
 fi
 
+# HEAD-only gate: the ann.* knobs (DESIGN.md §16). The defaults ARE the
+# "knob not given" state — only the hnsw workload and the knn query kind
+# read them — so passing every ann flag explicitly at its default must
+# reproduce the flag-less HEAD outputs byte for byte on every pinned
+# scenario (strict passthrough; same structure as the tracing/pmem gates).
+echo "== ann-off identity (explicit default ann.* flags vs no flags)"
+ANN_DEFAULTS=(--ann-dim=16 --ann-m=8 --ann-ef-search=32 --ann-k=8
+              --ann-queries=16)
+for sc in "${SCENARIOS[@]}"; do
+  name="${sc%%|*}"
+  read -r -a flags <<< "${sc#*|}"
+  build/tools/graphpim_sim "${COMMON[@]}" "${flags[@]}" \
+      "${ANN_DEFAULTS[@]}" --json="$WORK/$name.ann0.json" \
+      > "$WORK/$name.ann0.out"
+  sed -n '/^config:/,/^uncore energy:/p' "$WORK/$name.ann0.out" \
+      > "$WORK/$name.ann0.report"
+  for kind in json report; do
+    if cmp -s "$WORK/$name.head.$kind" "$WORK/$name.ann0.$kind"; then
+      echo "   $name.$kind: identical with default ann flags"
+    else
+      echo "golden_identity: FAIL — default ann.* flags perturb $name.$kind:" >&2
+      diff "$WORK/$name.head.$kind" "$WORK/$name.ann0.$kind" | head -20 >&2
+      fail=1
+    fi
+  done
+done
+
+# HEAD-only gate: k-NN serving over the shared HNSW index (DESIGN.md §16).
+# A pure knn mix exercises the emitter registry's new kind end-to-end; its
+# saturation table must be jobs- and rerun-invariant like the default mix,
+# and the recall self-check printed inside the markers must clear the
+# quality bar (>= 0.9 vs brute force).
+echo "== knn serve determinism (--mix=knn=1: jobs 1 vs 4, rerun)"
+KNN_FLAGS=(--profile=ldbc --vertices=2048 --requests=48 --tenants=2
+           --modes=baseline,graphpim --qps-grid=2e5,1e6,5e6
+           --queue-depth=16 --seed=1 --mix=knn=1)
+for run in j1 j4 rerun; do
+  j=1; [[ "$run" == j4 ]] && j=4
+  build/tools/graphpim_serve "${KNN_FLAGS[@]}" --jobs="$j" \
+      > "$WORK/knn.$run.out"
+  sed -n '/^== saturation table ==$/,/^== end saturation table ==$/p' \
+      "$WORK/knn.$run.out" > "$WORK/knn.$run.table"
+done
+for pair in "j1 j4" "j1 rerun"; do
+  read -r a b <<< "$pair"
+  if cmp -s "$WORK/knn.$a.table" "$WORK/knn.$b.table"; then
+    echo "   knn.table $a vs $b: identical"
+  else
+    echo "golden_identity: FAIL — knn saturation table $a vs $b differs:" >&2
+    diff "$WORK/knn.$a.table" "$WORK/knn.$b.table" | head -20 >&2
+    fail=1
+  fi
+done
+recall_line="$(grep '^ann self-check:' "$WORK/knn.j1.table" || true)"
+if [[ -z "$recall_line" ]]; then
+  echo "golden_identity: FAIL — knn serve printed no ann self-check line" >&2
+  fail=1
+elif ! echo "$recall_line" | \
+    awk -F'recall@[0-9]+=' '{exit !($2 + 0 >= 0.9)}'; then
+  echo "golden_identity: FAIL — knn recall below 0.9: $recall_line" >&2
+  fail=1
+else
+  echo "   $recall_line (>= 0.9)"
+fi
+
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi

@@ -299,7 +299,7 @@ void Experiment::Build(const graph::EdgeList& el, const std::string& workload_na
                        const Options& opts) {
   space_ = std::make_unique<graph::AddressSpace>();
   graph_ = std::make_unique<graph::CsrGraph>(el, *space_, opts.dedup_edges);
-  workload_ = workloads::CreateWorkload(workload_name);
+  workload_ = workloads::CreateWorkload(workload_name, opts.params);
   workload_->SetPersistMode(opts.persist);
   workloads::TraceBuilder tb(opts.num_threads, space_.get(), opts.mispredict_rate,
                              opts.seed);

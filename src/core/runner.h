@@ -79,6 +79,11 @@ class Experiment {
     // kOff keeps the trace byte-identical to pre-pmem builds; the mutant
     // modes seed checker-visible bugs on purpose.
     pmem::PersistMode persist = pmem::PersistMode::kOff;
+
+    // Per-workload parameter blocks (DESIGN.md §16), forwarded to
+    // CreateWorkload. Defaults are a strict passthrough for the
+    // parameterless workloads.
+    workloads::WorkloadParams params;
   };
 
   // Generates a `profile` graph ("ldbc"/"bitcoin"/"twitter") with

@@ -112,6 +112,24 @@ constexpr KnobRow kKnobs[] = {
     {"pmem.crash_tick", "pmem-crash-tick", -1, 1e15, false,
      [](const SimConfig& c) { return c.pmem.crash_tick_ns; },
      [](SimConfig& c, double v) { c.pmem.crash_tick_ns = v; }},
+    // ANN / HNSW workload knobs (DESIGN.md §16). Read only by the hnsw
+    // workload and the serve engine's knn query kind; the defaults are a
+    // strict passthrough for everything else.
+    {"ann.dim", "ann-dim", 2, 1024, true,
+     [](const SimConfig& c) { return static_cast<double>(c.ann.dim); },
+     [](SimConfig& c, double v) { c.ann.dim = static_cast<int>(v); }},
+    {"ann.m", "ann-m", 2, 64, true,
+     [](const SimConfig& c) { return static_cast<double>(c.ann.m); },
+     [](SimConfig& c, double v) { c.ann.m = static_cast<int>(v); }},
+    {"ann.ef_search", "ann-ef-search", 1, 4096, true,
+     [](const SimConfig& c) { return static_cast<double>(c.ann.ef_search); },
+     [](SimConfig& c, double v) { c.ann.ef_search = static_cast<int>(v); }},
+    {"ann.k", "ann-k", 1, 1024, true,
+     [](const SimConfig& c) { return static_cast<double>(c.ann.k); },
+     [](SimConfig& c, double v) { c.ann.k = static_cast<int>(v); }},
+    {"ann.queries", "ann-queries", 1, 1'000'000, true,
+     [](const SimConfig& c) { return static_cast<double>(c.ann.queries); },
+     [](SimConfig& c, double v) { c.ann.queries = static_cast<int>(v); }},
 };
 
 // True and yields the value when `cfg` carries the row's key under either
@@ -239,6 +257,11 @@ void SimConfig::Validate() const {
     GP_THROW("config key 'pmem.crash_tick' (", pmem.crash_tick_ns,
              ") requires 'pmem.enable'=1: a crash point is meaningless "
              "without the persistent PMR");
+  }
+  if (ann.k > ann.ef_search) {
+    GP_THROW("config key 'ann.k' (", ann.k, ") must be <= 'ann.ef_search' (",
+             ann.ef_search, "): the beam must be at least as wide as the "
+             "result list");
   }
 }
 

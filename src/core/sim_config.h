@@ -11,6 +11,7 @@
 #include "hmc/config.h"
 #include "mem/hierarchy.h"
 #include "pmem/pmem.h"
+#include "workloads/params.h"
 
 namespace graphpim {
 class Config;
@@ -71,6 +72,12 @@ struct SimConfig {
   // PMEM-backed memory with flush/fence persist costs and the
   // crash/recovery harness; off by default (strict passthrough).
   pmem::PmemParams pmem;
+
+  // ANN / HNSW workload knobs (DESIGN.md §16): the `ann.*` field-table
+  // rows. Only the hnsw workload and the serve engine's knn query kind
+  // read them, so the defaults are a strict passthrough for every other
+  // trace.
+  workloads::AnnParams ann;
 
   // Returns Table IV's full-size machine.
   static SimConfig Paper(Mode mode);

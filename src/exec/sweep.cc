@@ -149,6 +149,17 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
                "carries persist ops or does not");
     }
   }
+  // Same reasoning for the ann.* block: the hnsw workload bakes the knob
+  // values into the ONE shared trace at generation time, so per-config
+  // ann values cannot take effect and almost certainly mean a mis-specified
+  // grid (sweep ann knobs as grid axes instead).
+  for (const core::SimConfig& c : grid.configs) {
+    if (c.ann != grid.configs.front().ann) {
+      GP_THROW("config keys 'ann.*' must be uniform across a sweep grid: "
+               "all configs replay one shared trace, which is generated "
+               "with one ann parameter block");
+    }
+  }
 
   const auto sweep_t0 = std::chrono::steady_clock::now();
   const std::size_t num_cells = grid.NumCells();
@@ -261,6 +272,8 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
         eo.num_threads = grid.sim_threads;
         eo.seed = cell_seed;
         eo.op_cap = grid.op_cap;
+        // Uniform across the grid (prevalidated above).
+        eo.params.ann = grid.configs.front().ann;
         // Uniform across the grid (prevalidated above): a persistent grid
         // generates the full flush/fence discipline into the shared trace.
         if (grid.configs.front().pmem.enable) {
@@ -383,6 +396,7 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
               eo.num_threads = grid.sim_threads;
               eo.seed = retry_seed;
               eo.op_cap = grid.op_cap;
+              eo.params.ann = grid.configs.front().ann;
               core::Experiment exp(grid.profiles[pi], grid.vertices,
                                    grid.workloads[wi], eo);
               core::SimConfig cfg = grid.configs[k];

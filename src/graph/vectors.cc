@@ -1,0 +1,116 @@
+#include "graph/vectors.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/random.h"
+
+namespace graphpim::graph {
+
+namespace {
+
+// Stream tags decorrelate the per-purpose draw streams while keeping every
+// draw a pure function of (seed, tag, counter) — the traffic generator's
+// discipline.
+constexpr std::uint64_t kCentroidStream = 0x76656374'43'4e54ULL;  // "vect CNT"
+constexpr std::uint64_t kMemberStream = 0x76656374'4d'4252ULL;    // "vect MBR"
+constexpr std::uint64_t kNoiseStream = 0x76656374'4e'5345ULL;     // "vect NSE"
+constexpr std::uint64_t kQueryStream = 0x76656374'51'5259ULL;     // "vect QRY"
+
+std::uint64_t DrawU64(std::uint64_t seed, std::uint64_t stream_tag,
+                      std::uint64_t index) {
+  const std::uint64_t stream_seed = SplitMix64(seed ^ stream_tag).Next();
+  return SplitMix64(stream_seed ^ (index * 0x9e3779b97f4a7c15ULL)).Next();
+}
+
+// Uniform float in [-1, 1).
+float SignedDraw(std::uint64_t seed, std::uint64_t stream_tag,
+                 std::uint64_t index) {
+  const double u =
+      static_cast<double>(DrawU64(seed, stream_tag, index) >> 11) * 0x1.0p-53;
+  return static_cast<float>(2.0 * u - 1.0);
+}
+
+}  // namespace
+
+VectorSet::VectorSet(const VectorSetParams& p) : p_(p) {
+  GP_CHECK(p.count > 0, "vector set needs at least one element");
+  GP_CHECK(p.dim >= 2, "vector set needs dim >= 2");
+  GP_CHECK(p.clusters >= 1, "vector set needs at least one cluster");
+  data_.resize(static_cast<std::size_t>(p.count) * p.dim);
+  for (std::uint32_t v = 0; v < p.count; ++v) {
+    const std::uint32_t c = static_cast<std::uint32_t>(
+        DrawU64(p.seed, kMemberStream, v) %
+        static_cast<std::uint64_t>(p.clusters));
+    float* out = data_.data() + static_cast<std::size_t>(v) * p.dim;
+    for (int d = 0; d < p.dim; ++d) {
+      const float centroid = SignedDraw(
+          p.seed, kCentroidStream,
+          static_cast<std::uint64_t>(c) * p.dim + static_cast<std::uint64_t>(d));
+      const float noise = SignedDraw(
+          p.seed, kNoiseStream,
+          static_cast<std::uint64_t>(v) * p.dim + static_cast<std::uint64_t>(d));
+      out[d] = centroid + static_cast<float>(p.spread) * noise;
+    }
+  }
+}
+
+std::vector<float> VectorSet::QueryNear(std::uint32_t id,
+                                        std::uint64_t salt) const {
+  std::vector<float> q(Vector(id), Vector(id) + p_.dim);
+  const std::uint64_t base =
+      SplitMix64(salt ^ (static_cast<std::uint64_t>(id) + 1)).Next();
+  for (int d = 0; d < p_.dim; ++d) {
+    q[static_cast<std::size_t>(d)] +=
+        0.5f * static_cast<float>(p_.spread) *
+        SignedDraw(p_.seed, kQueryStream, base + static_cast<std::uint64_t>(d));
+  }
+  return q;
+}
+
+std::vector<float> VectorSet::Query(std::uint64_t qseed) const {
+  const std::uint32_t c = static_cast<std::uint32_t>(
+      DrawU64(p_.seed, kQueryStream, qseed) %
+      static_cast<std::uint64_t>(p_.clusters));
+  std::vector<float> q(static_cast<std::size_t>(p_.dim));
+  const std::uint64_t base = SplitMix64(qseed ^ 0x616e6e51ULL).Next();
+  for (int d = 0; d < p_.dim; ++d) {
+    const float centroid = SignedDraw(
+        p_.seed, kCentroidStream,
+        static_cast<std::uint64_t>(c) * p_.dim + static_cast<std::uint64_t>(d));
+    q[static_cast<std::size_t>(d)] =
+        centroid + static_cast<float>(p_.spread) *
+                       SignedDraw(p_.seed, kQueryStream,
+                                  base + static_cast<std::uint64_t>(d));
+  }
+  return q;
+}
+
+float VectorSet::Dist2(const float* a, const float* b, int dim) {
+  float s = 0.0f;
+  for (int d = 0; d < dim; ++d) {
+    const float diff = a[d] - b[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+std::vector<std::uint32_t> BruteForceKnn(const VectorSet& vs, const float* q,
+                                         int k) {
+  GP_CHECK(k >= 1, "brute-force knn needs k >= 1");
+  std::vector<std::pair<float, std::uint32_t>> all;
+  all.reserve(vs.size());
+  for (std::uint32_t v = 0; v < vs.size(); ++v) {
+    all.emplace_back(VectorSet::Dist2(q, vs.Vector(v), vs.dim()), v);
+  }
+  const std::size_t kk =
+      std::min<std::size_t>(static_cast<std::size_t>(k), all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(kk),
+                    all.end());
+  std::vector<std::uint32_t> out;
+  out.reserve(kk);
+  for (std::size_t i = 0; i < kk; ++i) out.push_back(all[i].second);
+  return out;
+}
+
+}  // namespace graphpim::graph

@@ -1,0 +1,68 @@
+// Deterministic synthetic vector datasets for the ANN workload
+// (DESIGN.md §16).
+//
+// A VectorSet attaches one dense float vector to every vertex of the CSR
+// vertex set. Generation is clustered (a Gaussian-ish blob per cluster)
+// so that approximate nearest-neighbor recall is a meaningful quality
+// metric, and purely value-derived: every component is a counter-based
+// SplitMix64 hash of (seed, stream tag, index), the same discipline the
+// traffic generator uses, so the dataset is bit-identical across runs,
+// platforms, and --jobs counts.
+#ifndef GRAPHPIM_GRAPH_VECTORS_H_
+#define GRAPHPIM_GRAPH_VECTORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace graphpim::graph {
+
+struct VectorSetParams {
+  std::uint32_t count = 0;   // one vector per vertex
+  int dim = 16;
+  int clusters = 16;         // blob count; >= 1
+  double spread = 0.15;      // intra-cluster noise half-width
+  std::uint64_t seed = 1;
+};
+
+class VectorSet {
+ public:
+  explicit VectorSet(const VectorSetParams& p);
+
+  std::uint32_t size() const { return p_.count; }
+  int dim() const { return p_.dim; }
+  const VectorSetParams& params() const { return p_; }
+
+  // Vector of element `id` (contiguous, dim() floats).
+  const float* Vector(std::uint32_t id) const {
+    return data_.data() + static_cast<std::size_t>(id) * p_.dim;
+  }
+
+  // A query vector near element `id`: the element's vector plus a small
+  // value-derived perturbation keyed by `salt`. Pure function of
+  // (params, id, salt) — the serve engine derives knn query vectors from
+  // the request root this way.
+  std::vector<float> QueryNear(std::uint32_t id, std::uint64_t salt) const;
+
+  // A free-standing query vector drawn from a hashed cluster (used by the
+  // batch workload and self-check probes). Pure function of (params, qseed).
+  std::vector<float> Query(std::uint64_t qseed) const;
+
+  // Squared Euclidean distance between two dim-length float arrays.
+  static float Dist2(const float* a, const float* b, int dim);
+
+ private:
+  VectorSetParams p_;
+  std::vector<float> data_;  // count * dim, row-major
+};
+
+// Exact k-nearest-neighbors of `q` by squared distance (ties break on the
+// smaller id, so the result is fully ordered and deterministic). Reference
+// answer for recall measurements; O(n * dim).
+std::vector<std::uint32_t> BruteForceKnn(const VectorSet& vs, const float* q,
+                                         int k);
+
+}  // namespace graphpim::graph
+
+#endif  // GRAPHPIM_GRAPH_VECTORS_H_

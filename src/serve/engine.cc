@@ -24,6 +24,19 @@ double TicksToNsD(Tick t) {
   return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
 }
 
+// A kind can be in the mix only if the resident graph can serve it: knn
+// needs the shared ANN index, which is a graph-build-time decision. Caught
+// here (orchestrating thread) rather than deep inside an emitter on a
+// pool worker.
+void CheckMixServable(const ServedGraph& sg, const TrafficSpec& ts) {
+  for (const MixEntry& me : ts.mix) {
+    if (me.second > 0.0 && me.first == "knn" && !sg.has_ann()) {
+      GP_THROW("traffic mix includes knn but the served graph has no ANN "
+               "index: build the ServedGraph with enable_ann");
+    }
+  }
+}
+
 }  // namespace
 
 const char* ToString(DropPolicy p) {
@@ -46,6 +59,7 @@ ServePoint RunServePoint(const ServedGraph& sg, const ServeParams& params) {
              params.cfg.num_cores, " cores: a batch maps one query per core");
   }
   if (params.queue_depth < 1) GP_THROW("serve needs queue_depth >= 1");
+  CheckMixServable(sg, params.traffic);
 
   TrafficSpec ts = params.traffic;
   ts.num_vertices = sg.graph().num_vertices();
@@ -203,6 +217,7 @@ ServeGridResult RunServeGrid(
   if (base.slots < 1) GP_THROW("serve needs at least one dispatch slot");
   if (base.batch_max < 1) GP_THROW("serve needs batch_max >= 1");
   if (base.queue_depth < 1) GP_THROW("serve needs queue_depth >= 1");
+  CheckMixServable(sg, base.traffic);
   for (const auto& [name, cfg] : configs) {
     if (base.batch_max > static_cast<std::size_t>(cfg.num_cores)) {
       GP_THROW("batch_max ", base.batch_max, " exceeds the ", cfg.num_cores,

@@ -1,9 +1,11 @@
 #include "serve/query.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "common/log.h"
+#include "common/random.h"
 #include "graph/generator.h"
 #include "hmc/atomic.h"
 
@@ -14,6 +16,10 @@ namespace {
 constexpr std::uint64_t RoundUpTo(std::uint64_t v, std::uint64_t unit) {
   return (v + unit - 1) / unit * unit;
 }
+
+// Serve-side ANN dataset salt: the shared vectors are a pure function of
+// (graph seed, salt), decorrelated from every traffic stream.
+constexpr std::uint64_t kAnnSeedSalt = 0x616e6e53'45525645ULL;  // "annSERVE"
 
 }  // namespace
 
@@ -48,6 +54,24 @@ ServedGraph::ServedGraph(const Options& opts) : opts_(opts) {
     queue_addr_.push_back(space_.meta().Allocate(kQueueSlots * 4));
     queue_addr_.push_back(space_.meta().Allocate(kQueueSlots * 4));
   }
+
+  // The shared ANN index goes AFTER the carves: with enable_ann off the
+  // PMR layout is byte-identical to what this constructor always built,
+  // and with it on the carve addresses are unchanged (the index blocks
+  // land on fresh pages past every carve).
+  if (opts.enable_ann) {
+    graph::VectorSetParams vp;
+    vp.count = graph_->num_vertices();
+    vp.dim = opts.ann.dim;
+    vp.clusters = std::max<int>(4, static_cast<int>(vp.count / 128));
+    vp.seed = SplitMix64(opts.seed ^ kAnnSeedSalt).Next();
+    ann_vectors_ = std::make_unique<graph::VectorSet>(vp);
+    graph::HnswParams hp;
+    hp.m = opts.ann.m;
+    hp.ef_construction = std::max(2 * opts.ann.m, opts.ann.ef_search);
+    ann_index_ =
+        std::make_unique<graph::HnswIndex>(*ann_vectors_, hp, &space_);
+  }
 }
 
 int ServedGraph::OwnerOf(Addr a) const {
@@ -59,10 +83,10 @@ int ServedGraph::OwnerOf(Addr a) const {
 
 namespace {
 
-// Shared bounded-traversal plumbing for the three query kinds. Each op
-// pattern below mirrors the per-neighbor body of the matching batch
-// workload (src/workloads/{bfs,sssp,prank}.cc) so a serve replay exercises
-// the same property/structure/meta mix the paper characterizes.
+// Shared bounded-traversal plumbing for the registered query kinds. Each
+// op pattern below mirrors the per-neighbor body of the matching batch
+// workload (src/workloads/{bfs,sssp,prank,hnsw}.cc) so a serve replay
+// exercises the same property/structure/meta mix the paper characterizes.
 struct QueryCtx {
   const ServedGraph& sg;
   const TenantCarve& carve;
@@ -218,36 +242,175 @@ void EmitPrankQuery(QueryCtx& cx, VertexId root) {
   }
 }
 
+// k-NN point query: one HNSW beam search over the shared index, replayed
+// as a micro-op stream. Index walks (offset rows, neighbor slots) load
+// the shared blocks; the visited-set claim is a CAS-if-equal on the
+// tenant's per-vertex prop word; a beam improvement takes a hashed
+// striped lock in the tenant's aux array (CAS-acquire, plain-store
+// release), publishes the new bound with a CAS-if-less min-swap on the
+// root's aux slot, and pushes the candidate into the meta heap scratch.
+void EmitKnnQuery(QueryCtx& cx, VertexId root, const ServeRequest& req) {
+  const ServedGraph& sg = cx.sg;
+  if (!sg.has_ann()) {
+    GP_THROW("knn query kind needs the shared ANN index: the served graph "
+             "was built with enable_ann off");
+  }
+  const workloads::AnnParams& ann = sg.options().ann;
+  const VertexId n = sg.graph().num_vertices();
+  // Distance cost: one fused FP op per 8 lanes (SIMD-width arithmetic).
+  const int dist_cycles = (ann.dim + 7) / 8;
+  // Lock stripe of v: hashed into the low slots of the aux array.
+  const std::uint64_t stripes = std::min<std::uint64_t>(1024, n);
+  // Query vector: near the root's vector, perturbation keyed by the
+  // request id — deterministic per request, distinct across requests.
+  const std::vector<float> q = sg.ann_vectors().QueryNear(root, req.id);
+  std::uint64_t pushes = 0;
+  bool stop = false;  // budget exhausted: search finishes silently
+  auto visitor = [&](const graph::HnswIndex::SearchEvent& ev) {
+    using Kind = graph::HnswIndex::SearchEvent::Kind;
+    if (stop) return;
+    switch (ev.kind) {
+      case Kind::kExpand:
+        // List header: structure-segment offset row above level 0, the
+        // level-0 count word (shared PMR block) at the bottom.
+        if (!cx.Budget(1)) { stop = true; return; }
+        cx.tb.Load(cx.t, ev.addr, ev.level > 0 ? 8 : 4);
+        break;
+      case Kind::kNeighbor:
+        if (!cx.Budget(2)) { stop = true; return; }
+        cx.tb.Load(cx.t, ev.addr, 4);  // neighbor id slot
+        cx.tb.Compute(cx.t, dist_cycles, /*dep=*/true, /*fp=*/true);
+        ++cx.fp.edges;
+        break;
+      case Kind::kClaim:
+        // Visited-set marking: the check IS the compare half of one CAS
+        // on the vertex's in-carve prop word (Fig 3 discipline).
+        if (!cx.Budget(2)) { stop = true; return; }
+        cx.tb.Atomic(cx.t, cx.carve.PropAddr(ev.v), hmc::AtomicOp::kCasEqual8,
+                     8, /*want_return=*/true, /*dep=*/true);
+        cx.tb.Branch(cx.t, /*dep=*/true);
+        if (ev.hit) ++cx.fp.vertices;
+        break;
+      case Kind::kImprove:
+        if (!cx.Budget(ev.hit ? 5 : 1)) { stop = true; return; }
+        cx.tb.Branch(cx.t, /*dep=*/true);  // bound compare
+        if (ev.hit) {
+          const VertexId s = static_cast<VertexId>(
+              SplitMix64(static_cast<std::uint64_t>(ev.v) ^ 0x53545250ULL)
+                  .Next() %
+              stripes);
+          cx.tb.Atomic(cx.t, cx.carve.AuxAddr(s), hmc::AtomicOp::kCasEqual8,
+                       8, /*want_return=*/true, /*dep=*/true);
+          cx.tb.Atomic(cx.t, cx.carve.AuxAddr(root),
+                       hmc::AtomicOp::kCasLess16, 16,
+                       /*want_return=*/false, /*dep=*/true);
+          cx.tb.Store(cx.t, cx.Slot(cx.q1, pushes++), 4);  // meta: heap push
+          cx.tb.Store(cx.t, cx.carve.AuxAddr(s), 8);       // release
+        }
+        break;
+    }
+  };
+  sg.ann_index().Search(q.data(), ann.k, ann.ef_search, visitor);
+}
+
+// --- registry adapters --------------------------------------------------
+// Each adapter owns root clamping and context construction; the bodies
+// above stay in the shared QueryCtx idiom.
+
+QueryCtx MakeCtx(const ServedGraph& sg, const ServeRequest& req,
+                 const QueryParams& qp, workloads::TraceBuilder& tb,
+                 int stream) {
+  return QueryCtx{sg,
+                  sg.carve(req.tenant),
+                  tb,
+                  qp,
+                  stream,
+                  sg.QueueAddr(req.tenant, 0),
+                  sg.QueueAddr(req.tenant, 1),
+                  QueryFootprint{}};
+}
+
+VertexId ClampRoot(const ServedGraph& sg, const ServeRequest& req) {
+  const VertexId n = sg.graph().num_vertices();
+  return req.root < n ? req.root : 0;
+}
+
+QueryFootprint EmitBfs(const ServedGraph& sg, const ServeRequest& req,
+                       const QueryParams& qp, workloads::TraceBuilder& tb,
+                       int stream) {
+  QueryCtx cx = MakeCtx(sg, req, qp, tb, stream);
+  EmitBfsQuery(cx, ClampRoot(sg, req));
+  return cx.fp;
+}
+
+QueryFootprint EmitSssp(const ServedGraph& sg, const ServeRequest& req,
+                        const QueryParams& qp, workloads::TraceBuilder& tb,
+                        int stream) {
+  QueryCtx cx = MakeCtx(sg, req, qp, tb, stream);
+  EmitSsspQuery(cx, ClampRoot(sg, req));
+  return cx.fp;
+}
+
+QueryFootprint EmitPrank(const ServedGraph& sg, const ServeRequest& req,
+                         const QueryParams& qp, workloads::TraceBuilder& tb,
+                         int stream) {
+  QueryCtx cx = MakeCtx(sg, req, qp, tb, stream);
+  EmitPrankQuery(cx, ClampRoot(sg, req));
+  return cx.fp;
+}
+
+QueryFootprint EmitKnn(const ServedGraph& sg, const ServeRequest& req,
+                       const QueryParams& qp, workloads::TraceBuilder& tb,
+                       int stream) {
+  QueryCtx cx = MakeCtx(sg, req, qp, tb, stream);
+  EmitKnnQuery(cx, ClampRoot(sg, req), req);
+  return cx.fp;
+}
+
+// Every current kind roots uniformly over the vertex set — the draw the
+// traffic generator has always made. A future kind with a different root
+// domain (say, high-degree hubs only) registers its own sampler without
+// touching the generator.
+VertexId SampleRootUniform(std::uint64_t raw, VertexId num_vertices) {
+  return static_cast<VertexId>(raw % num_vertices);
+}
+
 }  // namespace
+
+const std::vector<QueryEmitter>& QueryEmitters() {
+  // Registration order is the QueryKindId assignment — append-only.
+  static const std::vector<QueryEmitter> kEmitters = {
+      {"bfs", EmitBfs, SampleRootUniform},
+      {"sssp", EmitSssp, SampleRootUniform},
+      {"prank", EmitPrank, SampleRootUniform},
+      {"knn", EmitKnn, SampleRootUniform},
+  };
+  return kEmitters;
+}
+
+int FindQueryKind(const std::string& name) {
+  const std::vector<QueryEmitter>& ems = QueryEmitters();
+  for (std::size_t i = 0; i < ems.size(); ++i) {
+    if (name == ems[i].name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const char* QueryKindName(QueryKindId kind) {
+  const std::vector<QueryEmitter>& ems = QueryEmitters();
+  return kind < ems.size() ? ems[kind].name : "?";
+}
 
 QueryFootprint EmitQuery(const ServedGraph& sg, const ServeRequest& req,
                          const QueryParams& qp, workloads::TraceBuilder& tb,
                          int stream) {
   GP_CHECK(req.tenant < sg.num_tenants(), "request tenant out of range");
-  const VertexId n = sg.graph().num_vertices();
-  const VertexId root = req.root < n ? req.root : 0;
-  QueryCtx cx{sg,
-              sg.carve(req.tenant),
-              tb,
-              qp,
-              stream,
-              sg.QueueAddr(req.tenant, 0),
-              sg.QueueAddr(req.tenant, 1),
-              QueryFootprint{}};
-  switch (req.kind) {
-    case QueryKind::kBfs:
-      EmitBfsQuery(cx, root);
-      break;
-    case QueryKind::kSssp:
-      EmitSsspQuery(cx, root);
-      break;
-    case QueryKind::kPageRank:
-      EmitPrankQuery(cx, root);
-      break;
-    case QueryKind::kCount:
-      GP_THROW("invalid query kind");
+  const std::vector<QueryEmitter>& ems = QueryEmitters();
+  if (req.kind >= ems.size()) {
+    GP_THROW("query kind id ", static_cast<int>(req.kind),
+             " is not a registered kind (", ems.size(), " registered)");
   }
-  return cx.fp;
+  return ems[req.kind].emit(sg, req, qp, tb, stream);
 }
 
 }  // namespace graphpim::serve

@@ -7,16 +7,25 @@
 // in whole kPmrPageBytes pages, so the PR 4 CubeMap stripes each tenant's
 // pages round-robin across every cube of the machine (capacity isolation
 // across tenants, bandwidth spreading within a tenant) and no PMR page is
-// ever shared by two tenants.
+// ever shared by two tenants. With Options::enable_ann the graph also
+// hosts a shared read-only HNSW index (DESIGN.md §16) — built strictly
+// AFTER the tenant carves so the carve layout is byte-identical to an
+// ann-less build — for the knn query kind.
 //
-// EmitQuery() appends ONE point query's micro-op stream to a TraceBuilder:
-// a bounded-neighborhood variant of the matching batch workload
-// (bfs/sssp/prank emission patterns), rooted at the request vertex and
-// clipped by hop count / frontier width / op budget so a query is a
-// latency-scale unit of work rather than a whole-graph pass. All
-// functional traversal state (visited maps, distances) is local to the
-// call; ServedGraph is only read. That makes EmitQuery safe to call
-// concurrently from independent serve points sharing one ServedGraph.
+// QUERY KINDS are a name-keyed registry (QueryEmitters()), not an enum:
+// each registered kind pairs an emitter — which appends ONE point query's
+// micro-op stream to a TraceBuilder — with a root sampler the traffic
+// generator uses to turn a raw hash draw into that kind's root domain.
+// The ServeRequest::kind field is an index into this registry, so an
+// out-of-range kind is unrepresentable by construction rather than a
+// switch sentinel. Emitters are bounded-neighborhood variants of the
+// matching batch workloads (bfs/sssp/prank emission patterns; knn replays
+// an HNSW beam search), rooted at the request vertex and clipped by hop
+// count / frontier width / op budget so a query is a latency-scale unit
+// of work rather than a whole-graph pass. All functional traversal state
+// (visited maps, distances, beams) is local to the call; ServedGraph is
+// only read. That makes EmitQuery safe to call concurrently from
+// independent serve points sharing one ServedGraph.
 #ifndef GRAPHPIM_SERVE_QUERY_H_
 #define GRAPHPIM_SERVE_QUERY_H_
 
@@ -26,21 +35,25 @@
 #include <vector>
 
 #include "graph/csr.h"
+#include "graph/hnsw_index.h"
 #include "graph/property.h"
 #include "graph/region.h"
+#include "graph/vectors.h"
 #include "serve/traffic.h"
+#include "workloads/params.h"
 #include "workloads/trace.h"
 
 namespace graphpim::serve {
 
 // One tenant's private PMR slice: two per-vertex property segments (the
 // main property BFS/SSSP atomics target, and the accumulator PageRank
-// scatters into), contiguous and whole-page-aligned. Pure address math —
-// the simulated addresses a query's property ops land on.
+// scatters into; knn reuses prop as its visited words and aux for its
+// striped beam locks), contiguous and whole-page-aligned. Pure address
+// math — the simulated addresses a query's property ops land on.
 struct TenantCarve {
   std::uint32_t tenant = 0;
-  Addr prop_base = 0;  // depth/dist/rank property array
-  Addr aux_base = 0;   // PageRank `next` accumulator array
+  Addr prop_base = 0;  // depth/dist/rank/visited property array
+  Addr aux_base = 0;   // PageRank `next` accumulator / knn lock+bound array
   Addr end = 0;        // exclusive end; [prop_base, end) is this carve
   std::uint32_t stride = graph::kVertexPropertyStride;
 
@@ -58,6 +71,11 @@ class ServedGraph {
     VertexId num_vertices = 4096;
     std::uint32_t num_tenants = 2;
     std::uint64_t seed = 1;
+    // Build the shared HNSW index (one vector per vertex) so knn queries
+    // can be served. Off by default: an ann-less ServedGraph allocates
+    // exactly what it always has (strict layout passthrough).
+    bool enable_ann = false;
+    workloads::AnnParams ann;  // index/search shape when enable_ann
   };
 
   explicit ServedGraph(const Options& opts);
@@ -74,8 +92,14 @@ class ServedGraph {
   Addr pmr_end() const { return space_.pmr_end(); }
 
   // Which tenant's carve holds PMR address `a`; -1 if none (e.g. an
-  // address outside every carve, or not a PMR address at all).
+  // address outside every carve, the shared ANN index block, or not a
+  // PMR address at all).
   int OwnerOf(Addr a) const;
+
+  // Shared ANN state (null unless Options::enable_ann).
+  bool has_ann() const { return ann_index_ != nullptr; }
+  const graph::VectorSet& ann_vectors() const { return *ann_vectors_; }
+  const graph::HnswIndex& ann_index() const { return *ann_index_; }
 
   // Per-tenant meta-segment scratch for query frontier queues (the
   // cache-friendly pop/push addresses of the traversal loops). Two
@@ -91,6 +115,8 @@ class ServedGraph {
   std::unique_ptr<graph::CsrGraph> graph_;
   std::vector<TenantCarve> carves_;
   std::vector<Addr> queue_addr_;
+  std::unique_ptr<graph::VectorSet> ann_vectors_;  // must outlive ann_index_
+  std::unique_ptr<graph::HnswIndex> ann_index_;
 };
 
 // Bounds that turn a whole-graph workload into a point query.
@@ -103,13 +129,40 @@ struct QueryParams {
 // What one emitted query touched (for tests and saturation accounting).
 struct QueryFootprint {
   std::uint64_t ops = 0;       // micro-ops appended to the stream
-  std::uint64_t edges = 0;     // edges traversed
+  std::uint64_t edges = 0;     // edges traversed / index slots examined
   std::uint64_t vertices = 0;  // distinct vertices claimed/visited
 };
 
-// Appends request `req`'s bounded query to stream `stream` of `tb`,
-// touching only req.tenant's carve for property traffic. Returns the
-// footprint. Deterministic: a pure function of (graph, request, params).
+// One registered point-query kind: its wire name (mix specs, reports),
+// its trace emitter, and the root sampler the traffic generator feeds
+// with a raw value-derived u64 draw. Plain function pointers — the
+// registry is a static table, not a plugin system.
+struct QueryEmitter {
+  const char* name;
+  QueryFootprint (*emit)(const ServedGraph& sg, const ServeRequest& req,
+                         const QueryParams& qp, workloads::TraceBuilder& tb,
+                         int stream);
+  VertexId (*sample_root)(std::uint64_t raw, VertexId num_vertices);
+};
+
+// The kind registry, registration order bfs, sssp, prank, knn. The order
+// is part of the determinism contract: QueryKindId values index this
+// table, and the traffic mix's cumulative draw walks it through the
+// names, so reordering would reshuffle every schedule.
+const std::vector<QueryEmitter>& QueryEmitters();
+
+// Registry index of `name`, or -1 if no such kind is registered.
+int FindQueryKind(const std::string& name);
+
+// Wire name of a kind id ("?" if out of range — display-safe, never throws).
+const char* QueryKindName(QueryKindId kind);
+
+// Appends request `req`'s bounded query to stream `stream` of `tb` by
+// dispatching through the registry, touching only req.tenant's carve for
+// property traffic (knn additionally reads the shared index block).
+// Returns the footprint. Deterministic: a pure function of
+// (graph, request, params). Throws SimError if req.kind is not a
+// registered kind id.
 QueryFootprint EmitQuery(const ServedGraph& sg, const ServeRequest& req,
                          const QueryParams& qp, workloads::TraceBuilder& tb,
                          int stream);

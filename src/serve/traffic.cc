@@ -4,6 +4,8 @@
 
 #include "common/log.h"
 #include "common/random.h"
+#include "common/string_util.h"
+#include "serve/query.h"
 
 namespace graphpim::serve {
 
@@ -26,21 +28,16 @@ std::uint64_t DrawU64(std::uint64_t seed, std::uint64_t stream_tag,
   return SplitMix64(stream_seed ^ (index * 0x9e3779b97f4a7c15ULL)).Next();
 }
 
-}  // namespace
-
-const char* ToString(QueryKind k) {
-  switch (k) {
-    case QueryKind::kBfs:
-      return "bfs";
-    case QueryKind::kSssp:
-      return "sssp";
-    case QueryKind::kPageRank:
-      return "prank";
-    case QueryKind::kCount:
-      break;
+std::string RegisteredKindNames() {
+  std::string names;
+  for (const QueryEmitter& e : QueryEmitters()) {
+    if (!names.empty()) names += "|";
+    names += e.name;
   }
-  return "?";
+  return names;
 }
+
+}  // namespace
 
 const char* ToString(ArrivalModel m) {
   return m == ArrivalModel::kPoisson ? "poisson" : "bursty";
@@ -50,6 +47,29 @@ ArrivalModel ParseArrivalModel(const std::string& s) {
   if (s == "poisson") return ArrivalModel::kPoisson;
   if (s == "bursty" || s == "mmpp") return ArrivalModel::kBursty;
   GP_THROW("unknown arrival model '", s, "' (want poisson|bursty)");
+}
+
+std::vector<MixEntry> ParseMixSpec(const std::string& s) {
+  std::vector<MixEntry> mix;
+  for (const std::string& part : Split(s, ',')) {
+    const std::string piece = Trim(part);
+    if (piece.empty()) continue;
+    const std::size_t eq = piece.find('=');
+    if (eq == std::string::npos) {
+      mix.emplace_back(piece, 1.0);  // bare name: weight 1
+      continue;
+    }
+    const std::string name = Trim(piece.substr(0, eq));
+    const std::string val = Trim(piece.substr(eq + 1));
+    if (name.empty()) GP_THROW("empty kind name in mix spec '", s, "'");
+    try {
+      mix.emplace_back(name, std::stod(val));
+    } catch (const std::exception&) {
+      GP_THROW("bad weight '", val, "' for kind '", name, "' in mix spec");
+    }
+  }
+  if (mix.empty()) GP_THROW("mix spec '", s, "' names no query kinds");
+  return mix;
 }
 
 double UniformDraw(std::uint64_t seed, std::uint64_t stream_tag,
@@ -70,11 +90,33 @@ std::vector<ServeRequest> GenerateSchedule(const TrafficSpec& spec) {
       spec.p_exit_burst <= 0.0 || spec.p_exit_burst >= 1.0) {
     GP_THROW("traffic spec burst transition probabilities must lie in (0,1)");
   }
-  double wsum = spec.mix_bfs + spec.mix_sssp + spec.mix_prank;
-  double wb = spec.mix_bfs, ws = spec.mix_sssp;
+  if (spec.mix.empty()) GP_THROW("traffic spec needs a non-empty query mix");
+
+  // Resolve the named mix against the registry once, in mix order. The
+  // cumulative-threshold walk below then reproduces the historical
+  // hard-coded comparisons exactly for the classic {bfs,sssp,prank} mix.
+  const std::vector<QueryEmitter>& emitters = QueryEmitters();
+  std::vector<QueryKindId> kinds;
+  std::vector<double> weights;
+  kinds.reserve(spec.mix.size());
+  weights.reserve(spec.mix.size());
+  double wsum = 0.0;
+  for (const MixEntry& me : spec.mix) {
+    const int k = FindQueryKind(me.first);
+    if (k < 0) {
+      GP_THROW("unknown query kind '", me.first, "' in traffic mix (want ",
+               RegisteredKindNames(), ")");
+    }
+    if (me.second < 0.0) {
+      GP_THROW("traffic mix weight for '", me.first, "' must be >= 0, got ",
+               me.second);
+    }
+    kinds.push_back(static_cast<QueryKindId>(k));
+    weights.push_back(me.second);
+    wsum += me.second;
+  }
   if (wsum <= 0.0) {
-    wb = wsum = 1.0;  // degenerate mix: everything BFS
-    ws = 0.0;
+    weights[0] = wsum = 1.0;  // degenerate mix: everything the first kind
   }
 
   // Bursty normalization: with per-arrival transition probabilities the
@@ -118,12 +160,22 @@ std::vector<ServeRequest> GenerateSchedule(const TrafficSpec& spec) {
     r.arrival = NsToTicks(clock_ns);
     r.tenant = static_cast<std::uint32_t>(DrawU64(spec.seed, kTenantStream, i) %
                                           spec.num_tenants);
+    // Cumulative-weight kind draw in mix order; the fallthrough (possible
+    // only by FP rounding at the top edge) lands on the last entry, which
+    // is what the historical ternary chain did too.
     const double uk = UniformDraw(spec.seed, kKindStream, i) * wsum;
-    r.kind = uk < wb               ? QueryKind::kBfs
-             : uk < wb + ws        ? QueryKind::kSssp
-                                   : QueryKind::kPageRank;
-    r.root = static_cast<VertexId>(DrawU64(spec.seed, kRootStream, i) %
-                                   spec.num_vertices);
+    std::size_t pick = kinds.size() - 1;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < kinds.size(); ++j) {
+      acc += weights[j];
+      if (uk < acc) {
+        pick = j;
+        break;
+      }
+    }
+    r.kind = kinds[pick];
+    r.root = emitters[r.kind].sample_root(DrawU64(spec.seed, kRootStream, i),
+                                          spec.num_vertices);
     sched.push_back(r);
   }
   return sched;

@@ -1,10 +1,11 @@
 // Synthetic query traffic for the serving engine (DESIGN.md §13).
 //
 // A traffic schedule is a time-ordered list of graph point-queries
-// (BFS/SSSP/personalized-PageRank requests) against the resident graph.
-// Generation is open loop: arrival times do not depend on how fast the
-// machine under test serves, which is what makes a saturation sweep
-// meaningful (offered load is an independent variable).
+// against the resident graph, drawn from the name-keyed QueryEmitter
+// registry (serve/query.h): bfs, sssp, prank, knn. Generation is open
+// loop: arrival times do not depend on how fast the machine under test
+// serves, which is what makes a saturation sweep meaningful (offered
+// load is an independent variable).
 //
 // DETERMINISM CONTRACT: every draw is value-derived — a counter-based
 // SplitMix64 hash of (seed, stream tag, request index), the same
@@ -19,18 +20,18 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 
 namespace graphpim::serve {
 
-// The point-query classes the engine serves. Each maps onto the memory
-// behavior of its batch workload (bfs/sssp/prank) restricted to a bounded
-// neighborhood of the root vertex.
-enum class QueryKind : std::uint8_t { kBfs = 0, kSssp, kPageRank, kCount };
-
-const char* ToString(QueryKind k);
+// Index into the QueryEmitter registry (serve/query.h). There is no kind
+// enum and no kCount sentinel: the registry IS the set of kinds, and its
+// size is the kind count. Requests carry the id; names exist only at the
+// spec boundary (mix parsing, reports).
+using QueryKindId = std::uint8_t;
 
 // Arrival process shapes.
 //   kPoisson — open-loop Poisson: i.i.d. exponential interarrivals.
@@ -49,10 +50,22 @@ ArrivalModel ParseArrivalModel(const std::string& s);
 struct ServeRequest {
   std::uint64_t id = 0;        // == request index in the schedule
   std::uint32_t tenant = 0;
-  QueryKind kind = QueryKind::kBfs;
+  QueryKindId kind = 0;        // registry index (0 == first registered: bfs)
   VertexId root = 0;
   Tick arrival = 0;            // open-loop arrival time (simulated)
 };
+
+// Per-kind named weight of the traffic mix, in draw order. Order matters
+// for bit-identity: the kind draw walks the cumulative weights in mix
+// order, so {bfs,sssp,prank} with weights {.5,.3,.2} reproduces the
+// historical three-kind threshold comparisons exactly.
+using MixEntry = std::pair<std::string, double>;
+
+// "--mix=knn=1" / "--mix=bfs=0.5,sssp=0.3,prank=0.2" -> entries in flag
+// order. A bare name means weight 1. Throws SimError on malformed pieces;
+// kind names are validated later, by GenerateSchedule, against the
+// registry (so this parser has no registry dependency).
+std::vector<MixEntry> ParseMixSpec(const std::string& s);
 
 struct TrafficSpec {
   ArrivalModel model = ArrivalModel::kPoisson;
@@ -61,10 +74,10 @@ struct TrafficSpec {
   std::size_t num_requests = 48;    // schedule length
   std::uint32_t num_tenants = 2;
   VertexId num_vertices = 0;        // root domain; must be > 0
-  // Query-kind mix (weights; normalized internally, all-zero = BFS only).
-  double mix_bfs = 0.5;
-  double mix_sssp = 0.3;
-  double mix_prank = 0.2;
+  // Query-kind mix: (registered kind name, weight), normalized internally.
+  // An unknown name is a SimError naming the offender; an all-zero mix
+  // degenerates to the first entry's kind only.
+  std::vector<MixEntry> mix{{"bfs", 0.5}, {"sssp", 0.3}, {"prank", 0.2}};
   // Bursty-model shape: burst-state rate multiplier and per-arrival
   // transition probabilities (slow->burst, burst->slow).
   double burst_mult = 8.0;
@@ -81,8 +94,10 @@ double UniformDraw(std::uint64_t seed, std::uint64_t stream_tag,
 
 // Expands `spec` into its full arrival schedule, sorted by arrival time
 // (arrivals are generated as a cumulative sum, so the order is inherent).
-// Throws SimError on a degenerate spec (no vertices, no requests,
-// non-positive qps, out-of-range burst parameters).
+// Kind names resolve through the QueryEmitter registry; roots come from
+// each kind's registered root sampler. Throws SimError on a degenerate
+// spec (no vertices, no requests, non-positive qps, out-of-range burst
+// parameters, empty mix, unknown kind name, negative weight).
 std::vector<ServeRequest> GenerateSchedule(const TrafficSpec& spec);
 
 }  // namespace graphpim::serve

@@ -1,0 +1,146 @@
+#include "workloads/hnsw.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "graph/property.h"
+#include "hmc/atomic.h"
+
+namespace graphpim::workloads {
+
+namespace {
+
+// Dataset salt: the vectors are a pure function of (vertex count, salt),
+// deterministically "attached" to the CSR vertex set.
+constexpr std::uint64_t kVectorSalt = 0x616e6e5645435bULL;
+
+std::uint32_t StripeOf(std::uint32_t v) {
+  return static_cast<std::uint32_t>(
+      SplitMix64(static_cast<std::uint64_t>(v) ^ 0x53545250ULL).Next() %
+      HnswWorkload::kLockStripes);
+}
+
+}  // namespace
+
+HnswWorkload::HnswWorkload(const AnnParams& ann) : ann_(ann) {}
+
+const WorkloadInfo& HnswWorkload::info() const {
+  static const WorkloadInfo kInfo{
+      "hnsw",
+      "HNSW k-NN Search",
+      WorkloadCategory::kGraphTraversal,
+      /*pim_applicable=*/true,
+      /*missing_op=*/"",
+      /*host_instr=*/"lock cmpxchg",
+      /*pim_op=*/"CAS if equal / CAS if less",
+      /*needs_fp_extension=*/false};
+  return kInfo;
+}
+
+void HnswWorkload::Generate(const graph::CsrGraph& g,
+                            graph::AddressSpace& space, TraceBuilder& tb) {
+  const VertexId n = g.num_vertices();
+  const int num_threads = tb.num_threads();
+  const int num_queries = ann_.queries;
+
+  graph::VectorSetParams vp;
+  vp.count = n;
+  vp.dim = ann_.dim;
+  vp.clusters = std::max<int>(4, static_cast<int>(n / 128));
+  vp.seed = kVectorSalt;
+  vectors_ = std::make_unique<graph::VectorSet>(vp);
+
+  // PIM-side property state first (fixed-stride arrays), then the
+  // page-aligned index blocks — a stable PMR layout either way, but this
+  // order keeps the cube-striped blocks last so they start on fresh pages.
+  graph::PropertyArray<std::uint64_t> visit_word(space.pmr(), n, 0);
+  graph::PropertyArray<std::uint64_t> stripe_lock(space.pmr(), kLockStripes, 0);
+  graph::PropertyArray<std::uint64_t> bound_slot(
+      space.pmr(), static_cast<std::size_t>(num_queries), 0);
+
+  graph::HnswParams hp;
+  hp.m = ann_.m;
+  hp.ef_construction = std::max(2 * ann_.m, ann_.ef_search);
+  index_ = std::make_unique<graph::HnswIndex>(*vectors_, hp, &space);
+
+  // Per-thread beam scratch in the meta segment (the cache-friendly heap
+  // the searches push candidates into).
+  std::vector<Addr> heap_base(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    heap_base[static_cast<std::size_t>(t)] = space.meta().Allocate(
+        static_cast<std::uint64_t>(ann_.ef_search) * 8);
+  }
+
+  // Distance cost: one fused FP op per 8 lanes (SIMD-width arithmetic).
+  const int dist_cycles = (ann_.dim + 7) / 8;
+
+  results_.assign(static_cast<std::size_t>(num_queries), {});
+  double recall_sum = 0.0;
+  for (int t = 0; t < num_threads; ++t) {
+    auto [begin, end] = ThreadChunk(static_cast<std::size_t>(num_queries), t,
+                                    num_threads);
+    std::uint64_t pushes = 0;
+    for (std::size_t qi = begin; qi < end; ++qi) {
+      const std::vector<float> q =
+          vectors_->Query(static_cast<std::uint64_t>(qi));
+      auto visitor = [&](const graph::HnswIndex::SearchEvent& ev) {
+        using Kind = graph::HnswIndex::SearchEvent::Kind;
+        if (tb.AtCap()) return;
+        switch (ev.kind) {
+          case Kind::kExpand:
+            // List header: structure-segment offset row above level 0,
+            // the level-0 count word (PMR, cube-striped) at the bottom.
+            tb.Load(t, ev.addr, ev.level > 0 ? 8 : 4);
+            break;
+          case Kind::kNeighbor:
+            tb.Load(t, ev.addr, 4);                      // neighbor id slot
+            tb.Compute(t, dist_cycles, /*dep=*/true, /*fp=*/true);
+            break;
+          case Kind::kClaim:
+            // Visited-set marking: the check IS the compare half of one
+            // CAS on the vertex's PMR visited word (Fig 3 discipline).
+            tb.Atomic(t, visit_word.AddrOf(ev.v), hmc::AtomicOp::kCasEqual8,
+                      8, /*want_return=*/true, /*dep=*/true);
+            tb.Branch(t, /*dep=*/true);
+            break;
+          case Kind::kImprove:
+            tb.Branch(t, /*dep=*/true);  // bound compare
+            if (ev.hit) {
+              // Striped-lock beam update: claim the hashed lock word,
+              // publish the new bound with a min-swap, push the
+              // candidate into the thread's meta heap, release.
+              const std::uint32_t s = StripeOf(ev.v);
+              tb.Atomic(t, stripe_lock.AddrOf(s), hmc::AtomicOp::kCasEqual8,
+                        8, /*want_return=*/true, /*dep=*/true);
+              tb.Atomic(t, bound_slot.AddrOf(qi), hmc::AtomicOp::kCasLess16,
+                        16, /*want_return=*/false, /*dep=*/true);
+              tb.Store(t,
+                       heap_base[static_cast<std::size_t>(t)] +
+                           (pushes++ % static_cast<std::uint64_t>(
+                                           ann_.ef_search)) *
+                               8,
+                       8);
+              tb.Store(t, stripe_lock.AddrOf(s), 8);  // release
+            }
+            break;
+        }
+      };
+      results_[qi] = index_->Search(q.data(), ann_.k, ann_.ef_search, visitor);
+
+      const std::vector<std::uint32_t> want =
+          graph::BruteForceKnn(*vectors_, q.data(), ann_.k);
+      std::size_t hits = 0;
+      for (std::uint32_t id : results_[qi]) {
+        if (std::find(want.begin(), want.end(), id) != want.end()) ++hits;
+      }
+      recall_sum += static_cast<double>(hits) /
+                    static_cast<double>(std::max<std::size_t>(want.size(), 1));
+    }
+  }
+  tb.Barrier();
+  recall_ = num_queries > 0
+                ? recall_sum / static_cast<double>(num_queries)
+                : 0.0;
+}
+
+}  // namespace graphpim::workloads

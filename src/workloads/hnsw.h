@@ -1,0 +1,66 @@
+// HNSW k-NN search workload (DESIGN.md §16, ROADMAP item 1).
+//
+// Builds a deterministic HNSW index over synthetic clustered vectors
+// attached to the CSR vertex set (one vector per vertex), with the
+// multi-layer adjacency resident in the PMR (contiguous level-0 block +
+// offset-table lookups; see graph/hnsw_index.h), then emits a k-NN search
+// phase of `ann.queries` searches split across the trace's threads.
+//
+// The emitted per-neighbor pattern is the paper's instruction-level
+// offload story applied to graph-ANN: every visited-set check/claim is
+// one CAS-if-equal on the vertex's PMR visited word, and every
+// candidate-beam improvement takes a striped lock (CAS on one of
+// kLockStripes hashed PMR lock words) and publishes the new bound with a
+// CAS-if-less min-swap — the HMC atomics billion-scale ANN-on-PIM
+// co-designs lean on. Neighbor-list walks hit the cube-striped level-0
+// block; distance arithmetic is in-core FP.
+//
+// NOTE: hnsw is NOT part of AllWorkloadNames() — that list is the paper's
+// Table III GraphBIG suite. It is reachable through CreateWorkload
+// ("hnsw"), every driver CLI, and sweep grid specs.
+#ifndef GRAPHPIM_WORKLOADS_HNSW_H_
+#define GRAPHPIM_WORKLOADS_HNSW_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/hnsw_index.h"
+#include "graph/vectors.h"
+#include "workloads/params.h"
+#include "workloads/workload.h"
+
+namespace graphpim::workloads {
+
+class HnswWorkload : public Workload {
+ public:
+  explicit HnswWorkload(const AnnParams& ann = AnnParams());
+
+  const WorkloadInfo& info() const override;
+  void Generate(const graph::CsrGraph& g, graph::AddressSpace& space,
+                TraceBuilder& tb) override;
+
+  // Striped-lock count for beam updates (hash of the improved vertex).
+  static constexpr std::uint32_t kLockStripes = 1024;
+
+  const AnnParams& ann() const { return ann_; }
+
+  // Post-Generate surfaces (for tests and tools).
+  const std::vector<std::vector<std::uint32_t>>& results() const {
+    return results_;  // per-query k-NN ids, query order
+  }
+  double recall() const { return recall_; }  // vs brute force, mean recall@k
+  const graph::VectorSet* vectors() const { return vectors_.get(); }
+  const graph::HnswIndex* index() const { return index_.get(); }
+
+ private:
+  AnnParams ann_;
+  std::unique_ptr<graph::VectorSet> vectors_;  // must outlive index_
+  std::unique_ptr<graph::HnswIndex> index_;
+  std::vector<std::vector<std::uint32_t>> results_;
+  double recall_ = 0.0;
+};
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_HNSW_H_

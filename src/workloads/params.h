@@ -1,0 +1,42 @@
+// Per-workload parameter blocks carried from the config surface into
+// CreateWorkload (DESIGN.md §16).
+//
+// Most workloads are parameterless; the ones that are not (today: the HNSW
+// k-NN workload) read their block out of WorkloadParams. The blocks mirror
+// KnobRow rows in src/core/sim_config.cc, so the same `ann.*` keys work on
+// every driver CLI and in sweep grid specs — SimConfig owns parsing and
+// range checking, this header only owns the value carrier.
+#ifndef GRAPHPIM_WORKLOADS_PARAMS_H_
+#define GRAPHPIM_WORKLOADS_PARAMS_H_
+
+namespace graphpim::workloads {
+
+// ANN / HNSW knobs (`ann.*` rows of the SimConfig field table). The
+// defaults ARE the "knob not given" state: only the hnsw workload and the
+// serve engine's knn query kind read them, so leaving them untouched keeps
+// every other trace byte-identical (strict passthrough).
+struct AnnParams {
+  int dim = 16;        // vector dimensionality
+  int m = 8;           // HNSW degree target; level-0 lists hold up to 2*m
+  int ef_search = 32;  // search beam width (candidate-list size)
+  int k = 8;           // neighbors returned per query
+  int queries = 16;    // k-NN searches the batch workload emits
+
+  friend bool operator==(const AnnParams& a, const AnnParams& b) {
+    return a.dim == b.dim && a.m == b.m && a.ef_search == b.ef_search &&
+           a.k == b.k && a.queries == b.queries;
+  }
+  friend bool operator!=(const AnnParams& a, const AnnParams& b) {
+    return !(a == b);
+  }
+};
+
+// Everything CreateWorkload accepts besides the name. Default-constructed
+// == the parameterless factory behavior.
+struct WorkloadParams {
+  AnnParams ann;
+};
+
+}  // namespace graphpim::workloads
+
+#endif  // GRAPHPIM_WORKLOADS_PARAMS_H_

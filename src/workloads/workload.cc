@@ -8,6 +8,7 @@
 #include "workloads/dfs.h"
 #include "workloads/dynamic.h"
 #include "workloads/gibbs.h"
+#include "workloads/hnsw.h"
 #include "workloads/kcore.h"
 #include "workloads/prank.h"
 #include "workloads/sssp.h"
@@ -19,7 +20,8 @@ pmem::RecoveryInvariant Workload::recovery_invariant() const {
   return pmem::AllOrNothingInvariant(info().name);
 }
 
-std::unique_ptr<Workload> CreateWorkload(const std::string& name) {
+std::unique_ptr<Workload> CreateWorkload(const std::string& name,
+                                         const WorkloadParams& params) {
   if (name == "bfs") return std::make_unique<BfsWorkload>();
   if (name == "dfs") return std::make_unique<DfsWorkload>();
   if (name == "dc") return std::make_unique<DcWorkload>();
@@ -33,9 +35,14 @@ std::unique_ptr<Workload> CreateWorkload(const std::string& name) {
   if (name == "gcons") return std::make_unique<GconsWorkload>();
   if (name == "gup") return std::make_unique<GupWorkload>();
   if (name == "tmorph") return std::make_unique<TmorphWorkload>();
+  if (name == "hnsw") return std::make_unique<HnswWorkload>(params.ann);
   // Recoverable: a sweep cell naming a bad workload must fail that cell,
   // not the whole sweep (the runner catches SimError per job).
   GP_THROW("unknown workload '", name, "'");
+}
+
+std::unique_ptr<Workload> CreateWorkload(const std::string& name) {
+  return CreateWorkload(name, WorkloadParams{});
 }
 
 std::vector<std::string> AllWorkloadNames() {

@@ -15,6 +15,7 @@
 #include "graph/csr.h"
 #include "graph/region.h"
 #include "pmem/crash.h"
+#include "workloads/params.h"
 #include "workloads/trace.h"
 
 namespace graphpim::workloads {
@@ -62,7 +63,13 @@ class Workload {
 };
 
 // Factory. Names: bfs, dfs, dc, bc, sssp, kcore, ccomp, prank, tc, gibbs,
-// gcons, gup, tmorph. Fatal on unknown names.
+// gcons, gup, tmorph, hnsw. Throws SimError on unknown names. `params`
+// carries the KnobRow-derived per-workload blocks (hnsw reads params.ann;
+// the parameterless workloads ignore it).
+std::unique_ptr<Workload> CreateWorkload(const std::string& name,
+                                         const WorkloadParams& params);
+
+// Convenience overload for the parameterless workloads (defaults only).
 std::unique_ptr<Workload> CreateWorkload(const std::string& name);
 
 // All 13 GraphBIG-style workloads (Table III order).

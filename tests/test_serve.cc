@@ -155,15 +155,16 @@ TEST(ServeQuery, TenantPropertyTrafficNeverLeavesItsCarve) {
   qp.max_frontier = 32;
   qp.op_budget = 2000;
   for (std::uint32_t tenant = 0; tenant < sg.num_tenants(); ++tenant) {
-    for (QueryKind kind :
-         {QueryKind::kBfs, QueryKind::kSssp, QueryKind::kPageRank}) {
+    for (const std::string name : {"bfs", "sssp", "prank"}) {
+      const int kind = FindQueryKind(name);
+      ASSERT_GE(kind, 0) << name;
       workloads::TraceBuilder tb(1, &sg.space());
       ServeRequest req;
       req.tenant = tenant;
-      req.kind = kind;
+      req.kind = static_cast<QueryKindId>(kind);
       req.root = 17;
       const QueryFootprint fp = EmitQuery(sg, req, qp, tb, 0);
-      EXPECT_GT(fp.ops, 0u) << ToString(kind);
+      EXPECT_GT(fp.ops, 0u) << name;
       const workloads::Trace tr = tb.Take();
       std::uint64_t pmr_ops = 0;
       for (const cpu::MicroOp& op : tr.streams[0]) {
@@ -172,9 +173,9 @@ TEST(ServeQuery, TenantPropertyTrafficNeverLeavesItsCarve) {
         // THE isolation property: every property access of tenant K's
         // query resolves to tenant K's carve.
         EXPECT_EQ(sg.OwnerOf(op.addr), static_cast<int>(tenant))
-            << ToString(kind) << " op at 0x" << std::hex << op.addr;
+            << name << " op at 0x" << std::hex << op.addr;
       }
-      EXPECT_GT(pmr_ops, 0u) << ToString(kind);
+      EXPECT_GT(pmr_ops, 0u) << name;
     }
   }
 }
@@ -277,6 +278,179 @@ TEST(ServeEngine, FlagReachableParamErrorsThrowSimError) {
   ServedGraph::Options bad = TinyGraph();
   bad.num_tenants = 0;
   EXPECT_THROW(ServedGraph{bad}, SimError);
+}
+
+TEST(ServeRegistry, RegistrationOrderAndLookup) {
+  // The registry order IS the QueryKindId assignment — append-only, and
+  // the first three entries must keep their historical ids for schedule
+  // bit-identity.
+  const std::vector<QueryEmitter>& ems = QueryEmitters();
+  ASSERT_EQ(ems.size(), 4u);
+  EXPECT_STREQ(ems[0].name, "bfs");
+  EXPECT_STREQ(ems[1].name, "sssp");
+  EXPECT_STREQ(ems[2].name, "prank");
+  EXPECT_STREQ(ems[3].name, "knn");
+  for (std::size_t i = 0; i < ems.size(); ++i) {
+    EXPECT_EQ(FindQueryKind(ems[i].name), static_cast<int>(i));
+    EXPECT_STREQ(QueryKindName(static_cast<QueryKindId>(i)), ems[i].name);
+    ASSERT_NE(ems[i].emit, nullptr);
+    ASSERT_NE(ems[i].sample_root, nullptr);
+  }
+  EXPECT_EQ(FindQueryKind("dfs"), -1);
+  EXPECT_STREQ(QueryKindName(static_cast<QueryKindId>(ems.size())), "?");
+}
+
+TEST(ServeRegistry, UnknownMixKindThrowsNamingTheOffender) {
+  TrafficSpec ts = TinyTraffic();
+  ts.mix = {{"bfs", 0.5}, {"zap", 0.5}};
+  try {
+    GenerateSchedule(ts);
+    FAIL() << "expected SimError for unknown kind";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("zap"), std::string::npos)
+        << e.what();
+  }
+  ts.mix = {{"bfs", -0.5}};
+  EXPECT_THROW(GenerateSchedule(ts), SimError);
+  ts.mix.clear();
+  EXPECT_THROW(GenerateSchedule(ts), SimError);
+}
+
+TEST(ServeRegistry, UnregisteredKindIdThrows) {
+  ServedGraph sg(TinyGraph());
+  workloads::TraceBuilder tb(1, &sg.space());
+  ServeRequest req;
+  req.kind = static_cast<QueryKindId>(QueryEmitters().size());
+  EXPECT_THROW(EmitQuery(sg, req, QueryParams{}, tb, 0), SimError);
+}
+
+TEST(ServeRegistry, MixSelectsKindsByWeight) {
+  // All-zero mix degenerates to the first entry's kind only.
+  TrafficSpec ts = TinyTraffic();
+  ts.mix = {{"sssp", 0.0}, {"prank", 0.0}};
+  for (const ServeRequest& r : GenerateSchedule(ts)) {
+    EXPECT_EQ(r.kind, static_cast<QueryKindId>(FindQueryKind("sssp")));
+  }
+  // A single-kind mix serves only that kind.
+  ts.mix = {{"knn", 1.0}};
+  for (const ServeRequest& r : GenerateSchedule(ts)) {
+    EXPECT_EQ(r.kind, static_cast<QueryKindId>(FindQueryKind("knn")));
+  }
+}
+
+TEST(ServeRegistry, ParseMixSpecFormats) {
+  const std::vector<MixEntry> a = ParseMixSpec("bfs=0.5,sssp=0.3,prank=0.2");
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].first, "bfs");
+  EXPECT_DOUBLE_EQ(a[0].second, 0.5);
+  EXPECT_EQ(a[2].first, "prank");
+  EXPECT_DOUBLE_EQ(a[2].second, 0.2);
+  const std::vector<MixEntry> b = ParseMixSpec("knn");  // bare name
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].first, "knn");
+  EXPECT_DOUBLE_EQ(b[0].second, 1.0);
+  EXPECT_THROW(ParseMixSpec("knn=abc"), SimError);
+  EXPECT_THROW(ParseMixSpec("=1"), SimError);
+  EXPECT_THROW(ParseMixSpec(""), SimError);
+}
+
+ServedGraph::Options TinyAnnGraph() {
+  ServedGraph::Options go = TinyGraph();
+  go.num_vertices = 1024;  // keeps the HNSW build cheap
+  go.enable_ann = true;
+  return go;
+}
+
+TEST(ServeKnn, AnnIndexDoesNotMoveTheCarves) {
+  // Strict layout passthrough: enabling ann must not shift any tenant
+  // carve or queue address — the index blocks land after them.
+  ServedGraph::Options off = TinyAnnGraph();
+  off.enable_ann = false;
+  ServedGraph plain(off);
+  ServedGraph ann(TinyAnnGraph());
+  ASSERT_TRUE(ann.has_ann());
+  ASSERT_FALSE(plain.has_ann());
+  for (std::uint32_t t = 0; t < plain.num_tenants(); ++t) {
+    EXPECT_EQ(plain.carve(t).prop_base, ann.carve(t).prop_base);
+    EXPECT_EQ(plain.carve(t).aux_base, ann.carve(t).aux_base);
+    EXPECT_EQ(plain.carve(t).end, ann.carve(t).end);
+    EXPECT_EQ(plain.QueueAddr(t, 0), ann.QueueAddr(t, 0));
+  }
+  // The shared index is carve-free territory: no tenant owns it.
+  EXPECT_GE(ann.ann_index().level0_base(), ann.carve(1).end);
+  EXPECT_EQ(ann.OwnerOf(ann.ann_index().level0_base()), -1);
+}
+
+TEST(ServeKnn, KnnTrafficSplitsBetweenCarveAndSharedIndex) {
+  ServedGraph sg(TinyAnnGraph());
+  QueryParams qp;
+  qp.op_budget = 4000;
+  workloads::TraceBuilder tb(1, &sg.space());
+  ServeRequest req;
+  req.tenant = 1;
+  req.kind = static_cast<QueryKindId>(FindQueryKind("knn"));
+  req.root = 33;
+  const QueryFootprint fp = EmitQuery(sg, req, qp, tb, 0);
+  EXPECT_GT(fp.ops, 0u);
+  EXPECT_GT(fp.edges, 0u);
+  EXPECT_GT(fp.vertices, 0u);
+  const workloads::Trace tr = tb.Take();
+  const graph::HnswIndex& ix = sg.ann_index();
+  std::uint64_t carve_ops = 0, index_ops = 0, atomics = 0;
+  for (const cpu::MicroOp& op : tr.streams[0]) {
+    if (op.addr >= sg.pmr_base() && op.addr < sg.pmr_end()) {
+      const bool in_index = (op.addr >= ix.level0_base() &&
+                             op.addr < ix.level0_end()) ||
+                            (op.addr >= ix.upper_base() &&
+                             op.addr < ix.upper_end());
+      if (in_index) {
+        ++index_ops;
+      } else {
+        // Property traffic stays in the requesting tenant's carve.
+        EXPECT_EQ(sg.OwnerOf(op.addr), 1) << "op at 0x" << std::hex << op.addr;
+        ++carve_ops;
+      }
+    }
+    if (op.type == cpu::OpType::kAtomic) ++atomics;
+  }
+  EXPECT_GT(carve_ops, 0u);   // visited claims, beam locks, bound swaps
+  EXPECT_GT(index_ops, 0u);   // level-0 neighbor-list walks
+  EXPECT_GT(atomics, 0u);
+}
+
+TEST(ServeKnn, KnnWithoutIndexThrows) {
+  ServedGraph sg(TinyGraph());  // no ann
+  ServeParams p = TinyParams();
+  p.traffic.mix = {{"knn", 1.0}};
+  EXPECT_THROW(RunServePoint(sg, p), SimError);
+  EXPECT_THROW(RunServeGrid(sg, p, {{"X", p.cfg}}, {1e6}, 1, nullptr),
+               SimError);
+  // Weight zero is fine: the kind never fires.
+  p.traffic.mix = {{"bfs", 1.0}, {"knn", 0.0}};
+  const ServePoint pt = RunServePoint(sg, p);
+  EXPECT_EQ(pt.served + pt.dropped, pt.offered);
+}
+
+TEST(ServeKnn, KnnGridIsJobsInvariant) {
+  ServedGraph sg(TinyAnnGraph());
+  ServeParams base = TinyParams();
+  base.traffic.num_vertices = 1024;
+  base.traffic.mix = {{"knn", 1.0}};
+  const std::vector<std::pair<std::string, core::SimConfig>> configs = {
+      {"Baseline", core::SimConfig::Scaled(core::Mode::kBaseline)},
+      {"GraphPIM", core::SimConfig::Scaled(core::Mode::kGraphPim)}};
+  const std::vector<double> qps = {2e5, 2e6};
+  const ServeGridResult one = RunServeGrid(sg, base, configs, qps, 1);
+  const ServeGridResult four = RunServeGrid(sg, base, configs, qps, 4);
+  ASSERT_EQ(one.points.size(), four.points.size());
+  for (std::size_t i = 0; i < one.points.size(); ++i) {
+    EXPECT_EQ(Fingerprint(one.points[i]), Fingerprint(four.points[i])) << i;
+    EXPECT_GT(one.points[i].served, 0u);
+  }
+  EXPECT_EQ(FormatSaturationTable(one.points),
+            FormatSaturationTable(four.points));
+  // The knn point queries genuinely hit the PIM path under GraphPIM.
+  EXPECT_GT(one.points.back().raw.Get("pou.offloaded_atomics"), 0.0);
 }
 
 TEST(ServeSlo, QuantileSortedInterpolates) {

@@ -15,6 +15,7 @@
 #include "fault/fault.h"
 #include "graph/region.h"
 #include "hmc/topology.h"
+#include "workloads/params.h"
 
 namespace graphpim {
 namespace {
@@ -318,6 +319,46 @@ TEST(SimConfigApi, DescribeIsGeneratedFromTheFieldTable) {
   EXPECT_TRUE(has_key("pmem.crash_tick"));
   EXPECT_TRUE(has_key("pmem-crash-tick"));
   EXPECT_NE(desc.find("pmem.enable="), std::string::npos) << desc;
+  // And the ann.* knobs (DESIGN.md §16): the same table rows feed the hnsw
+  // workload and the serve engine's knn query kind, so both spellings must
+  // parse everywhere and the values must render in Describe().
+  EXPECT_TRUE(has_key("ann.dim"));
+  EXPECT_TRUE(has_key("ann-dim"));
+  EXPECT_TRUE(has_key("ann.m"));
+  EXPECT_TRUE(has_key("ann-m"));
+  EXPECT_TRUE(has_key("ann.ef_search"));
+  EXPECT_TRUE(has_key("ann-ef-search"));
+  EXPECT_TRUE(has_key("ann.k"));
+  EXPECT_TRUE(has_key("ann-k"));
+  EXPECT_TRUE(has_key("ann.queries"));
+  EXPECT_TRUE(has_key("ann-queries"));
+  EXPECT_NE(desc.find("ann.dim="), std::string::npos) << desc;
+  EXPECT_NE(desc.find("ann.ef_search="), std::string::npos) << desc;
+}
+
+TEST(SimConfigApi, AnnKnobsParseAndRangeCheck) {
+  Config cfg;
+  cfg.Set("ann-dim", "32");
+  cfg.Set("ann.queries", "4");
+  const core::SimConfig sc =
+      core::SimConfig::FromConfig(cfg, core::Mode::kGraphPim);
+  EXPECT_EQ(sc.ann.dim, 32);
+  EXPECT_EQ(sc.ann.queries, 4);
+  // Untouched knobs keep the strict-passthrough defaults.
+  workloads::AnnParams want;
+  want.dim = 32;
+  want.queries = 4;
+  EXPECT_EQ(sc.ann, want);
+  // Range gate from the field table...
+  Config bad;
+  bad.Set("ann-dim", "1");
+  EXPECT_THROW(core::SimConfig::FromConfig(bad, core::Mode::kGraphPim),
+               SimError);
+  // ...and the cross-field Validate() rule: k <= ef_search.
+  core::SimConfig wide = core::SimConfig::Scaled(core::Mode::kGraphPim);
+  wide.ann.k = 64;
+  wide.ann.ef_search = 16;
+  EXPECT_THROW(wide.Validate(), SimError);
 }
 
 // ---------------------------------------------------------------------------

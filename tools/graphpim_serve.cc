@@ -2,22 +2,26 @@
 // (DESIGN.md §13).
 //
 // Admits synthetic open-loop graph-query traffic (Poisson or bursty/MMPP
-// arrivals of BFS/SSSP/PageRank point queries) against one resident graph
-// through an admission queue and batch-dispatch slots, replaying each
-// batch on the full timing model. Prints a saturation table — one row per
-// (machine config, offered qps) — with p50/p95/p99 latency, queue depth,
-// drop rate, and achieved throughput, plus a per-config knee summary.
+// arrivals of point queries from the registered kinds: bfs, sssp, prank,
+// knn) against one resident graph through an admission queue and
+// batch-dispatch slots, replaying each batch on the full timing model.
+// Prints a saturation table — one row per (machine config, offered qps) —
+// with p50/p95/p99 latency, queue depth, drop rate, and achieved
+// throughput, plus a per-config knee summary. A mix containing knn builds
+// the shared HNSW index over the vertex set (shaped by the ann.* knobs)
+// and reports its brute-force recall self-check inside the table markers.
 //
 //   graphpim_serve [--profile=ldbc] [--vertices=4096] [--tenants=2]
 //                  [--modes=baseline,graphpim] [--num-cubes=1,4]
 //                  [--arrivals=poisson|bursty] [--requests=48]
+//                  [--mix=bfs=0.5,sssp=0.3,prank=0.2] | [--mix=knn=1]
 //                  [--qps=1e6] | [--qps-grid=5e5,1e6,2e6,4e6]
 //                  [--queue-depth=64] [--drop=tail|head]
 //                  [--slots=2] [--batch=4] [--dispatch-ns=500]
 //                  [--max-hops=2] [--max-frontier=64] [--op-budget=4000]
 //                  [--burst-mult=8] [--seed=1] [--jobs=N] [--progress=1]
 //                  [--metrics-out=serve.json|.jsonl]
-//                  + every SimConfig machine knob (threads, linkbw, ...)
+//                  + every SimConfig machine knob (threads, ann.*, ...)
 //
 // DETERMINISM: everything between the "== saturation table ==" markers is
 // a pure function of the flags — bit-identical across --jobs counts and
@@ -35,8 +39,10 @@
 #include "common/string_util.h"
 #include "exec/progress.h"
 #include "exec/sweep.h"
+#include "graph/hnsw_index.h"
 #include "serve/engine.h"
 #include "serve/slo.h"
+#include "workloads/params.h"
 
 using namespace graphpim;
 
@@ -61,20 +67,20 @@ std::vector<double> ParseDoubleList(const std::string& arg,
 int Run(const Config& cfg) {
   std::vector<std::string> keys = {
       "profile",   "vertices",  "tenants",     "modes",       "arrivals",
-      "requests",  "qps",       "qps-grid",    "queue-depth", "drop",
-      "slots",     "batch",     "dispatch-ns", "max-hops",    "max-frontier",
-      "op-budget", "burst-mult", "seed",       "jobs",        "progress",
-      "metrics-out"};
+      "requests",  "mix",       "qps",         "qps-grid",    "queue-depth",
+      "drop",      "slots",     "batch",       "dispatch-ns", "max-hops",
+      "max-frontier", "op-budget", "burst-mult", "seed",      "jobs",
+      "progress",  "metrics-out"};
   for (const std::string& k : core::SimConfig::ConfigKeys()) keys.push_back(k);
   cfg.RequireKeys(keys);
 
-  // --- resident graph -------------------------------------------------
+  // --- resident graph options (construction is deferred: a knn mix
+  // changes what the graph must host) ----------------------------------
   serve::ServedGraph::Options go;
   go.profile = cfg.GetString("profile", "ldbc");
   go.num_vertices = static_cast<VertexId>(cfg.GetUint("vertices", 4096));
   go.num_tenants = static_cast<std::uint32_t>(cfg.GetUint("tenants", 2));
   go.seed = cfg.GetUint("seed", 1);
-  serve::ServedGraph sg(go);
 
   // --- serve parameters ----------------------------------------------
   serve::ServeParams base;
@@ -84,6 +90,9 @@ int Run(const Config& cfg) {
   base.traffic.num_tenants = go.num_tenants;
   base.traffic.burst_mult = cfg.GetDouble("burst-mult", 8.0);
   base.traffic.seed = go.seed;
+  if (cfg.Has("mix")) {
+    base.traffic.mix = serve::ParseMixSpec(cfg.GetString("mix", ""));
+  }
   base.query.max_hops = static_cast<int>(cfg.GetInt("max-hops", 2));
   base.query.max_frontier = cfg.GetUint("max-frontier", 64);
   base.query.op_budget = cfg.GetUint("op-budget", 4000);
@@ -117,6 +126,17 @@ int Run(const Config& cfg) {
     }
   }
 
+  // --- resident graph ---------------------------------------------------
+  // A knn entry with positive weight switches on the shared ANN index; the
+  // ann.* knobs are machine-config flags, uniform across the modes x cubes
+  // expansion (all configs parse the same ann values), so the first config
+  // supplies the index shape.
+  for (const serve::MixEntry& me : base.traffic.mix) {
+    if (me.first == "knn" && me.second > 0.0) go.enable_ann = true;
+  }
+  if (go.enable_ann) go.ann = configs.front().second.ann;
+  serve::ServedGraph sg(go);
+
   // --- offered-load grid ----------------------------------------------
   std::vector<double> qps_grid;
   if (cfg.Has("qps-grid")) {
@@ -126,14 +146,19 @@ int Run(const Config& cfg) {
   }
 
   const int jobs = static_cast<int>(cfg.GetInt("jobs", 0));
+  std::string mix_str;
+  for (const serve::MixEntry& me : base.traffic.mix) {
+    if (!mix_str.empty()) mix_str += ",";
+    mix_str += StrFormat("%s=%g", me.first.c_str(), me.second);
+  }
   std::printf(
-      "graphpim_serve: %s-%u tenants=%u | %s arrivals, %zu requests | "
-      "queue=%zu/%s slots=%d batch=%zu | %zu configs x %zu qps = %zu points "
-      "(--jobs=%d)\n\n",
+      "graphpim_serve: %s-%u tenants=%u | %s arrivals, %zu requests, "
+      "mix %s | queue=%zu/%s slots=%d batch=%zu | %zu configs x %zu qps = "
+      "%zu points (--jobs=%d)\n\n",
       go.profile.c_str(), go.num_vertices, go.num_tenants,
       serve::ToString(base.traffic.model), base.traffic.num_requests,
-      base.queue_depth, serve::ToString(base.drop), base.slots,
-      base.batch_max, configs.size(), qps_grid.size(),
+      mix_str.c_str(), base.queue_depth, serve::ToString(base.drop),
+      base.slots, base.batch_max, configs.size(), qps_grid.size(),
       configs.size() * qps_grid.size(), jobs);
 
   std::function<void(const exec::SweepProgress&)> on_progress;
@@ -148,6 +173,15 @@ int Run(const Config& cfg) {
   std::fputs(serve::FormatSaturationTable(res.points).c_str(), stdout);
   std::printf("\n");
   std::fputs(serve::FormatKneeSummary(res.points).c_str(), stdout);
+  if (sg.has_ann()) {
+    // Deterministic index-quality self-check (value-derived probes), so it
+    // belongs inside the diffed region.
+    const workloads::AnnParams& ann = go.ann;
+    const double recall = graph::SelfCheckRecall(
+        sg.ann_vectors(), sg.ann_index(), ann.k, ann.ef_search, ann.queries);
+    std::printf("\nann self-check: recall@%d=%.4f (dim=%d m=%d ef=%d, %d probes)\n",
+                ann.k, recall, ann.dim, ann.m, ann.ef_search, ann.queries);
+  }
   // Per-tenant SLO breakdown at the grid's highest offered load.
   std::printf("\ntenant breakdown @ qps=%g\n", qps_grid.back());
   for (const serve::ServePoint& p : res.points) {

@@ -196,6 +196,10 @@ int RunMain(const Config& cfg) {
              ") requires 'pmem.enable'=1");
   }
   opts.persist = pmode;
+  // The ann.* rows ride the same field table as every machine knob; the
+  // hnsw workload bakes them into the trace at generation time (they are
+  // mode-independent, so any mode's parse yields the same block).
+  opts.params.ann = mode_cfgs.front().ann;
 
   core::Experiment exp(profile, vertices, workload, opts);
   std::printf("graphpim_sim: %s on %s-%u (%llu edges, %llu micro-ops)\n\n",
