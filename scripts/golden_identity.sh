@@ -233,9 +233,13 @@ fi
 # compiled in; this adds the serve tool's own determinism contract.
 echo "== serve determinism (saturation table: jobs 1 vs 4, rerun)"
 cmake --build build -j "$(nproc)" --target graphpim_serve >/dev/null
+# Telemetry windows + an SLO target ride along so the per-window table
+# printed inside the markers (and its burn-rate column) inherits the same
+# jobs/rerun identity contract as the saturation table itself.
 SERVE_FLAGS=(--profile=ldbc --vertices=2048 --requests=48 --tenants=2
              --modes=baseline,graphpim --num-cubes=1,2 --qps-grid=2e5,1e6,5e6
-             --queue-depth=16 --seed=1)
+             --queue-depth=16 --seed=1 --telemetry-window-ns=50000
+             --slo-ns=200000)
 for run in j1 j4 rerun; do
   j=1; [[ "$run" == j4 ]] && j=4
   extra=()
@@ -260,6 +264,108 @@ if python3 scripts/validate_trace.py "$WORK/serve.trace.json"; then
 else
   echo "golden_identity: FAIL — serve --metrics-out rejected by validate_trace.py" >&2
   fail=1
+fi
+
+# HEAD-only gate: telemetry timelines (DESIGN.md §17). The base binary
+# rejects --telemetry-window-ns, so two halves again: (a) telemetry off is
+# the default and passing the knob explicitly at 0 must reproduce the
+# flag-less HEAD outputs byte for byte on every pinned scenario; (b) a
+# windowed run's timeline must be bit-identical across --shards, across
+# reruns, and across --jobs for the sweep journal sidecars, and every
+# artifact must clear scripts/validate_trace.py.
+echo "== telemetry-off identity (--telemetry-window-ns=0 vs no flag)"
+for sc in "${SCENARIOS[@]}"; do
+  name="${sc%%|*}"
+  read -r -a flags <<< "${sc#*|}"
+  build/tools/graphpim_sim "${COMMON[@]}" "${flags[@]}" \
+      --telemetry-window-ns=0 --json="$WORK/$name.tele0.json" \
+      > "$WORK/$name.tele0.out"
+  sed -n '/^config:/,/^uncore energy:/p' "$WORK/$name.tele0.out" \
+      > "$WORK/$name.tele0.report"
+  for kind in json report; do
+    if cmp -s "$WORK/$name.head.$kind" "$WORK/$name.tele0.$kind"; then
+      echo "   $name.$kind: identical with telemetry off"
+    else
+      echo "golden_identity: FAIL — --telemetry-window-ns=0 perturbs $name.$kind:" >&2
+      diff "$WORK/$name.head.$kind" "$WORK/$name.tele0.$kind" | head -20 >&2
+      fail=1
+    fi
+  done
+done
+
+echo "== timeline determinism (shards 1 vs 4, rerun, sweep jobs 1 vs 4)"
+for run in s1 s4 rerun; do
+  s=1; [[ "$run" == s4 ]] && s=4
+  build/tools/graphpim_sim "${COMMON[@]}" --workload=bfs --mode=graphpim \
+      --shards="$s" --telemetry-window-ns=5000 \
+      --timeline-out="$WORK/tl.$run.jsonl" \
+      --metrics-out="$WORK/tl.$run.metrics.json" >/dev/null
+done
+for pair in "s1 s4" "s1 rerun"; do
+  read -r a b <<< "$pair"
+  if cmp -s "$WORK/tl.$a.jsonl" "$WORK/tl.$b.jsonl"; then
+    echo "   timeline $a vs $b: identical"
+  else
+    echo "golden_identity: FAIL — timeline $a vs $b differs:" >&2
+    diff "$WORK/tl.$a.jsonl" "$WORK/tl.$b.jsonl" | head -20 >&2
+    fail=1
+  fi
+done
+# Sweep rows retire in completion order under --jobs=4, so (as with span
+# sidecars) the invariant is the sorted timeline sidecar lines.
+for j in 1 4; do
+  build/tools/graphpim_sweep --workloads=bfs --modes=baseline,graphpim \
+      --vertices=2048 --opcap=150000 --seed=1 --jobs="$j" \
+      --telemetry-window-ns=5000 --journal="$WORK/tl.j$j.jsonl" >/dev/null
+  grep '^{"timeline_for":' "$WORK/tl.j$j.jsonl" | sort \
+      > "$WORK/tl.j$j.sidecars"
+done
+if cmp -s "$WORK/tl.j1.sidecars" "$WORK/tl.j4.sidecars"; then
+  echo "   timeline sidecars: jobs-invariant"
+else
+  echo "golden_identity: FAIL — timeline sidecars differ across --jobs:" >&2
+  diff "$WORK/tl.j1.sidecars" "$WORK/tl.j4.sidecars" | head -20 >&2
+  fail=1
+fi
+if python3 scripts/validate_trace.py "$WORK/tl.s1.jsonl" \
+    "$WORK/tl.s1.metrics.json" "$WORK/tl.j1.jsonl"; then
+  echo "   timeline artifacts: valid"
+else
+  echo "golden_identity: FAIL — timeline artifacts rejected by validate_trace.py" >&2
+  fail=1
+fi
+# CI sets TELEMETRY_OUT_DIR to keep the timelines as build artifacts; the
+# work dir itself is wiped by the trap.
+if [[ -n "${TELEMETRY_OUT_DIR:-}" ]]; then
+  mkdir -p "$TELEMETRY_OUT_DIR"
+  cp "$WORK/tl.s1.jsonl" "$WORK/tl.s1.metrics.json" "$WORK/tl.j1.jsonl" \
+     "$TELEMETRY_OUT_DIR/"
+fi
+
+# The regression sentinel itself: identical inputs must pass, an injected
+# counter drift must trip the non-zero exit CI keys on.
+echo "== graphpim_compare sentinel (self-compare passes, drift fails)"
+cmake --build build -j "$(nproc)" --target graphpim_compare >/dev/null
+if build/tools/graphpim_compare "$WORK/tl.s1.jsonl" "$WORK/tl.rerun.jsonl" \
+    --tolerance=0 >/dev/null; then
+  echo "   self-compare: exit 0"
+else
+  echo "golden_identity: FAIL — compare of identical timelines reported drift" >&2
+  fail=1
+fi
+python3 - "$WORK/tl.s1.jsonl" "$WORK/tl.drift.jsonl" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+key = next(iter(lines[0]["deltas"]))
+lines[0]["deltas"][key] = lines[0]["deltas"][key] * 1.5 + 7
+open(sys.argv[2], "w").write("\n".join(json.dumps(l) for l in lines) + "\n")
+EOF
+if build/tools/graphpim_compare "$WORK/tl.s1.jsonl" "$WORK/tl.drift.jsonl" \
+    --tolerance=0.02 >/dev/null; then
+  echo "golden_identity: FAIL — compare missed an injected counter drift" >&2
+  fail=1
+else
+  echo "   injected drift: exit non-zero"
 fi
 
 # HEAD-only gate: the ann.* knobs (DESIGN.md §16). The defaults ARE the

@@ -4,10 +4,15 @@
 Accepts any mix of:
   * Chrome-trace files (graphpim_sim --metrics-out=x.json): must parse as
     strict JSON with a traceEvents list; every event needs name/ph/pid, X
-    events need ts and a non-negative dur.
-  * JSONL files (--metrics-out=x.jsonl or a sweep --journal): every line
-    must parse as strict JSON; phase lines need start_ns <= end_ns; span
-    lines/objects need known stage names and enter_ns <= exit_ns.
+    events need ts and a non-negative dur, C (counter) events need a
+    non-negative ts, a numeric args dict, and non-rewinding timestamps per
+    (pid, name) track.
+  * JSONL files (--metrics-out=x.jsonl, --timeline-out, or a sweep
+    --journal): every line must parse as strict JSON; phase lines need
+    start_ns <= end_ns; span lines/objects need known stage names and
+    enter_ns <= exit_ns; telemetry window lines (and journal
+    {"timeline_for":...} sidecars) need contiguous indices per point and
+    monotonic, non-overlapping window timestamps.
 
 Exits 0 when every file validates, 1 with a diagnostic otherwise. Stdlib
 only — runs anywhere CI has python3.
@@ -51,6 +56,7 @@ def check_chrome(path, doc):
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         return fail(path, "no traceEvents list")
+    counter_ts = {}  # (pid, name) -> last ts; counter tracks must not rewind
     for ev in events:
         for key in ("name", "ph", "pid"):
             if key not in ev:
@@ -60,12 +66,60 @@ def check_chrome(path, doc):
                 return fail(path, f"X event missing ts/dur: {ev}")
             if ev["dur"] < 0:
                 return fail(path, f"X event has negative dur: {ev}")
+        elif ev["ph"] == "C":
+            if "ts" not in ev or ev["ts"] < 0:
+                return fail(path, f"C event missing ts or ts < 0: {ev}")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                return fail(path, f"C event needs a non-empty args dict: {ev}")
+            for k, v in args.items():
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    return fail(path,
+                                f"C event arg '{k}' is not numeric: {ev}")
+            track = (ev["pid"], ev["name"])
+            if track in counter_ts and ev["ts"] < counter_ts[track]:
+                return fail(path,
+                            f"C track {track} timestamps rewind at {ev['ts']}")
+            counter_ts[track] = ev["ts"]
     print(f"validate_trace: {path}: OK ({len(events)} events)")
     return True
 
 
+def check_window(path, i, obj, last_window):
+    """One telemetry timeline line; last_window maps point -> (index, end)."""
+    for key in ("window", "start_ns", "end_ns", "deltas", "gauges"):
+        if key not in obj:
+            return fail(path, f"line {i}: window line missing key '{key}'")
+    if obj["start_ns"] > obj["end_ns"]:
+        return fail(path, f"line {i}: window ends before it starts")
+    for field in ("deltas", "gauges"):
+        if not isinstance(obj[field], dict):
+            return fail(path, f"line {i}: window '{field}' is not an object")
+        for k, v in obj[field].items():
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                return fail(path,
+                            f"line {i}: window {field}['{k}'] is not numeric")
+    point = obj.get("point", "")
+    prev = last_window.get(point)
+    if prev is not None:
+        prev_index, prev_end = prev
+        if obj["window"] != prev_index + 1:
+            return fail(path, f"line {i}: window index {obj['window']} breaks "
+                              f"sequence (previous {prev_index})")
+        if obj["start_ns"] < prev_end:
+            return fail(path, f"line {i}: window timestamps not monotonic "
+                              f"(start {obj['start_ns']} < previous end "
+                              f"{prev_end})")
+    elif obj["window"] != 0:
+        return fail(path, f"line {i}: first window of a point must have "
+                          f"index 0, got {obj['window']}")
+    last_window[point] = (obj["window"], obj["end_ns"])
+    return True
+
+
 def check_jsonl(path, lines):
-    phases = spans = rows = 0
+    phases = spans = windows = rows = 0
+    last_window = {}  # point -> (index, end_ns) across the file
     for i, line in enumerate(lines, 1):
         line = line.strip()
         if not line:
@@ -84,10 +138,23 @@ def check_jsonl(path, lines):
                 spans += 1
                 if not check_span(path, span):
                     return False
+        elif "window" in obj:
+            windows += 1
+            if not check_window(path, i, obj, last_window):
+                return False
+        elif "timeline_for" in obj:
+            # Journal sidecar: the embedded windows validate like timeline
+            # lines, scoped to this sidecar's coordinates.
+            sidecar_last = {}
+            for w in obj.get("windows", []):
+                windows += 1
+                if not check_window(path, i, w, sidecar_last):
+                    return False
         else:
             rows += 1  # journal header / result rows / phase sidecars
     print(f"validate_trace: {path}: OK "
-          f"({phases} phases, {spans} spans, {rows} other lines)")
+          f"({phases} phases, {spans} spans, {windows} windows, "
+          f"{rows} other lines)")
     return True
 
 

@@ -44,6 +44,13 @@ void PhaseLog::Clear() {
 }
 
 std::string ToChromeTrace(const PhaseLog& log, const SpanLog* spans) {
+  TraceExtras extras;
+  extras.spans = spans;
+  return ToChromeTrace(log, extras);
+}
+
+std::string ToChromeTrace(const PhaseLog& log, const TraceExtras& extras) {
+  const SpanLog* spans = extras.spans;
   std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
   auto emit = [&](const std::string& event) {
@@ -84,6 +91,11 @@ std::string ToChromeTrace(const PhaseLog& log, const SpanLog* spans) {
       out += events;
     }
   }
+  if (!extras.chrome_events.empty()) {
+    if (!first) out += ',';
+    first = false;
+    out += extras.chrome_events;
+  }
   // The empty document must still be strict JSON: "traceEvents":[] with no
   // stray newline inside the array.
   out += first ? "]}\n" : "\n]}\n";
@@ -109,15 +121,23 @@ std::string ToJsonl(const PhaseLog& log) {
 
 void WriteTrace(const PhaseLog& log, const std::string& path,
                 const SpanLog* spans) {
+  TraceExtras extras;
+  extras.spans = spans;
+  WriteTrace(log, path, extras);
+}
+
+void WriteTrace(const PhaseLog& log, const std::string& path,
+                const TraceExtras& extras) {
   const bool jsonl =
       path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
   std::ofstream f(path, std::ios::binary);
   if (!f) GP_THROW("cannot open metrics output file '", path, "'");
   if (jsonl) {
     f << ToJsonl(log);
-    if (spans != nullptr) f << SpansToJsonl(*spans);
+    if (extras.spans != nullptr) f << SpansToJsonl(*extras.spans);
+    f << extras.jsonl_lines;
   } else {
-    f << ToChromeTrace(log, spans);
+    f << ToChromeTrace(log, extras);
   }
   if (!f) GP_THROW("failed writing metrics output file '", path, "'");
 }

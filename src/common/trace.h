@@ -48,6 +48,20 @@ class PhaseLog {
   StatSnapshot prev_;
 };
 
+// Extra pre-rendered content merged into a trace export. Layers above
+// common/ (the telemetry timelines) hand their events down as strings so
+// this file needs no upward dependency:
+//   chrome_events — Chrome-trace events in the splice convention of
+//                   SpansToChromeEvents: each event prefixed with "\n",
+//                   events joined with ",". Appended inside traceEvents.
+//   jsonl_lines   — newline-terminated JSON lines appended after the
+//                   phase (and span) lines in JSONL output.
+struct TraceExtras {
+  const SpanLog* spans = nullptr;
+  std::string chrome_events;
+  std::string jsonl_lines;
+};
+
 // Chrome trace JSON (single object, "traceEvents" array). Timestamps are
 // microseconds of simulated time. When `spans` is non-null its sampled
 // transactions are merged in on their own core/cube/vault tracks next to
@@ -55,6 +69,7 @@ class PhaseLog {
 // empty document {"displayTimeUnit":"ns","traceEvents":[]}.
 std::string ToChromeTrace(const PhaseLog& log,
                           const SpanLog* spans = nullptr);
+std::string ToChromeTrace(const PhaseLog& log, const TraceExtras& extras);
 
 // One JSON object per line:
 //   {"phase":"superstep.3","start_ns":...,"end_ns":...,"deltas":{...}}
@@ -66,6 +81,8 @@ std::string ToJsonl(const PhaseLog& log);
 // on I/O failure.
 void WriteTrace(const PhaseLog& log, const std::string& path,
                 const SpanLog* spans = nullptr);
+void WriteTrace(const PhaseLog& log, const std::string& path,
+                const TraceExtras& extras);
 
 // Formats a counter value the way trace/journal output expects: integral
 // values without a fraction, others with shortest round-trip-ish "%.6g".

@@ -144,6 +144,22 @@ SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
     phase_start = end;
   };
 
+  // Telemetry windows (DESIGN.md §17): like the flight recorder, the
+  // sampler exists only when the knob is on AND a sink is attached — the
+  // default path never builds one. Gauges read the live machine through
+  // the memory system at each cut.
+  std::unique_ptr<telemetry::WindowSampler> tele;
+  if (opts.timeline != nullptr && cfg.telemetry_window_ns > 0.0) {
+    opts.timeline->Clear();
+    tele = std::make_unique<telemetry::WindowSampler>(
+        NsToTicks(cfg.telemetry_window_ns), opts.timeline,
+        cfg.telemetry_max_windows,
+        [&mem](Tick ws, Tick we,
+               std::vector<std::pair<std::string, double>>* out) {
+          mem.SampleTelemetryGauges(ws, we, out);
+        });
+  }
+
   // Loosely-synchronized quantum loop with barrier rendezvous.
   Tick quantum_end = cfg.quantum;
 
@@ -154,6 +170,15 @@ SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
   // quantum_end / release decisions is identical at any shard count.
   // Returns true when the run is complete.
   auto round_tail = [&]() -> bool {
+    // Telemetry window cuts key off the round's quantum_end *before* it is
+    // updated below: the sequence of quantum_end values is shard-invariant
+    // (the controller shard runs this exactly where the serial loop does),
+    // so the cut points — and the timeline — are too.
+    if (tele != nullptr && quantum_end >= tele->next_boundary()) {
+      StatRegistry merged = mem.stats();
+      for (const auto& c : cores) merged.Merge(c->stats());
+      tele->AdvanceTo(quantum_end, merged);
+    }
     bool all_done = true;
     bool any_running = false;
     for (int i = 0; i < cfg.num_cores; ++i) {
@@ -258,6 +283,14 @@ SimResults RunSimulation(const workloads::Trace& trace, const SimConfig& cfg,
     Tick end_tick = 0;
     for (const auto& c : cores) end_tick = std::max(end_tick, c->Now());
     cut_phase("drain", end_tick);
+  }
+
+  if (tele != nullptr) {
+    Tick end_tick = 0;
+    for (const auto& c : cores) end_tick = std::max(end_tick, c->Now());
+    StatRegistry merged = mem.stats();
+    for (const auto& c : cores) merged.Merge(c->stats());
+    tele->Finish(end_tick, merged);
   }
 
   // Seal the persist domain before Collect so pmem.unpersisted_at_end is

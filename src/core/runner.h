@@ -20,6 +20,7 @@
 
 #include "common/trace.h"
 #include "core/results.h"
+#include "telemetry/timeline.h"
 #include "core/sim_config.h"
 #include "graph/csr.h"
 #include "graph/generator.h"
@@ -51,6 +52,14 @@ struct RunOptions {
   // to the crash/recovery harness. Untouched when the persist domain is
   // off.
   pmem::PersistLog* persist = nullptr;
+
+  // When non-null AND cfg.telemetry_window_ns > 0, receives the run's
+  // windowed counter/gauge timeline (DESIGN.md §17; cleared first). The
+  // sampler cuts windows at the engine's round tail, where quantum_end is
+  // identical at any --shards, so the timeline is bit-identical across
+  // shard counts and reruns. With window_ns == 0 no sampler is built and
+  // this stays untouched.
+  telemetry::Timeline* timeline = nullptr;
 };
 
 // THE simulation entry point. Replays `trace` under `cfg` (which is

@@ -98,6 +98,19 @@ constexpr KnobRow kKnobs[] = {
      [](SimConfig& c, double v) {
        c.trace_max_spans = static_cast<std::uint64_t>(v);
      }},
+    // Telemetry timelines (DESIGN.md §17). 0 = off (strict byte-identity,
+    // like trace.sample_rate); positive windows additionally must be
+    // >= 1 ns (cross-checked in Validate, below one-field range reach).
+    {"telemetry.window_ns", "telemetry-window-ns", 0, 1e9, false,
+     [](const SimConfig& c) { return c.telemetry_window_ns; },
+     [](SimConfig& c, double v) { c.telemetry_window_ns = v; }},
+    {"telemetry.max_windows", "telemetry-max-windows", 0, 1e15, true,
+     [](const SimConfig& c) {
+       return static_cast<double>(c.telemetry_max_windows);
+     },
+     [](SimConfig& c, double v) {
+       c.telemetry_max_windows = static_cast<std::uint64_t>(v);
+     }},
     {"pmem.enable", "pmem-enable", 0, 1, true,
      [](const SimConfig& c) { return c.pmem.enable ? 1.0 : 0.0; },
      [](SimConfig& c, double v) { c.pmem.enable = v != 0.0; }},
@@ -252,6 +265,11 @@ void SimConfig::Validate() const {
       static_cast<std::uint64_t>(hmc.num_cubes)) {
     GP_THROW("config key 'num_cubes' (", hmc.num_cubes,
              ") exceeds the per-cube page count; shrink cube_page_bytes");
+  }
+  if (telemetry_window_ns > 0.0 && telemetry_window_ns < 1.0) {
+    GP_THROW("config key 'telemetry.window_ns' (", telemetry_window_ns,
+             ") must be 0 (off) or >= 1 ns: sub-nanosecond windows are "
+             "below the model's useful time granularity");
   }
   if (!pmem.enable && pmem.crash_tick_ns >= 0) {
     GP_THROW("config key 'pmem.crash_tick' (", pmem.crash_tick_ns,

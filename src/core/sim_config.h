@@ -68,6 +68,16 @@ struct SimConfig {
   // unbounded.
   std::uint64_t trace_max_spans = 1u << 20;
 
+  // Virtual-time telemetry (DESIGN.md §17): window width in simulated
+  // nanoseconds for the windowed counter/gauge timeline. 0 disables
+  // telemetry entirely (no sampler is built; goldens stay byte-identical).
+  // Positive values must be >= 1 ns (cross-checked in Validate).
+  double telemetry_window_ns = 0.0;
+
+  // Upper bound on recorded telemetry windows per run (memory safety
+  // valve, same role as trace_max_spans); 0 means unbounded.
+  std::uint64_t telemetry_max_windows = 1u << 16;
+
   // Persistent PMR (DESIGN.md §14): pmem.enable turns the PMR into
   // PMEM-backed memory with flush/fence persist costs and the
   // crash/recovery harness; off by default (strict passthrough).

@@ -318,4 +318,39 @@ MemOutcome MemorySystem::BusLockAtomic(int core, const MicroOp& op, Tick when,
   return out;
 }
 
+void MemorySystem::SampleTelemetryGauges(
+    Tick win_start, Tick win_end,
+    std::vector<std::pair<std::string, double>>* out) {
+  // POU in-flight: UC/WC buffer slots still reserved past the cut — the
+  // offloaded-request pressure GraphPIM moves out of the cache hierarchy.
+  std::uint64_t inflight = 0;
+  for (const auto& pool : uc_slots_) {
+    for (Tick done : pool) {
+      if (done > win_end) ++inflight;
+    }
+  }
+  out->emplace_back("tele.pou.inflight", static_cast<double>(inflight));
+
+  // Vault queue depth: banks still reserved past the cut, plus how far the
+  // deepest bank reservation extends beyond it (ns of backlog).
+  out->emplace_back("tele.vault.busy_banks",
+                    static_cast<double>(network_->BusyBanksAt(win_end)));
+  const Tick deepest = network_->MaxBankReady();
+  out->emplace_back("tele.vault.backlog_ns",
+                    deepest > win_end ? TicksToNs(deepest - win_end) : 0.0);
+
+  // Link occupancy: busy lane-time accrued this window over the window's
+  // aggregate lane capacity (each full-duplex link contributes two lanes).
+  const Tick busy = network_->TotalLinkBusy();
+  const double cap =
+      win_end > win_start
+          ? static_cast<double>(win_end - win_start) * 2.0 *
+                static_cast<double>(network_->TotalLinkCount())
+          : 0.0;
+  out->emplace_back(
+      "tele.link.occupancy",
+      cap > 0.0 ? static_cast<double>(busy - tele_link_busy_) / cap : 0.0);
+  tele_link_busy_ = busy;
+}
+
 }  // namespace graphpim::core

@@ -52,6 +52,15 @@ class MemorySystem : public cpu::MemoryInterface {
   // The persistent-PMR timing layer; nullptr unless cfg.pmem.enable.
   pmem::PersistDomain* persist_domain() { return pmem_.get(); }
 
+  // Telemetry gauges (DESIGN.md §17): appends the instantaneous machine-
+  // state samples for window [win_start, win_end) — POU in-flight ops,
+  // vault-bank backlog, and link occupancy — in a fixed emission order.
+  // Stateful (the occupancy gauge differentiates cumulative link busy time
+  // across calls), so call it once per window, in window order; the
+  // telemetry sampler is the only caller.
+  void SampleTelemetryGauges(Tick win_start, Tick win_end,
+                             std::vector<std::pair<std::string, double>>* out);
+
  private:
   // Mode dispatch (the old Access body); `span` is invalid for unsampled
   // requests.
@@ -125,6 +134,10 @@ class MemorySystem : public cpu::MemoryInterface {
   // Bus-locked host atomics serialize globally (the whole interconnect is
   // held) — the "huge performance degradation" of Section III-B.
   Tick bus_lock_ready_ = 0;
+
+  // Cumulative link busy time at the previous telemetry cut (the link-
+  // occupancy gauge is the windowed derivative of TotalLinkBusy()).
+  Tick tele_link_busy_ = 0;
 };
 
 }  // namespace graphpim::core

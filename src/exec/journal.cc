@@ -448,6 +448,32 @@ void JournalWriter::AppendSpans(const SweepRow& row,
   std::fflush(f_);
 }
 
+void JournalWriter::AppendTimeline(const SweepRow& row,
+                                   const telemetry::Timeline& tl) {
+  if (f_ == nullptr || tl.empty()) return;
+  // Same sidecar convention as AppendPhases: keyed by grid coordinates,
+  // skipped by prefix on load. Window bodies reuse the telemetry JSONL
+  // renderer so the sidecar and --timeline-out formats stay in lockstep.
+  std::string s = "{\"timeline_for\":{";
+  s += "\"w\":" + U(row.workload_idx);
+  s += ",\"p\":" + U(row.profile_idx);
+  s += ",\"c\":" + U(row.config_idx);
+  s += "},\"windows\":[";
+  const std::string lines = telemetry::ToJsonl(tl);
+  bool first = true;
+  for (std::size_t pos = 0; pos < lines.size();) {
+    std::size_t nl = lines.find('\n', pos);
+    if (nl == std::string::npos) nl = lines.size();
+    if (!first) s += ',';
+    first = false;
+    s.append(lines, pos, nl - pos);
+    pos = nl + 1;
+  }
+  s += "]}\n";
+  std::fwrite(s.data(), 1, s.size(), f_);
+  std::fflush(f_);
+}
+
 void JournalWriter::Close() {
   if (f_ != nullptr) {
     std::fclose(f_);
@@ -481,6 +507,7 @@ bool LoadJournal(const std::string& path, JournalData* out) {
     // dropped.
     if (line.compare(0, 14, "{\"phases_for\":") == 0) continue;
     if (line.compare(0, 13, "{\"spans_for\":") == 0) continue;
+    if (line.compare(0, 16, "{\"timeline_for\":") == 0) continue;
     SweepRow row;
     if (RowFromJson(line, &row)) {
       out->rows.push_back(std::move(row));

@@ -22,6 +22,7 @@
 
 #include "common/trace.h"
 #include "exec/sweep.h"
+#include "telemetry/timeline.h"
 
 namespace graphpim::exec {
 
@@ -59,6 +60,11 @@ class JournalWriter {
   // trace.sample_rate > 0). Skipped by LoadJournal like phase sidecars.
   // No-op when the log is empty.
   void AppendSpans(const SweepRow& row, const trace::SpanLog& log);
+
+  // Appends a `{"timeline_for":{coords},"windows":[...]}` sidecar line
+  // with the row's telemetry windows (telemetry.window_ns > 0). Skipped
+  // by LoadJournal like the other sidecars. No-op on an empty timeline.
+  void AppendTimeline(const SweepRow& row, const telemetry::Timeline& tl);
 
   void Close();
 

@@ -12,10 +12,17 @@ std::string FormatProgressLine(const SweepProgress& p, double elapsed_ms) {
           ? 0.0
           : elapsed_ms / static_cast<double>(p.completed) *
                 static_cast<double>(p.total - p.completed) / 1e3;
-  return StrFormat("[%3zu/%3zu] %-8s %-8s %-10s %7.0f ms | ETA %.0fs%s\n",
-                   p.completed, p.total, p.workload.c_str(),
-                   p.profile.c_str(), p.config_name.c_str(), p.wall_ms,
-                   eta_s, p.status == JobStatus::kOk ? "" : "  FAILED");
+  std::string line =
+      StrFormat("[%3zu/%3zu] %-8s %-8s %-10s %7.0f ms | ETA %.0fs%s",
+                p.completed, p.total, p.workload.c_str(), p.profile.c_str(),
+                p.config_name.c_str(), p.wall_ms, eta_s,
+                p.status == JobStatus::kOk ? "" : "  FAILED");
+  if (!p.note.empty()) {
+    line += " | ";
+    line += p.note;
+  }
+  line += '\n';
+  return line;
 }
 
 std::function<void(const SweepProgress&)> StderrHeartbeat(std::FILE* out) {

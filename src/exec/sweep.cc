@@ -173,6 +173,7 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
     int attempts = 1;
     trace::PhaseLog phases;  // populated only when journaling phases
     trace::SpanLog spans;    // populated when the config samples spans
+    telemetry::Timeline timeline;  // populated when telemetry.window_ns > 0
   };
 
   // Phase capture costs one registry merge per superstep, so only pay for
@@ -313,6 +314,11 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
             if (journal_open && cfg.trace_sample_rate > 0.0) {
               ro.spans = &out.spans;
             }
+            // Timeline sidecars follow the span convention: captured when
+            // the journal can carry them and the config turns windows on.
+            if (journal_open && cfg.telemetry_window_ns > 0.0) {
+              ro.timeline = &out.timeline;
+            }
             out.results = exp->Run(cfg, ro);
           } catch (const std::exception& e) {
             out.error = e.what();
@@ -406,6 +412,9 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
               if (journal_open && cfg.trace_sample_rate > 0.0) {
                 ro.spans = &r.spans;
               }
+              if (journal_open && cfg.telemetry_window_ns > 0.0) {
+                ro.timeline = &r.timeline;
+              }
               r.results = exp.Run(cfg, ro);
             } catch (const std::exception& e) {
               r.error = e.what();
@@ -444,6 +453,7 @@ SweepResultTable SweepRunner::Run(const SweepGrid& grid) const {
         writer.Append(row);
         if (want_phases) writer.AppendPhases(row, out.phases);
         if (!out.spans.empty()) writer.AppendSpans(row, out.spans);
+        if (!out.timeline.empty()) writer.AppendTimeline(row, out.timeline);
       } else {
         row.status = JobStatus::kFailed;
         row.error = out.error;

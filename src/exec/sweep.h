@@ -96,6 +96,9 @@ struct SweepProgress {
   std::string config_name;
   double wall_ms = 0.0;
   JobStatus status = JobStatus::kOk;
+  // Free-form telemetry note appended to the heartbeat line (" | <note>")
+  // when non-empty; empty keeps the original line byte-identical.
+  std::string note;
 };
 
 struct SweepResultTable {

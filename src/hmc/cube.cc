@@ -268,4 +268,16 @@ Tick HmcCube::TotalLinkBusy() const {
   return sum;
 }
 
+std::uint32_t HmcCube::BusyBanksAt(Tick now) const {
+  std::uint32_t n = 0;
+  for (const auto& v : vaults_) n += v->BusyBanksAt(now);
+  return n;
+}
+
+Tick HmcCube::MaxBankReady() const {
+  Tick m = 0;
+  for (const auto& v : vaults_) m = std::max(m, v->MaxBankReady());
+  return m;
+}
+
 }  // namespace graphpim::hmc

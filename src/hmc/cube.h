@@ -85,6 +85,10 @@ class HmcCube {
   Tick TotalFpFuBusy() const;
   Tick TotalLinkBusy() const;
 
+  // Telemetry gauges (DESIGN.md §17), aggregated across this cube's vaults.
+  std::uint32_t BusyBanksAt(Tick now) const;
+  Tick MaxBankReady() const;
+
  private:
   // Picks the link with the earliest-available TX lane. With fault
   // injection active the retry path loads both lanes, so selection also

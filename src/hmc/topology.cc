@@ -190,4 +190,21 @@ Tick HmcNetwork::TotalLinkBusy() const {
   return sum;
 }
 
+std::uint32_t HmcNetwork::BusyBanksAt(Tick now) const {
+  std::uint32_t n = 0;
+  for (const auto& c : cubes_) n += c->BusyBanksAt(now);
+  return n;
+}
+
+Tick HmcNetwork::MaxBankReady() const {
+  Tick m = 0;
+  for (const auto& c : cubes_) m = std::max(m, c->MaxBankReady());
+  return m;
+}
+
+std::uint32_t HmcNetwork::TotalLinkCount() const {
+  return num_cubes() * params_.num_links +
+         static_cast<std::uint32_t>(hop_links_.size());
+}
+
 }  // namespace graphpim::hmc

@@ -141,6 +141,14 @@ class HmcNetwork {
   Tick TotalFpFuBusy() const;
   Tick TotalLinkBusy() const;
 
+  // Telemetry gauges (DESIGN.md §17): instantaneous vault-bank backlog
+  // across the network, and the full-duplex link population (every cube's
+  // host links plus the inter-cube hop links) that normalizes the link-
+  // occupancy gauge.
+  std::uint32_t BusyBanksAt(Tick now) const;
+  Tick MaxBankReady() const;
+  std::uint32_t TotalLinkCount() const;
+
  private:
   // Applies the request-direction hop path toward `cube`: per-hop TX-lane
   // serialization plus SerDes + pass-through crossbar latency. Returns the

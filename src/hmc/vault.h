@@ -56,6 +56,25 @@ class Vault {
   Tick int_fu_busy() const { return int_fu_busy_; }
   Tick fp_fu_busy() const { return fp_fu_busy_; }
 
+  // Telemetry gauges (DESIGN.md §17): banks still reserved past `now` —
+  // the vault's instantaneous queue depth under ready-time reservations.
+  std::uint32_t BusyBanksAt(Tick now) const {
+    std::uint32_t n = 0;
+    for (const Bank& b : banks_) {
+      if (b.ready > now) ++n;
+    }
+    return n;
+  }
+
+  // Latest bank reservation; BusyBanksAt's companion for backlog depth.
+  Tick MaxBankReady() const {
+    Tick m = 0;
+    for (const Bank& b : banks_) {
+      if (b.ready > m) m = b.ready;
+    }
+    return m;
+  }
+
  private:
   struct Bank {
     std::int64_t open_row = -1;

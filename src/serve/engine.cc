@@ -59,6 +59,9 @@ ServePoint RunServePoint(const ServedGraph& sg, const ServeParams& params) {
              params.cfg.num_cores, " cores: a batch maps one query per core");
   }
   if (params.queue_depth < 1) GP_THROW("serve needs queue_depth >= 1");
+  if (params.slo_ns < 0.0) {
+    GP_THROW("serve slo_ns must be >= 0 (got ", params.slo_ns, ")");
+  }
   CheckMixServable(sg, params.traffic);
 
   TrafficSpec ts = params.traffic;
@@ -82,6 +85,75 @@ ServePoint RunServePoint(const ServedGraph& sg, const ServeParams& params) {
   std::uint64_t depth_sum = 0;          // queue depth sampled per arrival
   double busy_ns = 0.0;                 // summed batch service time
   Tick last_completion = 0;
+
+  // --- telemetry windows (DESIGN.md §17) ------------------------------
+  // Half-open [k*W, (k+1)*W) windows over the point's virtual time. Cuts
+  // happen before the first event at-or-past a boundary, so the queue /
+  // in-flight gauges sample the state the machine held as the boundary
+  // passed. Purely value-derived: bit-identical across reruns and --jobs.
+  const Tick win_ticks = params.cfg.telemetry_window_ns > 0.0
+                             ? NsToTicks(params.cfg.telemetry_window_ns)
+                             : 0;
+  struct WinAcc {
+    std::uint64_t arrivals = 0, admitted = 0, dropped = 0, completed = 0;
+    std::vector<double> lat_ns;
+    std::vector<std::uint64_t> served, drops, viol;  // per tenant
+  };
+  WinAcc acc;
+  auto reset_acc = [&]() {
+    acc = WinAcc{};
+    acc.served.resize(sg.num_tenants());
+    acc.drops.resize(sg.num_tenants());
+    acc.viol.resize(sg.num_tenants());
+  };
+  reset_acc();
+  pt.timeline.window_ticks = win_ticks;
+  Tick next_cut = win_ticks;
+  auto cut_window = [&](Tick start, Tick end) {
+    WinAcc a = std::move(acc);
+    reset_acc();
+    if (pt.timeline.windows.size() >= params.cfg.telemetry_max_windows) {
+      ++pt.timeline.dropped_windows;
+      return;
+    }
+    telemetry::TimelineWindow w;
+    w.index = pt.timeline.windows.size();
+    w.start = start;
+    w.end = end;
+    std::sort(a.lat_ns.begin(), a.lat_ns.end());
+    const double span_s = TicksToNsD(end - start) * 1e-9;
+    auto& g = w.gauges;
+    g.emplace_back("serve.arrivals", static_cast<double>(a.arrivals));
+    g.emplace_back("serve.admitted", static_cast<double>(a.admitted));
+    g.emplace_back("serve.dropped", static_cast<double>(a.dropped));
+    g.emplace_back("serve.completed", static_cast<double>(a.completed));
+    g.emplace_back("serve.p50_ns", QuantileSorted(a.lat_ns, 0.50));
+    g.emplace_back("serve.p99_ns", QuantileSorted(a.lat_ns, 0.99));
+    g.emplace_back("serve.achieved_qps",
+                   span_s > 0.0
+                       ? static_cast<double>(a.completed) / span_s
+                       : 0.0);
+    g.emplace_back("serve.queue_depth", static_cast<double>(queue.size()));
+    g.emplace_back("serve.inflight", static_cast<double>(flights.size()));
+    for (std::uint32_t t = 0; t < sg.num_tenants(); ++t) {
+      g.emplace_back(StrFormat("serve.tenant%u.served", t),
+                     static_cast<double>(a.served[t]));
+      g.emplace_back(StrFormat("serve.tenant%u.dropped", t),
+                     static_cast<double>(a.drops[t]));
+      g.emplace_back(StrFormat("serve.tenant%u.slo_burn", t),
+                     a.served[t] == 0
+                         ? 0.0
+                         : static_cast<double>(a.viol[t]) /
+                               static_cast<double>(a.served[t]));
+    }
+    pt.timeline.windows.push_back(std::move(w));
+  };
+  auto cut_until = [&](Tick t) {
+    while (win_ticks != 0 && next_cut <= t) {
+      cut_window(next_cut - win_ticks, next_cut);
+      next_cut += win_ticks;
+    }
+  };
 
   auto start_batches = [&](Tick now) {
     while (flights.size() < static_cast<std::size_t>(params.slots) &&
@@ -129,6 +201,7 @@ ServePoint RunServePoint(const ServedGraph& sg, const ServeParams& params) {
     // the simultaneously-arriving request.
     if (have_done &&
         (!have_arrival || flights[done_idx].done <= sched[next_arrival].arrival)) {
+      cut_until(flights[done_idx].done);
       const Flight fl = flights[done_idx];
       flights.erase(flights.begin() + static_cast<std::ptrdiff_t>(done_idx));
       for (std::size_t idx : fl.reqs) {
@@ -138,33 +211,58 @@ ServePoint RunServePoint(const ServedGraph& sg, const ServeParams& params) {
         tenant_lat[r.tenant].push_back(ns);
         ++pt.served;
         ++pt.tenants[r.tenant].served;
+        if (win_ticks != 0) {
+          ++acc.completed;
+          acc.lat_ns.push_back(ns);
+          ++acc.served[r.tenant];
+          if (params.slo_ns > 0.0 && ns > params.slo_ns) ++acc.viol[r.tenant];
+        }
       }
       start_batches(fl.done);
       continue;
     }
     // Arrival event.
     const ServeRequest& r = sched[next_arrival];
+    cut_until(r.arrival);
     ++pt.tenants[r.tenant].offered;
+    if (win_ticks != 0) ++acc.arrivals;
     depth_sum += queue.size();
     if (queue.size() > pt.queue_peak) pt.queue_peak = queue.size();
     if (queue.size() >= params.queue_depth) {
       if (params.drop == DropPolicy::kTail) {
         ++pt.dropped;
         ++pt.tenants[r.tenant].dropped;
+        if (win_ticks != 0) ++acc.dropped;
+        if (win_ticks != 0) ++acc.drops[r.tenant];
       } else {  // head drop: evict the stalest queued request, admit new
         const ServeRequest& victim = sched[queue.front()];
         queue.pop_front();
         ++pt.dropped;
         ++pt.tenants[victim.tenant].dropped;
+        if (win_ticks != 0) {
+          ++acc.dropped;
+          ++acc.drops[victim.tenant];
+          ++acc.admitted;
+        }
         queue.push_back(next_arrival);
       }
     } else {
       queue.push_back(next_arrival);
+      if (win_ticks != 0) ++acc.admitted;
     }
     ++next_arrival;
     start_batches(r.arrival);
   }
   GP_CHECK(queue.empty(), "serve loop ended with queued requests");
+  if (win_ticks != 0) {
+    // Trailing partial window up to the final completion; a run shorter
+    // than one window still yields one (possibly degenerate) window.
+    cut_until(last_completion);
+    const Tick tail_start = next_cut - win_ticks;
+    if (last_completion > tail_start || pt.timeline.windows.empty()) {
+      cut_window(tail_start, last_completion);
+    }
+  }
 
   // --- SLO accounting -------------------------------------------------
   pt.drop_rate = pt.offered == 0
@@ -217,6 +315,9 @@ ServeGridResult RunServeGrid(
   if (base.slots < 1) GP_THROW("serve needs at least one dispatch slot");
   if (base.batch_max < 1) GP_THROW("serve needs batch_max >= 1");
   if (base.queue_depth < 1) GP_THROW("serve needs queue_depth >= 1");
+  if (base.slo_ns < 0.0) {
+    GP_THROW("serve slo_ns must be >= 0 (got ", base.slo_ns, ")");
+  }
   CheckMixServable(sg, base.traffic);
   for (const auto& [name, cfg] : configs) {
     if (base.batch_max > static_cast<std::size_t>(cfg.num_cores)) {
@@ -264,6 +365,7 @@ ServeGridResult RunServeGrid(
               prog.profile = name;
               prog.config_name = StrFormat("qps=%g", qps);
               prog.wall_ms = wall_ms;
+              prog.note = TimelineNote(pt.timeline);
               on_progress(prog);
             }
             return pt;

@@ -29,6 +29,7 @@
 #include "exec/thread_pool.h"
 #include "serve/query.h"
 #include "serve/traffic.h"
+#include "telemetry/timeline.h"
 
 namespace graphpim::serve {
 
@@ -53,6 +54,11 @@ struct ServeParams {
   std::size_t batch_max = 4;    // queries per batch == trace streams;
                                 // must be <= cfg.num_cores
   double dispatch_ns = 500.0;   // host-side batch assembly/dispatch cost
+
+  // Per-request latency SLO target in simulated ns; feeds the per-window
+  // per-tenant SLO burn-rate gauge (fraction of a tenant's completions in
+  // the window over target). 0 = no target (burn gauge reads 0).
+  double slo_ns = 0.0;
 };
 
 // Per-tenant slice of a point's SLO accounting.
@@ -94,6 +100,12 @@ struct ServePoint {
   // serve.* SLO counters plus the merged machine registries of every
   // batch replay (cache/cube/link counters aggregate across the point).
   StatRegistry raw;
+
+  // Virtual-time telemetry windows (DESIGN.md §17): filled only when
+  // cfg.telemetry_window_ns > 0. Windows carry gauges only (serve.*
+  // per-window arrivals/drops/latency quantiles/queue depth and per-tenant
+  // SLO burn); the batch replays inside a point never build samplers.
+  telemetry::Timeline timeline;
 };
 
 // Runs one point to completion. Pure function; safe to call concurrently

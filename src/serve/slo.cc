@@ -123,6 +123,69 @@ std::string FormatKneeSummary(const std::vector<ServePoint>& points) {
   return out;
 }
 
+namespace {
+
+// Gauge lookup by name; windows carry a small fixed list, linear scan.
+double GaugeOr(const telemetry::TimelineWindow& w, const char* name,
+               double fallback = 0.0) {
+  for (const auto& [k, v] : w.gauges) {
+    if (k == name) return v;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+std::string TimelineNote(const telemetry::Timeline& tl) {
+  if (tl.windows.empty()) return "";
+  const telemetry::TimelineWindow& w = tl.windows.back();
+  return StrFormat("qps=%.3g p99=%.0fus q=%.0f",
+                   GaugeOr(w, "serve.achieved_qps"),
+                   GaugeOr(w, "serve.p99_ns") / 1e3,
+                   GaugeOr(w, "serve.queue_depth"));
+}
+
+std::string FormatServeTimeline(const std::vector<ServePoint>& points) {
+  bool any = false;
+  for (const ServePoint& p : points) any = any || !p.timeline.empty();
+  if (!any) return "";
+  std::string out = StrFormat(
+      "%-24s %4s %10s %5s %5s %5s %5s %9s %9s %4s %4s  %s\n", "point", "win",
+      "t0_us", "arr", "adm", "drop", "done", "p50_us", "p99_us", "q", "fly",
+      "tenant burn");
+  for (const ServePoint& p : points) {
+    const std::string name =
+        StrFormat("%s@qps=%.0f", p.config_name.c_str(), p.qps);
+    for (const telemetry::TimelineWindow& w : p.timeline.windows) {
+      std::string burn;
+      for (const auto& [k, v] : w.gauges) {
+        if (k.size() > 9 && k.compare(k.size() - 9, 9, ".slo_burn") == 0) {
+          if (!burn.empty()) burn += ' ';
+          burn += StrFormat("%.2f", v);
+        }
+      }
+      out += StrFormat(
+          "%-24s %4llu %10.1f %5.0f %5.0f %5.0f %5.0f %9.2f %9.2f %4.0f "
+          "%4.0f  %s\n",
+          name.c_str(), static_cast<unsigned long long>(w.index),
+          static_cast<double>(w.start) / (1e3 * kTicksPerNs),
+          GaugeOr(w, "serve.arrivals"), GaugeOr(w, "serve.admitted"),
+          GaugeOr(w, "serve.dropped"), GaugeOr(w, "serve.completed"),
+          GaugeOr(w, "serve.p50_ns") / 1e3, GaugeOr(w, "serve.p99_ns") / 1e3,
+          GaugeOr(w, "serve.queue_depth"), GaugeOr(w, "serve.inflight"),
+          burn.c_str());
+    }
+    if (p.timeline.dropped_windows > 0) {
+      out += StrFormat("%-24s ... %llu windows past telemetry.max_windows "
+                       "dropped\n",
+                       name.c_str(),
+                       static_cast<unsigned long long>(
+                           p.timeline.dropped_windows));
+    }
+  }
+  return out;
+}
+
 trace::PhaseLog BuildServePhases(const std::vector<ServePoint>& points) {
   trace::PhaseLog log;
   // Cut() records deltas against the previous cut, so feed it a running

@@ -51,6 +51,17 @@ KneeSummary FindKnee(const std::vector<ServePoint>& series,
 // Deterministic text, grouped in first-appearance config order.
 std::string FormatKneeSummary(const std::vector<ServePoint>& points);
 
+// One-line telemetry note for the live heartbeat, from the last window of
+// a point's timeline: "qps=1.2e+06 p99=824us q=3". "" when the timeline
+// has no windows (telemetry off).
+std::string TimelineNote(const telemetry::Timeline& tl);
+
+// Deterministic per-point window table (DESIGN.md §17): one row per
+// telemetry window of every point, in point order. "" when no point
+// carries windows, so telemetry-off output is untouched. Printed inside
+// the saturation markers, so the golden identity gates cover it.
+std::string FormatServeTimeline(const std::vector<ServePoint>& points);
+
 // Builds the --metrics-out phase log: one phase per point (named
 // "<config>@qps=<q>", duration = the point's simulated horizon) whose
 // deltas are exactly that point's registry contribution. Export through

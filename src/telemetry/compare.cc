@@ -1,0 +1,468 @@
+#include "telemetry/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/log.h"
+#include "common/string_util.h"
+#include "common/trace.h"
+
+namespace graphpim::telemetry {
+
+namespace {
+
+// Numeric and string leaves of one JSON document, in encounter order.
+struct Leaves {
+  std::vector<std::pair<std::string, double>> nums;
+  std::vector<std::pair<std::string, std::string>> strs;
+};
+
+std::string JoinKey(const std::string& prefix, const std::string& k) {
+  return prefix.empty() ? k : prefix + "." + k;
+}
+
+// Minimal recursive-descent JSON reader: enough for the artifacts this
+// repo writes (reports, bench points, timelines, Chrome traces). Numbers
+// and booleans become numeric leaves, strings become string leaves, null
+// is dropped.
+class JsonParser {
+ public:
+  JsonParser(const char* begin, const char* end) : begin_(begin), p_(begin), end_(end) {}
+
+  void ParseValue(const std::string& key, Leaves* out) {
+    SkipWs();
+    if (p_ == end_) Fail("a value");
+    switch (*p_) {
+      case '{':
+        ParseObject(key, out);
+        return;
+      case '[':
+        ParseArray(key, out);
+        return;
+      case '"':
+        out->strs.emplace_back(key, ParseString());
+        return;
+      case 't':
+        Expect("true");
+        out->nums.emplace_back(key, 1.0);
+        return;
+      case 'f':
+        Expect("false");
+        out->nums.emplace_back(key, 0.0);
+        return;
+      case 'n':
+        Expect("null");
+        return;
+      default:
+        out->nums.emplace_back(key, ParseNumber());
+        return;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return p_ == end_;
+  }
+
+ private:
+  [[noreturn]] void Fail(const char* what) {
+    GP_THROW("malformed JSON at offset ", p_ - begin_, ": expected ", what);
+  }
+
+  void SkipWs() {
+    while (p_ < end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  void Expect(const char* lit) {
+    for (const char* q = lit; *q != '\0'; ++q) {
+      if (p_ == end_ || *p_ != *q) Fail(lit);
+      ++p_;
+    }
+  }
+
+  void ParseObject(const std::string& key, Leaves* out) {
+    ++p_;  // '{'
+    SkipWs();
+    if (p_ < end_ && *p_ == '}') {
+      ++p_;
+      return;
+    }
+    while (true) {
+      SkipWs();
+      if (p_ == end_ || *p_ != '"') Fail("an object key");
+      const std::string k = ParseString();
+      SkipWs();
+      if (p_ == end_ || *p_ != ':') Fail("':'");
+      ++p_;
+      ParseValue(JoinKey(key, k), out);
+      SkipWs();
+      if (p_ == end_) Fail("',' or '}'");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return;
+      }
+      Fail("',' or '}'");
+    }
+  }
+
+  void ParseArray(const std::string& key, Leaves* out) {
+    ++p_;  // '['
+    SkipWs();
+    if (p_ < end_ && *p_ == ']') {
+      ++p_;
+      return;
+    }
+    std::size_t idx = 0;
+    while (true) {
+      ParseValue(JoinKey(key, StrFormat("%zu", idx)), out);
+      ++idx;
+      SkipWs();
+      if (p_ == end_) Fail("',' or ']'");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return;
+      }
+      Fail("',' or ']'");
+    }
+  }
+
+  std::string ParseString() {
+    ++p_;  // '"'
+    std::string s;
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ != '\\') {
+        s += *p_++;
+        continue;
+      }
+      ++p_;
+      if (p_ == end_) Fail("an escape sequence");
+      switch (*p_) {
+        case '"': s += '"'; break;
+        case '\\': s += '\\'; break;
+        case '/': s += '/'; break;
+        case 'b': s += '\b'; break;
+        case 'f': s += '\f'; break;
+        case 'n': s += '\n'; break;
+        case 'r': s += '\r'; break;
+        case 't': s += '\t'; break;
+        case 'u': {
+          if (end_ - p_ < 5) Fail("four hex digits");
+          unsigned cp = 0;
+          for (int i = 1; i <= 4; ++i) {
+            const char c = p_[i];
+            cp <<= 4;
+            if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+            else Fail("four hex digits");
+          }
+          p_ += 4;
+          // UTF-8 encode the code unit (surrogate pairs are not decoded;
+          // the repo's writers only emit \u00XX control escapes).
+          if (cp < 0x80) {
+            s += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            s += static_cast<char>(0xC0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            s += static_cast<char>(0xE0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          Fail("a valid escape");
+      }
+      ++p_;
+    }
+    if (p_ == end_) Fail("a closing '\"'");
+    ++p_;  // '"'
+    return s;
+  }
+
+  double ParseNumber() {
+    char* after = nullptr;
+    const double v = std::strtod(p_, &after);
+    if (after == p_) Fail("a number");
+    p_ = after;
+    return v;
+  }
+
+  const char* begin_;
+  const char* p_;
+  const char* end_;
+};
+
+Leaves ParseDocument(const char* begin, const char* end) {
+  JsonParser p(begin, end);
+  Leaves leaves;
+  p.ParseValue("", &leaves);
+  if (!p.AtEnd()) GP_THROW("malformed JSON: trailing content after document");
+  return leaves;
+}
+
+const std::string* FindStr(const Leaves& l, const char* key) {
+  for (const auto& [k, v] : l.strs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const double* FindNum(const Leaves& l, const char* key) {
+  for (const auto& [k, v] : l.nums) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+// Identity prefix for one JSONL line: point / window / phase fields when
+// present ("point.<p>.window.<n>." for a pointed timeline), else a plain
+// line ordinal.
+std::string LinePrefix(const Leaves& l, std::size_t line_idx) {
+  std::string prefix;
+  if (const std::string* point = FindStr(l, "point")) {
+    prefix += "point." + *point + ".";
+  }
+  if (const double* window = FindNum(l, "window")) {
+    prefix += StrFormat("window.%.0f.", *window);
+  }
+  if (prefix.empty()) {
+    if (const std::string* phase = FindStr(l, "phase")) {
+      prefix = "phase." + *phase + ".";
+    } else {
+      prefix = StrFormat("line.%zu.", line_idx);
+    }
+  }
+  return prefix;
+}
+
+FlatRun SortAndDedupe(std::vector<std::pair<std::string, double>> values) {
+  std::stable_sort(values.begin(), values.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  FlatRun run;
+  run.values.reserve(values.size());
+  for (auto& kv : values) {
+    if (!run.values.empty() && run.values.back().first == kv.first) continue;
+    run.values.push_back(std::move(kv));
+  }
+  return run;
+}
+
+double AbsDrift(const DriftRow& r) { return std::fabs(r.drift); }
+
+}  // namespace
+
+const double* FlatRun::Find(const std::string& key) const {
+  auto it = std::lower_bound(
+      values.begin(), values.end(), key,
+      [](const auto& kv, const std::string& k) { return kv.first < k; });
+  return (it != values.end() && it->first == key) ? &it->second : nullptr;
+}
+
+FlatRun FlattenRunJson(const std::string& text) {
+  // Collect non-empty lines first: several parseable lines means JSONL
+  // (timelines, phase logs, journals); otherwise the text is one JSON
+  // document, possibly pretty-printed across lines.
+  std::vector<std::pair<const char*, const char*>> lines;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  while (p < end) {
+    const char* nl = p;
+    while (nl < end && *nl != '\n') ++nl;
+    const char* b = p;
+    const char* e = nl;
+    while (b < e && (*b == ' ' || *b == '\t' || *b == '\r')) ++b;
+    while (e > b && (e[-1] == ' ' || e[-1] == '\t' || e[-1] == '\r')) --e;
+    if (b < e) lines.emplace_back(b, e);
+    p = nl < end ? nl + 1 : end;
+  }
+  if (lines.empty()) GP_THROW("empty run artifact: nothing to compare");
+
+  if (lines.size() > 1) {
+    bool jsonl = true;
+    std::vector<Leaves> parsed;
+    parsed.reserve(lines.size());
+    try {
+      for (const auto& [b, e] : lines) parsed.push_back(ParseDocument(b, e));
+    } catch (const SimError&) {
+      jsonl = false;  // pretty-printed single document
+    }
+    if (jsonl) {
+      std::vector<std::pair<std::string, double>> values;
+      for (std::size_t i = 0; i < parsed.size(); ++i) {
+        const std::string prefix = LinePrefix(parsed[i], i);
+        for (auto& [k, v] : parsed[i].nums) {
+          values.emplace_back(prefix + k, v);
+        }
+      }
+      return SortAndDedupe(std::move(values));
+    }
+  }
+
+  Leaves leaves = ParseDocument(text.data(), end);
+  return SortAndDedupe(std::move(leaves.nums));
+}
+
+DriftReport CompareRuns(const FlatRun& base, const FlatRun& head,
+                        const CompareOptions& opts) {
+  auto selected = [&](const std::string& k) {
+    if (opts.keys.empty()) return true;
+    for (const std::string& f : opts.keys) {
+      if (StartsWith(k, f)) return true;
+    }
+    return false;
+  };
+  auto tol_for = [&](const std::string& k) {
+    double tol = opts.rel_tol;
+    std::size_t best = 0;
+    bool found = false;
+    for (const auto& [prefix, t] : opts.per_key) {
+      if (StartsWith(k, prefix) && (!found || prefix.size() >= best)) {
+        tol = t;
+        best = prefix.size();
+        found = true;
+      }
+    }
+    return tol;
+  };
+
+  DriftReport rep;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < base.values.size() || j < head.values.size()) {
+    DriftRow row;
+    const bool take_base =
+        j >= head.values.size() ||
+        (i < base.values.size() && base.values[i].first <= head.values[j].first);
+    const bool take_head =
+        i >= base.values.size() ||
+        (j < head.values.size() && head.values[j].first <= base.values[i].first);
+    if (take_base && take_head) {
+      row.key = base.values[i].first;
+      row.base = base.values[i].second;
+      row.head = head.values[j].second;
+      ++i;
+      ++j;
+      if (!selected(row.key)) continue;
+      row.tol = tol_for(row.key);
+      const double diff = row.head - row.base;
+      if (row.base != 0.0) {
+        row.drift = diff / std::fabs(row.base);
+      } else if (diff != 0.0) {
+        row.drift = std::copysign(std::numeric_limits<double>::infinity(), diff);
+      }
+      const bool pass =
+          std::fabs(diff) <= opts.abs_tol + row.tol * std::fabs(row.base);
+      row.status = pass ? DriftRow::kPass : DriftRow::kFail;
+      ++rep.compared;
+      if (!pass) ++rep.failed;
+    } else if (take_base) {
+      row.key = base.values[i].first;
+      row.base = base.values[i].second;
+      row.status = DriftRow::kOnlyBase;
+      ++i;
+      if (!selected(row.key)) continue;
+      ++rep.missing;
+      if (opts.fail_on_missing) ++rep.failed;
+    } else {
+      row.key = head.values[j].first;
+      row.head = head.values[j].second;
+      row.status = DriftRow::kOnlyHead;
+      ++j;
+      if (!selected(row.key)) continue;
+      ++rep.missing;
+      if (opts.fail_on_missing) ++rep.failed;
+    }
+    rep.rows.push_back(std::move(row));
+  }
+
+  auto rank = [](const DriftRow& r) {
+    switch (r.status) {
+      case DriftRow::kFail: return 0;
+      case DriftRow::kOnlyBase:
+      case DriftRow::kOnlyHead: return 1;
+      case DriftRow::kPass: return 2;
+    }
+    return 2;
+  };
+  std::stable_sort(rep.rows.begin(), rep.rows.end(),
+                   [&](const DriftRow& a, const DriftRow& b) {
+                     const int ra = rank(a);
+                     const int rb = rank(b);
+                     if (ra != rb) return ra < rb;
+                     if (AbsDrift(a) != AbsDrift(b)) {
+                       return AbsDrift(a) > AbsDrift(b);
+                     }
+                     return a.key < b.key;
+                   });
+  return rep;
+}
+
+std::string FormatDriftTable(const DriftReport& report, std::size_t max_rows) {
+  std::string out = StrFormat("%-44s %14s %14s %10s %8s  %s\n", "counter",
+                              "base", "head", "drift", "tol", "verdict");
+  std::size_t shown = 0;
+  std::size_t hidden = 0;
+  for (const DriftRow& r : report.rows) {
+    // Every failure prints, even past the row cap.
+    if (shown >= max_rows && r.status != DriftRow::kFail) {
+      ++hidden;
+      continue;
+    }
+    std::string drift;
+    const char* verdict = "ok";
+    std::string base_s = trace::FormatStatValue(r.base);
+    std::string head_s = trace::FormatStatValue(r.head);
+    switch (r.status) {
+      case DriftRow::kFail:
+        verdict = "FAIL";
+        [[fallthrough]];
+      case DriftRow::kPass:
+        drift = std::isinf(r.drift)
+                    ? std::string(r.drift > 0 ? "+inf" : "-inf")
+                    : StrFormat("%+.2f%%", r.drift * 100.0);
+        break;
+      case DriftRow::kOnlyBase:
+        verdict = "base-only";
+        drift = "gone";
+        head_s = "-";
+        break;
+      case DriftRow::kOnlyHead:
+        verdict = "head-only";
+        drift = "new";
+        base_s = "-";
+        break;
+    }
+    const std::string tol =
+        r.status == DriftRow::kPass || r.status == DriftRow::kFail
+            ? StrFormat("%.3g%%", r.tol * 100.0)
+            : std::string("-");
+    out += StrFormat("%-44s %14s %14s %10s %8s  %s\n", r.key.c_str(),
+                     base_s.c_str(), head_s.c_str(), drift.c_str(),
+                     tol.c_str(), verdict);
+    ++shown;
+  }
+  if (hidden > 0) {
+    out += StrFormat("... %zu more rows within tolerance\n", hidden);
+  }
+  out += StrFormat(
+      "compare: %zu keys compared, %zu over tolerance, %zu only in one run\n",
+      report.compared, report.failed, report.missing);
+  return out;
+}
+
+}  // namespace graphpim::telemetry

@@ -1,0 +1,137 @@
+#include "telemetry/timeline.h"
+
+#include "common/log.h"
+#include "common/string_util.h"
+#include "common/trace.h"
+
+namespace graphpim::telemetry {
+
+namespace {
+
+// Ticks are picoseconds; Chrome trace timestamps are microseconds.
+double TickToUs(Tick t) { return static_cast<double>(t) / 1e6; }
+
+double TickToNs(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+void AppendItems(const std::vector<std::pair<std::string, double>>& items,
+                 std::string* out) {
+  bool first = true;
+  for (const auto& [k, v] : items) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"' + JsonEscape(k) + "\":" + trace::FormatStatValue(v);
+  }
+}
+
+}  // namespace
+
+WindowSampler::WindowSampler(Tick window_ticks, Timeline* out,
+                             std::uint64_t max_windows, GaugeSampler gauges)
+    : window_(window_ticks),
+      next_boundary_(window_ticks),
+      max_windows_(max_windows),
+      out_(out),
+      gauges_(std::move(gauges)) {
+  GP_CHECK(window_ticks > 0, "telemetry window must be at least one tick");
+  GP_CHECK(out != nullptr);
+  out_->window_ticks = window_ticks;
+}
+
+void WindowSampler::CutWindow(
+    Tick start, Tick end, std::vector<std::pair<std::string, double>> deltas) {
+  if (max_windows_ != 0 && out_->windows.size() >= max_windows_) {
+    ++out_->dropped_windows;
+    return;
+  }
+  TimelineWindow w;
+  w.index = static_cast<std::uint64_t>(out_->windows.size());
+  w.start = start;
+  w.end = end;
+  w.deltas = std::move(deltas);
+  if (gauges_) gauges_(start, end, &w.gauges);
+  out_->windows.push_back(std::move(w));
+}
+
+void WindowSampler::AdvanceTo(Tick now, const StatRegistry& merged) {
+  if (now < next_boundary_) return;
+  StatSnapshot snap = merged.Snapshot();
+  std::vector<std::pair<std::string, double>> deltas = DeltaItems(snap, prev_);
+  prev_ = std::move(snap);
+  bool first = true;
+  while (next_boundary_ <= now) {
+    CutWindow(next_boundary_ - window_, next_boundary_,
+              first ? std::move(deltas)
+                    : std::vector<std::pair<std::string, double>>());
+    first = false;
+    next_boundary_ += window_;
+  }
+}
+
+void WindowSampler::Finish(Tick end, const StatRegistry& merged) {
+  if (finished_) return;
+  finished_ = true;
+  AdvanceTo(end, merged);
+  const Tick start = next_boundary_ - window_;
+  if (end > start || out_->windows.empty()) {
+    StatSnapshot snap = merged.Snapshot();
+    std::vector<std::pair<std::string, double>> deltas = DeltaItems(snap, prev_);
+    prev_ = std::move(snap);
+    CutWindow(start, end, std::move(deltas));
+  }
+}
+
+std::string ToJsonl(const Timeline& tl, const std::string& point) {
+  std::string out;
+  for (const TimelineWindow& w : tl.windows) {
+    std::string line = "{";
+    if (!point.empty()) line += "\"point\":\"" + JsonEscape(point) + "\",";
+    line += StrFormat("\"window\":%llu,\"start_ns\":%.3f,\"end_ns\":%.3f,"
+                      "\"deltas\":{",
+                      static_cast<unsigned long long>(w.index),
+                      TickToNs(w.start), TickToNs(w.end));
+    AppendItems(w.deltas, &line);
+    line += "},\"gauges\":{";
+    AppendItems(w.gauges, &line);
+    line += "}}\n";
+    out += line;
+  }
+  return out;
+}
+
+std::string ChromeCounterEvents(const Timeline& tl, const std::string& prefix,
+                                int pid) {
+  std::string out;
+  bool first = true;
+  auto emit = [&](const std::string& ev) {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    out += ev;
+  };
+  for (const TimelineWindow& w : tl.windows) {
+    for (const auto& [k, v] : w.deltas) {
+      emit(StrFormat("{\"name\":\"%s\",\"ph\":\"C\",\"pid\":%d,\"ts\":%.6f,"
+                     "\"args\":{\"delta\":%s}}",
+                     JsonEscape(prefix + "tele:" + k).c_str(), pid,
+                     TickToUs(w.end), trace::FormatStatValue(v).c_str()));
+    }
+    for (const auto& [k, v] : w.gauges) {
+      emit(StrFormat("{\"name\":\"%s\",\"ph\":\"C\",\"pid\":%d,\"ts\":%.6f,"
+                     "\"args\":{\"value\":%s}}",
+                     JsonEscape(prefix + k).c_str(), pid, TickToUs(w.end),
+                     trace::FormatStatValue(v).c_str()));
+    }
+  }
+  return out;
+}
+
+void RequireSink(double window_ns, bool has_sink, const char* hint) {
+  if (window_ns > 0.0 && !has_sink) {
+    GP_THROW("telemetry.window_ns=", window_ns,
+             " but no telemetry sink is attached: ", hint);
+  }
+}
+
+}  // namespace graphpim::telemetry

@@ -1,0 +1,501 @@
+// src/telemetry tests (DESIGN.md §17): WindowSampler boundary math, the
+// JSONL/Chrome-counter exporters, the sink-required config gate, windowed
+// end-to-end runs (delta conservation, rerun/shard determinism, strict
+// off-identity), serve per-window gauges, the journal timeline sidecar,
+// and the run-comparison engine behind tools/graphpim_compare.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+#include "common/log.h"
+#include "common/stats.h"
+#include "core/report.h"
+#include "core/runner.h"
+#include "core/sim_config.h"
+#include "exec/journal.h"
+#include "exec/sweep.h"
+#include "serve/engine.h"
+#include "serve/slo.h"
+#include "telemetry/compare.h"
+#include "telemetry/timeline.h"
+
+namespace graphpim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WindowSampler units.
+
+TEST(WindowSampler, CutsAtBoundariesAndAttachesDeltasToFirstWindow) {
+  StatRegistry reg;
+  telemetry::Timeline tl;
+  telemetry::WindowSampler ws(100, &tl, 0, {});
+
+  reg.Add("x", 5.0);
+  ws.AdvanceTo(50, reg);
+  EXPECT_TRUE(tl.windows.empty());  // boundary 100 not reached
+  EXPECT_EQ(ws.next_boundary(), 100u);
+
+  ws.AdvanceTo(100, reg);
+  ASSERT_EQ(tl.windows.size(), 1u);
+  EXPECT_EQ(tl.windows[0].index, 0u);
+  EXPECT_EQ(tl.windows[0].start, 0u);
+  EXPECT_EQ(tl.windows[0].end, 100u);
+  ASSERT_EQ(tl.windows[0].deltas.size(), 1u);
+  EXPECT_EQ(tl.windows[0].deltas[0].first, "x");
+  EXPECT_DOUBLE_EQ(tl.windows[0].deltas[0].second, 5.0);
+
+  // One quantum jumps two boundaries: the accrued delta attaches to the
+  // first window of the span, the second stays empty (virtual time inside
+  // a quantum is not subdividable after the fact).
+  reg.Add("x", 2.0);
+  ws.AdvanceTo(350, reg);
+  ASSERT_EQ(tl.windows.size(), 3u);
+  EXPECT_EQ(tl.windows[1].end, 200u);
+  ASSERT_EQ(tl.windows[1].deltas.size(), 1u);
+  EXPECT_DOUBLE_EQ(tl.windows[1].deltas[0].second, 2.0);
+  EXPECT_TRUE(tl.windows[2].deltas.empty());
+  EXPECT_EQ(ws.next_boundary(), 400u);
+
+  // Finish flushes the trailing partial window up to the final tick.
+  reg.Add("x", 1.0);
+  ws.Finish(370, reg);
+  ASSERT_EQ(tl.windows.size(), 4u);
+  EXPECT_EQ(tl.windows[3].start, 300u);
+  EXPECT_EQ(tl.windows[3].end, 370u);
+  ASSERT_EQ(tl.windows[3].deltas.size(), 1u);
+  EXPECT_DOUBLE_EQ(tl.windows[3].deltas[0].second, 1.0);
+
+  // Idempotent: a second Finish adds nothing.
+  ws.Finish(370, reg);
+  EXPECT_EQ(tl.windows.size(), 4u);
+}
+
+TEST(WindowSampler, TelemetryOnAlwaysYieldsAtLeastOneWindow) {
+  StatRegistry reg;
+  telemetry::Timeline tl;
+  telemetry::WindowSampler ws(1000, &tl, 0, {});
+  ws.Finish(0, reg);  // degenerate run: no tick ever advanced
+  ASSERT_EQ(tl.windows.size(), 1u);
+  EXPECT_EQ(tl.windows[0].start, 0u);
+  EXPECT_EQ(tl.windows[0].end, 0u);
+}
+
+TEST(WindowSampler, GaugeSamplerRunsPerCutInEmissionOrder) {
+  StatRegistry reg;
+  telemetry::Timeline tl;
+  std::vector<std::pair<Tick, Tick>> seen;
+  telemetry::WindowSampler ws(
+      100, &tl, 0,
+      [&](Tick s, Tick e, std::vector<std::pair<std::string, double>>* out) {
+        seen.emplace_back(s, e);
+        out->emplace_back("z.gauge", 2.0);
+        out->emplace_back("a.gauge", 1.0);  // emission order, NOT sorted
+      });
+  ws.AdvanceTo(200, reg);
+  ws.Finish(250, reg);
+  ASSERT_EQ(tl.windows.size(), 3u);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<Tick, Tick>{0, 100}));
+  EXPECT_EQ(seen[2], (std::pair<Tick, Tick>{200, 250}));
+  ASSERT_EQ(tl.windows[0].gauges.size(), 2u);
+  EXPECT_EQ(tl.windows[0].gauges[0].first, "z.gauge");
+  EXPECT_EQ(tl.windows[0].gauges[1].first, "a.gauge");
+}
+
+TEST(WindowSampler, MaxWindowsCapCountsDroppedCuts) {
+  StatRegistry reg;
+  telemetry::Timeline tl;
+  telemetry::WindowSampler ws(100, &tl, 2, {});
+  ws.AdvanceTo(400, reg);  // four boundaries
+  EXPECT_EQ(tl.windows.size(), 2u);
+  EXPECT_EQ(tl.dropped_windows, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+
+telemetry::Timeline TinyTimeline() {
+  telemetry::Timeline tl;
+  tl.window_ticks = 100;
+  telemetry::TimelineWindow w;
+  w.index = 0;
+  w.start = 0;
+  w.end = 100;
+  w.deltas.emplace_back("core.insts", 42.0);
+  w.gauges.emplace_back("tele.link.occupancy", 0.5);
+  tl.windows.push_back(w);
+  w.index = 1;
+  w.start = 100;
+  w.end = 150;
+  tl.windows.push_back(w);
+  return tl;
+}
+
+TEST(TimelineExport, JsonlCarriesWindowFieldsAndOptionalPoint) {
+  const telemetry::Timeline tl = TinyTimeline();
+  const std::string plain = telemetry::ToJsonl(tl);
+  EXPECT_NE(plain.find("{\"window\":0,\"start_ns\":0.000"), std::string::npos)
+      << plain;
+  EXPECT_NE(plain.find("\"deltas\":{\"core.insts\":42}"), std::string::npos);
+  EXPECT_NE(plain.find("\"gauges\":{\"tele.link.occupancy\":0.5}"),
+            std::string::npos);
+  EXPECT_EQ(plain.find("\"point\""), std::string::npos);
+
+  const std::string pointed = telemetry::ToJsonl(tl, "GraphPIM@qps=1e6");
+  EXPECT_EQ(pointed.rfind("{\"point\":\"GraphPIM@qps=1e6\",", 0), 0u)
+      << pointed;
+  EXPECT_TRUE(telemetry::ToJsonl(telemetry::Timeline{}).empty());
+}
+
+TEST(TimelineExport, ChromeCounterEventsSpliceAndNamespace) {
+  const telemetry::Timeline tl = TinyTimeline();
+  const std::string ev = telemetry::ChromeCounterEvents(tl);
+  // Splice convention: each event prefixed "\n", events joined ",".
+  EXPECT_EQ(ev.rfind("\n{", 0), 0u) << ev;
+  EXPECT_NE(ev.find("\"ph\":\"C\""), std::string::npos);
+  // Counter deltas get a tele: track prefix; gauges keep their names.
+  EXPECT_NE(ev.find("\"name\":\"tele:core.insts\""), std::string::npos);
+  EXPECT_NE(ev.find("\"name\":\"tele.link.occupancy\""), std::string::npos);
+  const std::string scoped = telemetry::ChromeCounterEvents(tl, "p1|");
+  EXPECT_NE(scoped.find("\"name\":\"p1|tele:core.insts\""), std::string::npos);
+  EXPECT_TRUE(telemetry::ChromeCounterEvents(telemetry::Timeline{}).empty());
+}
+
+TEST(TimelineExport, RequireSinkGatesOnWindowAndSink) {
+  EXPECT_NO_THROW(telemetry::RequireSink(0.0, false, "hint"));
+  EXPECT_NO_THROW(telemetry::RequireSink(100.0, true, "hint"));
+  EXPECT_THROW(telemetry::RequireSink(100.0, false, "hint"), SimError);
+}
+
+// ---------------------------------------------------------------------------
+// Config surface.
+
+TEST(TelemetryConfig, KnobsParseRangeCheckAndCrossValidate) {
+  Config cfg;
+  cfg.Set("telemetry-window-ns", "2500");
+  cfg.Set("telemetry.max_windows", "64");
+  const core::SimConfig sc =
+      core::SimConfig::FromConfig(cfg, core::Mode::kGraphPim);
+  EXPECT_DOUBLE_EQ(sc.telemetry_window_ns, 2500.0);
+  EXPECT_EQ(sc.telemetry_max_windows, 64u);
+
+  Config neg;
+  neg.Set("telemetry-window-ns", "-5");
+  EXPECT_THROW(core::SimConfig::FromConfig(neg, core::Mode::kGraphPim),
+               SimError);
+  Config frac;
+  frac.Set("telemetry-max-windows", "1.5");  // integer-only knob
+  EXPECT_THROW(core::SimConfig::FromConfig(frac, core::Mode::kGraphPim),
+               SimError);
+  // Cross-field Validate(): a sub-nanosecond window cuts inside one tick.
+  core::SimConfig sub = core::SimConfig::Scaled(core::Mode::kGraphPim);
+  sub.telemetry_window_ns = 0.5;
+  EXPECT_THROW(sub.Validate(), SimError);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: windowed replay runs.
+
+core::SimConfig WindowedConfig(double window_ns, int shards = 1) {
+  core::SimConfig sc = core::SimConfig::Scaled(core::Mode::kGraphPim);
+  sc.num_cores = 4;
+  sc.shards = shards;
+  sc.telemetry_window_ns = window_ns;
+  return sc;
+}
+
+core::Experiment TinyExperiment() {
+  core::Experiment::Options eo;
+  eo.num_threads = 4;
+  eo.seed = 3;
+  eo.op_cap = 30'000;
+  return core::Experiment("ldbc", 512, "bfs", eo);
+}
+
+TEST(TelemetryEndToEnd, WindowDeltasConserveRunTotals) {
+  const core::Experiment exp = TinyExperiment();
+  telemetry::Timeline tl;
+  core::RunOptions ro;
+  ro.timeline = &tl;
+  const core::SimResults r = exp.Run(WindowedConfig(2000.0), ro);
+
+  ASSERT_FALSE(tl.empty());
+  double insts = 0.0;
+  double atomics = 0.0;
+  for (std::size_t i = 0; i < tl.windows.size(); ++i) {
+    const telemetry::TimelineWindow& w = tl.windows[i];
+    EXPECT_EQ(w.index, i);
+    EXPECT_LE(w.start, w.end);
+    if (i > 0) {
+      EXPECT_EQ(w.start, tl.windows[i - 1].end);
+    }
+    EXPECT_FALSE(w.gauges.empty());
+    EXPECT_EQ(w.gauges[0].first, "tele.pou.inflight");
+    for (const auto& [k, v] : w.deltas) {
+      if (k == "core.insts") insts += v;
+      if (k == "core.atomics") atomics += v;
+    }
+  }
+  // Finish() flushes through the final tick, so per-window deltas sum to
+  // the run totals exactly.
+  EXPECT_DOUBLE_EQ(insts, static_cast<double>(r.insts));
+  EXPECT_DOUBLE_EQ(atomics, static_cast<double>(r.atomics));
+}
+
+TEST(TelemetryEndToEnd, TimelineIsBitIdenticalAcrossRerunsAndShards) {
+  const core::Experiment exp = TinyExperiment();
+  auto run = [&](int shards) {
+    telemetry::Timeline tl;
+    core::RunOptions ro;
+    ro.timeline = &tl;
+    exp.Run(WindowedConfig(2000.0, shards), ro);
+    return telemetry::ToJsonl(tl);
+  };
+  const std::string serial = run(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, run(1));  // rerun
+  EXPECT_EQ(serial, run(4));  // sharded engine, same boundaries
+}
+
+TEST(TelemetryEndToEnd, OffIsIdentityAndLeavesTimelineUntouched) {
+  const core::Experiment exp = TinyExperiment();
+  telemetry::Timeline tl;
+  core::RunOptions ro;
+  ro.timeline = &tl;
+  const core::SimResults off = exp.Run(WindowedConfig(0.0), ro);
+  EXPECT_TRUE(tl.empty());  // no sampler was ever constructed
+
+  const core::SimResults plain = exp.Run(WindowedConfig(0.0));
+  EXPECT_EQ(core::ToJson(off), core::ToJson(plain));
+  // ...and a windowed run does not perturb the simulation itself.
+  const core::SimResults on = exp.Run(WindowedConfig(2000.0), ro);
+  EXPECT_EQ(on.cycles, off.cycles);
+  EXPECT_EQ(core::ToJson(on), core::ToJson(off));
+}
+
+// ---------------------------------------------------------------------------
+// Serve per-window telemetry.
+
+serve::ServeParams WindowedServeParams(double window_ns, double slo_ns) {
+  serve::ServeParams p;
+  p.cfg = core::SimConfig::Scaled(core::Mode::kGraphPim);
+  p.cfg.telemetry_window_ns = window_ns;
+  p.traffic.qps = 2e6;
+  p.traffic.num_requests = 40;
+  p.traffic.num_tenants = 2;
+  p.traffic.num_vertices = 2048;
+  p.traffic.seed = 7;
+  p.query.max_hops = 2;
+  p.query.max_frontier = 16;
+  p.query.op_budget = 600;
+  p.queue_depth = 8;
+  p.slots = 2;
+  p.batch_max = 4;
+  p.slo_ns = slo_ns;
+  return p;
+}
+
+serve::ServedGraph::Options TinyServedGraph() {
+  serve::ServedGraph::Options go;
+  go.profile = "ldbc";
+  go.num_vertices = 2048;
+  go.num_tenants = 2;
+  go.seed = 7;
+  return go;
+}
+
+TEST(ServeTelemetry, WindowGaugesConservePointTotals) {
+  const serve::ServedGraph sg(TinyServedGraph());
+  const serve::ServeParams p = WindowedServeParams(20'000.0, 10'000.0);
+  const serve::ServePoint pt = serve::RunServePoint(sg, p);
+
+  ASSERT_FALSE(pt.timeline.empty());
+  double arrivals = 0.0;
+  double completed = 0.0;
+  double dropped = 0.0;
+  bool saw_burn = false;
+  for (const telemetry::TimelineWindow& w : pt.timeline.windows) {
+    EXPECT_TRUE(w.deltas.empty());  // serve windows are gauges-only
+    for (const auto& [k, v] : w.gauges) {
+      if (k == "serve.arrivals") arrivals += v;
+      if (k == "serve.completed") completed += v;
+      if (k == "serve.dropped") dropped += v;
+      if (k == "serve.tenant0.slo_burn" || k == "serve.tenant1.slo_burn") {
+        saw_burn = true;
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(arrivals, static_cast<double>(pt.offered));
+  EXPECT_DOUBLE_EQ(completed, static_cast<double>(pt.served));
+  EXPECT_DOUBLE_EQ(dropped, static_cast<double>(pt.dropped));
+  EXPECT_TRUE(saw_burn);
+
+  // The heartbeat note renders the last window's gauges.
+  const std::string note = serve::TimelineNote(pt.timeline);
+  EXPECT_EQ(note.rfind("qps=", 0), 0u) << note;
+  EXPECT_NE(note.find("p99="), std::string::npos);
+  EXPECT_TRUE(serve::TimelineNote(telemetry::Timeline{}).empty());
+}
+
+TEST(ServeTelemetry, WindowTableIsJobsInvariantAndOffIsSilent) {
+  const serve::ServedGraph sg(TinyServedGraph());
+  const serve::ServeParams base = WindowedServeParams(20'000.0, 10'000.0);
+  std::vector<std::pair<std::string, core::SimConfig>> configs = {
+      {"GraphPIM", base.cfg}};
+  core::SimConfig bl = core::SimConfig::Scaled(core::Mode::kBaseline);
+  bl.telemetry_window_ns = base.cfg.telemetry_window_ns;
+  configs.emplace_back("Baseline", bl);
+  const std::vector<double> qps = {2e5, 2e6};
+
+  const serve::ServeGridResult j1 = serve::RunServeGrid(sg, base, configs, qps, 1);
+  const serve::ServeGridResult j4 = serve::RunServeGrid(sg, base, configs, qps, 4);
+  const std::string t1 = serve::FormatServeTimeline(j1.points);
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, serve::FormatServeTimeline(j4.points));
+  EXPECT_NE(t1.find("tenant burn"), std::string::npos);
+
+  // Telemetry off: no windows, and the table renders as "" so the serve
+  // report stays byte-identical to pre-telemetry builds.
+  serve::ServeParams off = base;
+  off.cfg.telemetry_window_ns = 0.0;
+  const serve::ServePoint pt = serve::RunServePoint(sg, off);
+  EXPECT_TRUE(pt.timeline.empty());
+  EXPECT_TRUE(serve::FormatServeTimeline({pt}).empty());
+}
+
+TEST(ServeTelemetry, NegativeSloIsRejected) {
+  const serve::ServedGraph sg(TinyServedGraph());
+  serve::ServeParams p = WindowedServeParams(0.0, -1.0);
+  EXPECT_THROW(serve::RunServePoint(sg, p), SimError);
+  // The grid must fail fast on the orchestrating thread too — a throw
+  // inside a pool worker would terminate the process.
+  EXPECT_THROW(
+      serve::RunServeGrid(sg, p, {{"GraphPIM", p.cfg}}, {2e5}, 1), SimError);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep journal timeline sidecar.
+
+TEST(TelemetryJournal, SidecarsAreWrittenSkippedOnLoadAndJobsInvariant) {
+  exec::SweepGrid grid;
+  grid.workloads = {"bfs"};
+  grid.profiles = {"ldbc"};
+  grid.vertices = 512;
+  grid.sim_threads = 2;
+  grid.op_cap = 10'000;
+  core::SimConfig c = core::SimConfig::Scaled(core::Mode::kGraphPim);
+  c.num_cores = 2;
+  c.telemetry_window_ns = 2000.0;
+  grid.configs = {c, core::SimConfig::Scaled(core::Mode::kBaseline)};
+  grid.configs[1].num_cores = 2;
+  grid.configs[1].telemetry_window_ns = 2000.0;
+  grid.config_names = {"graphpim", "baseline"};
+
+  auto sidecars_with_jobs = [&](int jobs, const std::string& path) {
+    std::remove(path.c_str());
+    exec::SweepRunner::Options opts;
+    opts.jobs = jobs;
+    opts.journal_path = path;
+    exec::SweepResultTable t = exec::SweepRunner(opts).Run(grid);
+    EXPECT_EQ(t.failed_rows, 0u);
+    std::ifstream in(path);
+    std::string line, out;
+    while (std::getline(in, line)) {
+      if (line.rfind("{\"timeline_for\":", 0) == 0) {
+        // The flattener doubles as a strict-JSON check on the sidecar.
+        EXPECT_NO_THROW(telemetry::FlattenRunJson(line)) << line;
+        out += line;
+        out += '\n';
+      }
+    }
+    return out;
+  };
+
+  const std::string p1 = ::testing::TempDir() + "/gp_tele_j1.jsonl";
+  const std::string p4 = ::testing::TempDir() + "/gp_tele_j4.jsonl";
+  const std::string s1 = sidecars_with_jobs(1, p1);
+  const std::string s4 = sidecars_with_jobs(4, p4);
+  ASSERT_FALSE(s1.empty());
+  // Rows are harvested in grid order at any --jobs, so the timeline
+  // sidecars are bit-identical too.
+  EXPECT_EQ(s1, s4);
+  EXPECT_NE(s1.find("\"windows\":[{"), std::string::npos);
+
+  // Sidecars are annotations: loading restores the rows and drops nothing.
+  exec::JournalData jd;
+  ASSERT_TRUE(exec::LoadJournal(p1, &jd));
+  EXPECT_EQ(jd.rows.size(), 2u);
+  EXPECT_EQ(jd.dropped_lines, 0u);
+  std::remove(p1.c_str());
+  std::remove(p4.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Comparison engine (tools/graphpim_compare).
+
+TEST(CompareEngine, FlattensDocumentsAndJsonl) {
+  const telemetry::FlatRun doc = telemetry::FlattenRunJson(
+      R"({"a":{"b":2},"arr":[1,2],"flag":true,"name":"ignored"})");
+  ASSERT_EQ(doc.values.size(), 4u);
+  EXPECT_DOUBLE_EQ(*doc.Find("a.b"), 2.0);
+  EXPECT_DOUBLE_EQ(*doc.Find("arr.0"), 1.0);
+  EXPECT_DOUBLE_EQ(*doc.Find("arr.1"), 2.0);
+  EXPECT_DOUBLE_EQ(*doc.Find("flag"), 1.0);  // booleans compare as 0/1
+  EXPECT_EQ(doc.Find("name"), nullptr);      // strings identify, not measure
+
+  // JSONL lines key by their identity fields.
+  const telemetry::FlatRun tl = telemetry::FlattenRunJson(
+      telemetry::ToJsonl(TinyTimeline(), "p1"));
+  EXPECT_NE(tl.Find("point.p1.window.0.deltas.core.insts"), nullptr);
+  EXPECT_NE(tl.Find("point.p1.window.1.gauges.tele.link.occupancy"), nullptr);
+
+  EXPECT_THROW(telemetry::FlattenRunJson("{\"a\":"), SimError);
+  EXPECT_THROW(telemetry::FlattenRunJson(""), SimError);
+}
+
+TEST(CompareEngine, TolerancesGateDriftAndMissingKeys) {
+  const telemetry::FlatRun base =
+      telemetry::FlattenRunJson(R"({"cycles":1000,"ipc":2.0,"gone":1})");
+  const telemetry::FlatRun head =
+      telemetry::FlattenRunJson(R"({"cycles":1100,"ipc":2.0,"fresh":1})");
+
+  telemetry::CompareOptions opts;
+  opts.rel_tol = 0.02;
+  telemetry::DriftReport rep = telemetry::CompareRuns(base, head, opts);
+  EXPECT_EQ(rep.compared, 2u);
+  EXPECT_EQ(rep.failed, 1u);  // cycles drifted 10% > 2%
+  EXPECT_EQ(rep.missing, 2u);
+  EXPECT_FALSE(rep.pass());
+  // Failures sort first and the table renders them past any row cap.
+  ASSERT_FALSE(rep.rows.empty());
+  EXPECT_EQ(rep.rows[0].key, "cycles");
+  const std::string table = telemetry::FormatDriftTable(rep, 0);
+  EXPECT_NE(table.find("cycles"), std::string::npos);
+  EXPECT_NE(table.find("FAIL"), std::string::npos);
+  EXPECT_NE(table.find("+10.00%"), std::string::npos);
+
+  // A per-key override (longest matching prefix) absorbs the drift...
+  opts.per_key.emplace_back("cycles", 0.25);
+  EXPECT_TRUE(telemetry::CompareRuns(base, head, opts).pass());
+  // ...and --fail-on-missing turns one-sided keys into failures.
+  opts.fail_on_missing = true;
+  telemetry::DriftReport strict = telemetry::CompareRuns(base, head, opts);
+  EXPECT_EQ(strict.failed, 2u);
+
+  // Key filtering restricts the comparison surface.
+  telemetry::CompareOptions keyed;
+  keyed.keys = {"ipc"};
+  telemetry::DriftReport only_ipc = telemetry::CompareRuns(base, head, keyed);
+  EXPECT_EQ(only_ipc.compared, 1u);
+  EXPECT_TRUE(only_ipc.pass());
+}
+
+}  // namespace
+}  // namespace graphpim

@@ -334,6 +334,14 @@ TEST(SimConfigApi, DescribeIsGeneratedFromTheFieldTable) {
   EXPECT_TRUE(has_key("ann-queries"));
   EXPECT_NE(desc.find("ann.dim="), std::string::npos) << desc;
   EXPECT_NE(desc.find("ann.ef_search="), std::string::npos) << desc;
+  // And the telemetry.* knobs (DESIGN.md §17): windowed timelines must be
+  // configurable from every driver and sweep spec, so both spellings ride
+  // the table and render in Describe().
+  EXPECT_TRUE(has_key("telemetry.window_ns"));
+  EXPECT_TRUE(has_key("telemetry-window-ns"));
+  EXPECT_TRUE(has_key("telemetry.max_windows"));
+  EXPECT_TRUE(has_key("telemetry-max-windows"));
+  EXPECT_NE(desc.find("telemetry.window_ns="), std::string::npos) << desc;
 }
 
 TEST(SimConfigApi, AnnKnobsParseAndRangeCheck) {

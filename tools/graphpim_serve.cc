@@ -21,6 +21,14 @@
 //                  [--max-hops=2] [--max-frontier=64] [--op-budget=4000]
 //                  [--burst-mult=8] [--seed=1] [--jobs=N] [--progress=1]
 //                  [--metrics-out=serve.json|.jsonl]
+//                  [--slo-ns=0]             # per-request latency SLO target
+//                                           # feeding the per-window tenant
+//                                           # burn-rate gauge
+//                  [--telemetry-window-ns=0]  # per-point virtual-time windows
+//                                           # (queue depth, window p50/p99,
+//                                           # achieved qps, tenant SLO burn);
+//                                           # table inside the markers, plus
+//                  [--timeline-out=t.jsonl] # window JSONL across all points
 //                  + every SimConfig machine knob (threads, ann.*, ...)
 //
 // DETERMINISM: everything between the "== saturation table ==" markers is
@@ -30,6 +38,7 @@
 // the end marker.
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,6 +46,7 @@
 #include "common/config.h"
 #include "common/log.h"
 #include "common/string_util.h"
+#include "telemetry/timeline.h"
 #include "exec/progress.h"
 #include "exec/sweep.h"
 #include "graph/hnsw_index.h"
@@ -70,7 +80,7 @@ int Run(const Config& cfg) {
       "requests",  "mix",       "qps",         "qps-grid",    "queue-depth",
       "drop",      "slots",     "batch",       "dispatch-ns", "max-hops",
       "max-frontier", "op-budget", "burst-mult", "seed",      "jobs",
-      "progress",  "metrics-out"};
+      "progress",  "metrics-out", "slo-ns",     "timeline-out"};
   for (const std::string& k : core::SimConfig::ConfigKeys()) keys.push_back(k);
   cfg.RequireKeys(keys);
 
@@ -101,6 +111,7 @@ int Run(const Config& cfg) {
   base.slots = static_cast<int>(cfg.GetInt("slots", 2));
   base.batch_max = cfg.GetUint("batch", 4);
   base.dispatch_ns = cfg.GetDouble("dispatch-ns", 500.0);
+  base.slo_ns = cfg.GetDouble("slo-ns", 0.0);
 
   // --- machine configs: modes x cube counts ---------------------------
   // num-cubes may carry a comma list (the sweep convention): it expands
@@ -173,6 +184,13 @@ int Run(const Config& cfg) {
   std::fputs(serve::FormatSaturationTable(res.points).c_str(), stdout);
   std::printf("\n");
   std::fputs(serve::FormatKneeSummary(res.points).c_str(), stdout);
+  // Per-point telemetry windows (telemetry.window_ns > 0): deterministic,
+  // so they live inside the diffed region. Empty string when telemetry is
+  // off keeps the off-output byte-identical.
+  const std::string window_table = serve::FormatServeTimeline(res.points);
+  if (!window_table.empty()) {
+    std::printf("\n%s", window_table.c_str());
+  }
   if (sg.has_ann()) {
     // Deterministic index-quality self-check (value-derived probes), so it
     // belongs inside the diffed region.
@@ -211,10 +229,34 @@ int Run(const Config& cfg) {
       static_cast<unsigned long long>(res.pool.peak_running),
       res.pool.busy_ms);
 
+  // Telemetry exports: every point's windows, point-prefixed so the tracks
+  // (and JSONL lines) of different grid cells stay distinct.
+  trace::TraceExtras extras;
+  for (const serve::ServePoint& p : res.points) {
+    if (p.timeline.empty()) continue;
+    const std::string pname =
+        StrFormat("%s@qps=%.0f", p.config_name.c_str(), p.qps);
+    const std::string ev =
+        telemetry::ChromeCounterEvents(p.timeline, pname + "|");
+    if (!ev.empty()) {
+      if (!extras.chrome_events.empty()) extras.chrome_events += ',';
+      extras.chrome_events += ev;
+    }
+    extras.jsonl_lines += telemetry::ToJsonl(p.timeline, pname);
+  }
+
   if (cfg.Has("metrics-out")) {
     const std::string path = cfg.GetString("metrics-out", "");
-    trace::WriteTrace(serve::BuildServePhases(res.points), path);
+    trace::WriteTrace(serve::BuildServePhases(res.points), path, extras);
     std::printf("metrics written to %s\n", path.c_str());
+  }
+  if (cfg.Has("timeline-out")) {
+    const std::string path = cfg.GetString("timeline-out", "");
+    std::ofstream f(path, std::ios::binary);
+    if (!f) GP_THROW("cannot open timeline output file '", path, "'");
+    f << extras.jsonl_lines;
+    if (!f) GP_THROW("failed writing timeline output file '", path, "'");
+    std::printf("telemetry timeline written to %s\n", path.c_str());
   }
   return 0;
 }

@@ -26,6 +26,11 @@
 //                                        # and merge span tracks (cores/cubes/
 //                                        # vaults) into --metrics-out
 //                [--trace-out=t.bin] [--trace-in=t.bin]
+//                [--telemetry-window-ns=0]  # virtual-time telemetry windows
+//                                           # (DESIGN.md §17); needs a sink:
+//                [--timeline-out=t.jsonl]   # window JSONL for the last mode;
+//                                           # windows are also merged into
+//                                           # --metrics-out as counter tracks
 //
 // Sweep mode (runs a whole job matrix instead of a single experiment; see
 // src/exec/sweep.h for the grid-spec syntax and determinism contract).
@@ -55,11 +60,14 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/config.h"
+#include "common/log.h"
+#include "common/string_util.h"
 #include "common/trace.h"
 #include "core/report.h"
 #include "core/runner.h"
@@ -71,6 +79,7 @@
 #include "graph/region.h"
 #include "pmem/checker.h"
 #include "pmem/crash.h"
+#include "telemetry/timeline.h"
 #include "workloads/fusion.h"
 #include "workloads/trace_io.h"
 #include "workloads/workload.h"
@@ -87,6 +96,13 @@ int RunSweep(const Config& cfg) {
   opts.journal_path = cfg.GetString("journal", "");
   opts.resume = cfg.GetBool("resume", false);
   opts.journal_phases = cfg.GetBool("journal-phases", false);
+  // Sweep timelines ride the journal as {"timeline_for":...} sidecars, so
+  // windows without a journal would silently vanish — reject that.
+  for (const core::SimConfig& c : grid.configs) {
+    telemetry::RequireSink(c.telemetry_window_ns, !opts.journal_path.empty(),
+                           "sweep timelines are journal sidecar lines; pass "
+                           "--journal=FILE");
+  }
   opts.on_progress = [](const exec::SweepProgress& p) {
     std::printf("[%3zu/%3zu] %s/%s/%s  %.0f ms%s\n", p.completed, p.total,
                 p.workload.c_str(), p.profile.c_str(), p.config_name.c_str(),
@@ -139,7 +155,7 @@ int RunMain(const Config& cfg) {
       "jobs",       "json",      "csv",            "metrics-out",
       "trace-out",  "trace-in",  "journal",        "resume",
       "timeout-ms", "journal-phases", "crash-sweep", "pmem-mutant",
-      "progress"};
+      "progress",   "timeline-out"};
   for (const std::string& k : core::SimConfig::ConfigKeys()) keys.push_back(k);
   cfg.RequireKeys(keys);
   if (cfg.Has("sweep")) return RunSweep(cfg);
@@ -241,6 +257,12 @@ int RunMain(const Config& cfg) {
   trace::PhaseLog phase_log;
   trace::SpanLog span_log;  // last mode's sampled spans, merged into the trace
   const bool want_phases = cfg.Has("metrics-out");
+  // Telemetry windows follow the same last-mode convention. Windows on with
+  // no sink is a config error (the timeline would silently vanish).
+  telemetry::Timeline timeline;
+  const bool timeline_sink = want_phases || cfg.Has("timeline-out");
+  telemetry::RequireSink(mode_cfgs.front().telemetry_window_ns, timeline_sink,
+                         "pass --metrics-out=FILE and/or --timeline-out=FILE");
   std::vector<core::SimResults> mode_results(modes.size());
   std::vector<pmem::PersistLog> persist_logs(modes.size());
   // --progress reuses the sweep heartbeat (exec/progress.h): one stderr
@@ -256,9 +278,12 @@ int RunMain(const Config& cfg) {
     for (std::size_t i = 0; i < mode_cfgs.size(); ++i) {
       const core::SimConfig& sc = mode_cfgs[i];
       core::RunOptions ro;
-      if (want_phases && i + 1 == mode_cfgs.size()) {
-        ro.phases = &phase_log;
-        if (sc.trace_sample_rate > 0.0) ro.spans = &span_log;
+      if (i + 1 == mode_cfgs.size()) {
+        if (want_phases) {
+          ro.phases = &phase_log;
+          if (sc.trace_sample_rate > 0.0) ro.spans = &span_log;
+        }
+        if (timeline_sink) ro.timeline = &timeline;
       }
       if (pmem_on) ro.persist = &persist_logs[i];
       futs.push_back(pool.Submit([&trace, &sc, &exp, ro, i, &job_wall_ms] {
@@ -376,11 +401,27 @@ int RunMain(const Config& cfg) {
   }
   if (want_phases) {
     const std::string path = cfg.GetString("metrics-out", "");
-    trace::WriteTrace(phase_log, path,
-                      span_log.empty() ? nullptr : &span_log);
-    std::printf("phase metrics (%zu phases, %zu spans, mode %s) written to %s\n",
+    trace::TraceExtras extras;
+    if (!span_log.empty()) extras.spans = &span_log;
+    extras.chrome_events = telemetry::ChromeCounterEvents(timeline);
+    extras.jsonl_lines = telemetry::ToJsonl(timeline);
+    trace::WriteTrace(phase_log, path, extras);
+    std::string windows_note;
+    if (!timeline.empty()) {
+      windows_note = StrFormat("%zu windows, ", timeline.windows.size());
+    }
+    std::printf("phase metrics (%zu phases, %zu spans, %smode %s) written to %s\n",
                 phase_log.phases().size(), span_log.spans.size(),
-                last.mode.c_str(), path.c_str());
+                windows_note.c_str(), last.mode.c_str(), path.c_str());
+  }
+  if (cfg.Has("timeline-out")) {
+    const std::string path = cfg.GetString("timeline-out", "");
+    std::ofstream f(path, std::ios::binary);
+    if (!f) GP_THROW("cannot open timeline output file '", path, "'");
+    f << telemetry::ToJsonl(timeline);
+    if (!f) GP_THROW("failed writing timeline output file '", path, "'");
+    std::printf("telemetry timeline (%zu windows, mode %s) written to %s\n",
+                timeline.windows.size(), last.mode.c_str(), path.c_str());
   }
   return 0;
 }

@@ -37,6 +37,11 @@
 // of memory requests per job; with --journal the sampled spans ride along
 // as {"spans_for":...} sidecar lines after each row.
 //
+// Telemetry timelines (DESIGN.md §17): --telemetry-window-ns=N cuts each
+// job into virtual-time windows; with --journal the windows ride along as
+// {"timeline_for":...} sidecar lines. Windows without a journal are a
+// config error (there would be nowhere to put them).
+//
 // Persistent PMR (DESIGN.md §14): the pmem.* knobs ride the SimConfig
 // field table, so --pmem-enable / --pmem-flush-ns / --pmem-fence-ns apply
 // to every config (pmem.enable must be uniform across the grid — all
@@ -53,6 +58,7 @@
 #include "exec/progress.h"
 #include "exec/result_sink.h"
 #include "exec/sweep.h"
+#include "telemetry/timeline.h"
 #include "workloads/workload.h"
 
 using namespace graphpim;
@@ -106,6 +112,11 @@ int Run(const Config& cfg) {
   opts.journal_path = cfg.GetString("journal", "");
   opts.resume = cfg.GetBool("resume", false);
   opts.journal_phases = cfg.GetBool("journal-phases", false);
+  for (const core::SimConfig& c : grid.configs) {
+    telemetry::RequireSink(c.telemetry_window_ns, !opts.journal_path.empty(),
+                           "sweep timelines are journal sidecar lines; pass "
+                           "--journal=FILE");
+  }
   // Progress heartbeat (off by default so scripted runs stay quiet): the
   // shared src/exec/progress stderr line per retired job, with an ETA
   // extrapolated from the mean wall time of the jobs finished so far.
